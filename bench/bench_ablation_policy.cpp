@@ -1,0 +1,81 @@
+// E6 — ablation of the probe policy: adjacent beams vs full re-sweep.
+//
+// When the 3 dB drop fires, the paper's protocol probes only the two
+// directionally adjacent receive beams (one SSB burst each). The ablation
+// baseline re-measures the whole codebook instead — per decision it finds
+// the global best beam, but a full 20° codebook sweep costs 17 bursts
+// (~340 ms) during which the link keeps moving. We also compare the omni
+// "codebook" (no beams to manage at all, and no beamforming gain).
+//
+// Expected shape: adjacent probing wins under continuous mobility (it is
+// the locality assumption that physical motion moves the best beam to a
+// neighbour first); the full sweep loses tracking time; omni has nothing
+// to track but cannot reach cell-edge SNR.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace st;
+using namespace st::sim::literals;
+
+}  // namespace
+
+int main() {
+  st::bench::print_header(
+      "E6: probe-policy ablation (adjacent vs full re-sweep vs omni)",
+      "§3 design choice — 'switch to one of the directionally adjacent "
+      "receive beams'");
+
+  const auto run_seeds = st::bench::seeds(12);
+
+  struct Variant {
+    const char* name;
+    double beamwidth_deg;
+    core::ProbePolicy policy;
+  };
+  const Variant variants[] = {
+      {"adjacent (paper)", 20.0, core::ProbePolicy::kAdjacent},
+      {"full re-sweep", 20.0, core::ProbePolicy::kFullSweep},
+      {"omni", 0.0, core::ProbePolicy::kAdjacent},
+  };
+
+  Table table({"scenario", "policy", "time aligned %", "handover success [CI]",
+               "soft [CI]", "interruption p50 ms"});
+
+  for (const auto mobility : {core::MobilityScenario::kHumanWalk,
+                              core::MobilityScenario::kRotation}) {
+    for (const Variant& variant : variants) {
+      core::ScenarioConfig config;
+      config.mobility = mobility;
+      config.duration = 20'000_ms;
+      config.ue_beamwidth_deg = variant.beamwidth_deg;
+      config.tracker.probe_policy = variant.policy;
+
+      const st::bench::Aggregate agg = st::bench::run_batch(config, run_seeds);
+
+      table.row()
+          .cell(std::string(core::to_string(mobility)))
+          .cell(variant.name)
+          .cell(agg.alignment_fraction.empty()
+                    ? std::string("-")
+                    : format_double(100.0 * agg.alignment_fraction.mean(), 1))
+          .cell(st::bench::rate_with_ci(agg.handover_success))
+          .cell(st::bench::rate_with_ci(agg.soft_fraction))
+          .cell(agg.interruption_ms.empty()
+                    ? std::string("-")
+                    : format_double(agg.interruption_ms.median(), 1));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote: omni's 'time aligned' is trivially 100% — a single "
+               "0 dBi beam is always its own best beam; its handover success "
+               "column is what shows it cannot reach cell-edge SNR.\n"
+               "Shape check: adjacent probing tracks at least as well as "
+               "the full re-sweep under slow motion and far better under "
+               "rotation, at a fraction of the measurement budget; omni "
+               "cannot hold cell-edge links.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E8 — ablation of the SSB burst periodicity (extension).
+//
+// Every in-band decision in the system rides on the synchronisation
+// signal cadence: one measurement opportunity per beam per period. The
+// paper inherits NR's 20 ms default (which also sets the 1.28 s worst
+// case search the introduction cites: 64 beam dwells x 20 ms). This
+// sweep varies the period (NR allows 5–160 ms) and reports what it buys
+// and costs:
+//   * shorter periods -> faster drop detection and probing -> better
+//     tracking alignment, shorter search;
+//   * longer periods -> less overhead in a real system (not modelled),
+//     but stale beams and slow discovery.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace st;
+using namespace st::sim::literals;
+
+}  // namespace
+
+int main() {
+  st::bench::print_header(
+      "E8: SSB periodicity ablation (measurement cadence)",
+      "extension — the paper's latencies all scale with the 20 ms SSB "
+      "period (64 dwells x 20 ms = the 1.28 s search bound of its intro)");
+
+  const auto run_seeds = st::bench::seeds(12);
+
+  Table table({"scenario", "SSB period ms", "time aligned %",
+               "handover success [CI]", "soft [CI]", "interruption p50 ms"});
+
+  for (const auto mobility : {core::MobilityScenario::kHumanWalk,
+                              core::MobilityScenario::kRotation}) {
+    for (const std::int64_t period_ms : {5LL, 10LL, 20LL, 40LL, 80LL}) {
+      core::ScenarioConfig config;
+      config.mobility = mobility;
+      config.duration = 20'000_ms;
+      config.deployment.frame.ssb_period =
+          sim::Duration::milliseconds(period_ms);
+      // Keep the search budget at 64 dwells, as in NR initial access.
+      config.tracker.search.dwell = sim::Duration::milliseconds(period_ms);
+      config.tracker.search.budget =
+          sim::Duration::milliseconds(64 * period_ms);
+      config.reactive.search = config.tracker.search;
+
+      const st::bench::Aggregate agg = st::bench::run_batch(config, run_seeds);
+      table.row()
+          .cell(std::string(core::to_string(mobility)))
+          .cell(static_cast<int>(period_ms))
+          .cell(agg.alignment_fraction.empty()
+                    ? std::string("-")
+                    : format_double(100.0 * agg.alignment_fraction.mean(), 1))
+          .cell(st::bench::rate_with_ci(agg.handover_success))
+          .cell(st::bench::rate_with_ci(agg.soft_fraction))
+          .cell(agg.interruption_ms.empty()
+                    ? std::string("-")
+                    : format_double(agg.interruption_ms.median(), 1));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: alignment under rotation improves steeply as "
+               "the period shrinks (tracking is measurement-cadence "
+               "limited); the slow walk barely cares.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E5 — ablation of the 3 dB switching threshold.
+//
+// Both protocols switch to a directionally adjacent beam "when the RSS
+// drops by 3 dB". This harness sweeps that threshold (1–10 dB) on the
+// walk and rotation scenarios and reports tracking alignment, switch
+// counts (protocol churn), and handover outcomes.
+//
+// Expected shape: small thresholds thrash (every noise wiggle triggers a
+// probe burst, burning measurement slots), large thresholds react too
+// late (alignment and completion suffer); ~3 dB sits at the knee — which
+// is also half-power, i.e. "the beam has drifted to its -3 dB contour,
+// exactly one beamwidth of motion".
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace st;
+using namespace st::sim::literals;
+
+}  // namespace
+
+int main() {
+  st::bench::print_header(
+      "E5: switching-threshold ablation (the paper's 3 dB rule)",
+      "§3 design choice — adjacent-beam switch on a 3 dB drop");
+
+  const auto run_seeds = st::bench::seeds(12);
+
+  Table table({"scenario", "threshold dB", "time aligned %",
+               "rx switches / run", "drops / run", "handover success [CI]",
+               "soft [CI]"});
+
+  for (const auto mobility : {core::MobilityScenario::kHumanWalk,
+                              core::MobilityScenario::kRotation}) {
+    for (const double threshold : {1.0, 2.0, 3.0, 5.0, 8.0, 10.0}) {
+      core::ScenarioConfig config;
+      config.mobility = mobility;
+      config.duration = 20'000_ms;
+      config.tracker.neighbour_tracker.drop_threshold_db = threshold;
+      config.tracker.beamsurfer.tracker.drop_threshold_db = threshold;
+
+      st::bench::Aggregate agg;
+      RunningStats switches;
+      RunningStats drops;
+      for (const std::uint64_t seed : run_seeds) {
+        config.seed = seed;
+        const core::ScenarioResult result = core::run_scenario(config);
+        agg.absorb(result);
+        switches.add(static_cast<double>(
+            result.counters.value("neighbour_rx_switches") +
+            result.counters.value("serving_rx_switches")));
+        drops.add(static_cast<double>(
+            result.counters.value("neighbour_drop_events") +
+            result.counters.value("serving_drop_events")));
+      }
+
+      table.row()
+          .cell(std::string(core::to_string(mobility)))
+          .cell(threshold, 1)
+          .cell(100.0 * agg.alignment_fraction.mean(), 1)
+          .cell(switches.mean(), 1)
+          .cell(drops.mean(), 1)
+          .cell(st::bench::rate_with_ci(agg.handover_success))
+          .cell(st::bench::rate_with_ci(agg.soft_fraction));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: switch churn falls monotonically with the "
+               "threshold; alignment degrades once the threshold exceeds "
+               "the beam overlap depth. 3 dB sits at the knee.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E10 — radio measurement budget (extension reproducing a §2 claim).
+//
+// "The mobile must therefore utilize its radio resources for measurements
+// efficiently … It needs to be done with minimal resource usage." This
+// bench counts every SSB listening attempt the mobile makes (its radio
+// measurement budget) and compares policies on outcome per unit of
+// budget: Silent Tracker with the paper's adjacent probing, the
+// full-re-sweep ablation, and the reactive baseline that measures nothing
+// until the serving link dies.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace st;
+using namespace st::sim::literals;
+
+}  // namespace
+
+int main() {
+  st::bench::print_header(
+      "E10: radio measurement budget per policy",
+      "§2 claim — beam management for soft handover with minimal "
+      "measurement resource usage");
+
+  const auto run_seeds = st::bench::seeds(12);
+
+  struct Variant {
+    const char* name;
+    core::ProtocolKind protocol;
+    core::ProbePolicy policy;
+  };
+  const Variant variants[] = {
+      {"silent_tracker / adjacent (paper)", core::ProtocolKind::kSilentTracker,
+       core::ProbePolicy::kAdjacent},
+      {"silent_tracker / full re-sweep", core::ProtocolKind::kSilentTracker,
+       core::ProbePolicy::kFullSweep},
+      {"reactive (no pre-HO measurement)", core::ProtocolKind::kReactive,
+       core::ProbePolicy::kAdjacent},
+  };
+
+  Table table({"scenario", "policy", "SSB obs/s", "time aligned %",
+               "soft [CI]", "interruption p50 ms"});
+
+  for (const auto mobility : {core::MobilityScenario::kHumanWalk,
+                              core::MobilityScenario::kRotation}) {
+    for (const Variant& variant : variants) {
+      core::ScenarioConfig config;
+      config.mobility = mobility;
+      config.protocol = variant.protocol;
+      config.duration = 20'000_ms;
+      config.tracker.probe_policy = variant.policy;
+
+      st::bench::Aggregate agg;
+      RunningStats obs_per_s;
+      for (const std::uint64_t seed : run_seeds) {
+        config.seed = seed;
+        const core::ScenarioResult result = core::run_scenario(config);
+        agg.absorb(result);
+        obs_per_s.add(static_cast<double>(result.ssb_observations) /
+                      config.duration.seconds());
+      }
+
+      table.row()
+          .cell(std::string(core::to_string(mobility)))
+          .cell(variant.name)
+          .cell(obs_per_s.mean(), 1)
+          .cell(agg.alignment_fraction.empty()
+                    ? std::string("-")
+                    : format_double(100.0 * agg.alignment_fraction.mean(), 1))
+          .cell(st::bench::rate_with_ci(agg.soft_fraction))
+          .cell(agg.interruption_ms.empty()
+                    ? std::string("-")
+                    : format_double(agg.interruption_ms.median(), 1));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: the paper's adjacent policy spends less than "
+               "2x the budget of the reactive baseline (which measures only "
+               "the serving cell) yet converts its hard handovers to soft. "
+               "The full re-sweep's cost is not extra slots but *time*: each "
+               "probe round monopolises the measurement schedule for a full "
+               "codebook of bursts, so tracking staleness — not slot count — "
+               "is what collapses under fast motion.\n";
+  return 0;
+}

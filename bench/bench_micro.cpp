@@ -1,0 +1,109 @@
+// E7 — micro-benchmarks of the hot paths (google-benchmark).
+//
+// These are throughput sanity checks, not paper results: the protocol's
+// decisions are driven by RSS updates, codebook gain lookups, channel
+// evaluations, and simulator event dispatch — all of which must be cheap
+// enough that a 30 s scenario with millisecond-scale events runs in well
+// under a second.
+#include <benchmark/benchmark.h>
+
+#include "core/rss_tracker.hpp"
+#include "net/timing.hpp"
+#include "phy/channel.hpp"
+#include "phy/codebook.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace st;
+using namespace st::sim::literals;
+
+void BM_RssTrackerAddSample(benchmark::State& state) {
+  core::RssTracker tracker(core::RssTrackerConfig{});
+  tracker.select_beam(3, -60.0);
+  double rss = -60.0;
+  for (auto _ : state) {
+    rss = rss < -70.0 ? -60.0 : rss - 0.01;
+    tracker.add_sample(rss);
+    benchmark::DoNotOptimize(tracker.drop_detected());
+  }
+}
+BENCHMARK(BM_RssTrackerAddSample);
+
+void BM_GaussianGainLookup(benchmark::State& state) {
+  const phy::GaussianPattern pattern(deg_to_rad(20.0));
+  double theta = -3.0;
+  for (auto _ : state) {
+    theta += 0.001;
+    if (theta > 3.0) {
+      theta = -3.0;
+    }
+    benchmark::DoNotOptimize(pattern.gain_dbi(theta));
+  }
+}
+BENCHMARK(BM_GaussianGainLookup);
+
+void BM_CodebookBestBeam(benchmark::State& state) {
+  const phy::Codebook cb =
+      phy::Codebook::from_beamwidth_deg(static_cast<double>(state.range(0)));
+  double az = -3.0;
+  for (auto _ : state) {
+    az += 0.01;
+    if (az > 3.0) {
+      az = -3.0;
+    }
+    benchmark::DoNotOptimize(cb.best_beam_for(az));
+  }
+}
+BENCHMARK(BM_CodebookBestBeam)->Arg(20)->Arg(60);
+
+void BM_ChannelEvaluation(benchmark::State& state) {
+  phy::ChannelConfig config;
+  config.multipath.reflector_count = static_cast<unsigned>(state.range(0));
+  const phy::Channel channel(config, {0.0, 0.0, 0.0}, {30.0, 10.0, 0.0},
+                             60_s, 1);
+  const phy::Codebook cb = phy::Codebook::from_beamwidth_deg(20.0);
+  Pose tx;
+  Pose rx;
+  rx.position = {30.0, 10.0, 0.0};
+  std::int64_t t_ns = 0;
+  for (auto _ : state) {
+    t_ns += 1'000'000;
+    rx.position.x += 1e-4;
+    benchmark::DoNotOptimize(channel.rx_power_dbm(
+        tx, cb.beam(0), rx, cb.beam(9), sim::Time::from_ns(t_ns), 13.0));
+  }
+}
+BENCHMARK(BM_ChannelEvaluation)->Arg(0)->Arg(3)->Arg(8);
+
+void BM_FrameScheduleNextSsb(benchmark::State& state) {
+  const net::FrameSchedule schedule(net::FrameConfig{}, 7_ms);
+  sim::Time t = sim::Time::zero();
+  for (auto _ : state) {
+    const net::SsbSlot slot = schedule.next_ssb(t);
+    t = slot.start + 1_ns;
+    benchmark::DoNotOptimize(slot);
+  }
+}
+BENCHMARK(BM_FrameScheduleNextSsb);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    constexpr int kEvents = 1000;
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      simulator.schedule_at(sim::Time::from_ns(i * 1000), [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    simulator.run_until(sim::Time::from_ns(kEvents * 1000));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

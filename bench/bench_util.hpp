@@ -1,0 +1,82 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one table/figure of the paper's
+// evaluation (see DESIGN.md §4) and prints the rows/series the paper
+// reports. All runs are seeded; rerunning a binary reproduces its output
+// bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/scenario.hpp"
+
+namespace st::bench {
+
+/// Repetition seeds used across benches (arbitrary but fixed).
+[[nodiscard]] inline std::vector<std::uint64_t> seeds(std::size_t n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(1000 + 7919 * i);  // spread out; derive_seed decorrelates
+  }
+  return out;
+}
+
+/// Aggregated protocol outcomes over a batch of scenario runs.
+struct Aggregate {
+  SuccessRate handover_success;       ///< completed handovers / attempts
+  SuccessRate soft_fraction;          ///< soft / completed
+  SuccessRate aligned_at_completion;  ///< Fig. 2c criterion per handover
+  SampleSet interruption_ms;          ///< successful handovers only
+  SampleSet alignment_fraction;       ///< per run: time-aligned fraction
+  SampleSet rach_attempts;
+
+  void absorb(const core::ScenarioResult& result) {
+    for (const auto& h : result.handovers) {
+      handover_success.record(h.success);
+      if (h.success) {
+        soft_fraction.record(h.type == net::HandoverType::kSoft);
+        aligned_at_completion.record(h.beam_aligned_at_completion);
+        interruption_ms.add(h.interruption().ms());
+        rach_attempts.add(static_cast<double>(h.rach_attempts));
+      }
+    }
+    if (!result.alignment_gap_db.empty()) {
+      // The paper's criterion: alignment maintained *until the handover
+      // concluded* (post-handover tracking of whatever neighbour remains
+      // is a different, often hopeless, task and would pollute the
+      // metric).
+      alignment_fraction.add(result.alignment_until_first_handover());
+    }
+  }
+};
+
+/// Run one configuration across `run_seeds`, aggregating outcomes.
+[[nodiscard]] inline Aggregate run_batch(
+    core::ScenarioConfig config, const std::vector<std::uint64_t>& run_seeds) {
+  Aggregate agg;
+  for (const std::uint64_t seed : run_seeds) {
+    config.seed = seed;
+    agg.absorb(core::run_scenario(config));
+  }
+  return agg;
+}
+
+inline void print_header(std::string_view title, std::string_view paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n\n";
+}
+
+/// "62.5% [55.1, 69.3]" — rate with its Wilson 95% interval.
+[[nodiscard]] inline std::string rate_with_ci(const SuccessRate& r) {
+  const auto [lo, hi] = r.wilson95();
+  return format_double(100.0 * r.rate(), 1) + "% [" +
+         format_double(100.0 * lo, 1) + ", " + format_double(100.0 * hi, 1) +
+         "]";
+}
+
+}  // namespace st::bench

@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete Silent Tracker run.
+//
+// Two 60 GHz cells, a user walking across the boundary at 1.4 m/s with a
+// 20° receive codebook, Silent Tracker managing the transition. Prints
+// the protocol's event timeline and a summary of the handover.
+//
+//   ./quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scenario.hpp"
+
+int main(int argc, char** argv) {
+  st::core::ScenarioConfig config;
+  config.mobility = st::core::MobilityScenario::kHumanWalk;
+  config.protocol = st::core::ProtocolKind::kSilentTracker;
+  config.ue_beamwidth_deg = 20.0;
+  config.duration = st::sim::Duration::milliseconds(20'000);
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::cout << "Silent Tracker quickstart\n"
+            << "  scenario : human walk, " << config.walk_speed_mps
+            << " m/s across the cell boundary\n"
+            << "  codebook : " << config.ue_beamwidth_deg
+            << " deg mobile receive beams\n"
+            << "  seed     : " << config.seed << "\n\n";
+
+  const st::core::ScenarioResult result = st::core::run_scenario(config);
+
+  std::cout << "--- protocol timeline ---\n";
+  for (const auto& entry : result.log.entries()) {
+    std::cout << "  " << st::sim::to_string(entry.t) << "  ["
+              << entry.component << "] " << entry.message << '\n';
+  }
+
+  std::cout << "\n--- handovers ---\n";
+  for (const auto& h : result.handovers) {
+    std::cout << "  cell " << h.from << " -> " << h.to << "  type="
+              << (h.type == st::net::HandoverType::kSoft ? "soft" : "hard")
+              << "  success=" << (h.success ? "yes" : "no")
+              << "  interruption=" << st::sim::to_string(h.interruption())
+              << "  rach_attempts=" << h.rach_attempts << "  aligned="
+              << (h.beam_aligned_at_completion ? "yes" : "no") << '\n';
+  }
+
+  std::cout << "\n--- tracking quality ---\n"
+            << "  samples while tracking : "
+            << result.alignment_gap_db.size() << '\n'
+            << "  aligned (within 3 dB)  : "
+            << 100.0 * result.tracking_alignment_fraction() << " %\n";
+
+  std::cout << "\n--- counters ---\n";
+  for (const auto& [name, value] : result.counters.all()) {
+    std::cout << "  " << name << " = " << value << '\n';
+  }
+  return 0;
+}

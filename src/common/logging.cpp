@@ -1,0 +1,38 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace st {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::global() noexcept {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level) || level == LogLevel::kOff) {
+    return;
+  }
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  out << '[' << to_string(level) << "] " << component << ": " << message
+      << '\n';
+}
+
+}  // namespace st

@@ -1,0 +1,66 @@
+// Minimal leveled logger. Protocol modules log beam switches, state
+// transitions, and handover events; examples run with Info, tests with
+// Warning, and debugging sessions can flip to Debug without recompiling
+// call sites. No macros — call sites pay one branch on the level check.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace st {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  /// Process-wide logger used by library code. Defaults to Warning on
+  /// stderr so tests stay quiet.
+  static Logger& global() noexcept;
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Redirect output (e.g. to a file stream owned by the caller). The
+  /// stream must outlive the logger's use of it.
+  void set_sink(std::ostream& sink) noexcept { sink_ = &sink; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_;
+  }
+
+  /// `component` is a short tag such as "silent_tracker" or "rach".
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+  void debug(std::string_view component, std::string_view message) {
+    log(LogLevel::kDebug, component, message);
+  }
+  void info(std::string_view component, std::string_view message) {
+    log(LogLevel::kInfo, component, message);
+  }
+  void warning(std::string_view component, std::string_view message) {
+    log(LogLevel::kWarning, component, message);
+  }
+  void error(std::string_view component, std::string_view message) {
+    log(LogLevel::kError, component, message);
+  }
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kWarning;
+  std::ostream* sink_ = nullptr;  // nullptr => std::cerr
+};
+
+/// Build a message from streamable parts: log_message("rss=", -62.5, " dBm").
+template <typename... Parts>
+[[nodiscard]] std::string log_message(const Parts&... parts) {
+  std::ostringstream oss;
+  (oss << ... << parts);
+  return oss.str();
+}
+
+}  // namespace st

@@ -1,0 +1,40 @@
+// Rigid-body pose: position plus orientation. Shared by the mobility
+// models (which produce poses over time) and the PHY layer (which needs
+// the device orientation to convert a world-frame arrival direction into
+// the antenna-array frame — the paper's rotation scenario changes only
+// this orientation, not the position).
+#pragma once
+
+#include "common/quaternion.hpp"
+#include "common/vec.hpp"
+
+namespace st {
+
+struct Pose {
+  Vec3 position;                              ///< metres, world frame
+  Quaternion orientation = Quaternion::identity();  ///< body -> world
+
+  /// World-frame direction from this pose to a target point.
+  [[nodiscard]] Vec3 direction_to(Vec3 target) const noexcept {
+    return (target - position).normalized();
+  }
+
+  /// Convert a world-frame direction into this body's frame. The antenna
+  /// codebook is defined in the body frame, so an arrival direction must
+  /// pass through this before a beam gain lookup.
+  [[nodiscard]] Vec3 to_body_frame(Vec3 world_dir) const noexcept {
+    return orientation.rotate_inverse(world_dir);
+  }
+
+  /// Convert a body-frame direction into the world frame.
+  [[nodiscard]] Vec3 to_world_frame(Vec3 body_dir) const noexcept {
+    return orientation.rotate(body_dir);
+  }
+
+  /// Azimuth (body frame) at which a world point is seen from this pose.
+  [[nodiscard]] double azimuth_to(Vec3 target) const noexcept {
+    return to_body_frame(direction_to(target)).azimuth();
+  }
+};
+
+}  // namespace st

@@ -1,0 +1,83 @@
+// Unit quaternions for device orientation. The rotation scenario in the
+// paper (device spinning at 120 °/s) changes the angle of arrival in the
+// *device frame* without the device moving; representing orientation as a
+// quaternion lets mobility models compose translation and rotation cleanly
+// and avoids gimbal problems when traces combine yaw with sway.
+#pragma once
+
+#include <cmath>
+
+#include "common/vec.hpp"
+
+namespace st {
+
+struct Quaternion {
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  [[nodiscard]] static Quaternion identity() noexcept { return {}; }
+
+  /// Rotation of `angle_rad` about `axis` (need not be normalised).
+  [[nodiscard]] static Quaternion from_axis_angle(Vec3 axis,
+                                                  double angle_rad) noexcept {
+    const Vec3 u = axis.normalized();
+    const double h = 0.5 * angle_rad;
+    const double s = std::sin(h);
+    return {std::cos(h), s * u.x, s * u.y, s * u.z};
+  }
+
+  /// Pure yaw rotation (about +z), the dominant rotation for handheld
+  /// devices in the paper's rotation experiment.
+  [[nodiscard]] static Quaternion from_yaw(double yaw_rad) noexcept {
+    return from_axis_angle({0.0, 0.0, 1.0}, yaw_rad);
+  }
+
+  [[nodiscard]] constexpr Quaternion conjugate() const noexcept {
+    return {w, -x, -y, -z};
+  }
+
+  [[nodiscard]] double norm() const noexcept {
+    return std::sqrt(w * w + x * x + y * y + z * z);
+  }
+
+  [[nodiscard]] Quaternion normalized() const noexcept {
+    const double n = norm();
+    if (n <= 0.0) {
+      return identity();
+    }
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  /// Hamilton product: (*this) then-applied-after `o` when rotating vectors
+  /// via rotate(), i.e. rotate(a*b, v) == rotate(a, rotate(b, v)).
+  friend constexpr Quaternion operator*(Quaternion a, Quaternion b) noexcept {
+    return {a.w * b.w - a.x * b.x - a.y * b.y - a.z * b.z,
+            a.w * b.x + a.x * b.w + a.y * b.z - a.z * b.y,
+            a.w * b.y - a.x * b.z + a.y * b.w + a.z * b.x,
+            a.w * b.z + a.x * b.y - a.y * b.x + a.z * b.w};
+  }
+
+  /// Rotate a vector by this (assumed unit) quaternion.
+  [[nodiscard]] Vec3 rotate(Vec3 v) const noexcept {
+    // v' = v + 2 q_v x (q_v x v + w v), the standard expansion of q v q*.
+    const Vec3 qv{x, y, z};
+    const Vec3 t = 2.0 * qv.cross(v);
+    return v + w * t + qv.cross(t);
+  }
+
+  /// Inverse rotation (world frame -> body frame for a body-to-world
+  /// orientation quaternion).
+  [[nodiscard]] Vec3 rotate_inverse(Vec3 v) const noexcept {
+    return conjugate().rotate(v);
+  }
+
+  /// Yaw (rotation about +z) of the rotated x-axis — the device "heading".
+  [[nodiscard]] double yaw() const noexcept {
+    const Vec3 fwd = rotate({1.0, 0.0, 0.0});
+    return std::atan2(fwd.y, fwd.x);
+  }
+};
+
+}  // namespace st

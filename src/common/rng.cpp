@@ -1,0 +1,134 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace st {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// FNV-1a over the label bytes; mixed with the root seed through SplitMix64
+/// so "channel" and "mobility" streams from the same root are independent.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t root_seed,
+                          std::string_view stream_label) noexcept {
+  SplitMix64 mix(root_seed ^ fnv1a(stream_label));
+  // Burn a couple of outputs so nearby root seeds with the same label do
+  // not produce nearby stream seeds.
+  mix.next();
+  return mix.next();
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 mix(seed);
+  for (auto& word : s_) {
+    word = mix.next();
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = r * std::sin(kTwoPi * u2);
+  has_cached_normal_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform() < p;
+}
+
+unsigned Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    const double draw = std::round(normal(mean, std::sqrt(mean)));
+    return draw < 0.0 ? 0U : static_cast<unsigned>(draw);
+  }
+  // Knuth's product method.
+  const double limit = std::exp(-mean);
+  unsigned k = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++k;
+    product *= uniform();
+  }
+  return k;
+}
+
+}  // namespace st

@@ -1,0 +1,184 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace st {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void SampleSet::add_all(std::span<const double> xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const noexcept {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double x : samples_) {
+    sum += x;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const noexcept {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double m2 = 0.0;
+  for (const double x : samples_) {
+    m2 += (x - m) * (x - m);
+  }
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const noexcept {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const noexcept {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) {
+    throw std::logic_error("SampleSet::percentile on empty set");
+  }
+  ensure_sorted();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo_idx = static_cast<std::size_t>(std::floor(rank));
+  const auto hi_idx = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return sorted_[lo_idx] + frac * (sorted_[hi_idx] - sorted_[lo_idx]);
+}
+
+void SuccessRate::record(bool success) noexcept {
+  ++trials_;
+  if (success) {
+    ++successes_;
+  }
+}
+
+double SuccessRate::rate() const noexcept {
+  if (trials_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+std::pair<double, double> SuccessRate::wilson95() const noexcept {
+  if (trials_ == 0) {
+    return {0.0, 1.0};
+  }
+  constexpr double z = 1.959963984540054;  // 97.5th normal quantile
+  const double n = static_cast<double>(trials_);
+  const double p = rate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram requires hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double offset = (x - lo_) / width_;
+  std::size_t idx = 0;
+  if (offset > 0.0) {
+    idx = static_cast<std::size_t>(offset);
+    if (idx >= counts_.size()) {
+      idx = counts_.size() - 1;
+    }
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_lower(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+std::string Histogram::ascii(std::size_t max_bar_width) const {
+  std::string out;
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%10.3f | ", bin_lower(i));
+    out += label;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_bar_width / peak;
+    out.append(bar, '#');
+    out += " (" + std::to_string(counts_[i]) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace st

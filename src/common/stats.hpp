@@ -1,0 +1,115 @@
+// Descriptive statistics used by the benchmark harness and metric layer:
+// streaming mean/variance (Welford), exact percentiles over stored samples,
+// fixed-bin histograms, and normal-approximation confidence intervals for
+// success rates. The bench binaries report mean / p50 / p95 like the
+// paper's latency plots.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace st {
+
+/// Streaming mean / variance / min / max without storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with exact order statistics. Keeps every sample; fine
+/// for our experiment sizes (at most a few hundred thousand points).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+  }
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Exact percentile by linear interpolation between closest ranks.
+  /// `p` in [0, 100]. Precondition: not empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] std::span<const double> samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  /// Sorted lazily, cached until the next add.
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Success counter with a Wilson-score 95% confidence interval — the right
+/// interval for the small trial counts of per-scenario handover success.
+class SuccessRate {
+ public:
+  void record(bool success) noexcept;
+
+  [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::size_t successes() const noexcept { return successes_; }
+  /// Fraction in [0,1]; 0 when no trials.
+  [[nodiscard]] double rate() const noexcept;
+  /// Wilson 95% interval [lo, hi] in [0,1].
+  [[nodiscard]] std::pair<double, double> wilson95() const noexcept;
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin so the total count is preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lower(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Render a compact ASCII bar chart (used by example binaries).
+  [[nodiscard]] std::string ascii(std::size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace st

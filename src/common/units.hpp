@@ -1,0 +1,65 @@
+// Physical constants and unit conversions used across the Silent Tracker
+// library. All internal computation is in SI units (metres, seconds, Hz,
+// watts); decibel quantities are held in explicitly named variables/types
+// (see db.hpp helpers below) and converted at the edges.
+#pragma once
+
+#include <cmath>
+
+namespace st {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Standard noise reference temperature [K].
+inline constexpr double kReferenceTemperatureK = 290.0;
+
+/// Default carrier frequency of the reproduced testbed [Hz].
+/// The paper's prototype is the NI 60 GHz mmWave Transceiver System; the
+/// 802.11ad channel-2 centre frequency is 60.48 GHz.
+inline constexpr double kDefaultCarrierHz = 60.48e9;
+
+/// Default signal bandwidth [Hz] (802.11ad single-channel occupancy,
+/// matching the NI transceiver's 2 GHz class front end).
+inline constexpr double kDefaultBandwidthHz = 1.76e9;
+
+/// Wavelength [m] at a given carrier frequency [Hz].
+[[nodiscard]] constexpr double wavelength(double carrier_hz) noexcept {
+  return kSpeedOfLight / carrier_hz;
+}
+
+/// Convert a linear power ratio to decibels.
+[[nodiscard]] inline double to_db(double linear) noexcept {
+  return 10.0 * std::log10(linear);
+}
+
+/// Convert decibels to a linear power ratio.
+[[nodiscard]] inline double from_db(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Convert power in watts to dBm.
+[[nodiscard]] inline double watt_to_dbm(double watt) noexcept {
+  return 10.0 * std::log10(watt) + 30.0;
+}
+
+/// Convert power in dBm to watts.
+[[nodiscard]] inline double dbm_to_watt(double dbm) noexcept {
+  return std::pow(10.0, (dbm - 30.0) / 10.0);
+}
+
+/// Convert miles per hour to metres per second (paper: vehicular = 20 mph).
+[[nodiscard]] constexpr double mph_to_mps(double mph) noexcept {
+  return mph * 0.44704;
+}
+
+/// Thermal noise power [dBm] over a bandwidth [Hz] at the reference
+/// temperature: kTB. (≈ −174 dBm/Hz + 10 log10 B.)
+[[nodiscard]] inline double thermal_noise_dbm(double bandwidth_hz) noexcept {
+  return watt_to_dbm(kBoltzmann * kReferenceTemperatureK * bandwidth_hz);
+}
+
+}  // namespace st

@@ -1,0 +1,88 @@
+// Small fixed-size vector types for geometry. Deliberately minimal: only
+// the operations the mobility / channel models need, all constexpr-friendly
+// value semantics.
+#pragma once
+
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace st {
+
+/// 3-D vector (metres, or unitless direction).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) noexcept {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) noexcept {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(double s, Vec3 v) noexcept {
+    return {s * v.x, s * v.y, s * v.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 v, double s) noexcept { return s * v; }
+  friend constexpr Vec3 operator/(Vec3 v, double s) noexcept {
+    return {v.x / s, v.y / s, v.z / s};
+  }
+  constexpr Vec3& operator+=(Vec3 o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(Vec3 o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec3 a, Vec3 b) noexcept = default;
+
+  [[nodiscard]] constexpr double dot(Vec3 o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(Vec3 o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(dot(*this)); }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return dot(*this); }
+
+  /// Unit vector in this direction; the zero vector normalises to {1,0,0}
+  /// so callers never receive NaNs from degenerate geometry (e.g. a mobile
+  /// exactly at a base station during a synthetic test).
+  [[nodiscard]] Vec3 normalized() const noexcept {
+    const double n = norm();
+    if (n <= 0.0) {
+      return {1.0, 0.0, 0.0};
+    }
+    return *this / n;
+  }
+
+  /// Azimuth of the projection onto the x-y plane, in (-pi, pi].
+  [[nodiscard]] double azimuth() const noexcept { return std::atan2(y, x); }
+
+  /// Elevation above the x-y plane, in [-pi/2, pi/2].
+  [[nodiscard]] double elevation() const noexcept {
+    const double h = std::sqrt(x * x + y * y);
+    return std::atan2(z, h);
+  }
+};
+
+/// Direction unit vector from azimuth/elevation (radians).
+[[nodiscard]] inline Vec3 direction_from_angles(double azimuth_rad,
+                                                double elevation_rad) noexcept {
+  const double ce = std::cos(elevation_rad);
+  return {ce * std::cos(azimuth_rad), ce * std::sin(azimuth_rad),
+          std::sin(elevation_rad)};
+}
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(Vec3 a, Vec3 b) noexcept {
+  return (a - b).norm();
+}
+
+}  // namespace st

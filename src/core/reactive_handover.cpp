@@ -1,0 +1,155 @@
+#include "core/reactive_handover.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace st::core {
+
+ReactiveHandover::ReactiveHandover(sim::Simulator& simulator,
+                                   net::RadioEnvironment& environment,
+                                   ReactiveHandoverConfig config)
+    : simulator_(simulator), environment_(environment), config_(config) {
+  if (environment.cell_count() < 2) {
+    throw std::invalid_argument("ReactiveHandover: needs >= 2 cells");
+  }
+}
+
+ReactiveHandover::~ReactiveHandover() { stop(); }
+
+void ReactiveHandover::set_recorders(sim::EventLog* log,
+                                     sim::CounterSet* counters) {
+  log_ = log;
+  counters_ = counters;
+  if (beamsurfer_ != nullptr) {
+    beamsurfer_->set_recorders(log, counters);
+  }
+}
+
+void ReactiveHandover::start(net::CellId serving_cell,
+                             phy::BeamId serving_rx_beam,
+                             double serving_rss_dbm,
+                             HandoverCallback on_handover) {
+  if (on_handover == nullptr) {
+    throw std::invalid_argument("ReactiveHandover: null callback");
+  }
+  serving_ = serving_cell;
+  serving_alive_ = true;
+  rounds_ = 0;
+  on_handover_ = std::move(on_handover);
+  record_ = net::HandoverRecord{};
+  record_.from = serving_cell;
+  record_.type = net::HandoverType::kHard;  // always, by construction
+
+  beamsurfer_ = std::make_unique<BeamSurfer>(simulator_, environment_,
+                                             serving_cell, config_.beamsurfer);
+  beamsurfer_->set_recorders(log_, counters_);
+  // A reactive mobile has no plan B: an undeliverable switch request is
+  // treated the same as RLF.
+  beamsurfer_->set_unreachable_callback([this] { on_serving_lost(); });
+  beamsurfer_->start(serving_rx_beam, serving_rss_dbm);
+
+  link_monitor_ = std::make_unique<net::LinkMonitor>(simulator_, environment_,
+                                                     config_.link_monitor);
+  link_monitor_->start(
+      serving_cell, [this] { return beamsurfer_->rx_beam(); },
+      [this] { on_serving_lost(); });
+}
+
+void ReactiveHandover::stop() {
+  if (beamsurfer_ != nullptr) {
+    beamsurfer_->stop();
+  }
+  if (link_monitor_ != nullptr) {
+    link_monitor_->stop();
+  }
+  if (search_ != nullptr) {
+    search_->abort();
+  }
+  if (rach_ != nullptr) {
+    rach_->abort();
+  }
+  on_handover_ = nullptr;
+}
+
+void ReactiveHandover::on_serving_lost() {
+  if (!serving_alive_) {
+    return;
+  }
+  serving_alive_ = false;
+  record_.serving_lost = simulator_.now();
+  if (log_ != nullptr) {
+    log_->record(simulator_.now(), "reactive", "SERVING_LOST");
+  }
+  beamsurfer_->stop();
+  link_monitor_->stop();
+  next_round();
+}
+
+void ReactiveHandover::next_round() {
+  if (rounds_ >= config_.max_rounds) {
+    complete(false);
+    return;
+  }
+  ++rounds_;
+  if (counters_ != nullptr) {
+    counters_->increment("reactive_search_rounds");
+  }
+  std::vector<net::CellId> candidates;
+  for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
+    if (c != serving_) {
+      candidates.push_back(c);
+    }
+  }
+  search_ = std::make_unique<net::CellSearch>(simulator_, environment_,
+                                              std::move(candidates),
+                                              config_.search);
+  search_->start([this](const net::SearchOutcome& o) { on_search_done(o); });
+}
+
+void ReactiveHandover::on_search_done(const net::SearchOutcome& outcome) {
+  if (!outcome.found) {
+    next_round();
+    return;
+  }
+  record_.to = outcome.cell;
+  record_.access_started = simulator_.now();
+  record_.target_tx_beam = outcome.tx_beam;
+  found_rx_beam_ = outcome.rx_beam;
+
+  rach_ = std::make_unique<net::RachProcedure>(simulator_, environment_,
+                                               config_.rach);
+  // The beam is frozen at what the search found: no tracking happens
+  // between search and (possibly many) RACH attempts.
+  rach_->start(
+      outcome.cell, outcome.tx_beam, [this] { return found_rx_beam_; },
+      [this](const net::RachOutcome& o) { on_rach_done(o); });
+}
+
+void ReactiveHandover::on_rach_done(const net::RachOutcome& outcome) {
+  record_.rach_attempts += outcome.attempts;
+  if (outcome.success) {
+    complete(true);
+  } else {
+    next_round();
+  }
+}
+
+void ReactiveHandover::complete(bool success) {
+  record_.success = success;
+  record_.completed = simulator_.now();
+  record_.final_rx_beam = found_rx_beam_;
+  if (log_ != nullptr) {
+    log_->record(simulator_.now(), "reactive",
+                 log_message(success ? "HO_COMPLETE" : "HO_FAILED",
+                             " interruption_ms=",
+                             record_.interruption().ms()));
+  }
+  if (on_handover_) {
+    HandoverCallback cb = std::move(on_handover_);
+    on_handover_ = nullptr;
+    cb(record_);
+  }
+}
+
+}  // namespace st::core

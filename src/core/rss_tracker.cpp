@@ -1,0 +1,51 @@
+#include "core/rss_tracker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace st::core {
+
+RssTracker::RssTracker(const RssTrackerConfig& config) : config_(config) {
+  if (!(config.drop_threshold_db > 0.0)) {
+    throw std::invalid_argument("RssTracker: threshold must be positive");
+  }
+  if (!(config.ewma_alpha > 0.0) || config.ewma_alpha > 1.0) {
+    throw std::invalid_argument("RssTracker: alpha must be in (0, 1]");
+  }
+}
+
+void RssTracker::select_beam(phy::BeamId beam, double rss_dbm) {
+  select_beam(beam, rss_dbm, rss_dbm);
+}
+
+void RssTracker::select_beam(phy::BeamId beam, double rss_dbm,
+                             double reference_dbm) {
+  if (beam == phy::kInvalidBeam) {
+    throw std::invalid_argument("RssTracker: invalid beam");
+  }
+  beam_ = beam;
+  filtered_ = rss_dbm;
+  reference_ = std::max(rss_dbm, reference_dbm);
+}
+
+void RssTracker::add_sample(double rss_dbm) noexcept {
+  if (beam_ == phy::kInvalidBeam) {
+    return;  // samples before any selection carry no meaning
+  }
+  filtered_ = config_.ewma_alpha * rss_dbm +
+              (1.0 - config_.ewma_alpha) * filtered_;
+  reference_ = std::max(reference_, filtered_);
+}
+
+bool RssTracker::drop_detected() const noexcept {
+  return has_beam() && drop_db() >= config_.drop_threshold_db;
+}
+
+double RssTracker::drop_db() const noexcept {
+  if (!has_beam()) {
+    return 0.0;
+  }
+  return std::max(0.0, reference_ - filtered_);
+}
+
+}  // namespace st::core

@@ -1,0 +1,70 @@
+// The 3 dB-drop rule.
+//
+// Both protocols in the paper reduce beam management to one in-band
+// trigger: "switch to one of the directionally adjacent beams when the
+// RSS drops by 3 dB". This class is that trigger. It smooths raw RSS
+// samples with an EWMA (single measurements carry ~1 dB estimation noise;
+// reacting to raw samples would thrash), holds the peak filtered RSS seen
+// since the current beam was selected as the reference, and reports a
+// drop when the filtered value falls `drop_threshold_db` below it.
+//
+// Peak-hold reference (rather than selection-time RSS) makes the detector
+// monotone: if the link improves after a switch, the new level becomes
+// the baseline the next drop is measured against, which is how the
+// testbed protocol behaves when a user walks towards and then past a
+// base station.
+#pragma once
+
+#include "phy/codebook.hpp"
+
+namespace st::core {
+
+struct RssTrackerConfig {
+  double drop_threshold_db = 3.0;  ///< the paper's switching threshold
+  /// EWMA weight of the newest sample; 1.0 disables smoothing.
+  double ewma_alpha = 0.5;
+};
+
+class RssTracker {
+ public:
+  explicit RssTracker(const RssTrackerConfig& config);
+
+  /// Select (or re-select) the active beam, seeding filter and reference
+  /// with the RSS that motivated the selection.
+  void select_beam(phy::BeamId beam, double rss_dbm);
+
+  /// Select a beam but keep an explicit reference level (>= rss). Used by
+  /// BeamSurfer to carry the pre-drop reference across a probe-driven
+  /// switch: if the new beam still sits 3 dB below the old level, the
+  /// mobile-side adjustment "no longer suffices" and rule (ii) must fire.
+  void select_beam(phy::BeamId beam, double rss_dbm, double reference_dbm);
+
+  /// Feed one RSS sample for the active beam.
+  void add_sample(double rss_dbm) noexcept;
+
+  [[nodiscard]] bool has_beam() const noexcept {
+    return beam_ != phy::kInvalidBeam;
+  }
+  [[nodiscard]] phy::BeamId beam() const noexcept { return beam_; }
+  [[nodiscard]] double filtered_rss_dbm() const noexcept { return filtered_; }
+  [[nodiscard]] double reference_rss_dbm() const noexcept { return reference_; }
+
+  /// True when the filtered RSS sits `drop_threshold_db` or more below
+  /// the reference — the protocols' cue to probe adjacent beams.
+  [[nodiscard]] bool drop_detected() const noexcept;
+
+  /// How far the filtered RSS is below the reference [dB] (>= 0).
+  [[nodiscard]] double drop_db() const noexcept;
+
+  [[nodiscard]] const RssTrackerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RssTrackerConfig config_;
+  phy::BeamId beam_ = phy::kInvalidBeam;
+  double filtered_ = 0.0;
+  double reference_ = 0.0;
+};
+
+}  // namespace st::core

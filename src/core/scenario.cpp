@@ -1,0 +1,322 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace st::core {
+
+namespace {
+using sim::Duration;
+using sim::Time;
+
+/// Alignment criterion of Fig. 2c: the mobile's receive beam is "aligned"
+/// when it is within 3 dB of the best receive beam for the target's
+/// transmit beam.
+constexpr double kAlignmentToleranceDb = 3.0;
+}  // namespace
+
+std::string_view to_string(MobilityScenario s) noexcept {
+  switch (s) {
+    case MobilityScenario::kHumanWalk:
+      return "human_walk";
+    case MobilityScenario::kRotation:
+      return "rotation";
+    case MobilityScenario::kVehicular:
+      return "vehicular";
+  }
+  return "?";
+}
+
+std::string_view to_string(ProtocolKind p) noexcept {
+  switch (p) {
+    case ProtocolKind::kSilentTracker:
+      return "silent_tracker";
+    case ProtocolKind::kReactive:
+      return "reactive";
+  }
+  return "?";
+}
+
+phy::Codebook make_ue_codebook(double beamwidth_deg) {
+  return make_ue_codebook(beamwidth_deg, false);
+}
+
+phy::Codebook make_ue_codebook(double beamwidth_deg, bool ula) {
+  if (beamwidth_deg <= 0.0) {
+    return phy::Codebook::omni();
+  }
+  if (ula) {
+    return phy::Codebook::ula_from_beamwidth_deg(beamwidth_deg);
+  }
+  return phy::Codebook::from_beamwidth_deg(beamwidth_deg);
+}
+
+std::shared_ptr<const mobility::MobilityModel> make_mobility(
+    const ScenarioConfig& config, const net::Deployment& deployment) {
+  switch (config.mobility) {
+    case MobilityScenario::kHumanWalk:
+      return net::make_edge_walk(deployment, config.walk_speed_mps,
+                                 config.duration,
+                                 derive_seed(config.seed, "mobility"));
+    case MobilityScenario::kRotation:
+      return net::make_edge_rotation(deployment, config.rotation_rate_deg_s);
+    case MobilityScenario::kVehicular:
+      return net::make_drive(deployment,
+                             mph_to_mps(config.vehicle_speed_mph));
+  }
+  throw std::logic_error("make_mobility: unknown scenario");
+}
+
+namespace {
+
+/// Owns everything alive during a run; members are declared in dependency
+/// order so destruction tears protocols down before the environment.
+class ScenarioRun {
+ public:
+  static net::DeploymentConfig deployment_config(const ScenarioConfig& config) {
+    net::DeploymentConfig dep = config.deployment;
+    if (config.mobility == MobilityScenario::kRotation) {
+      dep.inter_site_m = std::min(dep.inter_site_m,
+                                  config.rotation_inter_site_m);
+    }
+    return dep;
+  }
+
+  explicit ScenarioRun(const ScenarioConfig& config)
+      : config_(config), deployment_(net::make_cell_row(
+                             deployment_config(config), config.n_cells)) {
+    net::EnvironmentConfig env_config = config.environment;
+    env_config.horizon = config.duration + Duration::milliseconds(1000);
+    env_config.seed = derive_seed(config.seed, "environment");
+    environment_ = std::make_unique<net::RadioEnvironment>(
+        env_config, deployment_.base_stations,
+        make_mobility(config, deployment_),
+        make_ue_codebook(config.ue_beamwidth_deg, config.ue_ula_codebook));
+  }
+
+  ScenarioResult run() {
+    // Steady-state initial condition: the mobile has been inside cell 0
+    // with BeamSurfer keeping it aligned; start from the true best pair.
+    const phy::Channel::BestPair initial =
+        environment_->ground_truth_best_pair(0, Time::zero());
+    environment_->bs_mutable(0).set_serving_tx_beam(initial.tx_beam);
+
+    start_protocol(0, initial.rx_beam, initial.rx_power_dbm);
+    schedule_metric_tick();
+    simulator_.run_until(Time::zero() + config_.duration);
+    result_.ssb_observations = environment_->ssb_observation_count();
+    return std::move(result_);
+  }
+
+ private:
+  void start_protocol(net::CellId serving, phy::BeamId rx_beam,
+                      double rss_dbm) {
+    if (config_.protocol == ProtocolKind::kSilentTracker) {
+      trackers_.push_back(std::make_unique<SilentTracker>(
+          simulator_, *environment_, config_.tracker));
+      SilentTracker& tracker = *trackers_.back();
+      tracker.set_recorders(&result_.log, &result_.counters);
+      tracker.start(serving, rx_beam, rss_dbm,
+                    [this](const net::HandoverRecord& r) {
+                      on_handover(r);
+                    });
+    } else {
+      reactives_.push_back(std::make_unique<ReactiveHandover>(
+          simulator_, *environment_, config_.reactive));
+      ReactiveHandover& reactive = *reactives_.back();
+      reactive.set_recorders(&result_.log, &result_.counters);
+      reactive.start(serving, rx_beam, rss_dbm,
+                     [this](const net::HandoverRecord& r) {
+                       on_handover(r);
+                     });
+    }
+  }
+
+  void on_handover(net::HandoverRecord record) {
+    const Time now = simulator_.now();
+    if (record.success) {
+      // Score the Fig. 2c criterion against ground truth at completion.
+      const phy::Channel::BestBeam best = environment_->ground_truth_best_rx(
+          record.to, record.target_tx_beam, now);
+      const double got_snr = environment_->true_dl_snr_db(
+          record.to, record.target_tx_beam, record.final_rx_beam, now);
+      const double got_rss =
+          got_snr + environment_->link_budget().noise_floor_dbm();
+      record.beam_aligned_at_completion =
+          best.rx_power_dbm - got_rss <= kAlignmentToleranceDb;
+    }
+    result_.handovers.push_back(record);
+
+    if (record.success && config_.chain_handovers &&
+        now + Duration::milliseconds(100) < Time::zero() + config_.duration) {
+      // Connected-mode beam refinement: once attached, the NR P-2/P-3
+      // procedures (CSI-RS sweeps with network assistance) polish the
+      // beam pair within a few tens of milliseconds — fast against our
+      // mobility and abstracted here as adopting the best pair. The
+      // alignment score above was taken *before* this, so it still
+      // measures what the in-band tracker achieved on its own.
+      const phy::Channel::BestPair refined =
+          environment_->ground_truth_best_pair(record.to, now);
+      environment_->bs_mutable(record.to).set_serving_tx_beam(refined.tx_beam);
+      start_protocol(record.to, refined.rx_beam, refined.rx_power_dbm);
+    } else if (record.success) {
+      environment_->bs_mutable(record.to).set_serving_tx_beam(
+          record.target_tx_beam);
+    }
+  }
+
+  void schedule_metric_tick() {
+    simulator_.schedule_periodic(Time::zero(), config_.metric_period, [this] {
+      sample_metrics();
+    });
+  }
+
+  void sample_metrics() {
+    const Time now = simulator_.now();
+
+    if (config_.protocol == ProtocolKind::kSilentTracker &&
+        !trackers_.empty()) {
+      const SilentTracker& tracker = *trackers_.back();
+
+      // Serving link health while the protocol still believes in it.
+      if (tracker.serving_alive()) {
+        result_.serving_snr_db.record(
+            now, environment_->true_dl_snr_db(
+                     tracker.serving_cell(),
+                     environment_->bs(tracker.serving_cell()).serving_tx_beam(),
+                     tracker.beamsurfer().rx_beam(), now));
+      }
+
+      // Neighbour tracking quality (the Fig. 2c series).
+      const SilentTrackerState state = tracker.state();
+      if (state == SilentTrackerState::kTracking ||
+          state == SilentTrackerState::kAccessing) {
+        const net::CellId cell = tracker.neighbour_cell();
+        const phy::BeamId tx = tracker.neighbour_tx_beam();
+        const double tracked_rss =
+            environment_->true_dl_snr_db(cell, tx,
+                                         tracker.neighbour_rx_beam(), now) +
+            environment_->link_budget().noise_floor_dbm();
+        const phy::Channel::BestBeam best =
+            environment_->ground_truth_best_rx(cell, tx, now);
+        result_.neighbour_tracked_rss_dbm.record(now, tracked_rss);
+        result_.neighbour_best_rss_dbm.record(now, best.rx_power_dbm);
+        result_.alignment_gap_db.record(now,
+                                        best.rx_power_dbm - tracked_rss);
+      }
+    } else if (config_.protocol == ProtocolKind::kReactive &&
+               !reactives_.empty()) {
+      const ReactiveHandover& reactive = *reactives_.back();
+      if (reactive.serving_alive()) {
+        // The reactive baseline has no neighbour series by construction.
+        result_.serving_snr_db.record(
+            now, environment_->true_dl_snr_db(
+                     reactive.serving_cell(),
+                     environment_->bs(reactive.serving_cell())
+                         .serving_tx_beam(),
+                     reactive.beamsurfer().rx_beam(), now));
+      }
+    }
+  }
+
+  ScenarioConfig config_;
+  net::Deployment deployment_;
+  sim::Simulator simulator_;
+  std::unique_ptr<net::RadioEnvironment> environment_;
+  std::vector<std::unique_ptr<SilentTracker>> trackers_;
+  std::vector<std::unique_ptr<ReactiveHandover>> reactives_;
+  ScenarioResult result_;
+};
+
+}  // namespace
+
+double ScenarioResult::tracking_alignment_fraction() const {
+  const auto points = alignment_gap_db.points();
+  if (points.empty()) {
+    return 0.0;
+  }
+  std::size_t aligned = 0;
+  for (const auto& p : points) {
+    if (p.value <= kAlignmentToleranceDb) {
+      ++aligned;
+    }
+  }
+  return static_cast<double>(aligned) / static_cast<double>(points.size());
+}
+
+double ScenarioResult::alignment_until_first_handover() const {
+  Time cutoff = Time::zero() + Duration::milliseconds(
+                                   std::numeric_limits<std::int64_t>::max() /
+                                   2'000'000);
+  for (const auto& h : handovers) {
+    if (h.success) {
+      cutoff = h.completed;
+      break;
+    }
+  }
+  const auto points = alignment_gap_db.points();
+  std::size_t total = 0;
+  std::size_t aligned = 0;
+  for (const auto& p : points) {
+    if (p.t > cutoff) {
+      break;
+    }
+    ++total;
+    if (p.value <= kAlignmentToleranceDb) {
+      ++aligned;
+    }
+  }
+  if (total == 0) {
+    return tracking_alignment_fraction();
+  }
+  return static_cast<double>(aligned) / static_cast<double>(total);
+}
+
+std::size_t ScenarioResult::soft_handovers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& h : handovers) {
+    if (h.type == net::HandoverType::kSoft && h.success) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ScenarioResult::hard_handovers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& h : handovers) {
+    if (h.type == net::HandoverType::kHard) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ScenarioResult::successful_handovers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& h : handovers) {
+    if (h.success) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool ScenarioResult::all_handovers_aligned() const noexcept {
+  for (const auto& h : handovers) {
+    if (h.success && !h.beam_aligned_at_completion) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  ScenarioRun run(config);
+  return run.run();
+}
+
+}  // namespace st::core

@@ -1,0 +1,121 @@
+// Scenario harness: assembles a full experiment — deployment, mobility,
+// radio environment, protocol under test, metric sampling — runs it, and
+// returns everything the benches and examples report.
+//
+// This is the only layer that touches ground truth: it samples the true
+// best beam pair towards the tracked neighbour on a fixed cadence and
+// scores the protocol's beam against it (the Fig. 2c alignment
+// criterion), and it stamps each completed handover with whether the
+// final beam was within 3 dB of the best available.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/reactive_handover.hpp"
+#include "core/silent_tracker.hpp"
+#include "net/deployment.hpp"
+#include "net/environment.hpp"
+#include "net/handover.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace st::core {
+
+enum class MobilityScenario { kHumanWalk, kRotation, kVehicular };
+enum class ProtocolKind { kSilentTracker, kReactive };
+
+[[nodiscard]] std::string_view to_string(MobilityScenario s) noexcept;
+[[nodiscard]] std::string_view to_string(ProtocolKind p) noexcept;
+
+struct ScenarioConfig {
+  MobilityScenario mobility = MobilityScenario::kHumanWalk;
+  ProtocolKind protocol = ProtocolKind::kSilentTracker;
+
+  /// Mobile codebook beamwidth in degrees; <= 0 selects the omni antenna.
+  double ue_beamwidth_deg = 20.0;
+  /// Build the mobile codebook from a physical half-wavelength ULA
+  /// (sinc-like main lobe with real sidelobes) instead of the analytic
+  /// Gaussian pattern. Sidelobes admit ghost detections during search and
+  /// leak interference — the realism ablation of E11.
+  bool ue_ula_codebook = false;
+
+  unsigned n_cells = 2;
+  net::DeploymentConfig deployment{};
+  net::EnvironmentConfig environment{};
+  SilentTrackerConfig tracker{};
+  ReactiveHandoverConfig reactive{};
+
+  /// Paper parameters for the three scenarios.
+  double walk_speed_mps = 1.4;
+  double rotation_rate_deg_s = 120.0;
+  double vehicle_speed_mph = 20.0;
+  /// The rotation experiment runs in a tighter deployment (the paper's
+  /// 3-node testbed kept all nodes at ~10 m scale): rotation does not
+  /// translate the mobile, so the inter-site distance only sets the SNR
+  /// levels — and a neighbour at the detection floor is untrackable by
+  /// *any* in-band scheme once the beam slips.
+  double rotation_inter_site_m = 40.0;
+
+  sim::Duration duration = sim::Duration::milliseconds(30'000);
+  sim::Duration metric_period = sim::Duration::milliseconds(10);
+
+  /// Start a fresh protocol instance after each completed handover (the
+  /// vehicular drive passes several cells).
+  bool chain_handovers = true;
+
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioResult {
+  std::vector<net::HandoverRecord> handovers;
+
+  /// Ground-truth-scored series, sampled every metric_period while a
+  /// neighbour is being tracked:
+  sim::TimeSeries neighbour_tracked_rss_dbm;  ///< what the tracked pair gets
+  sim::TimeSeries neighbour_best_rss_dbm;     ///< what the best pair would get
+  sim::TimeSeries alignment_gap_db;           ///< best − tracked (>= ~0)
+  sim::TimeSeries serving_snr_db;             ///< serving link health
+
+  sim::EventLog log;
+  sim::CounterSet counters;
+
+  /// Radio measurement budget spent: total SSB listening attempts over
+  /// the run (the paper's "minimal resource usage" axis).
+  std::uint64_t ssb_observations = 0;
+
+  /// Fraction of tracked samples where the protocol's beam was within
+  /// 3 dB of the ground-truth best (the Fig. 2c criterion), over the
+  /// whole run.
+  [[nodiscard]] double tracking_alignment_fraction() const;
+
+  /// Same criterion restricted to tracking *before the first successful
+  /// handover completed* — the paper's exact claim ("till the successful
+  /// conclusion of handover"). Falls back to the whole run if no
+  /// handover completed.
+  [[nodiscard]] double alignment_until_first_handover() const;
+
+  /// Convenience over `handovers`.
+  [[nodiscard]] std::size_t soft_handovers() const noexcept;
+  [[nodiscard]] std::size_t hard_handovers() const noexcept;
+  [[nodiscard]] std::size_t successful_handovers() const noexcept;
+  [[nodiscard]] bool all_handovers_aligned() const noexcept;
+};
+
+/// Build the mobility model for a scenario over a deployment.
+[[nodiscard]] std::shared_ptr<const mobility::MobilityModel> make_mobility(
+    const ScenarioConfig& config, const net::Deployment& deployment);
+
+/// Build the UE codebook for the configured beamwidth.
+[[nodiscard]] phy::Codebook make_ue_codebook(double beamwidth_deg);
+
+/// As above, optionally with physical ULA patterns (real sidelobes).
+[[nodiscard]] phy::Codebook make_ue_codebook(double beamwidth_deg, bool ula);
+
+/// Run one scenario to completion (deterministic in `config.seed`).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace st::core

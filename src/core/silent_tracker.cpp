@@ -1,0 +1,533 @@
+#include "core/silent_tracker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace st::core {
+
+namespace {
+using net::SsbObservation;
+using sim::Duration;
+using sim::Time;
+}  // namespace
+
+std::string_view to_string(SilentTrackerState state) noexcept {
+  switch (state) {
+    case SilentTrackerState::kIdle:
+      return "Idle";
+    case SilentTrackerState::kSearching:
+      return "InitialSearch";
+    case SilentTrackerState::kTracking:
+      return "Tracking";
+    case SilentTrackerState::kAccessing:
+      return "Accessing";
+    case SilentTrackerState::kFallbackSearch:
+      return "FallbackSearch";
+    case SilentTrackerState::kComplete:
+      return "Complete";
+    case SilentTrackerState::kFailed:
+      return "Failed";
+  }
+  return "?";
+}
+
+SilentTracker::SilentTracker(sim::Simulator& simulator,
+                             net::RadioEnvironment& environment,
+                             SilentTrackerConfig config)
+    : simulator_(simulator),
+      environment_(environment),
+      config_(config),
+      neighbour_rss_(config.neighbour_tracker) {
+  if (environment.cell_count() < 2) {
+    throw std::invalid_argument(
+        "SilentTracker: needs a serving cell and at least one neighbour");
+  }
+}
+
+SilentTracker::~SilentTracker() { stop(); }
+
+void SilentTracker::set_recorders(sim::EventLog* log,
+                                  sim::CounterSet* counters) {
+  log_ = log;
+  counters_ = counters;
+  if (beamsurfer_ != nullptr) {
+    beamsurfer_->set_recorders(log, counters);
+  }
+}
+
+void SilentTracker::note(std::string_view message) {
+  if (log_ != nullptr) {
+    log_->record(simulator_.now(), "silent_tracker", message);
+  }
+}
+
+void SilentTracker::count(std::string_view name) {
+  if (counters_ != nullptr) {
+    counters_->increment(name);
+  }
+}
+
+void SilentTracker::start(net::CellId serving_cell,
+                          phy::BeamId serving_rx_beam, double serving_rss_dbm,
+                          HandoverCallback on_handover) {
+  if (state_ != SilentTrackerState::kIdle) {
+    throw std::logic_error("SilentTracker: already started");
+  }
+  if (on_handover == nullptr) {
+    throw std::invalid_argument("SilentTracker: null handover callback");
+  }
+  serving_ = serving_cell;
+  on_handover_ = std::move(on_handover);
+  serving_alive_ = true;
+  fallback_rounds_ = 0;
+  record_ = net::HandoverRecord{};
+  record_.from = serving_cell;
+
+  beamsurfer_ = std::make_unique<BeamSurfer>(simulator_, environment_,
+                                             serving_cell, config_.beamsurfer);
+  beamsurfer_->set_recorders(log_, counters_);
+  beamsurfer_->set_unreachable_callback(
+      [this] { on_serving_lost("bs_switch_request_undeliverable"); });
+  beamsurfer_->start(serving_rx_beam, serving_rss_dbm);
+
+  link_monitor_ = std::make_unique<net::LinkMonitor>(simulator_, environment_,
+                                                     config_.link_monitor);
+  link_monitor_->start(
+      serving_cell, [this] { return beamsurfer_->rx_beam(); },
+      [this] { on_serving_lost("radio_link_failure"); });
+
+  enter_searching();
+}
+
+void SilentTracker::stop() {
+  cancel_tracking_events();
+  if (beamsurfer_ != nullptr) {
+    beamsurfer_->stop();
+  }
+  if (link_monitor_ != nullptr) {
+    link_monitor_->stop();
+  }
+  if (search_ != nullptr) {
+    search_->abort();
+  }
+  if (fallback_search_ != nullptr) {
+    fallback_search_->abort();
+  }
+  if (rach_ != nullptr) {
+    rach_->abort();
+  }
+  state_ = SilentTrackerState::kIdle;
+  on_handover_ = nullptr;
+}
+
+bool SilentTracker::radio_busy(sim::Time t) const {
+  // While the serving cell is alive, its SSB slots own the RF chain
+  // (BeamSurfer measurements and the data link the mobile is protecting).
+  if (!serving_alive_) {
+    return false;
+  }
+  return environment_.bs(serving_).schedule().ssb_at(t).has_value();
+}
+
+void SilentTracker::cancel_tracking_events() {
+  simulator_.cancel(burst_event_);
+  for (const sim::EventId id : tracking_events_) {
+    simulator_.cancel(id);
+  }
+  tracking_events_.clear();
+}
+
+// ---- Initial search ------------------------------------------------------
+
+void SilentTracker::enter_searching() {
+  state_ = SilentTrackerState::kSearching;
+  note("STATE InitialSearch");
+
+  std::vector<net::CellId> candidates;
+  for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
+    if (c != serving_) {
+      candidates.push_back(c);
+    }
+  }
+  search_ = std::make_unique<net::CellSearch>(
+      simulator_, environment_, std::move(candidates), config_.search,
+      [this](sim::Time t) { return radio_busy(t); });
+  search_->start([this](const net::SearchOutcome& o) { on_search_done(o); });
+}
+
+void SilentTracker::on_search_done(const net::SearchOutcome& outcome) {
+  if (state_ != SilentTrackerState::kSearching) {
+    return;
+  }
+  if (!outcome.found) {
+    count("initial_search_misses");
+    // Fig. 2b: keep searching until a neighbour beam is discovered (or
+    // the serving link dies, which routes to the fallback path).
+    enter_searching();
+    return;
+  }
+  count("initial_search_hits");
+  neighbour_ = outcome.cell;
+  neighbour_tx_beam_ = outcome.tx_beam;
+  neighbour_rss_.select_beam(outcome.rx_beam, outcome.rss_dbm);
+  note(log_message("FOUND cell=", outcome.cell, " tx=", outcome.tx_beam,
+                   " rx=", outcome.rx_beam, " rss=", outcome.rss_dbm,
+                   " latency_ms=", outcome.latency.ms()));
+  enter_tracking();
+}
+
+// ---- Silent tracking -----------------------------------------------------
+
+void SilentTracker::enter_tracking() {
+  state_ = SilentTrackerState::kTracking;
+  note("STATE Tracking");
+  probe_pending_.clear();
+  probe_results_.clear();
+  probing_now_.reset();
+  best_adjacent_tx_.reset();
+  retarget_votes_ = 0;
+  rx_trend_ = 0;
+  missed_tracked_ = 0;
+  in_recovery_sweep_ = false;
+  neighbour_quiet_since_.reset();
+
+  const Time next = environment_.bs(neighbour_)
+                        .schedule()
+                        .next_burst_start(simulator_.now());
+  burst_event_ = simulator_.schedule_at(next, [this] { on_neighbour_burst(); });
+}
+
+void SilentTracker::on_neighbour_burst() {
+  tracking_events_.clear();
+  const net::BaseStation& bs = environment_.bs(neighbour_);
+  const net::FrameSchedule& schedule = bs.schedule();
+
+  // Pick this burst's receive beam: a probe candidate, or the tracked beam.
+  probing_now_.reset();
+  if (!probe_pending_.empty()) {
+    probing_now_ = probe_pending_.front();
+    probe_pending_.erase(probe_pending_.begin());
+  }
+  const phy::BeamId listen_beam =
+      probing_now_.has_value() ? *probing_now_ : neighbour_rss_.beam();
+
+  // The tracked TX beam's slot.
+  const net::SsbSlot tracked_slot =
+      schedule.next_ssb_for_beam(simulator_.now(), neighbour_tx_beam_);
+  tracking_events_.push_back(simulator_.schedule_at(
+      tracked_slot.start, [this, listen_beam] {
+        if (radio_busy(simulator_.now())) {
+          count("neighbour_slots_preempted");
+          return;
+        }
+        const SsbObservation obs = environment_.observe_ssb(
+            neighbour_, neighbour_tx_beam_, listen_beam, simulator_.now());
+        handle_neighbour_sample(obs);
+      }));
+
+  // Adjacent TX beams of the same burst, listened to with the tracked RX
+  // beam: how the tracker follows the neighbour's beam drift silently —
+  // SSBs are broadcast, so no interaction with the cell is needed.
+  if (!probing_now_.has_value()) {
+    best_adjacent_tx_.reset();
+    const phy::BeamId left = bs.codebook().left_neighbour(neighbour_tx_beam_);
+    const phy::BeamId right = bs.codebook().right_neighbour(neighbour_tx_beam_);
+    for (const phy::BeamId tx : {left, right}) {
+      const net::SsbSlot slot =
+          schedule.next_ssb_for_beam(simulator_.now(), tx);
+      tracking_events_.push_back(
+          simulator_.schedule_at(slot.start, [this, tx] {
+            if (radio_busy(simulator_.now())) {
+              return;
+            }
+            const SsbObservation obs = environment_.observe_ssb(
+                neighbour_, tx, neighbour_rss_.beam(), simulator_.now());
+            if (obs.detected &&
+                (!best_adjacent_tx_.has_value() ||
+                 obs.rss_dbm > best_adjacent_tx_->second)) {
+              best_adjacent_tx_ = {tx, obs.rss_dbm};
+            }
+          }));
+    }
+  }
+
+  // Next burst (tracking persists through kAccessing so the beam is live
+  // until Msg4 — the protocol's whole purpose).
+  const Time next = schedule.next_burst_start(tracked_slot.start +
+                                              schedule.burst_duration());
+  burst_event_ = simulator_.schedule_at(next, [this] { on_neighbour_burst(); });
+}
+
+void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
+  const double sample = obs.detected
+                            ? obs.rss_dbm
+                            : environment_.link_budget().noise_floor_dbm();
+
+  if (probing_now_.has_value()) {
+    probe_results_.emplace_back(*probing_now_, sample);
+    if (probe_pending_.empty()) {
+      finish_neighbour_probe();
+    }
+    return;
+  }
+
+  neighbour_rss_.add_sample(sample);
+  missed_tracked_ = obs.detected ? 0 : missed_tracked_ + 1;
+
+  // Track how long the neighbour has been inaudible. A beam that stays at
+  // the correlator floor despite recovery sweeps is no discovered beam at
+  // all: abandon it and search again (only while the serving cell still
+  // carries us — once in Accessing, the tracked beam is all we have).
+  if (obs.detected) {
+    neighbour_quiet_since_.reset();
+  } else if (!neighbour_quiet_since_.has_value()) {
+    neighbour_quiet_since_ = simulator_.now();
+  } else if (state_ == SilentTrackerState::kTracking && serving_alive_ &&
+             simulator_.now() - *neighbour_quiet_since_ >=
+                 config_.neighbour_abandon_after) {
+    note(log_message("NEIGHBOUR_ABANDONED cell=", neighbour_,
+                     " quiet_ms=",
+                     (simulator_.now() - *neighbour_quiet_since_).ms()));
+    count("neighbour_abandoned");
+    cancel_tracking_events();
+    probe_pending_.clear();
+    probe_results_.clear();
+    probing_now_.reset();
+    neighbour_quiet_since_.reset();
+    enter_searching();
+    return;
+  }
+
+  // TX-beam drift: an adjacent SSB consistently stronger than the tracked
+  // one (two bursts in a row) retargets the tracked TX beam.
+  if (best_adjacent_tx_.has_value() &&
+      best_adjacent_tx_->second >
+          neighbour_rss_.filtered_rss_dbm() + config_.tx_retarget_margin_db) {
+    if (++retarget_votes_ >= 2) {
+      note(log_message("TX_RETARGET ", neighbour_tx_beam_, " -> ",
+                       best_adjacent_tx_->first));
+      count("neighbour_tx_retargets");
+      neighbour_tx_beam_ = best_adjacent_tx_->first;
+      neighbour_rss_.select_beam(neighbour_rss_.beam(),
+                                 best_adjacent_tx_->second);
+      retarget_votes_ = 0;
+      return;
+    }
+  } else {
+    retarget_votes_ = 0;
+  }
+
+  // The 3 dB rule on the neighbour, plus out-of-sync detection (a filter
+  // parked at the noise floor cannot fall a further 3 dB): queue probes
+  // of the adjacent RX beams.
+  if ((neighbour_rss_.drop_detected() || missed_tracked_ >= 3) &&
+      probe_pending_.empty()) {
+    missed_tracked_ = 0;
+    count("neighbour_drop_events");
+    note(log_message("NEIGHBOUR_DROP rss=", neighbour_rss_.filtered_rss_dbm(),
+                     " ref=", neighbour_rss_.reference_rss_dbm()));
+    const phy::Codebook& cb = environment_.ue_codebook();
+    if (config_.probe_policy == ProbePolicy::kAdjacent) {
+      // Adjacent candidates plus a fresh re-measurement of the current
+      // beam, so candidates compete fresh-vs-fresh instead of against the
+      // lagging filter. Under a steady drift the trend side alone is
+      // probed, saving one burst of reaction lag.
+      if (rx_trend_ < 0) {
+        probe_pending_ = {cb.left_neighbour(neighbour_rss_.beam()),
+                          neighbour_rss_.beam()};
+      } else if (rx_trend_ > 0) {
+        probe_pending_ = {cb.right_neighbour(neighbour_rss_.beam()),
+                          neighbour_rss_.beam()};
+      } else {
+        probe_pending_ = {cb.left_neighbour(neighbour_rss_.beam()),
+                          cb.right_neighbour(neighbour_rss_.beam()),
+                          neighbour_rss_.beam()};
+      }
+    } else {
+      for (const phy::Beam& beam : cb.beams()) {
+        if (beam.id() != neighbour_rss_.beam()) {
+          probe_pending_.push_back(beam.id());
+        }
+      }
+    }
+    probe_results_.clear();
+  }
+}
+
+void SilentTracker::finish_neighbour_probe() {
+  const auto best = std::max_element(
+      probe_results_.begin(), probe_results_.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  // Every candidate at the correlator floor: the beam is lost beyond what
+  // adjacent stepping can recover (a 120 deg/s rotation outruns
+  // one-beam-per-round chasing). Escalate once to a full-codebook sweep —
+  // the in-band analogue of NR beam-failure recovery. If even the sweep
+  // concludes at the floor, the neighbour is gone for now: re-baseline
+  // and let the missed-SSB counter retrigger probing later.
+  const double lost_level = environment_.link_budget().noise_floor_dbm() + 1.0;
+  if (best == probe_results_.end() || best->second <= lost_level) {
+    probing_now_.reset();
+    probe_results_.clear();
+    if (!in_recovery_sweep_) {
+      in_recovery_sweep_ = true;
+      count("neighbour_recovery_sweeps");
+      note("NEIGHBOUR_RECOVERY_SWEEP");
+      for (const phy::Beam& beam : environment_.ue_codebook().beams()) {
+        probe_pending_.push_back(beam.id());
+      }
+      rx_trend_ = 0;
+    } else {
+      in_recovery_sweep_ = false;
+      neighbour_rss_.select_beam(neighbour_rss_.beam(),
+                                 neighbour_rss_.filtered_rss_dbm());
+    }
+    return;
+  }
+  in_recovery_sweep_ = false;
+
+  if (best->first != neighbour_rss_.beam()) {
+    note(log_message("NEIGHBOUR_RX_SWITCH ", neighbour_rss_.beam(), " -> ",
+                     best->first, " rss=", best->second));
+    count("neighbour_rx_switches");
+    rx_trend_ = best->first ==
+                        environment_.ue_codebook().left_neighbour(
+                            neighbour_rss_.beam())
+                    ? -1
+                    : 1;
+    neighbour_rss_.select_beam(best->first, best->second);
+  } else if (best != probe_results_.end()) {
+    rx_trend_ = 0;  // the trend stalled; probe both sides next time
+    // The current beam won its own probe round: it *is* the best the
+    // mobile can do and the loss is the channel's (distance, blockage).
+    // Re-baseline at the fresh level so the drop rule measures future
+    // degradation instead of re-firing every burst on the same loss.
+    neighbour_rss_.select_beam(neighbour_rss_.beam(), best->second);
+  }
+  probing_now_.reset();
+  probe_results_.clear();
+}
+
+// ---- Serving loss and access ---------------------------------------------
+
+void SilentTracker::on_serving_lost(std::string_view reason) {
+  if (!serving_alive_) {
+    return;  // already handling it
+  }
+  serving_alive_ = false;
+  record_.serving_lost = simulator_.now();
+  note(log_message("SERVING_LOST reason=", reason));
+  count("serving_lost");
+  beamsurfer_->stop();
+  link_monitor_->stop();
+
+  switch (state_) {
+    case SilentTrackerState::kTracking:
+      enter_accessing();
+      break;
+    case SilentTrackerState::kSearching:
+      // Nothing tracked yet: this is the hard-handover case the protocol
+      // exists to avoid, reached only when the edge was crossed before
+      // initial search ever succeeded.
+      if (search_ != nullptr) {
+        search_->abort();
+      }
+      enter_fallback();
+      break;
+    default:
+      break;  // kAccessing and beyond: already past the serving cell
+  }
+}
+
+void SilentTracker::enter_accessing() {
+  state_ = SilentTrackerState::kAccessing;
+  note(log_message("STATE Accessing cell=", neighbour_,
+                   " tx=", neighbour_tx_beam_,
+                   " rx=", neighbour_rss_.beam()));
+  record_.to = neighbour_;
+  record_.access_started = simulator_.now();
+
+  rach_ = std::make_unique<net::RachProcedure>(simulator_, environment_,
+                                               config_.rach);
+  rach_->start(
+      neighbour_, neighbour_tx_beam_,
+      [this] { return neighbour_rss_.beam(); },
+      [this](const net::RachOutcome& o) { on_rach_done(o); });
+}
+
+void SilentTracker::on_rach_done(const net::RachOutcome& outcome) {
+  record_.rach_attempts += outcome.attempts;
+  if (outcome.success) {
+    complete(true);
+    return;
+  }
+  note("RACH_FAILED");
+  count("rach_failures");
+  enter_fallback();
+}
+
+// ---- Hard-handover fallback ------------------------------------------------
+
+void SilentTracker::enter_fallback() {
+  cancel_tracking_events();
+  record_.type = net::HandoverType::kHard;
+  if (fallback_rounds_ >= config_.max_fallback_rounds) {
+    complete(false);
+    return;
+  }
+  ++fallback_rounds_;
+  state_ = SilentTrackerState::kFallbackSearch;
+  note("STATE FallbackSearch");
+  count("fallback_searches");
+
+  std::vector<net::CellId> candidates;
+  for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
+    if (c != serving_) {
+      candidates.push_back(c);
+    }
+  }
+  // No serving cell, no pre-emption: the radio is entirely free — but the
+  // user has no service either.
+  fallback_search_ = std::make_unique<net::CellSearch>(
+      simulator_, environment_, std::move(candidates), config_.search);
+  fallback_search_->start(
+      [this](const net::SearchOutcome& o) { on_fallback_search_done(o); });
+}
+
+void SilentTracker::on_fallback_search_done(const net::SearchOutcome& outcome) {
+  if (!outcome.found) {
+    enter_fallback();  // consumes another round
+    return;
+  }
+  neighbour_ = outcome.cell;
+  neighbour_tx_beam_ = outcome.tx_beam;
+  neighbour_rss_.select_beam(outcome.rx_beam, outcome.rss_dbm);
+  // Resume tracking during access so the fallback access still benefits
+  // from receive-beam adaptation.
+  enter_tracking();
+  enter_accessing();
+}
+
+// ---- Completion ------------------------------------------------------------
+
+void SilentTracker::complete(bool success) {
+  cancel_tracking_events();
+  record_.success = success;
+  record_.completed = simulator_.now();
+  record_.target_tx_beam = neighbour_tx_beam_;
+  record_.final_rx_beam = neighbour_rss_.beam();
+  state_ = success ? SilentTrackerState::kComplete : SilentTrackerState::kFailed;
+  note(log_message(success ? "HO_COMPLETE" : "HO_FAILED",
+                   " cell=", record_.to, " rx=", record_.final_rx_beam,
+                   " interruption_ms=", record_.interruption().ms()));
+  count(success ? "handover_complete" : "handover_failed");
+  if (on_handover_) {
+    HandoverCallback cb = std::move(on_handover_);
+    on_handover_ = nullptr;
+    cb(record_);
+  }
+}
+
+}  // namespace st::core

@@ -1,0 +1,46 @@
+// Mobility model interface: a deterministic map from simulation time to
+// device pose.
+//
+// Models are *functions of time*, not stepped integrators — any component
+// (channel sampling, metric layer, protocol timers) can query the pose at
+// any instant without ordering constraints, and a run replays identically
+// regardless of who sampled when. Models that need randomness (gait
+// jitter, waypoint draws) pre-draw it at construction from a seed.
+#pragma once
+
+#include "common/pose.hpp"
+#include "sim/time.hpp"
+
+namespace st::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Pose at absolute simulation time `t` (t >= 0; models clamp or
+  /// extrapolate beyond their natural horizon, never throw).
+  [[nodiscard]] virtual Pose pose_at(sim::Time t) const = 0;
+
+  /// Instantaneous speed [m/s] at `t` (0 for purely rotational models).
+  [[nodiscard]] virtual double speed_at(sim::Time t) const = 0;
+
+ protected:
+  MobilityModel() = default;
+  MobilityModel(const MobilityModel&) = default;
+  MobilityModel& operator=(const MobilityModel&) = default;
+};
+
+/// Fixed pose forever — base stations, and the anchor for rotation-only
+/// scenarios.
+class Stationary final : public MobilityModel {
+ public:
+  explicit Stationary(Pose pose) : pose_(pose) {}
+
+  [[nodiscard]] Pose pose_at(sim::Time) const override { return pose_; }
+  [[nodiscard]] double speed_at(sim::Time) const override { return 0.0; }
+
+ private:
+  Pose pose_;
+};
+
+}  // namespace st::mobility

@@ -1,0 +1,83 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace st::mobility {
+
+RandomWaypoint::RandomWaypoint(const RandomWaypointConfig& config, Vec3 start,
+                               sim::Duration horizon, std::uint64_t seed) {
+  if (!(config.area_max.x > config.area_min.x) ||
+      !(config.area_max.y > config.area_min.y)) {
+    throw std::invalid_argument("RandomWaypoint: degenerate area");
+  }
+  if (!(config.speed_min_mps > 0.0) ||
+      config.speed_max_mps < config.speed_min_mps) {
+    throw std::invalid_argument("RandomWaypoint: invalid speed range");
+  }
+
+  Rng rng(seed);
+  Vec3 position = start;
+  sim::Time t = sim::Time::zero();
+  const sim::Time end = sim::Time::zero() + horizon;
+  while (t <= end) {
+    Leg leg;
+    leg.start = t;
+    leg.from = position;
+    leg.to = Vec3{rng.uniform(config.area_min.x, config.area_max.x),
+                  rng.uniform(config.area_min.y, config.area_max.y), start.z};
+    leg.speed_mps = rng.uniform(config.speed_min_mps, config.speed_max_mps);
+    const double dist = distance(leg.from, leg.to);
+    leg.travel = sim::Duration::seconds_of(dist / leg.speed_mps);
+    leg.pause = sim::Duration::seconds_of(
+        config.pause_mean_s > 0.0 ? rng.exponential(config.pause_mean_s) : 0.0);
+    leg.heading_rad = (leg.to - leg.from).azimuth();
+    legs_.push_back(leg);
+    position = leg.to;
+    t = t + leg.travel + leg.pause;
+  }
+}
+
+const RandomWaypoint::Leg& RandomWaypoint::leg_at(sim::Time t) const noexcept {
+  // Legs are contiguous in time; find the last leg starting at or before t.
+  const Leg* active = &legs_.front();
+  for (const Leg& leg : legs_) {
+    if (leg.start > t) {
+      break;
+    }
+    active = &leg;
+  }
+  return *active;
+}
+
+Pose RandomWaypoint::pose_at(sim::Time t) const {
+  if (t < sim::Time::zero()) {
+    t = sim::Time::zero();
+  }
+  const Leg& leg = leg_at(t);
+  const sim::Duration into = t - leg.start;
+
+  Pose pose;
+  pose.orientation = Quaternion::from_yaw(leg.heading_rad);
+  if (into >= leg.travel) {
+    pose.position = leg.to;  // pausing at the waypoint
+    return pose;
+  }
+  const double frac =
+      leg.travel.seconds() <= 0.0 ? 1.0 : into.seconds() / leg.travel.seconds();
+  pose.position = leg.from + frac * (leg.to - leg.from);
+  return pose;
+}
+
+double RandomWaypoint::speed_at(sim::Time t) const {
+  if (t < sim::Time::zero()) {
+    return 0.0;
+  }
+  const Leg& leg = leg_at(t);
+  return (t - leg.start) < leg.travel ? leg.speed_mps : 0.0;
+}
+
+}  // namespace st::mobility

@@ -1,0 +1,48 @@
+// Random-waypoint mobility inside a rectangular region: pick a waypoint
+// uniformly, walk to it at a uniformly drawn speed, pause, repeat. Used by
+// the wider test/benchmark sweeps to exercise the protocols beyond the
+// paper's three scripted scenarios (longer runs, direction reversals,
+// dwell periods). The whole itinerary is drawn at construction, so the
+// model remains a pure function of time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/model.hpp"
+
+namespace st::mobility {
+
+struct RandomWaypointConfig {
+  Vec3 area_min{0.0, 0.0, 0.0};
+  Vec3 area_max{20.0, 20.0, 0.0};
+  double speed_min_mps = 0.8;
+  double speed_max_mps = 2.0;
+  double pause_mean_s = 1.0;  ///< exponential pause at each waypoint
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(const RandomWaypointConfig& config, Vec3 start,
+                 sim::Duration horizon, std::uint64_t seed);
+
+  [[nodiscard]] Pose pose_at(sim::Time t) const override;
+  [[nodiscard]] double speed_at(sim::Time t) const override;
+
+ private:
+  struct Leg {
+    sim::Time start;
+    sim::Duration travel;  ///< moving portion
+    sim::Duration pause;   ///< dwell at destination
+    Vec3 from;
+    Vec3 to;
+    double speed_mps;
+    double heading_rad;
+  };
+
+  [[nodiscard]] const Leg& leg_at(sim::Time t) const noexcept;
+
+  std::vector<Leg> legs_;
+};
+
+}  // namespace st::mobility

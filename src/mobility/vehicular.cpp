@@ -1,0 +1,79 @@
+#include "mobility/vehicular.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+
+namespace st::mobility {
+
+VehicularRoute::VehicularRoute(const VehicularConfig& config)
+    : config_(config) {
+  if (config.route.size() < 2) {
+    throw std::invalid_argument("VehicularRoute: need at least two waypoints");
+  }
+  if (!(config.speed_mps > 0.0)) {
+    throw std::invalid_argument("VehicularRoute: speed must be positive");
+  }
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i + 1 < config.route.size(); ++i) {
+    Segment s;
+    s.from = config.route[i];
+    s.to = config.route[i + 1];
+    s.start_m = cumulative;
+    s.length_m = distance(s.from, s.to);
+    if (s.length_m <= 0.0) {
+      continue;  // skip duplicate waypoints
+    }
+    const Vec3 dir = (s.to - s.from).normalized();
+    s.heading_rad = dir.azimuth();
+    cumulative += s.length_m;
+    segments_.push_back(s);
+  }
+  if (segments_.empty()) {
+    throw std::invalid_argument("VehicularRoute: route has zero length");
+  }
+  total_length_m_ = cumulative;
+}
+
+double VehicularRoute::route_length_m() const noexcept {
+  return total_length_m_;
+}
+
+sim::Duration VehicularRoute::traversal_time() const noexcept {
+  return sim::Duration::seconds_of(total_length_m_ / config_.speed_mps);
+}
+
+Pose VehicularRoute::pose_at(sim::Time t) const {
+  const double travelled =
+      std::clamp(config_.speed_mps * std::max(0.0, t.seconds()), 0.0,
+                 total_length_m_);
+
+  // Find the active segment (few segments; linear scan is fine and keeps
+  // the function trivially correct).
+  const Segment* seg = &segments_.back();
+  for (const Segment& s : segments_) {
+    if (travelled <= s.start_m + s.length_m) {
+      seg = &s;
+      break;
+    }
+  }
+  const double along = travelled - seg->start_m;
+  const Vec3 dir = (seg->to - seg->from).normalized();
+
+  Pose pose;
+  pose.position = seg->from + along * dir;
+  const double wobble =
+      config_.yaw_wobble_rad *
+      std::sin(kTwoPi * config_.yaw_wobble_hz * std::max(0.0, t.seconds()));
+  pose.orientation = Quaternion::from_yaw(seg->heading_rad + wobble);
+  return pose;
+}
+
+double VehicularRoute::speed_at(sim::Time t) const {
+  const double travelled = config_.speed_mps * std::max(0.0, t.seconds());
+  return travelled >= total_length_m_ ? 0.0 : config_.speed_mps;
+}
+
+}  // namespace st::mobility

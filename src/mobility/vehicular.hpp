@@ -1,0 +1,48 @@
+// Vehicular mobility — the paper's third scenario: the mobile moving at
+// v = 20 mph (≈ 8.94 m/s) past roadside cells. The vehicle follows a
+// piecewise-linear route of waypoints at constant speed; orientation
+// follows the direction of travel (the device is vehicle-mounted), with
+// an optional small body-roll yaw wobble.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/model.hpp"
+
+namespace st::mobility {
+
+struct VehicularConfig {
+  std::vector<Vec3> route;        ///< >= 2 waypoints
+  double speed_mps;               ///< paper: mph_to_mps(20.0)
+  double yaw_wobble_rad = 0.02;   ///< sinusoidal wobble amplitude (~1°)
+  double yaw_wobble_hz = 0.7;
+};
+
+class VehicularRoute final : public MobilityModel {
+ public:
+  explicit VehicularRoute(const VehicularConfig& config);
+
+  [[nodiscard]] Pose pose_at(sim::Time t) const override;
+  [[nodiscard]] double speed_at(sim::Time t) const override;
+
+  /// Total route length [m].
+  [[nodiscard]] double route_length_m() const noexcept;
+  /// Time to traverse the full route.
+  [[nodiscard]] sim::Duration traversal_time() const noexcept;
+
+ private:
+  struct Segment {
+    Vec3 from;
+    Vec3 to;
+    double start_m;   ///< cumulative distance at segment start
+    double length_m;
+    double heading_rad;
+  };
+
+  VehicularConfig config_;
+  std::vector<Segment> segments_;
+  double total_length_m_ = 0.0;
+};
+
+}  // namespace st::mobility

@@ -1,0 +1,82 @@
+#include "net/deployment.hpp"
+
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+#include "mobility/rotation.hpp"
+#include "mobility/vehicular.hpp"
+#include "mobility/walk.hpp"
+
+namespace st::net {
+
+Deployment make_cell_row(const DeploymentConfig& config, unsigned n_cells) {
+  if (n_cells == 0) {
+    throw std::invalid_argument("make_cell_row: need at least one cell");
+  }
+  if (!(config.inter_site_m > 0.0) || !(config.corridor_offset_m > 0.0)) {
+    throw std::invalid_argument("make_cell_row: degenerate geometry");
+  }
+
+  Deployment deployment;
+  deployment.config = config;
+  const phy::Codebook bs_codebook =
+      phy::Codebook::from_beamwidth_deg(config.bs_beamwidth_deg);
+
+  FrameConfig frame = config.frame;
+  // One SSB slot per BS transmit beam, whatever the codebook resolved to.
+  frame.ssb_beams = static_cast<unsigned>(bs_codebook.size());
+
+  for (unsigned i = 0; i < n_cells; ++i) {
+    Pose pose;
+    pose.position = {static_cast<double>(i) * config.inter_site_m, 0.0, 0.0};
+    // Full-azimuth codebooks make the BS orientation immaterial; identity
+    // keeps beam indices directly comparable across cells.
+    FrameSchedule schedule(
+        frame, static_cast<std::int64_t>(i) * config.schedule_stagger);
+    deployment.base_stations.emplace_back(static_cast<CellId>(i), pose,
+                                          bs_codebook, config.bs_tx_power_dbm,
+                                          schedule);
+  }
+  return deployment;
+}
+
+std::shared_ptr<const mobility::MobilityModel> make_edge_walk(
+    const Deployment& deployment, double speed_mps, sim::Duration horizon,
+    std::uint64_t seed) {
+  mobility::WalkConfig walk;
+  // Start inside cell 0's side of the boundary and walk towards cell 1,
+  // staying on the corridor (the paper's cell-edge walk at 10 m range).
+  walk.start = {deployment.boundary_x() - 20.0,
+                deployment.config.corridor_offset_m, 0.0};
+  walk.heading_rad = 0.0;  // +x, across the boundary
+  walk.speed_mps = speed_mps;
+  return std::make_shared<mobility::LinearWalk>(walk, horizon, seed);
+}
+
+std::shared_ptr<const mobility::MobilityModel> make_edge_rotation(
+    const Deployment& deployment, double rate_deg_per_s) {
+  mobility::RotationConfig rotation;
+  // In the overlap region on the serving side of the boundary: the
+  // device keeps enough serving margin to stay connected while rotating
+  // (the paper's rotation runs end with a handover, not with the serving
+  // link dying every revolution).
+  rotation.position = {deployment.boundary_x() - 8.0,
+                       deployment.config.corridor_offset_m, 0.0};
+  rotation.rate_rad_per_s = deg_to_rad(rate_deg_per_s);
+  return std::make_shared<mobility::DeviceRotation>(rotation);
+}
+
+std::shared_ptr<const mobility::MobilityModel> make_drive(
+    const Deployment& deployment, double speed_mps) {
+  const double last_x = deployment.base_stations.back().pose().position.x;
+  const double margin = 0.4 * deployment.config.inter_site_m;
+  mobility::VehicularConfig vehicle;
+  vehicle.route = {
+      {-margin, deployment.config.corridor_offset_m, 0.0},
+      {last_x + margin, deployment.config.corridor_offset_m, 0.0}};
+  vehicle.speed_mps = speed_mps;
+  return std::make_shared<mobility::VehicularRoute>(vehicle);
+}
+
+}  // namespace st::net

@@ -1,0 +1,74 @@
+// Deployment builders for the paper's topologies.
+//
+// Fig. 1: a mobile at the edge of Cell A, at its boundary with Cell B.
+// The testbed used one mobile node and up to three nodes operating as
+// base stations; the builders here produce the two- and three-cell
+// layouts plus the scripted mobile trajectories of the three evaluation
+// scenarios (walk across the boundary, rotation at the edge, vehicular
+// drive past the cells).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mobility/model.hpp"
+#include "net/basestation.hpp"
+#include "net/timing.hpp"
+#include "phy/codebook.hpp"
+
+namespace st::net {
+
+struct DeploymentConfig {
+  /// Distance between adjacent base stations along the x axis [m].
+  /// 60 m puts the aligned-beam SNR at the two-cell boundary right at the
+  /// data threshold — a genuine, distance-driven cell edge.
+  double inter_site_m = 60.0;
+  /// Perpendicular distance from the BS line to the mobile's corridor [m]
+  /// (paper: experiments at 10 m from the base station).
+  double corridor_offset_m = 10.0;
+  /// BS transmit beamwidth; the SSB burst sweeps one slot per beam.
+  double bs_beamwidth_deg = 45.0;
+  double bs_tx_power_dbm = 13.0;
+  FrameConfig frame{};
+  /// Cells run unsynchronised schedules; each cell i is offset by
+  /// i * stagger within the SSB period.
+  sim::Duration schedule_stagger = sim::Duration::milliseconds(7);
+};
+
+struct Deployment {
+  std::vector<BaseStation> base_stations;
+  DeploymentConfig config;
+
+  /// x coordinate of the boundary between cell 0 and cell 1.
+  [[nodiscard]] double boundary_x() const noexcept {
+    return config.inter_site_m / 2.0;
+  }
+};
+
+/// `n_cells` base stations in a row on the x axis: cell i at
+/// (i * inter_site, 0), all facing the corridor (+y). Base stations get
+/// staggered, unsynchronised frame schedules.
+[[nodiscard]] Deployment make_cell_row(const DeploymentConfig& config,
+                                       unsigned n_cells);
+
+// ---- Scripted mobile trajectories for the paper's three scenarios ------
+
+/// Human walk at the cell edge: starts on the corridor near the boundary
+/// on cell 0's side and walks towards cell 1's coverage at `speed_mps`
+/// (paper: 1.4 m/s). `seed` fixes the gait jitter.
+[[nodiscard]] std::shared_ptr<const mobility::MobilityModel> make_edge_walk(
+    const Deployment& deployment, double speed_mps, sim::Duration horizon,
+    std::uint64_t seed);
+
+/// Device rotation at the cell edge: stationary on the corridor at the
+/// boundary, spinning at `rate_deg_per_s` (paper: 120 °/s).
+[[nodiscard]] std::shared_ptr<const mobility::MobilityModel> make_edge_rotation(
+    const Deployment& deployment, double rate_deg_per_s);
+
+/// Vehicular drive along the corridor past all cells at `speed_mps`
+/// (paper: 20 mph). Starts before cell 0 and ends past the last cell.
+[[nodiscard]] std::shared_ptr<const mobility::MobilityModel> make_drive(
+    const Deployment& deployment, double speed_mps);
+
+}  // namespace st::net

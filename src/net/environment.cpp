@@ -1,0 +1,167 @@
+#include "net/environment.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace st::net {
+
+RadioEnvironment::RadioEnvironment(
+    const EnvironmentConfig& config, std::vector<BaseStation> base_stations,
+    std::shared_ptr<const mobility::MobilityModel> ue_mobility,
+    phy::Codebook ue_codebook)
+    : config_(config),
+      base_stations_(std::move(base_stations)),
+      ue_mobility_(std::move(ue_mobility)),
+      ue_codebook_(std::move(ue_codebook)),
+      link_(config.link),
+      measurement_rng_(derive_seed(config.seed, "measurement")),
+      detection_rng_(derive_seed(config.seed, "detection")) {
+  if (base_stations_.empty()) {
+    throw std::invalid_argument("RadioEnvironment: need at least one cell");
+  }
+  if (ue_mobility_ == nullptr) {
+    throw std::invalid_argument("RadioEnvironment: mobility must not be null");
+  }
+  const Pose ue_start = ue_mobility_->pose_at(sim::Time::zero());
+  channels_.reserve(base_stations_.size());
+  for (const BaseStation& bs : base_stations_) {
+    const std::uint64_t link_seed =
+        derive_seed(config.seed, "channel/" + std::to_string(bs.id()));
+    channels_.push_back(std::make_unique<phy::Channel>(
+        config.channel, bs.pose().position, ue_start.position, config.horizon,
+        link_seed));
+  }
+}
+
+const BaseStation& RadioEnvironment::bs(CellId cell) const {
+  if (cell >= base_stations_.size()) {
+    throw std::out_of_range("RadioEnvironment::bs: invalid cell id");
+  }
+  return base_stations_[cell];
+}
+
+BaseStation& RadioEnvironment::bs_mutable(CellId cell) {
+  if (cell >= base_stations_.size()) {
+    throw std::out_of_range("RadioEnvironment::bs_mutable: invalid cell id");
+  }
+  return base_stations_[cell];
+}
+
+const phy::Channel& RadioEnvironment::channel(CellId cell) const {
+  if (cell >= channels_.size()) {
+    throw std::out_of_range("RadioEnvironment::channel: invalid cell id");
+  }
+  return *channels_[cell];
+}
+
+double RadioEnvironment::true_dl_rss_dbm(CellId cell, phy::BeamId tx_beam,
+                                         phy::BeamId ue_beam, sim::Time t) const {
+  const BaseStation& station = bs(cell);
+  return channels_[cell]->rx_power_dbm(
+      station.pose(), station.codebook().beam(tx_beam), ue_pose(t),
+      ue_codebook_.beam(ue_beam), t, station.tx_power_dbm());
+}
+
+double RadioEnvironment::interference_dbm(CellId wanted, phy::BeamId ue_beam,
+                                          sim::Time t) const {
+  double linear_mw = 0.0;
+  for (const BaseStation& other : base_stations_) {
+    if (other.id() == wanted) {
+      continue;
+    }
+    const auto slot = other.schedule().ssb_at(t);
+    if (!slot.has_value()) {
+      continue;
+    }
+    linear_mw +=
+        from_db(true_dl_rss_dbm(other.id(), slot->tx_beam, ue_beam, t));
+  }
+  if (linear_mw <= 0.0) {
+    return -300.0;  // effectively no interference
+  }
+  return to_db(linear_mw);
+}
+
+double RadioEnvironment::ssb_sinr_db(CellId cell, double true_rss_dbm,
+                                     phy::BeamId ue_beam, sim::Time t) const {
+  if (!config_.enable_interference) {
+    return link_.snr_db(true_rss_dbm);
+  }
+  const double noise_mw = from_db(link_.noise_floor_dbm());
+  const double interference_mw =
+      from_db(interference_dbm(cell, ue_beam, t));
+  return true_rss_dbm - to_db(noise_mw + interference_mw);
+}
+
+SsbObservation RadioEnvironment::observe_ssb(CellId cell, phy::BeamId tx_beam,
+                                             phy::BeamId rx_beam, sim::Time t) {
+  ++ssb_observations_;
+  const double true_rss = true_dl_rss_dbm(cell, tx_beam, rx_beam, t);
+  const double true_sinr = ssb_sinr_db(cell, true_rss, rx_beam, t);
+
+  SsbObservation obs;
+  obs.t = t;
+  obs.cell = cell;
+  obs.tx_beam = tx_beam;
+  obs.rx_beam = rx_beam;
+  obs.detected = link_.detect(true_sinr, detection_rng_);
+  if (obs.detected) {
+    obs.rss_dbm = config_.measurement.apply(true_rss, measurement_rng_);
+    obs.snr_db = link_.snr_db(obs.rss_dbm);
+  }
+  return obs;
+}
+
+double RadioEnvironment::measure_link_rss_dbm(CellId cell, phy::BeamId tx_beam,
+                                              phy::BeamId rx_beam,
+                                              sim::Time t) {
+  const double true_rss = true_dl_rss_dbm(cell, tx_beam, rx_beam, t);
+  if (link_.snr_db(true_rss) < -10.0) {
+    // Below any usable estimation SNR the modem reports the floor.
+    return link_.noise_floor_dbm();
+  }
+  return config_.measurement.apply(true_rss, measurement_rng_);
+}
+
+bool RadioEnvironment::uplink_success(CellId cell, phy::BeamId ue_beam,
+                                      phy::BeamId bs_beam, sim::Time t,
+                                      double extra_power_db) {
+  // TDD reciprocity: the downlink expression with beam roles swapped gives
+  // the uplink received power at the base station.
+  const BaseStation& station = bs(cell);
+  const double rx_at_bs = channels_[cell]->rx_power_dbm(
+      station.pose(), station.codebook().beam(bs_beam), ue_pose(t),
+      ue_codebook_.beam(ue_beam), t,
+      config_.ue_tx_power_dbm + extra_power_db);
+  return link_.detect(link_.snr_db(rx_at_bs), detection_rng_);
+}
+
+bool RadioEnvironment::downlink_success(CellId cell, phy::BeamId bs_beam,
+                                        phy::BeamId ue_beam, sim::Time t) {
+  const double rss = true_dl_rss_dbm(cell, bs_beam, ue_beam, t);
+  return link_.detect(link_.snr_db(rss), detection_rng_);
+}
+
+double RadioEnvironment::true_dl_snr_db(CellId cell, phy::BeamId tx_beam,
+                                        phy::BeamId ue_beam, sim::Time t) const {
+  return link_.snr_db(true_dl_rss_dbm(cell, tx_beam, ue_beam, t));
+}
+
+phy::Channel::BestPair RadioEnvironment::ground_truth_best_pair(CellId cell,
+                                                                sim::Time t) const {
+  const BaseStation& station = bs(cell);
+  return channels_[cell]->best_beam_pair(station.pose(), station.codebook(),
+                                         ue_pose(t), ue_codebook_, t,
+                                         station.tx_power_dbm());
+}
+
+phy::Channel::BestBeam RadioEnvironment::ground_truth_best_rx(
+    CellId cell, phy::BeamId tx_beam, sim::Time t) const {
+  const BaseStation& station = bs(cell);
+  return channels_[cell]->best_rx_beam(station.pose(),
+                                       station.codebook().beam(tx_beam),
+                                       ue_pose(t), ue_codebook_, t,
+                                       station.tx_power_dbm());
+}
+
+}  // namespace st::net

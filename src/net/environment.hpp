@@ -1,0 +1,145 @@
+// The radio environment: base stations, the mobile's pose over time, and
+// one composed channel per (base station, mobile) link.
+//
+// This is the boundary between the simulated physics and the protocols:
+//  * protocols may call observe_ssb() (a measurement with estimation
+//    noise and a detection draw) and the message-success methods — the
+//    exact quantities a real mobile/base station can obtain in-band;
+//  * the metric layer may additionally call the ground-truth methods
+//    (true best beams) to *score* alignment; protocol code must not.
+//
+// Uplink transmissions reuse the downlink channel with the beam roles
+// swapped (TDD channel reciprocity — also the assumption that lets the
+// mobile transmit its RACH preamble on the receive beam it tracked).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mobility/model.hpp"
+#include "net/basestation.hpp"
+#include "net/observation.hpp"
+#include "phy/channel.hpp"
+#include "phy/link.hpp"
+
+namespace st::net {
+
+struct EnvironmentConfig {
+  phy::ChannelConfig channel{};
+  phy::LinkBudgetConfig link{.noise_figure_db = 10.0};
+  phy::MeasurementNoise measurement{};
+  double ue_tx_power_dbm = 15.0;
+  sim::Duration horizon = sim::Duration::milliseconds(60'000);
+  /// Model co-channel interference: cells transmitting an SSB at the same
+  /// instant degrade each other's detection (SINR instead of SNR). The
+  /// staggered default schedules rarely collide, but synchronised
+  /// deployments do — the reason NR staggers neighbour SSBs in time.
+  bool enable_interference = true;
+  std::uint64_t seed = 1;
+};
+
+class RadioEnvironment {
+ public:
+  /// The UE codebook is fixed per experiment (the paper compares 20°,
+  /// 60°, and omni codebooks as configurations, not at runtime).
+  RadioEnvironment(const EnvironmentConfig& config,
+                   std::vector<BaseStation> base_stations,
+                   std::shared_ptr<const mobility::MobilityModel> ue_mobility,
+                   phy::Codebook ue_codebook);
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return base_stations_.size();
+  }
+  [[nodiscard]] const BaseStation& bs(CellId cell) const;
+  [[nodiscard]] BaseStation& bs_mutable(CellId cell);
+  [[nodiscard]] const phy::Codebook& ue_codebook() const noexcept {
+    return ue_codebook_;
+  }
+  [[nodiscard]] const phy::LinkBudget& link_budget() const noexcept {
+    return link_;
+  }
+  [[nodiscard]] const EnvironmentConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] Pose ue_pose(sim::Time t) const {
+    return ue_mobility_->pose_at(t);
+  }
+
+  // ---- In-band interface (protocols) -----------------------------------
+
+  /// One SSB listening attempt: cell `cell` transmits its SSB on
+  /// `tx_beam`; the mobile listens on `rx_beam`. Detection is a Bernoulli
+  /// draw on the true SNR; the reported RSS carries estimation noise.
+  [[nodiscard]] SsbObservation observe_ssb(CellId cell, phy::BeamId tx_beam,
+                                           phy::BeamId rx_beam, sim::Time t);
+
+  /// Measured serving-link RSS for an already-synchronised link (e.g. CSI
+  /// on data slots): same physics as observe_ssb but no detection draw —
+  /// returns measured RSS, or the noise floor if the true SNR is too low
+  /// to measure anything (below -10 dB).
+  [[nodiscard]] double measure_link_rss_dbm(CellId cell, phy::BeamId tx_beam,
+                                            phy::BeamId rx_beam, sim::Time t);
+
+  /// Success draw for one uplink control message (RACH preamble, Msg3,
+  /// beam-switch request) sent with the UE beam `ue_beam` while the BS
+  /// listens on `bs_beam`. `extra_power_db` models RACH power ramping.
+  [[nodiscard]] bool uplink_success(CellId cell, phy::BeamId ue_beam,
+                                    phy::BeamId bs_beam, sim::Time t,
+                                    double extra_power_db = 0.0);
+
+  /// Success draw for one downlink control message (RAR, Msg4).
+  [[nodiscard]] bool downlink_success(CellId cell, phy::BeamId bs_beam,
+                                      phy::BeamId ue_beam, sim::Time t);
+
+  /// True downlink SNR of a beam pair — used by the link monitor as the
+  /// physical condition of the data link (a real modem experiences this
+  /// as decoded/not-decoded transport blocks).
+  [[nodiscard]] double true_dl_snr_db(CellId cell, phy::BeamId tx_beam,
+                                      phy::BeamId ue_beam, sim::Time t) const;
+
+  /// Interference power [dBm] arriving at the mobile's beam `ue_beam` at
+  /// time `t` from every cell other than `wanted` that is transmitting an
+  /// SSB at that instant; -inf-like floor when nothing interferes.
+  [[nodiscard]] double interference_dbm(CellId wanted, phy::BeamId ue_beam,
+                                        sim::Time t) const;
+
+  /// Total SSB listening attempts made so far (every observe_ssb call):
+  /// the mobile's radio measurement budget, the resource §2 of the paper
+  /// says must be spent sparingly. Protocol policies are compared on it.
+  [[nodiscard]] std::uint64_t ssb_observation_count() const noexcept {
+    return ssb_observations_;
+  }
+
+  // ---- Ground truth (metric layer only) ---------------------------------
+
+  [[nodiscard]] phy::Channel::BestPair ground_truth_best_pair(CellId cell,
+                                                              sim::Time t) const;
+  [[nodiscard]] phy::Channel::BestBeam ground_truth_best_rx(CellId cell,
+                                                            phy::BeamId tx_beam,
+                                                            sim::Time t) const;
+  [[nodiscard]] const phy::Channel& channel(CellId cell) const;
+
+ private:
+  [[nodiscard]] double true_dl_rss_dbm(CellId cell, phy::BeamId tx_beam,
+                                       phy::BeamId ue_beam, sim::Time t) const;
+
+  /// SINR [dB] for an SSB of `cell` received on `ue_beam`: signal against
+  /// thermal noise plus any concurrent SSB transmissions of other cells.
+  [[nodiscard]] double ssb_sinr_db(CellId cell, double true_rss_dbm,
+                                   phy::BeamId ue_beam, sim::Time t) const;
+
+  EnvironmentConfig config_;
+  std::vector<BaseStation> base_stations_;
+  std::shared_ptr<const mobility::MobilityModel> ue_mobility_;
+  phy::Codebook ue_codebook_;
+  phy::LinkBudget link_;
+  std::vector<std::unique_ptr<phy::Channel>> channels_;  // one per cell
+  Rng measurement_rng_;
+  Rng detection_rng_;
+  std::uint64_t ssb_observations_ = 0;
+};
+
+}  // namespace st::net

@@ -1,0 +1,44 @@
+// Handover bookkeeping: the record of one serving-cell transition, as the
+// metric layer scores it. Soft vs hard is decided by what the mobile had
+// when the serving link broke — a tracked, aligned neighbour beam (soft:
+// random access begins immediately on that beam) or nothing (hard: a full
+// initial search from scratch precedes random access).
+#pragma once
+
+#include "net/ids.hpp"
+#include "phy/codebook.hpp"
+#include "sim/time.hpp"
+
+namespace st::net {
+
+enum class HandoverType {
+  kSoft,  ///< neighbour beam already tracked when the serving link broke
+  kHard,  ///< full initial search needed after the break
+};
+
+struct HandoverRecord {
+  CellId from = kInvalidCell;
+  CellId to = kInvalidCell;
+  HandoverType type = HandoverType::kSoft;
+
+  sim::Time serving_lost{};     ///< RLF declared on the old cell
+  sim::Time access_started{};   ///< first RACH preamble (after search, if hard)
+  sim::Time completed{};        ///< Msg4 success (valid iff `success`)
+  bool success = false;
+
+  unsigned rach_attempts = 0;
+  /// Beams in use at completion: the target's transmit (SSB) beam the
+  /// access ran on, the mobile receive beam, and whether that pair was
+  /// within 3 dB of the ground-truth best receive beam (the paper's
+  /// Fig. 2c alignment criterion; filled by the metric layer).
+  phy::BeamId target_tx_beam = phy::kInvalidBeam;
+  phy::BeamId final_rx_beam = phy::kInvalidBeam;
+  bool beam_aligned_at_completion = false;
+
+  /// Service interruption: serving link loss to handover completion.
+  [[nodiscard]] sim::Duration interruption() const noexcept {
+    return completed - serving_lost;
+  }
+};
+
+}  // namespace st::net

@@ -1,0 +1,13 @@
+// Identifier types for the network layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace st::net {
+
+/// Physical cell identity (one per base station in our deployments).
+using CellId = std::uint32_t;
+inline constexpr CellId kInvalidCell = std::numeric_limits<CellId>::max();
+
+}  // namespace st::net

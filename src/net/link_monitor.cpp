@@ -1,0 +1,62 @@
+#include "net/link_monitor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace st::net {
+
+LinkMonitor::LinkMonitor(sim::Simulator& simulator,
+                         RadioEnvironment& environment,
+                         LinkMonitorConfig config)
+    : simulator_(simulator), environment_(environment), config_(config) {
+  if (config.check_period <= sim::Duration{} ||
+      config.failure_window <= sim::Duration{}) {
+    throw std::invalid_argument("LinkMonitor: periods must be positive");
+  }
+}
+
+void LinkMonitor::start(CellId cell, BeamProvider ue_beam,
+                        FailureCallback on_failure) {
+  if (running_) {
+    throw std::logic_error("LinkMonitor: already monitoring");
+  }
+  if (ue_beam == nullptr || on_failure == nullptr) {
+    throw std::invalid_argument("LinkMonitor: null callback");
+  }
+  running_ = true;
+  cell_ = cell;
+  ue_beam_ = std::move(ue_beam);
+  on_failure_ = std::move(on_failure);
+  below_since_.reset();
+  check();
+}
+
+void LinkMonitor::stop() {
+  simulator_.cancel(tick_);
+  running_ = false;
+  ue_beam_ = nullptr;
+  on_failure_ = nullptr;
+  below_since_.reset();
+}
+
+void LinkMonitor::check() {
+  const phy::BeamId tx_beam = environment_.bs(cell_).serving_tx_beam();
+  last_snr_db_ =
+      environment_.true_dl_snr_db(cell_, tx_beam, ue_beam_(), simulator_.now());
+
+  if (last_snr_db_ >= environment_.link_budget().config().data_threshold_snr_db) {
+    below_since_.reset();
+  } else if (!below_since_.has_value()) {
+    below_since_ = simulator_.now();
+  } else if (simulator_.now() - *below_since_ >= config_.failure_window) {
+    running_ = false;
+    FailureCallback cb = std::move(on_failure_);
+    on_failure_ = nullptr;
+    ue_beam_ = nullptr;
+    cb();
+    return;
+  }
+  tick_ = simulator_.schedule_after(config_.check_period, [this] { check(); });
+}
+
+}  // namespace st::net

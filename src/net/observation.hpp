@@ -1,0 +1,29 @@
+// Radio-domain observations delivered to the mobile's protocol stack.
+//
+// An SsbObservation is everything a real mobile learns from one
+// synchronisation-signal slot: whether the correlator fired, and if so the
+// cell identity, the transmit-beam index (from the SSB position in the
+// burst), the measured RSS, and implicitly the cell's timing. Silent
+// Tracker is *in-band by construction*: this struct is the protocols'
+// entire view of the world.
+#pragma once
+
+#include "net/ids.hpp"
+#include "phy/codebook.hpp"
+#include "sim/time.hpp"
+
+namespace st::net {
+
+struct SsbObservation {
+  sim::Time t;
+  CellId cell = kInvalidCell;
+  phy::BeamId tx_beam = phy::kInvalidBeam;  ///< BS beam carried by the slot
+  phy::BeamId rx_beam = phy::kInvalidBeam;  ///< mobile beam used to listen
+  /// Measured RSS [dBm] (true RSS + estimation noise). Only meaningful
+  /// when `detected` — an undetected SSB yields no usable measurement.
+  double rss_dbm = 0.0;
+  double snr_db = 0.0;  ///< SNR implied by the measured RSS
+  bool detected = false;
+};
+
+}  // namespace st::net

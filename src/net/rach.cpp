@@ -1,0 +1,109 @@
+#include "net/rach.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace st::net {
+
+RachProcedure::RachProcedure(sim::Simulator& simulator,
+                             RadioEnvironment& environment, RachConfig config)
+    : simulator_(simulator), environment_(environment), config_(config) {
+  if (config.max_attempts == 0) {
+    throw std::invalid_argument("RachProcedure: max_attempts must be >= 1");
+  }
+}
+
+void RachProcedure::start(CellId target, phy::BeamId target_tx_beam,
+                          BeamProvider ue_beam, Callback on_done) {
+  if (running_) {
+    throw std::logic_error("RachProcedure: already running");
+  }
+  if (ue_beam == nullptr || on_done == nullptr) {
+    throw std::invalid_argument("RachProcedure: null callback");
+  }
+  running_ = true;
+  target_ = target;
+  target_tx_beam_ = target_tx_beam;
+  ue_beam_ = std::move(ue_beam);
+  on_done_ = std::move(on_done);
+  started_ = simulator_.now();
+  attempts_ = 0;
+  attempt();
+}
+
+void RachProcedure::abort() {
+  simulator_.cancel(pending_);
+  running_ = false;
+  on_done_ = nullptr;
+  ue_beam_ = nullptr;
+}
+
+void RachProcedure::attempt() {
+  if (attempts_ >= config_.max_attempts) {
+    conclude(false);
+    return;
+  }
+  ++attempts_;
+  const double ramp_db =
+      config_.power_ramp_db * static_cast<double>(attempts_ - 1);
+
+  // Step 1: wait for the RACH occasion mapped to the target's SSB beam.
+  const sim::Time occasion = environment_.bs(target_).schedule()
+                                 .next_rach_occasion(simulator_.now(),
+                                                     target_tx_beam_);
+  pending_ = simulator_.schedule_at(occasion, [this, ramp_db] {
+    const bool preamble_ok = environment_.uplink_success(
+        target_, ue_beam_(), target_tx_beam_, simulator_.now(), ramp_db);
+    if (!preamble_ok) {
+      // The BS never heard us; the RAR window passes in silence.
+      pending_ = simulator_.schedule_after(
+          environment_.bs(target_).schedule().config().rar_window,
+          [this] { fail_attempt(); });
+      return;
+    }
+    // Step 2: RAR on the target's SSB beam.
+    pending_ = simulator_.schedule_after(config_.rar_delay, [this] {
+      const bool rar_ok = environment_.downlink_success(
+          target_, target_tx_beam_, ue_beam_(), simulator_.now());
+      if (!rar_ok) {
+        fail_attempt();
+        return;
+      }
+      // Step 3: Msg3 (no ramping: the RAR's grant set the power).
+      pending_ = simulator_.schedule_after(config_.msg3_delay, [this] {
+        const bool msg3_ok = environment_.uplink_success(
+            target_, ue_beam_(), target_tx_beam_, simulator_.now(), 0.0);
+        if (!msg3_ok) {
+          fail_attempt();
+          return;
+        }
+        // Step 4: Msg4 — contention resolution.
+        pending_ = simulator_.schedule_after(config_.msg4_delay, [this] {
+          const bool msg4_ok = environment_.downlink_success(
+              target_, target_tx_beam_, ue_beam_(), simulator_.now());
+          if (msg4_ok) {
+            conclude(true);
+          } else {
+            fail_attempt();
+          }
+        });
+      });
+    });
+  });
+}
+
+void RachProcedure::fail_attempt() { attempt(); }
+
+void RachProcedure::conclude(bool success) {
+  running_ = false;
+  RachOutcome outcome;
+  outcome.success = success;
+  outcome.attempts = attempts_;
+  outcome.latency = simulator_.now() - started_;
+  Callback cb = std::move(on_done_);
+  on_done_ = nullptr;
+  ue_beam_ = nullptr;
+  cb(outcome);
+}
+
+}  // namespace st::net

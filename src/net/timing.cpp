@@ -1,0 +1,141 @@
+#include "net/timing.hpp"
+
+#include <stdexcept>
+
+namespace st::net {
+
+namespace {
+using sim::Duration;
+using sim::Time;
+}  // namespace
+
+FrameSchedule::FrameSchedule(const FrameConfig& config, sim::Duration offset)
+    : config_(config), offset_(offset) {
+  if (config.slot <= Duration{} || config.ssb_period <= Duration{} ||
+      config.rach_period <= Duration{} || config.rar_window <= Duration{}) {
+    throw std::invalid_argument("FrameSchedule: durations must be positive");
+  }
+  if (config.ssb_beams == 0) {
+    throw std::invalid_argument("FrameSchedule: need at least one SSB beam");
+  }
+  if (static_cast<std::int64_t>(config.ssb_beams) * config.slot.ns() >
+      config.ssb_period.ns()) {
+    throw std::invalid_argument(
+        "FrameSchedule: SSB burst does not fit in its period");
+  }
+  // Normalise the offset into [0, ssb_period).
+  const std::int64_t period = config.ssb_period.ns();
+  std::int64_t o = offset.ns() % period;
+  if (o < 0) {
+    o += period;
+  }
+  offset_ = Duration::nanoseconds(o);
+}
+
+sim::Duration FrameSchedule::burst_duration() const noexcept {
+  return static_cast<std::int64_t>(config_.ssb_beams) * config_.slot;
+}
+
+sim::Duration FrameSchedule::local_time(sim::Time t) const noexcept {
+  return t - (Time::zero() + offset_);
+}
+
+std::optional<SsbSlot> FrameSchedule::ssb_at(sim::Time t) const noexcept {
+  const Duration local = local_time(t);
+  if (local < Duration{}) {
+    return std::nullopt;
+  }
+  const std::int64_t burst = local / config_.ssb_period;
+  const Duration into_burst =
+      local - burst * config_.ssb_period;
+  const std::int64_t slot_idx = into_burst / config_.slot;
+  if (slot_idx >= static_cast<std::int64_t>(config_.ssb_beams)) {
+    return std::nullopt;
+  }
+  SsbSlot slot;
+  slot.start = Time::zero() + offset_ + burst * config_.ssb_period +
+               slot_idx * config_.slot;
+  slot.tx_beam = static_cast<phy::BeamId>(slot_idx);
+  slot.burst_index = static_cast<std::uint64_t>(burst);
+  return slot;
+}
+
+SsbSlot FrameSchedule::next_ssb(sim::Time t) const noexcept {
+  const Duration local = local_time(t);
+  std::int64_t burst = 0;
+  if (local >= Duration{}) {
+    burst = local / config_.ssb_period;
+  }
+  for (;; ++burst) {
+    const Time burst_start =
+        Time::zero() + offset_ + burst * config_.ssb_period;
+    for (unsigned slot_idx = 0; slot_idx < config_.ssb_beams; ++slot_idx) {
+      const Time start =
+          burst_start + static_cast<std::int64_t>(slot_idx) * config_.slot;
+      if (start >= t) {
+        SsbSlot slot;
+        slot.start = start;
+        slot.tx_beam = slot_idx;
+        slot.burst_index = static_cast<std::uint64_t>(burst);
+        return slot;
+      }
+    }
+  }
+}
+
+SsbSlot FrameSchedule::next_ssb_for_beam(sim::Time t,
+                                         phy::BeamId beam) const noexcept {
+  const Duration beam_offset =
+      static_cast<std::int64_t>(beam % config_.ssb_beams) * config_.slot;
+  const Duration local = local_time(t) - beam_offset;
+  std::int64_t burst = 0;
+  if (local > Duration{}) {
+    burst = local / config_.ssb_period;
+    const Time candidate = Time::zero() + offset_ + beam_offset +
+                           burst * config_.ssb_period;
+    if (candidate < t) {
+      ++burst;
+    }
+  }
+  SsbSlot slot;
+  slot.start =
+      Time::zero() + offset_ + beam_offset + burst * config_.ssb_period;
+  slot.tx_beam = beam % config_.ssb_beams;
+  slot.burst_index = static_cast<std::uint64_t>(burst);
+  return slot;
+}
+
+sim::Time FrameSchedule::next_burst_start(sim::Time t) const noexcept {
+  const Duration local = local_time(t);
+  std::int64_t burst = 0;
+  if (local > Duration{}) {
+    burst = local / config_.ssb_period;
+    const Time candidate =
+        Time::zero() + offset_ + burst * config_.ssb_period;
+    if (candidate < t) {
+      ++burst;
+    }
+  }
+  return Time::zero() + offset_ + burst * config_.ssb_period;
+}
+
+sim::Time FrameSchedule::next_rach_occasion(sim::Time t,
+                                            phy::BeamId ssb_beam) const noexcept {
+  const phy::BeamId want = ssb_beam % config_.ssb_beams;
+  const Duration local = local_time(t);
+  std::int64_t m = 0;
+  if (local > Duration{}) {
+    m = local / config_.rach_period;
+    if (Time::zero() + offset_ + m * config_.rach_period < t) {
+      ++m;
+    }
+  }
+  while (static_cast<phy::BeamId>(m %
+                                  static_cast<std::int64_t>(config_.ssb_beams)) !=
+         want) {
+    ++m;
+  }
+  return Time::zero() + offset_ + m * config_.rach_period;
+}
+
+}  // namespace st::net

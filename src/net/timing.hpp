@@ -1,0 +1,86 @@
+// NR-like radio frame timing.
+//
+// Everything latency-related in the paper hangs off this schedule:
+//  * base stations broadcast synchronisation signal blocks (SSBs) in
+//    bursts — one slot per transmit beam — repeating every `ssb_period`
+//    (default 20 ms, the 5G NR default);
+//  * a full directional search over L SSB beams and R receive beams takes
+//    up to L·R SSB slots spread over R periods, which is how 5G initial
+//    beam search reaches the 1.28 s the paper's introduction cites;
+//  * RACH occasions recur every `rach_period`; each occasion is
+//    implicitly associated with the SSB beam index of the same slot
+//    position, as in NR, so a preamble tells the base station which of
+//    its beams the mobile considers best.
+//
+// Each cell runs this structure with its own time offset: neighbouring
+// cells are not assumed synchronised (the mobile derives a neighbour's
+// timing only by detecting its SSBs — "the unknown schedules of Cell B").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "phy/codebook.hpp"
+#include "sim/time.hpp"
+
+namespace st::net {
+
+struct FrameConfig {
+  /// One SSB occupies one slot. 125 us corresponds to 120 kHz SCS
+  /// half-slot pacing — close enough to NR FR2 for latency shapes.
+  sim::Duration slot = sim::Duration::microseconds(125);
+  /// SSB burst-set periodicity (NR default 20 ms).
+  sim::Duration ssb_period = sim::Duration::milliseconds(20);
+  /// Number of SSB slots per burst == number of BS transmit beams swept.
+  unsigned ssb_beams = 8;
+  /// PRACH occasion periodicity.
+  sim::Duration rach_period = sim::Duration::milliseconds(10);
+  /// Window after a preamble in which the RAR must arrive.
+  sim::Duration rar_window = sim::Duration::milliseconds(5);
+};
+
+/// A specific SSB transmission instant of one cell.
+struct SsbSlot {
+  sim::Time start;
+  phy::BeamId tx_beam = phy::kInvalidBeam;
+  std::uint64_t burst_index = 0;
+};
+
+class FrameSchedule {
+ public:
+  /// `offset` shifts the whole structure (cells are unsynchronised).
+  FrameSchedule(const FrameConfig& config, sim::Duration offset);
+
+  [[nodiscard]] const FrameConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Duration offset() const noexcept { return offset_; }
+
+  /// The SSB slot in progress at `t`, if any.
+  [[nodiscard]] std::optional<SsbSlot> ssb_at(sim::Time t) const noexcept;
+
+  /// First SSB slot starting at or after `t`.
+  [[nodiscard]] SsbSlot next_ssb(sim::Time t) const noexcept;
+
+  /// First SSB slot for a *specific* transmit beam at or after `t`.
+  [[nodiscard]] SsbSlot next_ssb_for_beam(sim::Time t,
+                                          phy::BeamId beam) const noexcept;
+
+  /// Start of the first burst at or after `t`.
+  [[nodiscard]] sim::Time next_burst_start(sim::Time t) const noexcept;
+
+  /// First RACH occasion at or after `t` associated with `ssb_beam`.
+  /// Occasions cycle over beams: occasion k serves beam (k mod ssb_beams).
+  [[nodiscard]] sim::Time next_rach_occasion(sim::Time t,
+                                             phy::BeamId ssb_beam) const noexcept;
+
+  /// Duration of one full burst (ssb_beams slots).
+  [[nodiscard]] sim::Duration burst_duration() const noexcept;
+
+ private:
+  /// Time since schedule origin (>= 0 even for t before the offset).
+  [[nodiscard]] sim::Duration local_time(sim::Time t) const noexcept;
+
+  FrameConfig config_;
+  sim::Duration offset_;
+};
+
+}  // namespace st::net

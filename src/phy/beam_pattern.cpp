@@ -1,0 +1,136 @@
+#include "phy/beam_pattern.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/units.hpp"
+
+namespace st::phy {
+
+namespace {
+
+/// Element envelope used by the ULA pattern: cos^2 falloff towards the
+/// array plane with a −30 dB backplane floor. Real phased-array modules
+/// (including the NI front ends in the paper's testbed) radiate into a
+/// half space; without this envelope a bare ULA array factor would have a
+/// perfect mirror backlobe and beam search tests would see ghost beams.
+double element_gain_linear(double offset_rad) noexcept {
+  constexpr double kBackFloor = 1e-3;  // −30 dB
+  const double c = std::cos(offset_rad);
+  if (c <= 0.0) {
+    return kBackFloor;
+  }
+  return std::max(c * c, kBackFloor);
+}
+
+/// Broadside array-factor power gain of an N-element lambda/2 ULA at a
+/// given azimuth offset, normalised so that boresight = N (linear).
+double ula_af_gain_linear(unsigned n, double offset_rad) noexcept {
+  const double psi = kPi * std::sin(offset_rad);
+  const double denom = std::sin(0.5 * psi);
+  const double dn = static_cast<double>(n);
+  if (std::fabs(denom) < 1e-12) {
+    return dn;  // boresight (and grating condition, absent at lambda/2)
+  }
+  const double num = std::sin(0.5 * dn * psi);
+  const double af = num / denom;
+  return af * af / dn;
+}
+
+/// Numerical half-power beamwidth for a symmetric pattern given a gain
+/// functor (linear) with its peak at offset zero.
+template <typename GainFn>
+double numeric_hpbw(GainFn&& gain, double peak_linear) {
+  const double half = 0.5 * peak_linear;
+  constexpr double kStep = 1e-4;
+  for (double theta = kStep; theta <= kPi; theta += kStep) {
+    if (gain(theta) < half) {
+      return 2.0 * theta;
+    }
+  }
+  return kTwoPi;
+}
+
+}  // namespace
+
+double OmniPattern::hpbw_rad() const noexcept { return kTwoPi; }
+
+GaussianPattern::GaussianPattern(double hpbw_rad, double sidelobe_floor_db)
+    : hpbw_(hpbw_rad) {
+  if (!(hpbw_rad > 0.0) || hpbw_rad > kTwoPi) {
+    throw std::invalid_argument("GaussianPattern: hpbw must be in (0, 2*pi]");
+  }
+  if (sidelobe_floor_db >= 0.0) {
+    throw std::invalid_argument(
+        "GaussianPattern: sidelobe floor must be below the peak");
+  }
+  sigma_ = hpbw_rad / (2.0 * std::sqrt(2.0 * std::log(2.0)));
+  const double rel_floor = from_db(sidelobe_floor_db);
+
+  // Normalise so mean gain over azimuth is 1 (0 dBi): the beam
+  // concentrates, not creates, energy. Simpson integration of the shape
+  // max(exp(-theta^2/2sigma^2), rel_floor) over (-pi, pi].
+  constexpr int kSamples = 4096;
+  const double h = kTwoPi / kSamples;
+  double integral = 0.0;
+  for (int i = 0; i <= kSamples; ++i) {
+    const double theta = -kPi + static_cast<double>(i) * h;
+    const double shape =
+        std::max(std::exp(-theta * theta / (2.0 * sigma_ * sigma_)), rel_floor);
+    const double w = (i == 0 || i == kSamples) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    integral += w * shape;
+  }
+  integral *= h / 3.0;
+
+  peak_linear_ = kTwoPi / integral;
+  floor_linear_ = rel_floor * peak_linear_;
+}
+
+double GaussianPattern::gain_dbi(double offset_rad) const noexcept {
+  const double theta = wrap_pi(offset_rad);
+  const double lobe =
+      peak_linear_ * std::exp(-theta * theta / (2.0 * sigma_ * sigma_));
+  return to_db(std::max(lobe, floor_linear_));
+}
+
+double GaussianPattern::peak_gain_dbi() const noexcept {
+  return to_db(peak_linear_);
+}
+
+UlaPattern::UlaPattern(unsigned elements) : n_(elements) {
+  if (elements == 0) {
+    throw std::invalid_argument("UlaPattern: need at least one element");
+  }
+  const double peak =
+      static_cast<double>(n_) * element_gain_linear(0.0);
+  hpbw_ = numeric_hpbw(
+      [this](double theta) {
+        return ula_af_gain_linear(n_, theta) * element_gain_linear(theta);
+      },
+      peak);
+}
+
+double UlaPattern::gain_dbi(double offset_rad) const noexcept {
+  const double theta = wrap_pi(offset_rad);
+  const double g = ula_af_gain_linear(n_, theta) * element_gain_linear(theta);
+  return to_db(std::max(g, 1e-6));
+}
+
+double UlaPattern::peak_gain_dbi() const noexcept {
+  return to_db(static_cast<double>(n_) * element_gain_linear(0.0));
+}
+
+unsigned ula_elements_for_hpbw(double hpbw_rad) {
+  if (!(hpbw_rad > 0.0)) {
+    throw std::invalid_argument("ula_elements_for_hpbw: hpbw must be positive");
+  }
+  for (unsigned n = 1; n <= 512; ++n) {
+    if (UlaPattern(n).hpbw_rad() <= hpbw_rad) {
+      return n;
+    }
+  }
+  return 512;
+}
+
+}  // namespace st::phy

@@ -1,0 +1,91 @@
+#include "phy/channel.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/angles.hpp"
+#include "common/units.hpp"
+
+namespace st::phy {
+
+Channel::Channel(const ChannelConfig& config, Vec3 tx_anchor, Vec3 rx_anchor,
+                 sim::Duration horizon, std::uint64_t seed)
+    : coherent_(config.coherent_combining),
+      wavelength_m_(wavelength(config.pathloss.carrier_hz)),
+      pathloss_(config.pathloss),
+      shadowing_(config.shadowing, derive_seed(seed, "shadowing")),
+      blockage_(config.blockage, horizon, derive_seed(seed, "blockage")),
+      multipath_(config.multipath, tx_anchor, rx_anchor,
+                 derive_seed(seed, "multipath")) {}
+
+double Channel::rx_power_dbm(const Pose& tx_pose, const Beam& tx_beam,
+                             const Pose& rx_pose, const Beam& rx_beam,
+                             sim::Time t, double tx_power_dbm) const {
+  const double shadow_db = shadowing_.sample_db(rx_pose.position);
+  const double block_db = blockage_.attenuation_db(t);
+
+  double sum_linear_mw = 0.0;
+  std::complex<double> sum_amplitude{0.0, 0.0};
+  for (const PropagationPath& path :
+       multipath_.paths(tx_pose.position, rx_pose.position)) {
+    const double tx_az = tx_pose.to_body_frame(path.departure_world).azimuth();
+    const double rx_az = rx_pose.to_body_frame(path.arrival_world).azimuth();
+    double pr_dbm = tx_power_dbm + tx_beam.gain_dbi(tx_az) +
+                    rx_beam.gain_dbi(rx_az) - pathloss_.loss_db(path.length_m) -
+                    path.extra_loss_db - shadow_db;
+    if (path.is_los) {
+      pr_dbm -= block_db;
+    }
+    if (coherent_) {
+      // Complex amplitude with the exact geometric phase: small-scale
+      // fading and Doppler emerge from the path-length differences.
+      const double phase =
+          kTwoPi * std::fmod(path.length_m / wavelength_m_, 1.0);
+      sum_amplitude += std::sqrt(from_db(pr_dbm)) *
+                       std::complex<double>(std::cos(phase), std::sin(phase));
+    } else {
+      sum_linear_mw += from_db(pr_dbm);
+    }
+  }
+  if (coherent_) {
+    return to_db(std::max(std::norm(sum_amplitude), 1e-30));
+  }
+  return to_db(sum_linear_mw);
+}
+
+Channel::BestBeam Channel::best_rx_beam(const Pose& tx_pose,
+                                        const Beam& tx_beam,
+                                        const Pose& rx_pose,
+                                        const Codebook& rx_codebook,
+                                        sim::Time t, double tx_power_dbm) const {
+  BestBeam best;
+  for (const Beam& candidate : rx_codebook.beams()) {
+    const double p =
+        rx_power_dbm(tx_pose, tx_beam, rx_pose, candidate, t, tx_power_dbm);
+    if (best.beam == kInvalidBeam || p > best.rx_power_dbm) {
+      best.beam = candidate.id();
+      best.rx_power_dbm = p;
+    }
+  }
+  return best;
+}
+
+Channel::BestPair Channel::best_beam_pair(const Pose& tx_pose,
+                                          const Codebook& tx_codebook,
+                                          const Pose& rx_pose,
+                                          const Codebook& rx_codebook,
+                                          sim::Time t, double tx_power_dbm) const {
+  BestPair best;
+  for (const Beam& tx : tx_codebook.beams()) {
+    const BestBeam b =
+        best_rx_beam(tx_pose, tx, rx_pose, rx_codebook, t, tx_power_dbm);
+    if (best.tx_beam == kInvalidBeam || b.rx_power_dbm > best.rx_power_dbm) {
+      best.tx_beam = tx.id();
+      best.rx_beam = b.beam;
+      best.rx_power_dbm = b.rx_power_dbm;
+    }
+  }
+  return best;
+}
+
+}  // namespace st::phy

@@ -1,0 +1,126 @@
+#include "phy/codebook.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/table.hpp"
+
+namespace st::phy {
+
+Beam::Beam(BeamId id, double boresight_rad,
+           std::shared_ptr<const BeamPattern> pattern)
+    : id_(id), boresight_(wrap_pi(boresight_rad)), pattern_(std::move(pattern)) {
+  if (pattern_ == nullptr) {
+    throw std::invalid_argument("Beam: pattern must not be null");
+  }
+}
+
+double Beam::gain_dbi(double azimuth_rad) const noexcept {
+  return pattern_->gain_dbi(angular_difference(boresight_, azimuth_rad));
+}
+
+Codebook::Codebook(std::vector<Beam> beams) : beams_(std::move(beams)) {
+  if (beams_.empty()) {
+    throw std::invalid_argument("Codebook: needs at least one beam");
+  }
+}
+
+Codebook Codebook::uniform(unsigned n_beams,
+                           std::shared_ptr<const BeamPattern> pattern) {
+  if (n_beams == 0) {
+    throw std::invalid_argument("Codebook::uniform: n_beams must be >= 1");
+  }
+  if (pattern == nullptr) {
+    throw std::invalid_argument("Codebook::uniform: pattern must not be null");
+  }
+  std::vector<Beam> beams;
+  beams.reserve(n_beams);
+  const double spacing = kTwoPi / n_beams;
+  for (unsigned i = 0; i < n_beams; ++i) {
+    // Centre the fan so beam boresights avoid the +/-pi wrap seam.
+    const double boresight = -kPi + (static_cast<double>(i) + 0.5) * spacing;
+    beams.emplace_back(i, boresight, pattern);
+  }
+  return Codebook(std::move(beams));
+}
+
+Codebook Codebook::from_beamwidth_deg(double beamwidth_deg,
+                                      double sidelobe_floor_db) {
+  if (!(beamwidth_deg > 0.0) || beamwidth_deg > 360.0) {
+    throw std::invalid_argument(
+        "Codebook::from_beamwidth_deg: beamwidth must be in (0, 360]");
+  }
+  const auto n_beams =
+      static_cast<unsigned>(std::lround(360.0 / beamwidth_deg));
+  const double hpbw = deg_to_rad(beamwidth_deg);
+  return uniform(std::max(1U, n_beams),
+                 std::make_shared<GaussianPattern>(hpbw, sidelobe_floor_db));
+}
+
+Codebook Codebook::ula_from_beamwidth_deg(double beamwidth_deg) {
+  const unsigned elements = ula_elements_for_hpbw(deg_to_rad(beamwidth_deg));
+  auto pattern = std::make_shared<UlaPattern>(elements);
+  const double achieved = pattern->hpbw_rad();
+  const auto n_beams =
+      static_cast<unsigned>(std::lround(kTwoPi / achieved));
+  return uniform(std::max(1U, n_beams), std::move(pattern));
+}
+
+Codebook Codebook::omni() {
+  return uniform(1, std::make_shared<OmniPattern>());
+}
+
+const Beam& Codebook::beam(BeamId id) const {
+  if (id >= beams_.size()) {
+    throw std::out_of_range("Codebook::beam: invalid beam id");
+  }
+  return beams_[id];
+}
+
+BeamId Codebook::left_neighbour(BeamId id) const {
+  if (id >= beams_.size()) {
+    throw std::out_of_range("Codebook::left_neighbour: invalid beam id");
+  }
+  const auto n = static_cast<BeamId>(beams_.size());
+  return (id + n - 1) % n;
+}
+
+BeamId Codebook::right_neighbour(BeamId id) const {
+  if (id >= beams_.size()) {
+    throw std::out_of_range("Codebook::right_neighbour: invalid beam id");
+  }
+  const auto n = static_cast<BeamId>(beams_.size());
+  return (id + 1) % n;
+}
+
+double Codebook::gain_dbi(BeamId id, double azimuth_rad) const {
+  return beam(id).gain_dbi(azimuth_rad);
+}
+
+BeamId Codebook::best_beam_for(double azimuth_rad) const {
+  BeamId best = 0;
+  double best_gain = beams_[0].gain_dbi(azimuth_rad);
+  for (BeamId i = 1; i < beams_.size(); ++i) {
+    const double g = beams_[i].gain_dbi(azimuth_rad);
+    if (g > best_gain) {
+      best_gain = g;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Codebook::spacing_rad() const noexcept {
+  return kTwoPi / static_cast<double>(beams_.size());
+}
+
+std::string Codebook::description() const {
+  if (is_omni() && beams_[0].pattern().peak_gain_dbi() == 0.0) {
+    return "omni";
+  }
+  return format_double(rad_to_deg(beams_[0].pattern().hpbw_rad()), 1) +
+         "deg x" + std::to_string(beams_.size());
+}
+
+}  // namespace st::phy

@@ -1,0 +1,100 @@
+// Beams and codebooks.
+//
+// A codebook is an indexed set of beams whose boresights tile the azimuth
+// plane. The paper evaluates the mobile with 20° and 60° beamwidth
+// codebooks and an omni antenna; base stations sweep their own codebook
+// during synchronisation bursts. "Directionally adjacent" beams — the only
+// candidates Silent Tracker and BeamSurfer ever switch to — are the cyclic
+// neighbours in codebook order.
+//
+// Full 360° coverage from one codebook idealises a multi-panel handset as
+// a single cylindrical array; what matters for the protocols is that every
+// arrival direction has a best beam and two well-defined neighbours.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "phy/beam_pattern.hpp"
+
+namespace st::phy {
+
+using BeamId = std::uint32_t;
+inline constexpr BeamId kInvalidBeam = std::numeric_limits<BeamId>::max();
+
+class Beam {
+ public:
+  Beam(BeamId id, double boresight_rad,
+       std::shared_ptr<const BeamPattern> pattern);
+
+  [[nodiscard]] BeamId id() const noexcept { return id_; }
+  /// Boresight azimuth in the device body frame, (-pi, pi].
+  [[nodiscard]] double boresight_rad() const noexcept { return boresight_; }
+  [[nodiscard]] const BeamPattern& pattern() const noexcept { return *pattern_; }
+
+  /// Power gain [dBi] towards a body-frame azimuth.
+  [[nodiscard]] double gain_dbi(double azimuth_rad) const noexcept;
+
+ private:
+  BeamId id_;
+  double boresight_;
+  std::shared_ptr<const BeamPattern> pattern_;
+};
+
+class Codebook {
+ public:
+  /// `n_beams` boresights uniformly spaced over azimuth, all sharing
+  /// `pattern`. Precondition: n_beams >= 1, pattern != nullptr.
+  static Codebook uniform(unsigned n_beams,
+                          std::shared_ptr<const BeamPattern> pattern);
+
+  /// Codebook whose beams have the given half-power beamwidth (Gaussian
+  /// pattern) and whose boresight spacing equals the beamwidth, so the
+  /// −3 dB contours tile azimuth — e.g. 20° -> 18 beams, 60° -> 6 beams.
+  static Codebook from_beamwidth_deg(double beamwidth_deg,
+                                     double sidelobe_floor_db = -20.0);
+
+  /// As above but with physical ULA patterns: picks the smallest
+  /// half-wavelength array meeting the beamwidth, spacing beams by the
+  /// achieved (not requested) HPBW.
+  static Codebook ula_from_beamwidth_deg(double beamwidth_deg);
+
+  /// Single 0 dBi beam: the paper's omni baseline.
+  static Codebook omni();
+
+  [[nodiscard]] std::size_t size() const noexcept { return beams_.size(); }
+  [[nodiscard]] bool is_omni() const noexcept { return beams_.size() == 1; }
+  [[nodiscard]] std::span<const Beam> beams() const noexcept { return beams_; }
+
+  /// Precondition: `id` < size().
+  [[nodiscard]] const Beam& beam(BeamId id) const;
+
+  /// Cyclic neighbours — the "directionally adjacent" beams of the paper.
+  /// For an omni codebook both neighbours are the beam itself.
+  [[nodiscard]] BeamId left_neighbour(BeamId id) const;
+  [[nodiscard]] BeamId right_neighbour(BeamId id) const;
+
+  /// Gain of beam `id` towards a body-frame azimuth [dBi].
+  [[nodiscard]] double gain_dbi(BeamId id, double azimuth_rad) const;
+
+  /// Ground-truth helper (metrics/tests only — protocols must not call
+  /// this): the beam with the highest gain towards `azimuth_rad`.
+  [[nodiscard]] BeamId best_beam_for(double azimuth_rad) const;
+
+  /// Angular spacing between adjacent boresights [rad] (2*pi for omni).
+  [[nodiscard]] double spacing_rad() const noexcept;
+
+  /// Short description for bench tables, e.g. "20.0deg x18".
+  [[nodiscard]] std::string description() const;
+
+ private:
+  explicit Codebook(std::vector<Beam> beams);
+
+  std::vector<Beam> beams_;
+};
+
+}  // namespace st::phy

@@ -1,0 +1,30 @@
+#include "phy/link.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace st::phy {
+
+LinkBudget::LinkBudget(const LinkBudgetConfig& config)
+    : config_(config),
+      noise_dbm_(thermal_noise_dbm(config.bandwidth_hz) +
+                 config.noise_figure_db) {
+  if (!(config.bandwidth_hz > 0.0)) {
+    throw std::invalid_argument("LinkBudget: bandwidth must be positive");
+  }
+  if (config.detection_slope_per_db <= 0.0) {
+    throw std::invalid_argument("LinkBudget: detection slope must be positive");
+  }
+}
+
+double LinkBudget::detection_probability(double snr_db) const noexcept {
+  const double x = config_.detection_slope_per_db *
+                   (snr_db - config_.detection_threshold_snr_db);
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+bool LinkBudget::detect(double snr_db, Rng& rng) const noexcept {
+  return rng.bernoulli(detection_probability(snr_db));
+}
+
+}  // namespace st::phy

@@ -1,0 +1,48 @@
+// Spatially correlated log-normal shadowing.
+//
+// Shadowing must be correlated over distance, not i.i.d. per sample: the
+// 3 dB-drop rule at the heart of both BeamSurfer and Silent Tracker reacts
+// to sustained RSS changes, and i.i.d. shadow draws every measurement slot
+// would make the protocols thrash on noise that no real channel produces.
+//
+// The field is realised as a sum of random Fourier features — a Gaussian
+// random field S(p) = sigma * sqrt(2/K) * sum_i cos(k_i . p + phi_i) with
+// wavevector magnitudes drawn so the autocorrelation decays on the scale
+// of `decorrelation_distance_m` (Gudmundson-like). Unlike a Gauss–Markov
+// walk, the field is a pure *function of position*: the metric layer and
+// the protocols can query it in any order, at any time, without
+// perturbing each other's realisation — a determinism requirement of the
+// experiment harness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/vec.hpp"
+
+namespace st::phy {
+
+struct ShadowingConfig {
+  double sigma_db = 2.5;  ///< standard deviation (60 GHz LOS-ish)
+  double decorrelation_distance_m = 10.0;
+};
+
+class ShadowingProcess {
+ public:
+  ShadowingProcess(const ShadowingConfig& config, std::uint64_t seed);
+
+  /// Shadowing value [dB] at a position — deterministic in (seed,
+  /// position), independent of query order.
+  [[nodiscard]] double sample_db(Vec3 position) const noexcept;
+
+  [[nodiscard]] double sigma_db() const noexcept { return config_.sigma_db; }
+
+ private:
+  static constexpr std::size_t kComponents = 48;
+
+  ShadowingConfig config_;
+  std::array<Vec3, kComponents> wavevectors_{};
+  std::array<double, kComponents> phases_{};
+};
+
+}  // namespace st::phy

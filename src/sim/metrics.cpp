@@ -1,0 +1,97 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace st::sim {
+
+double TimeSeries::value_at(Time t, double fallback) const noexcept {
+  double latest = fallback;
+  for (const Point& p : points_) {
+    if (p.t > t) {
+      break;
+    }
+    latest = p.value;
+  }
+  return latest;
+}
+
+double TimeSeries::mean_over(Time from, Time to) const noexcept {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.t < from || p.t > to) {
+      continue;
+    }
+    sum += p.value;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TimeSeries::fraction_at_least(Time from, Time to,
+                                     double threshold) const noexcept {
+  std::size_t n = 0;
+  std::size_t hits = 0;
+  for (const Point& p : points_) {
+    if (p.t < from || p.t > to) {
+      continue;
+    }
+    ++n;
+    if (p.value >= threshold) {
+      ++hits;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+}
+
+std::string TimeSeries::csv() const {
+  std::string out;
+  char buf[64];
+  for (const Point& p : points_) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%.6f\n", p.t.ms(), p.value);
+    out += buf;
+  }
+  return out;
+}
+
+void CounterSet::increment(std::string_view name, std::uint64_t by) {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), by);
+  } else {
+    it->second += by;
+  }
+}
+
+std::uint64_t CounterSet::value(std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void EventLog::record(Time t, std::string_view component,
+                      std::string_view message) {
+  entries_.push_back({t, std::string(component), std::string(message)});
+}
+
+std::vector<EventLog::Entry> EventLog::with_prefix(
+    std::string_view prefix) const {
+  std::vector<Entry> out;
+  for (const Entry& e : entries_) {
+    if (e.message.starts_with(prefix)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool EventLog::first_time_of(std::string_view prefix, Time& out) const {
+  for (const Entry& e : entries_) {
+    if (e.message.starts_with(prefix)) {
+      out = e.t;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace st::sim

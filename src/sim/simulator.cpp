@@ -1,0 +1,81 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace st::sim {
+
+EventId Simulator::schedule_at(Time when, EventFn fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  return queue_.push(when, std::move(fn));
+}
+
+EventId Simulator::schedule_after(Duration delay, EventFn fn) {
+  if (delay < Duration{}) {
+    delay = Duration{};
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_periodic(Time first, Duration period, EventFn fn) {
+  // Each occurrence runs the payload, schedules the next occurrence, and
+  // records the pending id under the chain's first id so
+  // cancel_periodic() can always find the live event. The recursive
+  // closure owns itself via shared_ptr.
+  struct Chain {
+    Duration period;
+    EventFn fn;
+    EventId first_id = 0;
+  };
+  auto chain = std::make_shared<Chain>(Chain{period, std::move(fn), 0});
+  auto recur = std::make_shared<std::function<void()>>();
+  *recur = [this, chain, recur]() {
+    chain->fn();
+    const EventId next =
+        queue_.push(now_ + chain->period, [recur]() { (*recur)(); });
+    periodic_current_[chain->first_id] = next;
+  };
+
+  const EventId first_id = schedule_at(first, [recur]() { (*recur)(); });
+  chain->first_id = first_id;
+  periodic_current_[first_id] = first_id;
+  return first_id;
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+void Simulator::cancel_periodic(EventId first_id) {
+  const auto it = periodic_current_.find(first_id);
+  if (it == periodic_current_.end()) {
+    return;
+  }
+  queue_.cancel(it->second);
+  periodic_current_.erase(it);
+}
+
+void Simulator::run_until(Time end) {
+  while (step(end)) {
+  }
+  if (now_ < end) {
+    now_ = end;
+  }
+}
+
+bool Simulator::step(Time end) {
+  if (queue_.empty()) {
+    return false;
+  }
+  const Time next = queue_.next_time();
+  if (next > end) {
+    return false;
+  }
+  EventQueue::Entry entry = queue_.pop();
+  now_ = entry.when;
+  ++events_executed_;
+  entry.fn();
+  return true;
+}
+
+}  // namespace st::sim

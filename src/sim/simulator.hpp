@@ -1,0 +1,74 @@
+// The discrete-event simulation engine.
+//
+// A Simulator owns the clock and the pending-event set. Models (base
+// stations, mobiles, channel processes, mobility samplers) schedule
+// callbacks; run_until() advances the clock to each event in order. The
+// engine is single-threaded by design: mm-wave beam management is a
+// control-plane protocol whose fidelity comes from exact event ordering,
+// not from parallel packet crunching.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace st::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // The event queue holds callbacks that capture `this` of models; a
+  // simulator is not meaningfully copyable or movable.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `when`. Scheduling in the past (before
+  /// now()) fires the event at now(), preserving causality.
+  EventId schedule_at(Time when, EventFn fn);
+
+  /// Schedule `fn` after a delay from now. Negative delays clamp to zero.
+  EventId schedule_after(Duration delay, EventFn fn);
+
+  /// Schedule `fn` every `period`, starting at `first`. The callback
+  /// receives no arguments; read now() for the tick time. Returns the id
+  /// of the *first* occurrence; cancel_periodic() stops the chain.
+  EventId schedule_periodic(Time first, Duration period, EventFn fn);
+
+  /// Cancel a pending one-shot event.
+  bool cancel(EventId id);
+
+  /// Stop a periodic chain started with schedule_periodic.
+  void cancel_periodic(EventId first_id);
+
+  /// Run events until the queue empties or the clock would pass `end`.
+  /// The clock is left at `end` (or at the last event if the queue
+  /// drained first and you passed Time::max-like sentinel).
+  void run_until(Time end);
+
+  /// Run a single event if one is pending at or before `end`.
+  /// Returns true if an event fired.
+  bool step(Time end);
+
+  /// Number of events executed so far (diagnostics / perf tests).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  std::uint64_t events_executed_ = 0;
+
+  // Periodic chains: maps the user-visible first id to the id of the
+  // currently pending occurrence.
+  std::unordered_map<EventId, EventId> periodic_current_;
+};
+
+}  // namespace st::sim

@@ -1,0 +1,130 @@
+// Simulation time as a strong integer-nanosecond type.
+//
+// The protocols reproduced here are driven by a radio frame structure with
+// periods from microseconds (slots) to seconds (initial search budget,
+// 1.28 s in §1 of the paper). Integer nanoseconds give exact arithmetic for
+// all of them — no drift when stepping a 20 ms SSB period 10^5 times — and
+// total ordering for the event queue.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace st::sim {
+
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t ns) noexcept {
+    return Duration(ns);
+  }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) noexcept {
+    return Duration(us * 1'000);
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) noexcept {
+    return Duration(ms * 1'000'000);
+  }
+  [[nodiscard]] static constexpr Duration seconds_of(double s) noexcept {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double us() const noexcept {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+  [[nodiscard]] constexpr double ms() const noexcept {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept {
+    return Duration(a.ns_ + b.ns_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept {
+    return Duration(a.ns_ - b.ns_);
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration d) noexcept {
+    return Duration(k * d.ns_);
+  }
+  friend constexpr Duration operator*(Duration d, std::int64_t k) noexcept {
+    return Duration(k * d.ns_);
+  }
+  /// Integer division: how many whole `b` fit in `a`.
+  friend constexpr std::int64_t operator/(Duration a, Duration b) noexcept {
+    return a.ns_ / b.ns_;
+  }
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Absolute simulation time (nanoseconds since simulation start).
+class Time {
+ public:
+  constexpr Time() noexcept = default;
+
+  [[nodiscard]] static constexpr Time zero() noexcept { return Time(); }
+  [[nodiscard]] static constexpr Time from_ns(std::int64_t ns) noexcept {
+    return Time(ns);
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double ms() const noexcept {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  friend constexpr auto operator<=>(Time, Time) noexcept = default;
+  friend constexpr Time operator+(Time t, Duration d) noexcept {
+    return Time(t.ns_ + d.ns());
+  }
+  friend constexpr Time operator+(Duration d, Time t) noexcept { return t + d; }
+  friend constexpr Time operator-(Time t, Duration d) noexcept {
+    return Time(t.ns_ - d.ns());
+  }
+  friend constexpr Duration operator-(Time a, Time b) noexcept {
+    return Duration::nanoseconds(a.ns_ - b.ns_);
+  }
+
+ private:
+  explicit constexpr Time(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// "12.345 ms"-style rendering for logs and event narration.
+[[nodiscard]] inline std::string to_string(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", t.ms());
+  return buf;
+}
+
+[[nodiscard]] inline std::string to_string(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", d.ms());
+  return buf;
+}
+
+namespace literals {
+[[nodiscard]] constexpr Duration operator""_ns(unsigned long long v) noexcept {
+  return Duration::nanoseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Duration operator""_us(unsigned long long v) noexcept {
+  return Duration::microseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Duration operator""_ms(unsigned long long v) noexcept {
+  return Duration::milliseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Duration operator""_s(unsigned long long v) noexcept {
+  return Duration::milliseconds(static_cast<std::int64_t>(v) * 1000);
+}
+}  // namespace literals
+
+}  // namespace st::sim

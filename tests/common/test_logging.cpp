@@ -1,0 +1,74 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace st {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::global().level();
+    Logger::global().set_sink(sink_);
+  }
+  void TearDown() override {
+    Logger::global().set_level(saved_level_);
+    // Restore the default sink by pointing back at a fresh stream is not
+    // possible (cerr is the nullptr default); leave our sink set only for
+    // the duration — set level back and detach by setting a static.
+    Logger::global().set_sink(detached_);
+  }
+
+  std::ostringstream sink_;
+  static std::ostringstream detached_;
+  LogLevel saved_level_ = LogLevel::kWarning;
+};
+
+std::ostringstream LoggingTest::detached_;
+
+TEST_F(LoggingTest, RespectsLevelThreshold) {
+  Logger::global().set_level(LogLevel::kWarning);
+  Logger::global().debug("test", "hidden");
+  Logger::global().info("test", "hidden too");
+  Logger::global().warning("test", "visible");
+  EXPECT_EQ(sink_.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink_.str().find("visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FormatsComponentAndLevel) {
+  Logger::global().set_level(LogLevel::kDebug);
+  Logger::global().error("rach", "preamble lost");
+  EXPECT_NE(sink_.str().find("[ERROR] rach: preamble lost"),
+            std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::global().set_level(LogLevel::kOff);
+  Logger::global().error("x", "nope");
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggingTest, EnabledQueryMatchesBehaviour) {
+  Logger::global().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::global().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::global().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::global().enabled(LogLevel::kError));
+}
+
+TEST(LogMessage, ConcatenatesStreamables) {
+  EXPECT_EQ(log_message("rss=", -62.5, " beam=", 7), "rss=-62.5 beam=7");
+  EXPECT_EQ(log_message("solo"), "solo");
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,92 @@
+#include "common/quaternion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.hpp"
+
+namespace st {
+namespace {
+
+void expect_vec_near(Vec3 a, Vec3 b, double tol = 1e-12) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(Quaternion, IdentityLeavesVectorsUnchanged) {
+  const Vec3 v{1.0, 2.0, 3.0};
+  expect_vec_near(Quaternion::identity().rotate(v), v);
+}
+
+TEST(Quaternion, YawQuarterTurn) {
+  const Quaternion q = Quaternion::from_yaw(kPi / 2.0);
+  expect_vec_near(q.rotate({1.0, 0.0, 0.0}), {0.0, 1.0, 0.0});
+  expect_vec_near(q.rotate({0.0, 1.0, 0.0}), {-1.0, 0.0, 0.0});
+  expect_vec_near(q.rotate({0.0, 0.0, 1.0}), {0.0, 0.0, 1.0});
+}
+
+TEST(Quaternion, AxisAngleMatchesYawForZAxis) {
+  const Quaternion a = Quaternion::from_axis_angle({0.0, 0.0, 2.0}, 0.7);
+  const Quaternion b = Quaternion::from_yaw(0.7);
+  expect_vec_near(a.rotate({1.0, 0.0, 0.0}), b.rotate({1.0, 0.0, 0.0}));
+}
+
+TEST(Quaternion, RotateInverseUndoesRotate) {
+  const Quaternion q = Quaternion::from_axis_angle({1.0, 2.0, 3.0}, 1.234);
+  const Vec3 v{0.3, -0.7, 1.1};
+  expect_vec_near(q.rotate_inverse(q.rotate(v)), v, 1e-12);
+  expect_vec_near(q.rotate(q.rotate_inverse(v)), v, 1e-12);
+}
+
+TEST(Quaternion, CompositionOrder) {
+  // rotate(a*b, v) == rotate(a, rotate(b, v)).
+  const Quaternion a = Quaternion::from_yaw(0.4);
+  const Quaternion b = Quaternion::from_axis_angle({1.0, 0.0, 0.0}, 0.9);
+  const Vec3 v{0.2, 0.5, -0.3};
+  expect_vec_near((a * b).rotate(v), a.rotate(b.rotate(v)), 1e-12);
+}
+
+TEST(Quaternion, RotationPreservesNormAndAngles) {
+  const Quaternion q = Quaternion::from_axis_angle({0.5, -1.0, 2.0}, 2.1);
+  const Vec3 u{1.0, 2.0, 3.0};
+  const Vec3 w{-2.0, 0.5, 1.0};
+  EXPECT_NEAR(q.rotate(u).norm(), u.norm(), 1e-12);
+  EXPECT_NEAR(q.rotate(u).dot(q.rotate(w)), u.dot(w), 1e-12);
+}
+
+TEST(Quaternion, YawAccessorRecoverAngle) {
+  for (const double yaw : {-2.5, -1.0, 0.0, 0.3, 1.7, 3.0}) {
+    EXPECT_NEAR(Quaternion::from_yaw(yaw).yaw(), wrap_pi(yaw), 1e-12);
+  }
+}
+
+TEST(Quaternion, NormalizedHasUnitNorm) {
+  const Quaternion q{2.0, 1.0, -1.0, 0.5};
+  EXPECT_NEAR(q.normalized().norm(), 1.0, 1e-12);
+}
+
+TEST(Quaternion, ZeroQuaternionNormalizesToIdentity) {
+  const Quaternion q{0.0, 0.0, 0.0, 0.0};
+  const Quaternion n = q.normalized();
+  EXPECT_DOUBLE_EQ(n.w, 1.0);
+  EXPECT_DOUBLE_EQ(n.x, 0.0);
+}
+
+/// Property: composing N incremental yaws equals one total yaw.
+class YawComposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(YawComposition, IncrementalEqualsTotal) {
+  const int steps = GetParam();
+  const double total = 1.9;
+  Quaternion q = Quaternion::identity();
+  for (int i = 0; i < steps; ++i) {
+    q = Quaternion::from_yaw(total / steps) * q;
+  }
+  const Vec3 v{1.0, 0.0, 0.0};
+  expect_vec_near(q.rotate(v), Quaternion::from_yaw(total).rotate(v), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, YawComposition, ::testing::Values(2, 7, 36, 360));
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,188 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace st {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats left;
+  RunningStats right;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i % 2 == 0 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2U);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(SampleSet, PercentilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(95.0), 95.05, 1e-9);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 12.5);
+}
+
+TEST(SampleSet, PercentileOnEmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW((void)s.percentile(50.0), std::logic_error);
+}
+
+TEST(SampleSet, PercentileClampsOutOfRangeP) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(150.0), 2.0);
+}
+
+TEST(SampleSet, AddAfterPercentileInvalidatesCache) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleSet, AddAllAndSummary) {
+  SampleSet s;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  s.add_all(xs);
+  EXPECT_EQ(s.count(), 4U);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944487358056, 1e-12);
+}
+
+TEST(SuccessRate, RateAndCounts) {
+  SuccessRate r;
+  r.record(true);
+  r.record(true);
+  r.record(false);
+  r.record(true);
+  EXPECT_EQ(r.trials(), 4U);
+  EXPECT_EQ(r.successes(), 3U);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.75);
+}
+
+TEST(SuccessRate, WilsonIntervalContainsRate) {
+  SuccessRate r;
+  for (int i = 0; i < 80; ++i) {
+    r.record(i % 4 != 0);  // 75%
+  }
+  const auto [lo, hi] = r.wilson95();
+  EXPECT_LT(lo, 0.75);
+  EXPECT_GT(hi, 0.75);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+}
+
+TEST(SuccessRate, WilsonHandlesExtremes) {
+  SuccessRate all;
+  for (int i = 0; i < 20; ++i) {
+    all.record(true);
+  }
+  const auto [lo, hi] = all.wilson95();
+  EXPECT_LT(lo, 1.0);  // never certain from finite trials
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+
+  SuccessRate none;
+  EXPECT_EQ(none.wilson95().first, 0.0);
+  EXPECT_EQ(none.wilson95().second, 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-5.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 4
+  EXPECT_EQ(h.total(), 5U);
+  EXPECT_EQ(h.count_in_bin(0), 2U);
+  EXPECT_EQ(h.count_in_bin(1), 1U);
+  EXPECT_EQ(h.count_in_bin(4), 2U);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(2), 4.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(9.0, 5.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,50 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st {
+namespace {
+
+TEST(Units, DbLinearRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_db(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(to_db(100.0), 20.0);
+  EXPECT_NEAR(from_db(3.0), 1.9952623149688795, 1e-12);
+  for (const double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 20.0}) {
+    EXPECT_NEAR(to_db(from_db(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, DbmWattRoundTrip) {
+  EXPECT_DOUBLE_EQ(watt_to_dbm(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(watt_to_dbm(0.001), 0.0);
+  EXPECT_NEAR(dbm_to_watt(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(watt_to_dbm(0.02)), 0.02, 1e-12);
+}
+
+TEST(Units, Wavelength60GHz) {
+  // 60 GHz -> ~5 mm, the design point of the whole system.
+  EXPECT_NEAR(wavelength(60e9), 4.9965e-3, 1e-6);
+  EXPECT_NEAR(wavelength(kDefaultCarrierHz), 4.957e-3, 1e-5);
+}
+
+TEST(Units, MphToMps) {
+  // The paper's vehicular speed: 20 mph = 8.9408 m/s.
+  EXPECT_NEAR(mph_to_mps(20.0), 8.9408, 1e-9);
+  EXPECT_DOUBLE_EQ(mph_to_mps(0.0), 0.0);
+}
+
+TEST(Units, ThermalNoiseReferenceValues) {
+  // kTB at 290 K: -174 dBm/Hz, -114 dBm/MHz, ~-81.5 dBm over 1.76 GHz.
+  EXPECT_NEAR(thermal_noise_dbm(1.0), -173.98, 0.01);
+  EXPECT_NEAR(thermal_noise_dbm(1e6), -113.98, 0.01);
+  EXPECT_NEAR(thermal_noise_dbm(kDefaultBandwidthHz), -81.52, 0.05);
+}
+
+TEST(Units, NoiseScalesWithBandwidth) {
+  const double n1 = thermal_noise_dbm(1e6);
+  const double n2 = thermal_noise_dbm(2e6);
+  EXPECT_NEAR(n2 - n1, 3.0103, 1e-3);  // doubling bandwidth = +3 dB
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,74 @@
+#include "common/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.hpp"
+
+namespace st {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, -3.0, 9.0}));
+  EXPECT_EQ(a - b, (Vec3{-3.0, 7.0, -3.0}));
+  EXPECT_EQ(2.0 * a, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(a * 2.0, 2.0 * a);
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1.0, 1.5}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(v, (Vec3{2.0, 3.0, 4.0}));
+  v -= Vec3{2.0, 3.0, 4.0};
+  EXPECT_EQ(v, (Vec3{0.0, 0.0, 0.0}));
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_EQ(x.cross(y), (Vec3{0.0, 0.0, 1.0}));
+  EXPECT_EQ(y.cross(x), (Vec3{0.0, 0.0, -1.0}));
+  EXPECT_DOUBLE_EQ((Vec3{3.0, 4.0, 0.0}.dot(Vec3{3.0, 4.0, 0.0})), 25.0);
+}
+
+TEST(Vec3, NormAndNormalized) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  const Vec3 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+}
+
+TEST(Vec3, ZeroVectorNormalizesToUnitXNotNaN) {
+  const Vec3 u = Vec3{}.normalized();
+  EXPECT_EQ(u, (Vec3{1.0, 0.0, 0.0}));
+}
+
+TEST(Vec3, AzimuthElevation) {
+  EXPECT_DOUBLE_EQ((Vec3{1.0, 0.0, 0.0}.azimuth()), 0.0);
+  EXPECT_NEAR((Vec3{0.0, 1.0, 0.0}.azimuth()), kPi / 2.0, 1e-12);
+  EXPECT_NEAR((Vec3{-1.0, 0.0, 0.0}.azimuth()), kPi, 1e-12);
+  EXPECT_NEAR((Vec3{1.0, 0.0, 1.0}.elevation()), kPi / 4.0, 1e-12);
+  EXPECT_NEAR((Vec3{1.0, 0.0, -1.0}.elevation()), -kPi / 4.0, 1e-12);
+}
+
+TEST(Vec3, DirectionFromAnglesRoundTrip) {
+  const double az = deg_to_rad(37.0);
+  const double el = deg_to_rad(-12.0);
+  const Vec3 d = direction_from_angles(az, el);
+  EXPECT_NEAR(d.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(d.azimuth(), az, 1e-12);
+  EXPECT_NEAR(d.elevation(), el, 1e-12);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec3{0.0, 0.0, 0.0}, Vec3{3.0, 4.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Vec3{1.0, 1.0, 1.0}, Vec3{1.0, 1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace st

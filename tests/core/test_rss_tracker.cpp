@@ -1,0 +1,152 @@
+#include "core/rss_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::core {
+namespace {
+
+RssTrackerConfig unfiltered() {
+  RssTrackerConfig c;
+  c.drop_threshold_db = 3.0;
+  c.ewma_alpha = 1.0;  // no smoothing: sample == filtered
+  return c;
+}
+
+TEST(RssTracker, StartsWithoutBeam) {
+  const RssTracker t(unfiltered());
+  EXPECT_FALSE(t.has_beam());
+  EXPECT_FALSE(t.drop_detected());
+  EXPECT_DOUBLE_EQ(t.drop_db(), 0.0);
+}
+
+TEST(RssTracker, SamplesBeforeSelectionIgnored) {
+  RssTracker t(unfiltered());
+  t.add_sample(-60.0);
+  EXPECT_FALSE(t.has_beam());
+  EXPECT_FALSE(t.drop_detected());
+}
+
+TEST(RssTracker, SelectSeedsFilterAndReference) {
+  RssTracker t(unfiltered());
+  t.select_beam(4, -62.0);
+  EXPECT_TRUE(t.has_beam());
+  EXPECT_EQ(t.beam(), 4U);
+  EXPECT_DOUBLE_EQ(t.filtered_rss_dbm(), -62.0);
+  EXPECT_DOUBLE_EQ(t.reference_rss_dbm(), -62.0);
+}
+
+TEST(RssTracker, ExactThreeDbDropFires) {
+  RssTracker t(unfiltered());
+  t.select_beam(0, -60.0);
+  t.add_sample(-62.9);
+  EXPECT_FALSE(t.drop_detected());
+  t.add_sample(-63.0);
+  EXPECT_TRUE(t.drop_detected());
+  EXPECT_DOUBLE_EQ(t.drop_db(), 3.0);
+}
+
+TEST(RssTracker, PeakHoldReferenceRises) {
+  RssTracker t(unfiltered());
+  t.select_beam(0, -60.0);
+  t.add_sample(-55.0);  // link improves: new baseline
+  EXPECT_DOUBLE_EQ(t.reference_rss_dbm(), -55.0);
+  t.add_sample(-57.5);
+  EXPECT_FALSE(t.drop_detected());  // only 2.5 dB below the peak
+  t.add_sample(-58.1);
+  EXPECT_TRUE(t.drop_detected());
+}
+
+TEST(RssTracker, ReferenceNeverFalls) {
+  RssTracker t(unfiltered());
+  t.select_beam(0, -60.0);
+  for (double rss = -61.0; rss > -80.0; rss -= 1.0) {
+    t.add_sample(rss);
+    EXPECT_DOUBLE_EQ(t.reference_rss_dbm(), -60.0);
+  }
+  EXPECT_TRUE(t.drop_detected());
+  EXPECT_NEAR(t.drop_db(), 19.0, 1e-9);
+}
+
+TEST(RssTracker, ReselectionResetsReference) {
+  RssTracker t(unfiltered());
+  t.select_beam(0, -60.0);
+  t.add_sample(-70.0);
+  EXPECT_TRUE(t.drop_detected());
+  t.select_beam(1, -68.0);  // switched to an adjacent beam
+  EXPECT_FALSE(t.drop_detected());
+  EXPECT_EQ(t.beam(), 1U);
+  EXPECT_DOUBLE_EQ(t.reference_rss_dbm(), -68.0);
+}
+
+TEST(RssTracker, EwmaSmoothsSpikes) {
+  RssTrackerConfig c;
+  c.ewma_alpha = 0.3;
+  RssTracker t(c);
+  t.select_beam(0, -60.0);
+  // One noisy -69 sample pulls the filter down only 2.7 dB: no trigger.
+  t.add_sample(-69.0);
+  EXPECT_NEAR(t.filtered_rss_dbm(), -62.7, 1e-9);
+  EXPECT_FALSE(t.drop_detected());
+}
+
+TEST(RssTracker, EwmaConvergesToSustainedLevel) {
+  RssTrackerConfig c;
+  c.ewma_alpha = 0.5;
+  RssTracker t(c);
+  t.select_beam(0, -60.0);
+  for (int i = 0; i < 30; ++i) {
+    t.add_sample(-66.0);
+  }
+  EXPECT_NEAR(t.filtered_rss_dbm(), -66.0, 0.01);
+  EXPECT_TRUE(t.drop_detected());
+}
+
+TEST(RssTracker, ThresholdConfigurable) {
+  RssTrackerConfig c = unfiltered();
+  c.drop_threshold_db = 6.0;
+  RssTracker t(c);
+  t.select_beam(0, -60.0);
+  t.add_sample(-65.0);
+  EXPECT_FALSE(t.drop_detected());
+  t.add_sample(-66.0);
+  EXPECT_TRUE(t.drop_detected());
+}
+
+TEST(RssTracker, InvalidConfigThrows) {
+  RssTrackerConfig bad;
+  bad.drop_threshold_db = 0.0;
+  EXPECT_THROW(RssTracker{bad}, std::invalid_argument);
+  bad = RssTrackerConfig{};
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(RssTracker{bad}, std::invalid_argument);
+  bad = RssTrackerConfig{};
+  bad.ewma_alpha = 1.5;
+  EXPECT_THROW(RssTracker{bad}, std::invalid_argument);
+}
+
+TEST(RssTracker, InvalidBeamSelectionThrows) {
+  RssTracker t(unfiltered());
+  EXPECT_THROW(t.select_beam(phy::kInvalidBeam, -60.0), std::invalid_argument);
+}
+
+/// Property sweep: for any threshold, drop fires exactly when
+/// reference - filtered >= threshold.
+class ThresholdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdProperty, FiresExactlyAtThreshold) {
+  RssTrackerConfig c = unfiltered();
+  c.drop_threshold_db = GetParam();
+  RssTracker t(c);
+  t.select_beam(0, -50.0);
+  for (double drop = 0.5; drop < 12.0; drop += 0.5) {
+    t.add_sample(-50.0 - drop);
+    EXPECT_EQ(t.drop_detected(), drop >= GetParam())
+        << "drop=" << drop << " threshold=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdProperty,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0, 8.0, 10.0));
+
+}  // namespace
+}  // namespace st::core

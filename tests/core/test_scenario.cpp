@@ -1,0 +1,216 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::core {
+namespace {
+
+using namespace st::sim::literals;
+
+ScenarioConfig quick_config() {
+  ScenarioConfig c;
+  c.duration = 10'000_ms;
+  c.seed = 7;
+  return c;
+}
+
+TEST(Scenario, CodebookFactory) {
+  EXPECT_EQ(make_ue_codebook(20.0).size(), 18U);
+  EXPECT_EQ(make_ue_codebook(60.0).size(), 6U);
+  EXPECT_TRUE(make_ue_codebook(0.0).is_omni());
+  EXPECT_TRUE(make_ue_codebook(-1.0).is_omni());
+}
+
+TEST(Scenario, MobilityFactoryMatchesScenario) {
+  ScenarioConfig c = quick_config();
+  const net::Deployment d = net::make_cell_row(c.deployment, 2);
+
+  c.mobility = MobilityScenario::kHumanWalk;
+  EXPECT_NEAR(make_mobility(c, d)->speed_at(sim::Time::zero()), 1.4, 1e-9);
+
+  c.mobility = MobilityScenario::kRotation;
+  EXPECT_DOUBLE_EQ(make_mobility(c, d)->speed_at(sim::Time::zero()), 0.0);
+
+  c.mobility = MobilityScenario::kVehicular;
+  EXPECT_NEAR(make_mobility(c, d)->speed_at(sim::Time::zero()), 8.9408, 1e-4);
+}
+
+TEST(Scenario, RunProducesMetrics) {
+  const ScenarioResult r = run_scenario(quick_config());
+  EXPECT_FALSE(r.serving_snr_db.empty());
+  EXPECT_FALSE(r.log.entries().empty());
+  // Tracking metrics appear once a neighbour was found.
+  EXPECT_FALSE(r.alignment_gap_db.empty());
+  EXPECT_EQ(r.alignment_gap_db.size(), r.neighbour_tracked_rss_dbm.size());
+  EXPECT_EQ(r.alignment_gap_db.size(), r.neighbour_best_rss_dbm.size());
+}
+
+TEST(Scenario, AlignmentGapIsBestMinusTracked) {
+  const ScenarioResult r = run_scenario(quick_config());
+  const auto gaps = r.alignment_gap_db.points();
+  const auto best = r.neighbour_best_rss_dbm.points();
+  const auto tracked = r.neighbour_tracked_rss_dbm.points();
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    EXPECT_NEAR(gaps[i].value, best[i].value - tracked[i].value, 1e-9);
+    EXPECT_GE(gaps[i].value, -1e-9);  // best is best
+  }
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  const ScenarioResult a = run_scenario(quick_config());
+  const ScenarioResult b = run_scenario(quick_config());
+  ASSERT_EQ(a.handovers.size(), b.handovers.size());
+  for (std::size_t i = 0; i < a.handovers.size(); ++i) {
+    EXPECT_EQ(a.handovers[i].completed.ns(), b.handovers[i].completed.ns());
+    EXPECT_EQ(a.handovers[i].final_rx_beam, b.handovers[i].final_rx_beam);
+  }
+  ASSERT_EQ(a.log.entries().size(), b.log.entries().size());
+  EXPECT_EQ(a.counters.all(), b.counters.all());
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  ScenarioConfig c1 = quick_config();
+  ScenarioConfig c2 = quick_config();
+  c2.seed = 8;
+  const ScenarioResult a = run_scenario(c1);
+  const ScenarioResult b = run_scenario(c2);
+  // Some observable must differ (channel realisation changed).
+  const bool same_handovers =
+      a.handovers.size() == b.handovers.size() &&
+      (a.handovers.empty() ||
+       a.handovers[0].completed.ns() == b.handovers[0].completed.ns());
+  const bool same_logs = a.log.entries().size() == b.log.entries().size();
+  EXPECT_FALSE(same_handovers && same_logs);
+}
+
+TEST(Scenario, ReactiveProtocolRuns) {
+  ScenarioConfig c = quick_config();
+  c.protocol = ProtocolKind::kReactive;
+  c.duration = 15'000_ms;
+  const ScenarioResult r = run_scenario(c);
+  EXPECT_FALSE(r.serving_snr_db.empty());
+  // Reactive never tracks a neighbour.
+  EXPECT_TRUE(r.alignment_gap_db.empty());
+  for (const auto& h : r.handovers) {
+    EXPECT_EQ(h.type, net::HandoverType::kHard);
+  }
+}
+
+TEST(Scenario, SummariesCountCorrectly) {
+  ScenarioResult r;
+  net::HandoverRecord soft;
+  soft.type = net::HandoverType::kSoft;
+  soft.success = true;
+  soft.beam_aligned_at_completion = true;
+  net::HandoverRecord hard;
+  hard.type = net::HandoverType::kHard;
+  hard.success = true;
+  hard.beam_aligned_at_completion = false;
+  net::HandoverRecord failed;
+  failed.type = net::HandoverType::kHard;
+  failed.success = false;
+  r.handovers = {soft, hard, failed};
+  EXPECT_EQ(r.soft_handovers(), 1U);
+  EXPECT_EQ(r.hard_handovers(), 2U);
+  EXPECT_EQ(r.successful_handovers(), 2U);
+  EXPECT_FALSE(r.all_handovers_aligned());
+  r.handovers = {soft, failed};
+  EXPECT_TRUE(r.all_handovers_aligned());
+}
+
+TEST(Scenario, NamesForDisplay) {
+  EXPECT_EQ(to_string(MobilityScenario::kHumanWalk), "human_walk");
+  EXPECT_EQ(to_string(MobilityScenario::kRotation), "rotation");
+  EXPECT_EQ(to_string(MobilityScenario::kVehicular), "vehicular");
+  EXPECT_EQ(to_string(ProtocolKind::kSilentTracker), "silent_tracker");
+  EXPECT_EQ(to_string(ProtocolKind::kReactive), "reactive");
+}
+
+TEST(Scenario, MeasurementBudgetIsCounted) {
+  const ScenarioResult r = run_scenario(quick_config());
+  // A 10 s run with 20 ms bursts makes hundreds of SSB observations at
+  // minimum (serving maintenance alone samples every burst).
+  EXPECT_GT(r.ssb_observations, 300U);
+  // And reactive — which never measures neighbours — spends less.
+  ScenarioConfig reactive = quick_config();
+  reactive.protocol = ProtocolKind::kReactive;
+  const ScenarioResult rr = run_scenario(reactive);
+  EXPECT_LT(rr.ssb_observations, r.ssb_observations);
+}
+
+TEST(Scenario, UlaCodebookFlagChangesCodebook) {
+  EXPECT_EQ(make_ue_codebook(20.0, false).size(), 18U);
+  // The physical array that meets 20 deg has its own (narrower) achieved
+  // beamwidth and hence its own beam count.
+  const phy::Codebook ula = make_ue_codebook(20.0, true);
+  EXPECT_NE(ula.size(), 18U);
+  EXPECT_TRUE(make_ue_codebook(0.0, true).is_omni());
+
+  ScenarioConfig c = quick_config();
+  c.ue_ula_codebook = true;
+  const ScenarioResult r = run_scenario(c);
+  EXPECT_FALSE(r.log.entries().empty());
+}
+
+TEST(Scenario, AlignmentUntilFirstHandoverStopsAtCompletion) {
+  ScenarioResult r;
+  net::HandoverRecord h;
+  h.success = true;
+  h.completed = sim::Time::zero() + 1000_ms;
+  r.handovers.push_back(h);
+  // Aligned before the handover, catastrophic after: the paper metric
+  // must only see the former.
+  for (int ms = 0; ms <= 900; ms += 100) {
+    r.alignment_gap_db.record(
+        sim::Time::zero() + sim::Duration::milliseconds(ms), 1.0);
+  }
+  for (int ms = 1100; ms <= 2000; ms += 100) {
+    r.alignment_gap_db.record(
+        sim::Time::zero() + sim::Duration::milliseconds(ms), 20.0);
+  }
+  EXPECT_DOUBLE_EQ(r.alignment_until_first_handover(), 1.0);
+  EXPECT_LT(r.tracking_alignment_fraction(), 0.6);
+}
+
+TEST(Scenario, AlignmentUntilFirstHandoverFallsBackWithoutHandover) {
+  ScenarioResult r;
+  r.alignment_gap_db.record(sim::Time::zero(), 1.0);
+  r.alignment_gap_db.record(sim::Time::zero() + 100_ms, 10.0);
+  EXPECT_DOUBLE_EQ(r.alignment_until_first_handover(),
+                   r.tracking_alignment_fraction());
+}
+
+TEST(Scenario, RotationUsesTighterDeployment) {
+  // The rotation scenario runs at rotation_inter_site_m; a custom value
+  // must change the realisation.
+  ScenarioConfig a = quick_config();
+  a.mobility = MobilityScenario::kRotation;
+  ScenarioConfig b = a;
+  b.rotation_inter_site_m = 30.0;
+  const ScenarioResult ra = run_scenario(a);
+  const ScenarioResult rb = run_scenario(b);
+  EXPECT_NE(ra.log.entries().size() + ra.counters.all().size() * 1000,
+            rb.log.entries().size() + rb.counters.all().size() * 1000);
+}
+
+TEST(Scenario, OmniConfigurationRuns) {
+  ScenarioConfig c = quick_config();
+  c.ue_beamwidth_deg = 0.0;
+  const ScenarioResult r = run_scenario(c);
+  EXPECT_FALSE(r.log.entries().empty());
+}
+
+TEST(Scenario, VehicularThreeCellsChainsHandovers) {
+  ScenarioConfig c = quick_config();
+  c.mobility = MobilityScenario::kVehicular;
+  c.n_cells = 3;
+  c.duration = 20'000_ms;
+  c.chain_handovers = true;
+  const ScenarioResult r = run_scenario(c);
+  // Driving past three cells at 20 mph should produce at least one
+  // completed handover.
+  EXPECT_GE(r.successful_handovers(), 1U);
+}
+
+}  // namespace
+}  // namespace st::core

@@ -1,0 +1,334 @@
+// Tests for the tracking dynamics added on top of the paper's plain rules:
+// trend-directional probing, the probe-with-current comparison, beam
+// failure recovery sweeps, missed-SSB escalation, and the
+// reference-preserving beam selection that makes BeamSurfer's rule (ii)
+// fire when mobile-side adaptation genuinely no longer suffices.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/beamsurfer.hpp"
+#include "core/rss_tracker.hpp"
+#include "core/silent_tracker.hpp"
+#include "mobility/rotation.hpp"
+#include "mobility/vehicular.hpp"
+#include "mobility/walk.hpp"
+#include "net/test_helpers.hpp"
+#include "sim/simulator.hpp"
+
+namespace st::core {
+namespace {
+
+using namespace st::sim::literals;
+using sim::Time;
+
+// ---- RssTracker reference preservation -------------------------------------
+
+TEST(RssTrackerReference, ExplicitReferenceKept) {
+  RssTrackerConfig config;
+  config.ewma_alpha = 1.0;
+  RssTracker tracker(config);
+  tracker.select_beam(0, -60.0);
+  tracker.add_sample(-66.0);  // 6 dB below reference
+  EXPECT_TRUE(tracker.drop_detected());
+
+  // Switch beams but keep the old reference: the drop must still show.
+  tracker.select_beam(1, -65.0, tracker.reference_rss_dbm());
+  EXPECT_DOUBLE_EQ(tracker.reference_rss_dbm(), -60.0);
+  EXPECT_TRUE(tracker.drop_detected());  // still 5 dB below -60
+
+  // Plain selection resets the reference.
+  tracker.select_beam(2, -65.0);
+  EXPECT_FALSE(tracker.drop_detected());
+}
+
+TEST(RssTrackerReference, ReferenceNeverBelowRss) {
+  RssTracker tracker(RssTrackerConfig{});
+  tracker.select_beam(0, -55.0, -70.0);  // reference below rss: clamped up
+  EXPECT_DOUBLE_EQ(tracker.reference_rss_dbm(), -55.0);
+}
+
+// ---- BeamSurfer rule (ii) escalation ---------------------------------------
+
+/// Rotating fast at close range: receive switches always suffice and the
+/// base-station beam must never move (pure rotation does not change the
+/// departure angle).
+TEST(BeamSurferDynamics, RotationNeverEscalatesToBsSwitch) {
+  mobility::RotationConfig rot;
+  rot.position = {5.0, 10.0, 0.0};
+  rot.rate_rad_per_s = deg_to_rad(120.0);
+  sim::Simulator sim;
+  auto env = test::make_two_cell_env(
+      std::make_shared<mobility::DeviceRotation>(rot));
+  const auto best = env.ground_truth_best_pair(0, Time::zero());
+  env.bs_mutable(0).set_serving_tx_beam(best.tx_beam);
+  BeamSurfer surfer(sim, env, 0, BeamSurferConfig{});
+  sim::EventLog log;
+  sim::CounterSet counters;
+  surfer.set_recorders(&log, &counters);
+  surfer.start(best.rx_beam, best.rx_power_dbm);
+  sim.run_until(Time::zero() + 10'000_ms);
+  EXPECT_EQ(counters.value("bs_switches"), 0U);
+  EXPECT_GT(counters.value("serving_rx_switches"), 10U);
+}
+
+/// Walking an arc around the base station changes the departure angle:
+/// rule (ii) must fire and move the serving TX beam towards ground truth.
+TEST(BeamSurferDynamics, ArcWalkMovesBsBeamTowardsTruth) {
+  mobility::WalkConfig walk;
+  walk.start = {18.0, 4.0, 0.0};
+  walk.heading_rad = deg_to_rad(125.0);
+  walk.speed_mps = 3.0;
+  walk.sway_amplitude_m = 0.0;
+  walk.yaw_jitter_stddev_rad = 0.0;
+  sim::Simulator sim;
+  auto env = test::make_two_cell_env(
+      std::make_shared<mobility::LinearWalk>(walk, 30_s, 3));
+  const auto best = env.ground_truth_best_pair(0, Time::zero());
+  env.bs_mutable(0).set_serving_tx_beam(best.tx_beam);
+  BeamSurfer surfer(sim, env, 0, BeamSurferConfig{});
+  sim::CounterSet counters;
+  surfer.set_recorders(nullptr, &counters);
+  surfer.start(best.rx_beam, best.rx_power_dbm);
+  sim.run_until(Time::zero() + 6000_ms);
+
+  EXPECT_GT(counters.value("bs_switches"), 0U);
+  const auto truth = env.ground_truth_best_pair(0, sim.now());
+  const auto serving = env.bs(0).serving_tx_beam();
+  const auto n = static_cast<phy::BeamId>(env.bs(0).codebook().size());
+  const auto diff = (serving + n - truth.tx_beam) % n;
+  EXPECT_TRUE(diff == 0 || diff == 1 || diff == n - 1)
+      << "serving=" << serving << " truth=" << truth.tx_beam;
+}
+
+/// Rule (ii) is a communication attempt: when the uplink is dead, the
+/// attempts fail and the unreachable callback fires even though the RSS
+/// filter is pinned at the noise floor (the missed-SSB escalation).
+TEST(BeamSurferDynamics, MissedSsbEscalationReachesUnreachable) {
+  mobility::WalkConfig walk;
+  walk.start = {5.0, 10.0, 0.0};
+  walk.heading_rad = deg_to_rad(180.0);
+  walk.speed_mps = 30.0;
+  walk.sway_amplitude_m = 0.0;
+  walk.yaw_jitter_stddev_rad = 0.0;
+  sim::Simulator sim;
+  auto env = test::make_two_cell_env(
+      std::make_shared<mobility::LinearWalk>(walk, 30_s, 4));
+  const auto best = env.ground_truth_best_pair(0, Time::zero());
+  env.bs_mutable(0).set_serving_tx_beam(best.tx_beam);
+  BeamSurferConfig config;
+  config.max_request_attempts = 2;
+  BeamSurfer surfer(sim, env, 0, config);
+  bool unreachable = false;
+  Time when{};
+  surfer.set_unreachable_callback([&] {
+    if (!unreachable) {
+      when = sim.now();
+    }
+    unreachable = true;
+  });
+  surfer.start(best.rx_beam, best.rx_power_dbm);
+  sim.run_until(Time::zero() + 20'000_ms);
+  ASSERT_TRUE(unreachable);
+  // At 30 m/s the link dies within a couple of seconds; detection must
+  // not take the whole run.
+  EXPECT_LT(when, Time::zero() + 5000_ms);
+}
+
+// ---- Silent tracker recovery sweep -----------------------------------------
+
+struct RotationTrackerWorld {
+  explicit RotationTrackerWorld(double rate_deg_s, Vec3 position,
+                                std::uint64_t seed = 1)
+      : env(test::make_two_cell_env(make_rotation(rate_deg_s, position), 20.0,
+                                    seed)) {}
+
+  static std::shared_ptr<const mobility::MobilityModel> make_rotation(
+      double rate_deg_s, Vec3 position) {
+    mobility::RotationConfig rot;
+    rot.position = position;
+    rot.rate_rad_per_s = deg_to_rad(rate_deg_s);
+    return std::make_shared<mobility::DeviceRotation>(rot);
+  }
+
+  void start() {
+    const auto best = env.ground_truth_best_pair(0, Time::zero());
+    env.bs_mutable(0).set_serving_tx_beam(best.tx_beam);
+    tracker = std::make_unique<SilentTracker>(sim, env, SilentTrackerConfig{});
+    tracker->set_recorders(&log, &counters);
+    tracker->start(0, best.rx_beam, best.rx_power_dbm,
+                   [this](const net::HandoverRecord& r) { record = r; });
+  }
+
+  sim::Simulator sim;
+  net::RadioEnvironment env;
+  sim::EventLog log;
+  sim::CounterSet counters;
+  std::unique_ptr<SilentTracker> tracker;
+  std::optional<net::HandoverRecord> record;
+};
+
+TEST(SilentTrackerDynamics, SlowRotationTracksWithoutRecoverySweeps) {
+  // 30 deg/s at a strong-neighbour position: plain adjacent stepping must
+  // suffice; the recovery sweep is for genuine beam loss only.
+  RotationTrackerWorld world(30.0, {20.0, 10.0, 0.0});
+  world.start();
+  world.sim.run_until(Time::zero() + 10'000_ms);
+  EXPECT_GT(world.counters.value("neighbour_rx_switches"), 3U);
+  EXPECT_EQ(world.counters.value("neighbour_recovery_sweeps"), 0U);
+}
+
+TEST(SilentTrackerDynamics, RecoverySweepReacquiresAfterBeamLoss) {
+  // 360 deg/s is far beyond adjacent stepping (one beam per probe round):
+  // the tracker must lose the beam and the recovery sweep must reacquire
+  // it — tracking keeps functioning instead of dying permanently.
+  RotationTrackerWorld world(360.0, {20.0, 10.0, 0.0});
+  world.start();
+  world.sim.run_until(Time::zero() + 15'000_ms);
+  EXPECT_GT(world.counters.value("neighbour_recovery_sweeps"), 0U);
+  // Reacquisitions show up as receive switches (often with large index
+  // jumps) *after* sweeps: the tracker keeps functioning rather than
+  // parking at the noise floor. (At 360 deg/s the handover itself may
+  // still fail — random access cannot outrun that spin — which is a
+  // legitimate outcome; the property under test is reacquisition.)
+  EXPECT_GT(world.counters.value("neighbour_rx_switches"), 3U);
+}
+
+TEST(SilentTrackerDynamics, TrendProbingFollowsSteadyRotation) {
+  // At 120 deg/s the tracked beam must step consistently in one direction
+  // (index sequence is monotone modulo the codebook) — the trend
+  // optimisation at work.
+  RotationTrackerWorld world(120.0, {20.0, 10.0, 0.0});
+  world.start();
+  std::vector<phy::BeamId> beams;
+  world.sim.schedule_periodic(Time::zero(), 50_ms, [&] {
+    if (world.tracker->state() == SilentTrackerState::kTracking) {
+      if (beams.empty() || beams.back() != world.tracker->neighbour_rx_beam()) {
+        beams.push_back(world.tracker->neighbour_rx_beam());
+      }
+    }
+  });
+  world.sim.run_until(Time::zero() + 6000_ms);
+  ASSERT_GT(beams.size(), 8U);
+  // Count steps by direction (+1 is "right" in codebook order; rotation
+  // direction maps to a consistent sign).
+  int plus = 0;
+  int minus = 0;
+  const auto n = static_cast<phy::BeamId>(world.env.ue_codebook().size());
+  for (std::size_t i = 1; i < beams.size(); ++i) {
+    const auto step = (beams[i] + n - beams[i - 1]) % n;
+    if (step == 1) {
+      ++plus;
+    } else if (step == n - 1) {
+      ++minus;
+    }
+  }
+  EXPECT_GT(std::max(plus, minus), 3 * std::min(plus, minus))
+      << "+1 steps: " << plus << ", -1 steps: " << minus;
+}
+
+TEST(SilentTrackerDynamics, ApproachBlindSpotBoundedByRecovery) {
+  // Walking toward the neighbour, the 3 dB *drop* rule fires late (RSS on
+  // the stale beam keeps rising). The gap may grow for a while but the
+  // system must converge back to alignment (drop eventually fires).
+  mobility::WalkConfig walk;
+  walk.start = {10.0, 10.0, 0.0};
+  walk.heading_rad = 0.0;
+  walk.speed_mps = 3.0;
+  walk.sway_amplitude_m = 0.0;
+  walk.yaw_jitter_stddev_rad = 0.0;
+  sim::Simulator sim;
+  auto env = test::make_two_cell_env(
+      std::make_shared<mobility::LinearWalk>(walk, 60_s, 9));
+  const auto best = env.ground_truth_best_pair(0, Time::zero());
+  env.bs_mutable(0).set_serving_tx_beam(best.tx_beam);
+  SilentTracker tracker(sim, env, SilentTrackerConfig{});
+  std::optional<net::HandoverRecord> record;
+  tracker.start(0, best.rx_beam, best.rx_power_dbm,
+                [&](const net::HandoverRecord& r) { record = r; });
+
+  double worst_gap = 0.0;
+  sim.schedule_periodic(Time::zero(), 100_ms, [&] {
+    if (tracker.state() != SilentTrackerState::kTracking) {
+      return;
+    }
+    const auto cell = tracker.neighbour_cell();
+    const auto tx = tracker.neighbour_tx_beam();
+    const auto gt = env.ground_truth_best_rx(cell, tx, sim.now());
+    const double got =
+        env.true_dl_snr_db(cell, tx, tracker.neighbour_rx_beam(), sim.now()) +
+        env.link_budget().noise_floor_dbm();
+    worst_gap = std::max(worst_gap, gt.rx_power_dbm - got);
+  });
+  sim.run_until(Time::zero() + 60'000_ms);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->success);
+  // The blind spot is real but bounded: the drop rule catches up before
+  // the beam is more than ~one beamwidth behind.
+  EXPECT_LT(worst_gap, 12.0);
+}
+
+TEST(SilentTrackerDynamics, AbandonsInaudibleNeighbourAndFindsBetter) {
+  // Three cells; the mobile drives from cell 0 towards cell 2. The first
+  // neighbour it discovers (cell 1) is eventually left behind and goes
+  // quiet; the tracker must abandon it, re-search, and end up tracking /
+  // handing over to a cell ahead instead of riding the dead beam.
+  mobility::VehicularConfig vehicle;
+  vehicle.route = {{-10.0, 10.0, 0.0}, {140.0, 10.0, 0.0}};
+  vehicle.speed_mps = 9.0;
+  vehicle.yaw_wobble_rad = 0.0;
+  auto ue = std::make_shared<mobility::VehicularRoute>(vehicle);
+
+  net::DeploymentConfig dep_config;
+  net::Deployment d = net::make_cell_row(dep_config, 3);
+  sim::Simulator sim;
+  net::RadioEnvironment env(test::clean_environment(2),
+                            std::move(d.base_stations), ue,
+                            phy::Codebook::from_beamwidth_deg(20.0));
+  const auto best = env.ground_truth_best_pair(0, Time::zero());
+  env.bs_mutable(0).set_serving_tx_beam(best.tx_beam);
+
+  // Make abandonment observable within the run.
+  SilentTrackerConfig config;
+  config.neighbour_abandon_after = 1500_ms;
+  SilentTracker tracker(sim, env, config);
+  sim::EventLog log;
+  sim::CounterSet counters;
+  tracker.set_recorders(&log, &counters);
+  std::optional<net::HandoverRecord> record;
+  tracker.start(0, best.rx_beam, best.rx_power_dbm,
+                [&](const net::HandoverRecord& r) { record = r; });
+  sim.run_until(Time::zero() + 16'000_ms);
+
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->success);
+  // The handover target must be a forward cell, not cell 0's ghost.
+  EXPECT_GE(record->to, 1U);
+}
+
+TEST(SilentTrackerDynamics, NoAbandonmentWhileNeighbourAudible) {
+  // A healthy tracked neighbour is never abandoned.
+  mobility::WalkConfig walk;
+  walk.start = {10.0, 10.0, 0.0};
+  walk.heading_rad = 0.0;
+  walk.speed_mps = 1.4;
+  walk.sway_amplitude_m = 0.0;
+  walk.yaw_jitter_stddev_rad = 0.0;
+  sim::Simulator sim;
+  auto env = test::make_two_cell_env(
+      std::make_shared<mobility::LinearWalk>(walk, 60_s, 9));
+  const auto best = env.ground_truth_best_pair(0, Time::zero());
+  env.bs_mutable(0).set_serving_tx_beam(best.tx_beam);
+  SilentTracker tracker(sim, env, SilentTrackerConfig{});
+  sim::CounterSet counters;
+  tracker.set_recorders(nullptr, &counters);
+  std::optional<net::HandoverRecord> record;
+  tracker.start(0, best.rx_beam, best.rx_power_dbm,
+                [&](const net::HandoverRecord& r) { record = r; });
+  sim.run_until(Time::zero() + 20'000_ms);
+  EXPECT_EQ(counters.value("neighbour_abandoned"), 0U);
+  EXPECT_EQ(counters.value("initial_search_hits"), 1U);
+}
+
+}  // namespace
+}  // namespace st::core

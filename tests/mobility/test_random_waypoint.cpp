@@ -1,0 +1,121 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::mobility {
+namespace {
+
+using namespace st::sim::literals;
+using sim::Duration;
+using sim::Time;
+
+RandomWaypointConfig small_area() {
+  RandomWaypointConfig c;
+  c.area_min = {0.0, 0.0, 0.0};
+  c.area_max = {20.0, 15.0, 0.0};
+  c.speed_min_mps = 1.0;
+  c.speed_max_mps = 2.0;
+  c.pause_mean_s = 0.5;
+  return c;
+}
+
+TEST(RandomWaypoint, StaysInsideArea) {
+  const RandomWaypoint m(small_area(), {5.0, 5.0, 0.0}, 120_s, 1);
+  for (double s = 0.0; s < 120.0; s += 0.1) {
+    const Pose p = m.pose_at(Time::zero() + Duration::seconds_of(s));
+    EXPECT_GE(p.position.x, -1e-9);
+    EXPECT_LE(p.position.x, 20.0 + 1e-9);
+    EXPECT_GE(p.position.y, -1e-9);
+    EXPECT_LE(p.position.y, 15.0 + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, StartsAtStart) {
+  const RandomWaypoint m(small_area(), {5.0, 7.0, 0.0}, 60_s, 2);
+  const Pose p = m.pose_at(Time::zero());
+  EXPECT_NEAR(p.position.x, 5.0, 1e-9);
+  EXPECT_NEAR(p.position.y, 7.0, 1e-9);
+}
+
+TEST(RandomWaypoint, DeterministicInSeed) {
+  const RandomWaypoint a(small_area(), {5.0, 5.0, 0.0}, 60_s, 3);
+  const RandomWaypoint b(small_area(), {5.0, 5.0, 0.0}, 60_s, 3);
+  for (double s = 0.0; s < 60.0; s += 0.5) {
+    const Time t = Time::zero() + Duration::seconds_of(s);
+    EXPECT_EQ(a.pose_at(t).position, b.pose_at(t).position);
+  }
+}
+
+TEST(RandomWaypoint, SpeedWithinRangeWhileMoving) {
+  const RandomWaypoint m(small_area(), {5.0, 5.0, 0.0}, 60_s, 4);
+  for (double s = 0.0; s < 60.0; s += 0.05) {
+    const double v = m.speed_at(Time::zero() + Duration::seconds_of(s));
+    EXPECT_TRUE(v == 0.0 || (v >= 1.0 && v <= 2.0));
+  }
+}
+
+TEST(RandomWaypoint, MotionIsContinuous) {
+  const RandomWaypoint m(small_area(), {5.0, 5.0, 0.0}, 60_s, 5);
+  Vec3 last = m.pose_at(Time::zero()).position;
+  for (double s = 0.01; s < 60.0; s += 0.01) {
+    const Vec3 now = m.pose_at(Time::zero() + Duration::seconds_of(s)).position;
+    // Max displacement per 10 ms at 2 m/s is 2 cm.
+    EXPECT_LE(distance(now, last), 0.021);
+    last = now;
+  }
+}
+
+TEST(RandomWaypoint, PausesHoldPosition) {
+  RandomWaypointConfig c = small_area();
+  c.pause_mean_s = 5.0;  // long pauses, easy to catch
+  const RandomWaypoint m(c, {5.0, 5.0, 0.0}, 120_s, 6);
+  bool saw_pause = false;
+  Vec3 last = m.pose_at(Time::zero()).position;
+  for (double s = 0.1; s < 120.0; s += 0.1) {
+    const Vec3 now = m.pose_at(Time::zero() + Duration::seconds_of(s)).position;
+    if (distance(now, last) < 1e-12 &&
+        m.speed_at(Time::zero() + Duration::seconds_of(s)) == 0.0) {
+      saw_pause = true;
+      break;
+    }
+    last = now;
+  }
+  EXPECT_TRUE(saw_pause);
+}
+
+TEST(RandomWaypoint, HeadingPointsAlongLeg) {
+  const RandomWaypoint m(small_area(), {5.0, 5.0, 0.0}, 60_s, 7);
+  // While moving, the pose yaw matches the direction of actual motion.
+  for (double s = 0.2; s < 30.0; s += 1.7) {
+    const Time t = Time::zero() + Duration::seconds_of(s);
+    if (m.speed_at(t) == 0.0) {
+      continue;
+    }
+    const Vec3 before = m.pose_at(t).position;
+    const Vec3 after =
+        m.pose_at(t + Duration::seconds_of(0.01)).position;
+    if (distance(before, after) < 1e-6) {
+      continue;  // leg boundary
+    }
+    const double motion_az = (after - before).azimuth();
+    EXPECT_NEAR(m.pose_at(t).orientation.yaw(), motion_az, 1e-6);
+  }
+}
+
+TEST(RandomWaypoint, InvalidConfigThrows) {
+  RandomWaypointConfig bad = small_area();
+  bad.area_max = bad.area_min;
+  EXPECT_THROW(RandomWaypoint(bad, {0.0, 0.0, 0.0}, 1_s, 1),
+               std::invalid_argument);
+  bad = small_area();
+  bad.speed_min_mps = 0.0;
+  EXPECT_THROW(RandomWaypoint(bad, {0.0, 0.0, 0.0}, 1_s, 1),
+               std::invalid_argument);
+  bad = small_area();
+  bad.speed_max_mps = 0.5;  // < min
+  EXPECT_THROW(RandomWaypoint(bad, {0.0, 0.0, 0.0}, 1_s, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace st::mobility

@@ -1,0 +1,174 @@
+#include "net/cell_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/test_helpers.hpp"
+#include "sim/simulator.hpp"
+
+namespace st::net {
+namespace {
+
+using namespace st::sim::literals;
+using sim::Time;
+
+struct SearchWorld {
+  explicit SearchWorld(Vec3 ue_position, double ue_beamwidth = 20.0,
+                       std::uint64_t seed = 1)
+      : env(test::make_two_cell_env(test::standing_at(ue_position),
+                                    ue_beamwidth, seed)) {}
+
+  sim::Simulator sim;
+  RadioEnvironment env;
+  std::optional<SearchOutcome> outcome;
+
+  void run_search(std::vector<CellId> candidates, CellSearchConfig config = {},
+                  CellSearch::BusyPredicate busy = {}) {
+    CellSearch search(sim, env, std::move(candidates), config, std::move(busy));
+    search.start([this](const SearchOutcome& o) { outcome = o; });
+    sim.run_until(Time::zero() + 5000_ms);
+  }
+};
+
+TEST(CellSearch, FindsStrongNeighbour) {
+  // UE close to cell 1, searching for it: must succeed in one dwell or two.
+  SearchWorld world({55.0, 10.0, 0.0});
+  world.run_search({1});
+  ASSERT_TRUE(world.outcome.has_value());
+  EXPECT_TRUE(world.outcome->found);
+  EXPECT_EQ(world.outcome->cell, 1U);
+  EXPECT_GT(world.outcome->detections, 0U);
+  EXPECT_LE(world.outcome->latency, 1280_ms);
+}
+
+TEST(CellSearch, FoundBeamPairIsReasonable) {
+  SearchWorld world({55.0, 10.0, 0.0});
+  world.run_search({1});
+  ASSERT_TRUE(world.outcome->found);
+  // The reported pair must give a healthy true SNR (it was detected).
+  const double snr = world.env.true_dl_snr_db(
+      1, world.outcome->tx_beam, world.outcome->rx_beam, Time::zero());
+  EXPECT_GT(snr, world.env.link_budget().config().detection_threshold_snr_db);
+}
+
+TEST(CellSearch, ReportsFailureWhenNothingDetectable) {
+  // Omni UE, very far cell: nothing to find inside the budget.
+  SearchWorld world({-250.0, 10.0, 0.0}, /*ue_beamwidth=*/0.0);
+  CellSearchConfig config;
+  config.budget = 200_ms;
+  world.run_search({1}, config);
+  ASSERT_TRUE(world.outcome.has_value());
+  EXPECT_FALSE(world.outcome->found);
+  EXPECT_GE(world.outcome->dwells_used, 1U);
+  EXPECT_LE(world.outcome->latency, 220_ms);
+}
+
+TEST(CellSearch, LatencyQuantisedToDwells) {
+  SearchWorld world({55.0, 10.0, 0.0});
+  world.run_search({1});
+  ASSERT_TRUE(world.outcome->found);
+  const auto dwell_ns = (20_ms).ns();
+  EXPECT_EQ(world.outcome->latency.ns() % dwell_ns, 0);
+  EXPECT_EQ(world.outcome->latency.ns() / dwell_ns,
+            world.outcome->dwells_used);
+}
+
+TEST(CellSearch, StartBeamHintSpeedsDiscovery) {
+  // Starting on the correct beam finds the cell in the first dwell;
+  // starting opposite takes more dwells. The mobile sits far enough out
+  // that receive-sidelobe detections are below the threshold.
+  const Vec3 ue_pos{40.0, 10.0, 0.0};
+  const auto direct_az = [&] {
+    Pose p;
+    p.position = ue_pos;
+    return p.azimuth_to({60.0, 0.0, 0.0});
+  }();
+
+  SearchWorld aligned(ue_pos);
+  const phy::BeamId good =
+      aligned.env.ue_codebook().best_beam_for(direct_az);
+  CellSearchConfig config;
+  config.start_rx_beam = good;
+  aligned.run_search({1}, config);
+  ASSERT_TRUE(aligned.outcome->found);
+  EXPECT_EQ(aligned.outcome->dwells_used, 1U);
+
+  SearchWorld misaligned(ue_pos);
+  config.start_rx_beam =
+      (good + 9) % static_cast<phy::BeamId>(misaligned.env.ue_codebook().size());
+  misaligned.run_search({1}, config);
+  ASSERT_TRUE(misaligned.outcome->found);
+  EXPECT_GT(misaligned.outcome->dwells_used, 1U);
+}
+
+TEST(CellSearch, SearchesMultipleCandidates) {
+  // Standing between the cells: either may be found, and the winner must
+  // be one of the candidates.
+  SearchWorld world({30.0, 10.0, 0.0});
+  world.run_search({0, 1});
+  ASSERT_TRUE(world.outcome->found);
+  EXPECT_TRUE(world.outcome->cell == 0U || world.outcome->cell == 1U);
+}
+
+TEST(CellSearch, BusyPredicateBlocksObservations) {
+  // A predicate that is always busy starves the search completely.
+  SearchWorld world({55.0, 10.0, 0.0});
+  CellSearchConfig config;
+  config.budget = 100_ms;
+  world.run_search({1}, config, [](sim::Time) { return true; });
+  ASSERT_TRUE(world.outcome.has_value());
+  EXPECT_FALSE(world.outcome->found);
+}
+
+TEST(CellSearch, AbortSuppressesCallback) {
+  SearchWorld world({55.0, 10.0, 0.0});
+  CellSearch search(world.sim, world.env, {1}, CellSearchConfig{});
+  bool fired = false;
+  search.start([&](const SearchOutcome&) { fired = true; });
+  EXPECT_TRUE(search.running());
+  search.abort();
+  EXPECT_FALSE(search.running());
+  world.sim.run_until(Time::zero() + 2000_ms);
+  EXPECT_FALSE(fired);
+}
+
+TEST(CellSearch, RestartAfterCompletionWorks) {
+  SearchWorld world({55.0, 10.0, 0.0});
+  CellSearch search(world.sim, world.env, {1}, CellSearchConfig{});
+  int completions = 0;
+  search.start([&](const SearchOutcome&) { ++completions; });
+  world.sim.run_until(Time::zero() + 2000_ms);
+  EXPECT_EQ(completions, 1);
+  search.start([&](const SearchOutcome&) { ++completions; });
+  world.sim.run_until(Time::zero() + 4000_ms);
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(CellSearch, InvalidUsageThrows) {
+  SearchWorld world({55.0, 10.0, 0.0});
+  EXPECT_THROW(CellSearch(world.sim, world.env, {}, CellSearchConfig{}),
+               std::invalid_argument);
+  CellSearchConfig bad;
+  bad.dwell = sim::Duration{};
+  EXPECT_THROW(CellSearch(world.sim, world.env, {1}, bad),
+               std::invalid_argument);
+
+  CellSearch search(world.sim, world.env, {1}, CellSearchConfig{});
+  EXPECT_THROW(search.start(nullptr), std::invalid_argument);
+  search.start([](const SearchOutcome&) {});
+  EXPECT_THROW(search.start([](const SearchOutcome&) {}), std::logic_error);
+}
+
+TEST(CellSearch, BudgetCapsNumberOfDwells) {
+  SearchWorld world({-250.0, 10.0, 0.0});  // hopeless
+  CellSearchConfig config;
+  config.budget = 205_ms;  // room for 10 dwells of 20 ms
+  world.run_search({1}, config);
+  ASSERT_TRUE(world.outcome.has_value());
+  EXPECT_FALSE(world.outcome->found);
+  EXPECT_EQ(world.outcome->dwells_used, 10U);
+}
+
+}  // namespace
+}  // namespace st::net

@@ -1,0 +1,96 @@
+#include "net/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace st::net {
+namespace {
+
+using namespace st::sim::literals;
+using sim::Time;
+
+TEST(Deployment, CellRowGeometry) {
+  DeploymentConfig config;
+  config.inter_site_m = 60.0;
+  const Deployment d = make_cell_row(config, 3);
+  ASSERT_EQ(d.base_stations.size(), 3U);
+  EXPECT_EQ(d.base_stations[0].pose().position.x, 0.0);
+  EXPECT_EQ(d.base_stations[1].pose().position.x, 60.0);
+  EXPECT_EQ(d.base_stations[2].pose().position.x, 120.0);
+  EXPECT_DOUBLE_EQ(d.boundary_x(), 30.0);
+}
+
+TEST(Deployment, CellIdsSequential) {
+  const Deployment d = make_cell_row(DeploymentConfig{}, 3);
+  for (CellId i = 0; i < 3; ++i) {
+    EXPECT_EQ(d.base_stations[i].id(), i);
+  }
+}
+
+TEST(Deployment, SsbBeamsMatchCodebook) {
+  DeploymentConfig config;
+  config.bs_beamwidth_deg = 45.0;  // -> 8 beams
+  const Deployment d = make_cell_row(config, 2);
+  for (const auto& bs : d.base_stations) {
+    EXPECT_EQ(bs.schedule().config().ssb_beams, bs.codebook().size());
+    EXPECT_EQ(bs.codebook().size(), 8U);
+  }
+}
+
+TEST(Deployment, SchedulesAreStaggered) {
+  DeploymentConfig config;
+  config.schedule_stagger = 7_ms;
+  const Deployment d = make_cell_row(config, 3);
+  EXPECT_EQ(d.base_stations[0].schedule().offset(), sim::Duration{});
+  EXPECT_EQ(d.base_stations[1].schedule().offset(), 7_ms);
+  EXPECT_EQ(d.base_stations[2].schedule().offset(), 14_ms);
+}
+
+TEST(Deployment, InvalidConfigThrows) {
+  EXPECT_THROW(make_cell_row(DeploymentConfig{}, 0), std::invalid_argument);
+  DeploymentConfig bad;
+  bad.inter_site_m = 0.0;
+  EXPECT_THROW(make_cell_row(bad, 2), std::invalid_argument);
+  bad = DeploymentConfig{};
+  bad.corridor_offset_m = -1.0;
+  EXPECT_THROW(make_cell_row(bad, 2), std::invalid_argument);
+}
+
+TEST(Trajectories, EdgeWalkCrossesBoundary) {
+  const Deployment d = make_cell_row(DeploymentConfig{}, 2);
+  const auto walk = make_edge_walk(d, 1.4, 30_s, 1);
+  const Pose start = walk->pose_at(Time::zero());
+  EXPECT_LT(start.position.x, d.boundary_x());
+  EXPECT_NEAR(start.position.y, d.config.corridor_offset_m, 0.1);
+  const Pose end = walk->pose_at(Time::zero() + 30_s);
+  EXPECT_GT(end.position.x, d.boundary_x());
+  EXPECT_DOUBLE_EQ(walk->speed_at(Time::zero()), 1.4);
+}
+
+TEST(Trajectories, EdgeRotationSitsInOverlapRegion) {
+  const Deployment d = make_cell_row(DeploymentConfig{}, 2);
+  const auto rot = make_edge_rotation(d, 120.0);
+  const Pose p = rot->pose_at(Time::zero() + 5_s);
+  // On the serving side of the boundary, within the overlap region.
+  EXPECT_LT(p.position.x, d.boundary_x());
+  EXPECT_GT(p.position.x, d.boundary_x() - 15.0);
+  EXPECT_DOUBLE_EQ(p.position.y, d.config.corridor_offset_m);
+  EXPECT_DOUBLE_EQ(rot->speed_at(Time::zero()), 0.0);
+  // Rotates a full turn every 3 s at 120 deg/s.
+  EXPECT_NE(rot->pose_at(Time::zero() + 1_s).orientation.yaw(),
+            rot->pose_at(Time::zero()).orientation.yaw());
+}
+
+TEST(Trajectories, DrivePassesAllCells) {
+  const Deployment d = make_cell_row(DeploymentConfig{}, 3);
+  const auto drive = make_drive(d, mph_to_mps(20.0));
+  const Pose start = drive->pose_at(Time::zero());
+  EXPECT_LT(start.position.x, 0.0);
+  // Drive long enough: passes the last cell.
+  const Pose end = drive->pose_at(Time::zero() + 60_s);
+  EXPECT_GT(end.position.x, d.base_stations.back().pose().position.x);
+}
+
+}  // namespace
+}  // namespace st::net

@@ -1,0 +1,64 @@
+// Shared builders for net/core tests: a compact two-cell world with
+// predictable physics (clean channel unless a test opts into impairments).
+#pragma once
+
+#include <memory>
+
+#include "mobility/model.hpp"
+#include "mobility/walk.hpp"
+#include "net/deployment.hpp"
+#include "net/environment.hpp"
+#include "phy/pathloss.hpp"
+
+namespace st::test {
+
+/// Channel with no randomness: Friis only. Protocol logic tests use this
+/// so expected RSS values are hand-computable.
+inline phy::ChannelConfig clean_channel() {
+  phy::ChannelConfig c;
+  c.pathloss.model = phy::PathLossModel::kFreeSpace;
+  c.pathloss.carrier_hz = kDefaultCarrierHz;
+  c.pathloss.oxygen_db_per_m = 0.0;
+  c.shadowing.sigma_db = 0.0;
+  c.blockage.rate_per_s = 0.0;
+  c.multipath.reflector_count = 0;
+  return c;
+}
+
+inline net::EnvironmentConfig clean_environment(std::uint64_t seed = 1) {
+  net::EnvironmentConfig e;
+  e.channel = clean_channel();
+  e.measurement.sigma_db = 0.0;
+  // A steep detector makes success draws effectively deterministic around
+  // the threshold, so protocol tests are not flaky.
+  e.link.detection_slope_per_db = 20.0;
+  e.seed = seed;
+  return e;
+}
+
+/// Mobile standing still at `position`, facing +x.
+inline std::shared_ptr<const mobility::MobilityModel> standing_at(
+    Vec3 position) {
+  Pose pose;
+  pose.position = position;
+  return std::make_shared<mobility::Stationary>(pose);
+}
+
+/// Two cells 60 m apart with the UE-facing defaults.
+inline net::Deployment two_cells() {
+  net::DeploymentConfig config;
+  return net::make_cell_row(config, 2);
+}
+
+inline net::RadioEnvironment make_two_cell_env(
+    std::shared_ptr<const mobility::MobilityModel> ue,
+    double ue_beamwidth_deg = 20.0, std::uint64_t seed = 1) {
+  net::Deployment d = two_cells();
+  return net::RadioEnvironment(
+      clean_environment(seed), std::move(d.base_stations), std::move(ue),
+      ue_beamwidth_deg <= 0.0
+          ? phy::Codebook::omni()
+          : phy::Codebook::from_beamwidth_deg(ue_beamwidth_deg));
+}
+
+}  // namespace st::test

@@ -1,0 +1,136 @@
+// Co-channel interference (SINR) tests: concurrent SSB transmissions of
+// different cells degrade each other's detection — the reason real
+// deployments (and our default DeploymentConfig) stagger neighbour SSB
+// schedules in time.
+#include <gtest/gtest.h>
+
+#include "net/environment.hpp"
+#include "net/test_helpers.hpp"
+
+namespace st::net {
+namespace {
+
+using namespace st::sim::literals;
+using sim::Duration;
+using sim::Time;
+
+/// Two cells with a chosen schedule offset between them; mobile midway.
+RadioEnvironment env_with_stagger(sim::Duration stagger,
+                                  bool interference = true,
+                                  std::uint64_t seed = 1) {
+  DeploymentConfig config;
+  config.schedule_stagger = stagger;
+  Deployment d = make_cell_row(config, 2);
+  EnvironmentConfig env_config = test::clean_environment(seed);
+  env_config.enable_interference = interference;
+  // Flatten the detector so detection probabilities expose SINR shifts.
+  env_config.link.detection_slope_per_db = 1.5;
+  return RadioEnvironment(env_config, std::move(d.base_stations),
+                          test::standing_at({30.0, 10.0, 0.0}),
+                          phy::Codebook::from_beamwidth_deg(20.0));
+}
+
+TEST(Interference, NoneWhenOtherCellSilent) {
+  auto env = env_with_stagger(7_ms);
+  // Cell 1's burst starts at 7 ms; at t=5 ms only cell 0 transmits.
+  const double i = env.interference_dbm(0, 0, Time::zero() + 5_ms);
+  EXPECT_LT(i, -200.0);
+}
+
+TEST(Interference, PresentWhenSlotsOverlap) {
+  auto env = env_with_stagger(Duration{});  // synchronised schedules
+  // During the burst both cells transmit: interference on cell 0's SSB
+  // comes from cell 1 and is far above the "none" floor.
+  const double i = env.interference_dbm(0, 9, Time::zero() + 100_us);
+  EXPECT_GT(i, -100.0);
+}
+
+TEST(Interference, StrongestTowardsInterferer) {
+  auto env = env_with_stagger(Duration{});
+  const Time t = Time::zero() + 100_us;
+  // The mobile is midway; a beam pointing at cell 1 collects more of
+  // cell 1's interference than a beam pointing at cell 0.
+  Pose p;
+  p.position = {30.0, 10.0, 0.0};
+  const auto towards_1 = env.ue_codebook().best_beam_for(
+      p.azimuth_to({60.0, 0.0, 0.0}));
+  const auto towards_0 =
+      env.ue_codebook().best_beam_for(p.azimuth_to({0.0, 0.0, 0.0}));
+  EXPECT_GT(env.interference_dbm(0, towards_1, t),
+            env.interference_dbm(0, towards_0, t) + 6.0);
+}
+
+TEST(Interference, SynchronisedLoudInterfererBlocksDetection) {
+  // Mechanism test with an unmissable interferer: a second cell at very
+  // high TX power whose schedule either collides with the wanted cell's
+  // (synchronised) or does not (staggered). Detection of the wanted SSB
+  // must collapse only in the collision case.
+  const auto build = [](sim::Duration cell1_offset) {
+    FrameConfig frame;
+    frame.ssb_beams = 8;
+    std::vector<BaseStation> stations;
+    Pose p0;
+    p0.position = {0.0, 0.0, 0.0};
+    stations.emplace_back(0, p0, phy::Codebook::from_beamwidth_deg(45.0),
+                          13.0, FrameSchedule(frame, Duration{}));
+    Pose p1;
+    p1.position = {60.0, 0.0, 0.0};
+    stations.emplace_back(1, p1, phy::Codebook::from_beamwidth_deg(45.0),
+                          60.0,  // deliberately loud
+                          FrameSchedule(frame, cell1_offset));
+    EnvironmentConfig env_config = test::clean_environment(5);
+    env_config.link.detection_slope_per_db = 20.0;
+    return RadioEnvironment(env_config, std::move(stations),
+                            test::standing_at({30.0, 10.0, 0.0}),
+                            phy::Codebook::from_beamwidth_deg(20.0));
+  };
+
+  auto synced = build(Duration{});
+  auto staggered = build(7_ms);
+  const auto tx = synced.ground_truth_best_pair(0, Time::zero()).tx_beam;
+  const auto rx = synced.ground_truth_best_pair(0, Time::zero()).rx_beam;
+  const Time t = Time::zero() + static_cast<std::int64_t>(tx) * 125_us + 10_us;
+
+  int det_synced = 0;
+  int det_staggered = 0;
+  for (int i = 0; i < 100; ++i) {
+    det_synced += synced.observe_ssb(0, tx, rx, t).detected ? 1 : 0;
+    det_staggered += staggered.observe_ssb(0, tx, rx, t).detected ? 1 : 0;
+  }
+  EXPECT_GT(det_staggered, 90);
+  EXPECT_LT(det_synced, 10);
+}
+
+TEST(Interference, DisableFlagRestoresSnr) {
+  auto with = env_with_stagger(Duration{}, true, 3);
+  auto without = env_with_stagger(Duration{}, false, 3);
+  const auto tx = with.ground_truth_best_pair(0, Time::zero()).tx_beam;
+  const Time t =
+      Time::zero() + static_cast<std::int64_t>(tx) * 125_us + 10_us;
+  // With identical seeds, the no-interference environment detects at
+  // least as often.
+  int det_with = 0;
+  int det_without = 0;
+  for (int i = 0; i < 200; ++i) {
+    det_with += with.observe_ssb(0, tx, 9, t).detected ? 1 : 0;
+    det_without += without.observe_ssb(0, tx, 9, t).detected ? 1 : 0;
+  }
+  EXPECT_GE(det_without, det_with);
+}
+
+TEST(Interference, DefaultDeploymentStaggeringAvoidsCollisions) {
+  // The shipped deployment staggers schedules by 7 ms with 1 ms bursts:
+  // no instant has two cells transmitting SSBs simultaneously.
+  Deployment d = make_cell_row(DeploymentConfig{}, 3);
+  for (std::int64_t us = 0; us < 20'000; us += 25) {
+    const Time t = Time::zero() + Duration::microseconds(us);
+    int active = 0;
+    for (const auto& bs : d.base_stations) {
+      active += bs.schedule().ssb_at(t).has_value() ? 1 : 0;
+    }
+    EXPECT_LE(active, 1) << "collision at t=" << us << " us";
+  }
+}
+
+}  // namespace
+}  // namespace st::net

@@ -1,0 +1,156 @@
+#include "net/rach.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/test_helpers.hpp"
+#include "sim/simulator.hpp"
+
+namespace st::net {
+namespace {
+
+using namespace st::sim::literals;
+using sim::Time;
+
+struct RachWorld {
+  explicit RachWorld(Vec3 ue_position, double ue_beamwidth = 20.0)
+      : env(test::make_two_cell_env(test::standing_at(ue_position),
+                                    ue_beamwidth)) {}
+
+  sim::Simulator sim;
+  RadioEnvironment env;
+  std::optional<RachOutcome> outcome;
+
+  phy::Channel::BestPair best(CellId cell) {
+    return env.ground_truth_best_pair(cell, Time::zero());
+  }
+
+  void run(CellId cell, phy::BeamId tx_beam, phy::BeamId ue_beam,
+           RachConfig config = {}) {
+    RachProcedure rach(sim, env, config);
+    rach.start(cell, tx_beam, [ue_beam] { return ue_beam; },
+               [this](const RachOutcome& o) { outcome = o; });
+    sim.run_until(Time::zero() + 5000_ms);
+  }
+};
+
+TEST(Rach, SucceedsOnAlignedBeams) {
+  RachWorld world({55.0, 10.0, 0.0});
+  const auto best = world.best(1);
+  world.run(1, best.tx_beam, best.rx_beam);
+  ASSERT_TRUE(world.outcome.has_value());
+  EXPECT_TRUE(world.outcome->success);
+  EXPECT_EQ(world.outcome->attempts, 1U);
+}
+
+TEST(Rach, LatencyIncludesOccasionWaitAndMessages) {
+  RachWorld world({55.0, 10.0, 0.0});
+  const auto best = world.best(1);
+  world.run(1, best.tx_beam, best.rx_beam);
+  ASSERT_TRUE(world.outcome->success);
+  const FrameSchedule& schedule = world.env.bs(1).schedule();
+  const sim::Duration occasion_wait =
+      schedule.next_rach_occasion(Time::zero(), best.tx_beam) - Time::zero();
+  // RAR + Msg3 + Msg4 delays: 2 + 2 + 2 ms after the occasion.
+  EXPECT_EQ(world.outcome->latency, occasion_wait + 6_ms);
+}
+
+TEST(Rach, FailsOnHopelessBeams) {
+  // UE near cell 0, trying to access far cell 1 with a backwards beam.
+  RachWorld world({5.0, 10.0, 0.0});
+  const auto best = world.best(1);
+  const auto n = static_cast<phy::BeamId>(world.env.ue_codebook().size());
+  const phy::BeamId wrong = (best.rx_beam + n / 2) % n;
+  RachConfig config;
+  config.max_attempts = 4;
+  world.run(1, best.tx_beam, wrong, config);
+  ASSERT_TRUE(world.outcome.has_value());
+  EXPECT_FALSE(world.outcome->success);
+  EXPECT_EQ(world.outcome->attempts, 4U);
+}
+
+TEST(Rach, BeamProviderConsultedDuringProcedure) {
+  // The beam provider switches from a hopeless to the right beam after
+  // the first attempt; the procedure must then succeed — the property
+  // Silent Tracker relies on (tracking continues during access). The
+  // mobile is far enough out that the wrong beam's sidelobe cannot carry
+  // the preamble.
+  RachWorld world({40.0, 10.0, 0.0});
+  const auto best = world.best(1);
+  const auto n = static_cast<phy::BeamId>(world.env.ue_codebook().size());
+  const phy::BeamId wrong = (best.rx_beam + n / 2) % n;
+
+  int calls = 0;
+  RachProcedure rach(world.sim, world.env, RachConfig{});
+  rach.start(1, best.tx_beam,
+             [&]() -> phy::BeamId {
+               ++calls;
+               return calls <= 1 ? wrong : best.rx_beam;
+             },
+             [&](const RachOutcome& o) { world.outcome = o; });
+  world.sim.run_until(Time::zero() + 5000_ms);
+  ASSERT_TRUE(world.outcome.has_value());
+  EXPECT_TRUE(world.outcome->success);
+  EXPECT_GE(world.outcome->attempts, 2U);
+}
+
+TEST(Rach, RetriesRampPower) {
+  // At a range where the bare uplink is marginal but + ramps make it
+  // solid, retries must eventually get through.
+  RachWorld world({40.0, 10.0, 0.0});
+  const auto best = world.best(1);
+  RachConfig config;
+  config.max_attempts = 8;
+  config.power_ramp_db = 6.0;
+  world.run(1, best.tx_beam, best.rx_beam, config);
+  ASSERT_TRUE(world.outcome.has_value());
+  EXPECT_TRUE(world.outcome->success);
+}
+
+TEST(Rach, AbortSuppressesCallback) {
+  RachWorld world({55.0, 10.0, 0.0});
+  const auto best = world.best(1);
+  RachProcedure rach(world.sim, world.env, RachConfig{});
+  bool fired = false;
+  rach.start(1, best.tx_beam, [&] { return best.rx_beam; },
+             [&](const RachOutcome&) { fired = true; });
+  EXPECT_TRUE(rach.running());
+  rach.abort();
+  EXPECT_FALSE(rach.running());
+  world.sim.run_until(Time::zero() + 1000_ms);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Rach, InvalidUsageThrows) {
+  RachWorld world({55.0, 10.0, 0.0});
+  RachConfig bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(RachProcedure(world.sim, world.env, bad),
+               std::invalid_argument);
+
+  RachProcedure rach(world.sim, world.env, RachConfig{});
+  EXPECT_THROW(rach.start(1, 0, nullptr, [](const RachOutcome&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(rach.start(1, 0, [] { return phy::BeamId{0}; }, nullptr),
+               std::invalid_argument);
+  rach.start(1, 0, [] { return phy::BeamId{0}; }, [](const RachOutcome&) {});
+  EXPECT_THROW(
+      rach.start(1, 0, [] { return phy::BeamId{0}; }, [](const RachOutcome&) {}),
+      std::logic_error);
+}
+
+TEST(Rach, WaitsForBeamMappedOccasion) {
+  RachWorld world({55.0, 10.0, 0.0});
+  const auto best = world.best(1);
+  // Run and verify the first preamble goes at the occasion mapped to the
+  // target's SSB beam (occasions cycle every rach_period over beams).
+  const Time expected =
+      world.env.bs(1).schedule().next_rach_occasion(Time::zero(), best.tx_beam);
+  world.run(1, best.tx_beam, best.rx_beam);
+  ASSERT_TRUE(world.outcome->success);
+  EXPECT_GE(world.outcome->latency, expected - Time::zero());
+}
+
+}  // namespace
+}  // namespace st::net

@@ -1,0 +1,184 @@
+#include "net/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::net {
+namespace {
+
+using namespace st::sim::literals;
+using sim::Duration;
+using sim::Time;
+
+FrameConfig small_frame() {
+  FrameConfig c;
+  c.slot = 125_us;
+  c.ssb_period = 20_ms;
+  c.ssb_beams = 8;
+  c.rach_period = 10_ms;
+  c.rar_window = 5_ms;
+  return c;
+}
+
+TEST(FrameSchedule, BurstDuration) {
+  const FrameSchedule s(small_frame(), Duration{});
+  EXPECT_EQ(s.burst_duration(), 8 * 125_us);
+}
+
+TEST(FrameSchedule, SsbAtInsideBurst) {
+  const FrameSchedule s(small_frame(), Duration{});
+  // Slot 3 of burst 0 covers [375, 500) us.
+  const auto slot = s.ssb_at(Time::zero() + 400_us);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slot->tx_beam, 3U);
+  EXPECT_EQ(slot->start, Time::zero() + 375_us);
+  EXPECT_EQ(slot->burst_index, 0U);
+}
+
+TEST(FrameSchedule, SsbAtOutsideBurstIsEmpty) {
+  const FrameSchedule s(small_frame(), Duration{});
+  EXPECT_FALSE(s.ssb_at(Time::zero() + 5_ms).has_value());
+  EXPECT_FALSE(s.ssb_at(Time::zero() + 19_ms).has_value());
+}
+
+TEST(FrameSchedule, SsbAtSecondBurst) {
+  const FrameSchedule s(small_frame(), Duration{});
+  const auto slot = s.ssb_at(Time::zero() + 20_ms + 130_us);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slot->tx_beam, 1U);
+  EXPECT_EQ(slot->burst_index, 1U);
+}
+
+TEST(FrameSchedule, OffsetShiftsEverything) {
+  const FrameSchedule s(small_frame(), 7_ms);
+  EXPECT_FALSE(s.ssb_at(Time::zero() + 1_ms).has_value());
+  const auto slot = s.ssb_at(Time::zero() + 7_ms + 200_us);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slot->tx_beam, 1U);
+  EXPECT_EQ(s.next_burst_start(Time::zero()), Time::zero() + 7_ms);
+}
+
+TEST(FrameSchedule, OffsetNormalisedModuloPeriod) {
+  const FrameSchedule a(small_frame(), 7_ms);
+  const FrameSchedule b(small_frame(), 27_ms);
+  EXPECT_EQ(a.offset(), b.offset());
+  const FrameSchedule c(small_frame(), Duration::milliseconds(-13));
+  EXPECT_EQ(c.offset(), 7_ms);
+}
+
+TEST(FrameSchedule, NextSsbAdvancesThroughBurst) {
+  const FrameSchedule s(small_frame(), Duration{});
+  SsbSlot slot = s.next_ssb(Time::zero());
+  EXPECT_EQ(slot.tx_beam, 0U);
+  slot = s.next_ssb(slot.start + 1_ns);
+  EXPECT_EQ(slot.tx_beam, 1U);
+  // After the last slot of the burst, the next is beam 0 of burst 1.
+  slot = s.next_ssb(Time::zero() + 8 * 125_us);
+  EXPECT_EQ(slot.tx_beam, 0U);
+  EXPECT_EQ(slot.burst_index, 1U);
+}
+
+TEST(FrameSchedule, NextSsbAtExactSlotStartReturnsIt) {
+  const FrameSchedule s(small_frame(), Duration{});
+  const SsbSlot slot = s.next_ssb(Time::zero() + 250_us);
+  EXPECT_EQ(slot.start, Time::zero() + 250_us);
+  EXPECT_EQ(slot.tx_beam, 2U);
+}
+
+TEST(FrameSchedule, NextSsbForBeamLandsOnBeamSlot) {
+  const FrameSchedule s(small_frame(), 3_ms);
+  for (phy::BeamId beam = 0; beam < 8; ++beam) {
+    const SsbSlot slot = s.next_ssb_for_beam(Time::zero() + 50_ms, beam);
+    EXPECT_EQ(slot.tx_beam, beam);
+    EXPECT_GE(slot.start, Time::zero() + 50_ms);
+    // It really is that beam's slot position within a burst.
+    const auto check = s.ssb_at(slot.start);
+    ASSERT_TRUE(check.has_value());
+    EXPECT_EQ(check->tx_beam, beam);
+  }
+}
+
+TEST(FrameSchedule, NextSsbForBeamIsEarliest) {
+  const FrameSchedule s(small_frame(), Duration{});
+  // Just after beam 2's slot started, the next beam-2 slot is one period on.
+  const SsbSlot slot = s.next_ssb_for_beam(Time::zero() + 250_us + 1_ns, 2);
+  EXPECT_EQ(slot.start, Time::zero() + 20_ms + 250_us);
+}
+
+TEST(FrameSchedule, NextBurstStartRollsOver) {
+  const FrameSchedule s(small_frame(), Duration{});
+  EXPECT_EQ(s.next_burst_start(Time::zero()), Time::zero());
+  EXPECT_EQ(s.next_burst_start(Time::zero() + 1_ns), Time::zero() + 20_ms);
+  EXPECT_EQ(s.next_burst_start(Time::zero() + 39_ms), Time::zero() + 40_ms);
+}
+
+TEST(FrameSchedule, RachOccasionMapsToBeam) {
+  const FrameSchedule s(small_frame(), Duration{});
+  // Occasions every 10 ms cycle through beams 0..7; beam b first occurs at
+  // b * 10 ms.
+  for (phy::BeamId beam = 0; beam < 8; ++beam) {
+    const Time occasion = s.next_rach_occasion(Time::zero(), beam);
+    EXPECT_EQ(occasion, Time::zero() + static_cast<std::int64_t>(beam) * 10_ms);
+  }
+}
+
+TEST(FrameSchedule, RachOccasionCyclePeriod) {
+  const FrameSchedule s(small_frame(), Duration{});
+  const Time first = s.next_rach_occasion(Time::zero(), 3);
+  const Time second = s.next_rach_occasion(first + 1_ns, 3);
+  EXPECT_EQ(second - first, 8 * 10_ms);  // ssb_beams * rach_period
+}
+
+TEST(FrameSchedule, RachOccasionRespectsOffset) {
+  const FrameSchedule s(small_frame(), 7_ms);
+  const Time occasion = s.next_rach_occasion(Time::zero(), 0);
+  EXPECT_EQ(occasion, Time::zero() + 7_ms);
+}
+
+TEST(FrameSchedule, BeamIndexWrapsModuloSsbBeams) {
+  const FrameSchedule s(small_frame(), Duration{});
+  const SsbSlot a = s.next_ssb_for_beam(Time::zero(), 2);
+  const SsbSlot b = s.next_ssb_for_beam(Time::zero(), 10);  // 10 % 8 == 2
+  EXPECT_EQ(a.start, b.start);
+}
+
+TEST(FrameSchedule, InvalidConfigThrows) {
+  FrameConfig bad = small_frame();
+  bad.ssb_beams = 0;
+  EXPECT_THROW(FrameSchedule(bad, Duration{}), std::invalid_argument);
+
+  bad = small_frame();
+  bad.slot = Duration{};
+  EXPECT_THROW(FrameSchedule(bad, Duration{}), std::invalid_argument);
+
+  bad = small_frame();
+  bad.ssb_beams = 200;  // 200 * 125 us = 25 ms > 20 ms period
+  EXPECT_THROW(FrameSchedule(bad, Duration{}), std::invalid_argument);
+}
+
+/// Property: for any offset, consecutive next_ssb() calls enumerate every
+/// (burst, beam) slot exactly once in order.
+class ScheduleEnumeration : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleEnumeration, NextSsbEnumeratesAllSlots) {
+  const FrameSchedule s(small_frame(),
+                        Duration::milliseconds(GetParam()));
+  SsbSlot slot = s.next_ssb(Time::zero());
+  for (int i = 0; i < 50; ++i) {
+    const SsbSlot next = s.next_ssb(slot.start + 1_ns);
+    EXPECT_GT(next.start, slot.start);
+    const auto expected_beam = (slot.tx_beam + 1) % 8;
+    EXPECT_EQ(next.tx_beam, expected_beam);
+    if (expected_beam == 0) {
+      EXPECT_EQ(next.burst_index, slot.burst_index + 1);
+    } else {
+      EXPECT_EQ(next.burst_index, slot.burst_index);
+    }
+    slot = next;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, ScheduleEnumeration,
+                         ::testing::Values(0, 3, 7, 13, 19));
+
+}  // namespace
+}  // namespace st::net

@@ -1,0 +1,122 @@
+#include "phy/codebook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/angles.hpp"
+
+namespace st::phy {
+namespace {
+
+TEST(Codebook, FromBeamwidthTilesAzimuth) {
+  // 20 deg -> 18 beams, 60 deg -> 6 beams, 45 deg -> 8 beams.
+  EXPECT_EQ(Codebook::from_beamwidth_deg(20.0).size(), 18U);
+  EXPECT_EQ(Codebook::from_beamwidth_deg(60.0).size(), 6U);
+  EXPECT_EQ(Codebook::from_beamwidth_deg(45.0).size(), 8U);
+}
+
+TEST(Codebook, OmniIsSingleZeroGainBeam) {
+  const Codebook omni = Codebook::omni();
+  EXPECT_TRUE(omni.is_omni());
+  EXPECT_EQ(omni.size(), 1U);
+  EXPECT_DOUBLE_EQ(omni.gain_dbi(0, 1.234), 0.0);
+  EXPECT_EQ(omni.description(), "omni");
+}
+
+TEST(Codebook, BoresightsUniformlySpaced) {
+  const Codebook cb = Codebook::from_beamwidth_deg(20.0);
+  for (BeamId i = 0; i + 1 < cb.size(); ++i) {
+    const double gap = angular_distance(cb.beam(i).boresight_rad(),
+                                        cb.beam(i + 1).boresight_rad());
+    EXPECT_NEAR(gap, cb.spacing_rad(), 1e-9);
+  }
+}
+
+TEST(Codebook, NeighboursAreCyclic) {
+  const Codebook cb = Codebook::from_beamwidth_deg(60.0);  // 6 beams
+  EXPECT_EQ(cb.left_neighbour(0), 5U);
+  EXPECT_EQ(cb.right_neighbour(5), 0U);
+  EXPECT_EQ(cb.left_neighbour(3), 2U);
+  EXPECT_EQ(cb.right_neighbour(3), 4U);
+}
+
+TEST(Codebook, OmniNeighboursAreSelf) {
+  const Codebook omni = Codebook::omni();
+  EXPECT_EQ(omni.left_neighbour(0), 0U);
+  EXPECT_EQ(omni.right_neighbour(0), 0U);
+}
+
+TEST(Codebook, InvalidBeamIdsThrow) {
+  const Codebook cb = Codebook::from_beamwidth_deg(60.0);
+  EXPECT_THROW((void)cb.beam(6), std::out_of_range);
+  EXPECT_THROW((void)cb.left_neighbour(6), std::out_of_range);
+  EXPECT_THROW((void)cb.right_neighbour(99), std::out_of_range);
+  EXPECT_THROW((void)cb.gain_dbi(kInvalidBeam, 0.0), std::out_of_range);
+}
+
+TEST(Codebook, BestBeamPointsAtQuery) {
+  const Codebook cb = Codebook::from_beamwidth_deg(20.0);
+  for (double az = -3.0; az <= 3.0; az += 0.37) {
+    const BeamId best = cb.best_beam_for(az);
+    const double off =
+        angular_distance(cb.beam(best).boresight_rad(), az);
+    // The winning beam's boresight is within half a spacing of the query.
+    EXPECT_LE(off, cb.spacing_rad() / 2.0 + 1e-9);
+  }
+}
+
+TEST(Codebook, GainPeaksOnOwnBoresight) {
+  const Codebook cb = Codebook::from_beamwidth_deg(45.0);
+  for (const Beam& beam : cb.beams()) {
+    EXPECT_GT(cb.gain_dbi(beam.id(), beam.boresight_rad()),
+              cb.gain_dbi(beam.id(), beam.boresight_rad() + 0.5));
+  }
+}
+
+TEST(Codebook, UlaFactoryProducesFullCover) {
+  const Codebook cb = Codebook::ula_from_beamwidth_deg(20.0);
+  EXPECT_GE(cb.size(), 12U);  // achieved HPBW <= 20 deg -> >= 18-ish beams
+  // Every azimuth must have a beam with meaningful gain.
+  for (double az = -3.1; az <= 3.1; az += 0.1) {
+    const BeamId best = cb.best_beam_for(az);
+    EXPECT_GT(cb.gain_dbi(best, az), 0.0);
+  }
+}
+
+TEST(Codebook, InvalidConstructionThrows) {
+  EXPECT_THROW(Codebook::uniform(0, std::make_shared<OmniPattern>()),
+               std::invalid_argument);
+  EXPECT_THROW(Codebook::uniform(4, nullptr), std::invalid_argument);
+  EXPECT_THROW(Codebook::from_beamwidth_deg(0.0), std::invalid_argument);
+  EXPECT_THROW(Codebook::from_beamwidth_deg(400.0), std::invalid_argument);
+}
+
+TEST(Codebook, DescriptionNamesWidthAndCount) {
+  const Codebook cb = Codebook::from_beamwidth_deg(20.0);
+  EXPECT_EQ(cb.description(), "20.0deg x18");
+}
+
+TEST(Beam, NullPatternThrows) {
+  EXPECT_THROW(Beam(0, 0.0, nullptr), std::invalid_argument);
+}
+
+/// Property: for every codebook size, the -3 dB contours of adjacent
+/// beams meet — no azimuth falls more than ~3 dB below some beam's peak.
+class CodebookCoverage : public ::testing::TestWithParam<double> {};
+
+TEST_P(CodebookCoverage, NoCoverageHoles) {
+  const Codebook cb = Codebook::from_beamwidth_deg(GetParam());
+  const double peak = cb.beam(0).pattern().peak_gain_dbi();
+  for (double az = -3.14; az <= 3.14; az += 0.01) {
+    const BeamId best = cb.best_beam_for(az);
+    EXPECT_GE(cb.gain_dbi(best, az), peak - 3.1)
+        << "hole at azimuth " << az << " for beamwidth " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Beamwidths, CodebookCoverage,
+                         ::testing::Values(15.0, 20.0, 30.0, 45.0, 60.0, 90.0));
+
+}  // namespace
+}  // namespace st::phy

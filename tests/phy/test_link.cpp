@@ -1,0 +1,116 @@
+#include "phy/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::phy {
+namespace {
+
+TEST(LinkBudget, NoiseFloorMatchesThermalPlusNf) {
+  LinkBudgetConfig c;
+  c.bandwidth_hz = 1.76e9;
+  c.noise_figure_db = 10.0;
+  const LinkBudget lb(c);
+  EXPECT_NEAR(lb.noise_floor_dbm(), -81.5 + 10.0, 0.1);
+}
+
+TEST(LinkBudget, SnrIsRssMinusFloor) {
+  const LinkBudget lb(LinkBudgetConfig{});
+  EXPECT_DOUBLE_EQ(lb.snr_db(lb.noise_floor_dbm()), 0.0);
+  EXPECT_DOUBLE_EQ(lb.snr_db(lb.noise_floor_dbm() + 12.5), 12.5);
+}
+
+TEST(LinkBudget, DetectionProbabilityHalfAtThreshold) {
+  LinkBudgetConfig c;
+  c.detection_threshold_snr_db = -5.0;
+  const LinkBudget lb(c);
+  EXPECT_NEAR(lb.detection_probability(-5.0), 0.5, 1e-12);
+}
+
+TEST(LinkBudget, DetectionProbabilityMonotone) {
+  const LinkBudget lb(LinkBudgetConfig{});
+  double last = 0.0;
+  for (double snr = -30.0; snr <= 30.0; snr += 0.5) {
+    const double p = lb.detection_probability(snr);
+    EXPECT_GE(p, last);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    last = p;
+  }
+}
+
+TEST(LinkBudget, DetectionSaturates) {
+  const LinkBudget lb(LinkBudgetConfig{});
+  EXPECT_GT(lb.detection_probability(20.0), 0.999);
+  EXPECT_LT(lb.detection_probability(-30.0), 0.001);
+}
+
+TEST(LinkBudget, SlopeControlsTransitionWidth) {
+  LinkBudgetConfig steep;
+  steep.detection_slope_per_db = 5.0;
+  LinkBudgetConfig shallow;
+  shallow.detection_slope_per_db = 0.5;
+  const LinkBudget a(steep);
+  const LinkBudget b(shallow);
+  const double thr = steep.detection_threshold_snr_db;
+  EXPECT_GT(a.detection_probability(thr + 1.0),
+            b.detection_probability(thr + 1.0));
+  EXPECT_LT(a.detection_probability(thr - 1.0),
+            b.detection_probability(thr - 1.0));
+}
+
+TEST(LinkBudget, DetectDrawMatchesProbability) {
+  const LinkBudget lb(LinkBudgetConfig{});
+  Rng rng(4);
+  int hits = 0;
+  constexpr int kN = 50'000;
+  const double snr = lb.config().detection_threshold_snr_db + 0.5;
+  for (int i = 0; i < kN; ++i) {
+    hits += lb.detect(snr, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, lb.detection_probability(snr),
+              0.01);
+}
+
+TEST(LinkBudget, DataLinkThreshold) {
+  LinkBudgetConfig c;
+  c.data_threshold_snr_db = 3.0;
+  const LinkBudget lb(c);
+  EXPECT_TRUE(lb.data_link_up(3.0));
+  EXPECT_TRUE(lb.data_link_up(10.0));
+  EXPECT_FALSE(lb.data_link_up(2.99));
+}
+
+TEST(LinkBudget, InvalidConfigThrows) {
+  LinkBudgetConfig bad;
+  bad.bandwidth_hz = 0.0;
+  EXPECT_THROW(LinkBudget{bad}, std::invalid_argument);
+  bad = LinkBudgetConfig{};
+  bad.detection_slope_per_db = 0.0;
+  EXPECT_THROW(LinkBudget{bad}, std::invalid_argument);
+}
+
+TEST(MeasurementNoise, ZeroSigmaIsExact) {
+  MeasurementNoise noise;
+  noise.sigma_db = 0.0;
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(noise.apply(-60.0, rng), -60.0);
+}
+
+TEST(MeasurementNoise, StatisticsMatchSigma) {
+  MeasurementNoise noise;
+  noise.sigma_db = 1.0;
+  Rng rng(6);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double err = noise.apply(-60.0, rng) + 60.0;
+    sum += err;
+    sum_sq += err * err;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace st::phy

@@ -1,0 +1,110 @@
+#include "phy/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.hpp"
+
+namespace st::phy {
+namespace {
+
+TEST(Multipath, LosPathFirstWithZeroLoss) {
+  const MultipathGeometry geo(MultipathConfig{}, {0.0, 0.0, 0.0},
+                              {20.0, 0.0, 0.0}, 1);
+  const auto paths = geo.paths({0.0, 0.0, 0.0}, {20.0, 0.0, 0.0});
+  ASSERT_FALSE(paths.empty());
+  EXPECT_TRUE(paths.front().is_los);
+  EXPECT_DOUBLE_EQ(paths.front().extra_loss_db, 0.0);
+  EXPECT_DOUBLE_EQ(paths.front().length_m, 20.0);
+}
+
+TEST(Multipath, PathCountIsReflectorsPlusLos) {
+  MultipathConfig config;
+  config.reflector_count = 5;
+  const MultipathGeometry geo(config, {0.0, 0.0, 0.0}, {10.0, 0.0, 0.0}, 2);
+  EXPECT_EQ(geo.reflectors().size(), 5U);
+  EXPECT_EQ(geo.paths({0.0, 0.0, 0.0}, {10.0, 0.0, 0.0}).size(), 6U);
+}
+
+TEST(Multipath, LosDirectionsPointAtEachOther) {
+  const MultipathGeometry geo(MultipathConfig{}, {0.0, 0.0, 0.0},
+                              {10.0, 10.0, 0.0}, 3);
+  const auto paths = geo.paths({0.0, 0.0, 0.0}, {10.0, 10.0, 0.0});
+  const auto& los = paths.front();
+  EXPECT_NEAR(los.departure_world.azimuth(), kPi / 4.0, 1e-12);
+  EXPECT_NEAR(los.arrival_world.azimuth(), -3.0 * kPi / 4.0, 1e-12);
+}
+
+TEST(Multipath, ReflectedPathsLongerThanLos) {
+  // Triangle inequality: a bounce can never be shorter than the direct.
+  MultipathConfig config;
+  config.reflector_count = 8;
+  const MultipathGeometry geo(config, {0.0, 0.0, 0.0}, {15.0, 5.0, 0.0}, 4);
+  const auto paths = geo.paths({0.0, 0.0, 0.0}, {15.0, 5.0, 0.0});
+  const double los_length = paths.front().length_m;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].length_m, los_length - 1e-9);
+    EXPECT_GE(paths[i].extra_loss_db, 3.0);  // reflection loss floor
+    EXPECT_FALSE(paths[i].is_los);
+  }
+}
+
+TEST(Multipath, GeometricConsistencyUnderMotion) {
+  // The core property: as the receiver moves, each reflector's arrival
+  // direction changes continuously and consistently (it is a fixed point
+  // in space) — unlike per-sample statistical cluster draws.
+  MultipathConfig config;
+  config.reflector_count = 1;
+  const MultipathGeometry geo(config, {0.0, 0.0, 0.0}, {20.0, 10.0, 0.0}, 5);
+  const Vec3 reflector = geo.reflectors().front().point;
+
+  for (double x = 0.0; x <= 20.0; x += 2.5) {
+    const Vec3 rx{x, 10.0, 0.0};
+    const auto paths = geo.paths({0.0, 0.0, 0.0}, rx);
+    const auto& bounce = paths.back();
+    const Vec3 expected = (reflector - rx).normalized();
+    EXPECT_NEAR(bounce.arrival_world.azimuth(), expected.azimuth(), 1e-12);
+    EXPECT_NEAR(bounce.length_m,
+                reflector.norm() + distance(reflector, rx), 1e-9);
+  }
+}
+
+TEST(Multipath, ExplicitReflectorConstructor) {
+  std::vector<MultipathGeometry::Reflector> reflectors;
+  reflectors.push_back({{5.0, 5.0, 0.0}, 10.0});
+  const MultipathGeometry geo(std::move(reflectors));
+  const auto paths = geo.paths({0.0, 0.0, 0.0}, {10.0, 0.0, 0.0});
+  ASSERT_EQ(paths.size(), 2U);
+  EXPECT_DOUBLE_EQ(paths[1].extra_loss_db, 10.0);
+  EXPECT_NEAR(paths[1].length_m, 2.0 * std::hypot(5.0, 5.0), 1e-9);
+}
+
+TEST(Multipath, ReflectorsWithinConfiguredAnnulus) {
+  MultipathConfig config;
+  config.reflector_count = 50;
+  config.placement_radius_min_m = 3.0;
+  config.placement_radius_max_m = 25.0;
+  const Vec3 a{0.0, 0.0, 0.0};
+  const Vec3 b{30.0, 0.0, 0.0};
+  const MultipathGeometry geo(config, a, b, 6);
+  const Vec3 centre = 0.5 * (a + b);
+  for (const auto& r : geo.reflectors()) {
+    const double d = distance(r.point, centre);
+    EXPECT_GE(d, config.placement_radius_min_m - 1e-9);
+    EXPECT_LE(d, config.placement_radius_max_m + 1e-9);
+  }
+}
+
+TEST(Multipath, DeterministicInSeed) {
+  const MultipathGeometry a(MultipathConfig{}, {0.0, 0.0, 0.0},
+                            {10.0, 0.0, 0.0}, 77);
+  const MultipathGeometry b(MultipathConfig{}, {0.0, 0.0, 0.0},
+                            {10.0, 0.0, 0.0}, 77);
+  ASSERT_EQ(a.reflectors().size(), b.reflectors().size());
+  for (std::size_t i = 0; i < a.reflectors().size(); ++i) {
+    EXPECT_EQ(a.reflectors()[i].point, b.reflectors()[i].point);
+    EXPECT_DOUBLE_EQ(a.reflectors()[i].loss_db, b.reflectors()[i].loss_db);
+  }
+}
+
+}  // namespace
+}  // namespace st::phy

@@ -1,0 +1,91 @@
+#include "phy/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace st::phy {
+namespace {
+
+PathLossConfig config_for(PathLossModel model, double oxygen = 0.0) {
+  PathLossConfig c;
+  c.model = model;
+  c.carrier_hz = kDefaultCarrierHz;
+  c.oxygen_db_per_m = oxygen;
+  return c;
+}
+
+TEST(FreeSpace, TextbookValueAt60GHz) {
+  // FSPL(10 m, 60.48 GHz) = 20 log10(4*pi*10*f/c) ~ 88.1 dB.
+  EXPECT_NEAR(free_space_loss_db(10.0, 60.48e9), 88.08, 0.05);
+}
+
+TEST(FreeSpace, SixDbPerDoubling) {
+  const double l10 = free_space_loss_db(10.0, kDefaultCarrierHz);
+  const double l20 = free_space_loss_db(20.0, kDefaultCarrierHz);
+  EXPECT_NEAR(l20 - l10, 6.0206, 1e-3);
+}
+
+TEST(FreeSpace, ClampsBelowOneMetre) {
+  EXPECT_DOUBLE_EQ(free_space_loss_db(0.1, kDefaultCarrierHz),
+                   free_space_loss_db(1.0, kDefaultCarrierHz));
+}
+
+TEST(PathLoss, FreeSpaceModelMatchesFreeFunction) {
+  const PathLoss pl(config_for(PathLossModel::kFreeSpace));
+  for (const double d : {1.0, 5.0, 10.0, 50.0}) {
+    EXPECT_NEAR(pl.loss_db(d), free_space_loss_db(d, kDefaultCarrierHz), 1e-9);
+  }
+}
+
+TEST(PathLoss, OxygenAddsLinearExcess) {
+  const PathLoss dry(config_for(PathLossModel::kFreeSpace, 0.0));
+  const PathLoss wet(config_for(PathLossModel::kFreeSpace, 0.015));
+  EXPECT_NEAR(wet.loss_db(100.0) - dry.loss_db(100.0), 1.5, 1e-9);
+  EXPECT_NEAR(wet.loss_db(1000.0) - dry.loss_db(1000.0), 15.0, 1e-9);
+}
+
+TEST(PathLoss, UmiLosSlope21PerDecade) {
+  const PathLoss pl(config_for(PathLossModel::kUmiStreetCanyonLos));
+  EXPECT_NEAR(pl.loss_db(100.0) - pl.loss_db(10.0), 21.0, 1e-6);
+}
+
+TEST(PathLoss, UmiNlosAboveLos) {
+  const PathLoss los(config_for(PathLossModel::kUmiStreetCanyonLos));
+  const PathLoss nlos(config_for(PathLossModel::kUmiStreetCanyonNlos));
+  for (const double d : {5.0, 10.0, 30.0, 100.0}) {
+    EXPECT_GE(nlos.loss_db(d), los.loss_db(d));
+  }
+}
+
+TEST(PathLoss, UmiLosReferenceValue) {
+  // TR 38.901: 32.4 + 21 log10(10) + 20 log10(60.48) = 89.0 dB at 10 m.
+  const PathLoss pl(config_for(PathLossModel::kUmiStreetCanyonLos));
+  EXPECT_NEAR(pl.loss_db(10.0), 32.4 + 21.0 + 20.0 * std::log10(60.48), 0.01);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  for (const auto model :
+       {PathLossModel::kFreeSpace, PathLossModel::kUmiStreetCanyonLos,
+        PathLossModel::kUmiStreetCanyonNlos}) {
+    const PathLoss pl(config_for(model, 0.015));
+    double last = 0.0;
+    for (double d = 1.0; d <= 200.0; d += 1.0) {
+      const double loss = pl.loss_db(d);
+      EXPECT_GT(loss, last);
+      last = loss;
+    }
+  }
+}
+
+TEST(PathLoss, InvalidConfigThrows) {
+  PathLossConfig c = config_for(PathLossModel::kFreeSpace);
+  c.carrier_hz = 0.0;
+  EXPECT_THROW(PathLoss{c}, std::invalid_argument);
+  c = config_for(PathLossModel::kFreeSpace);
+  c.oxygen_db_per_m = -0.1;
+  EXPECT_THROW(PathLoss{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace st::phy

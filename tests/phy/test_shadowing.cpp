@@ -1,0 +1,111 @@
+#include "phy/shadowing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace st::phy {
+namespace {
+
+TEST(Shadowing, DeterministicInSeedAndPosition) {
+  const ShadowingConfig config;
+  const ShadowingProcess a(config, 42);
+  const ShadowingProcess b(config, 42);
+  for (double x = 0.0; x < 50.0; x += 3.7) {
+    EXPECT_DOUBLE_EQ(a.sample_db({x, 2.0, 0.0}), b.sample_db({x, 2.0, 0.0}));
+  }
+}
+
+TEST(Shadowing, QueryOrderIndependent) {
+  // The reason the field exists: metric-layer queries must not perturb
+  // protocol-visible values.
+  const ShadowingConfig config;
+  const ShadowingProcess a(config, 7);
+  const ShadowingProcess b(config, 7);
+  const Vec3 p1{1.0, 2.0, 0.0};
+  const Vec3 p2{30.0, -5.0, 0.0};
+  const double a1 = a.sample_db(p1);
+  // b queries other positions first.
+  (void)b.sample_db(p2);
+  (void)b.sample_db({100.0, 100.0, 0.0});
+  EXPECT_DOUBLE_EQ(b.sample_db(p1), a1);
+}
+
+TEST(Shadowing, DifferentSeedsDiffer) {
+  const ShadowingConfig config;
+  const ShadowingProcess a(config, 1);
+  const ShadowingProcess b(config, 2);
+  EXPECT_NE(a.sample_db({5.0, 5.0, 0.0}), b.sample_db({5.0, 5.0, 0.0}));
+}
+
+TEST(Shadowing, ZeroSigmaIsZeroEverywhere) {
+  ShadowingConfig config;
+  config.sigma_db = 0.0;
+  const ShadowingProcess s(config, 3);
+  EXPECT_DOUBLE_EQ(s.sample_db({0.0, 0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample_db({10.0, -4.0, 0.0}), 0.0);
+}
+
+TEST(Shadowing, MarginalStatisticsMatchSigma) {
+  ShadowingConfig config;
+  config.sigma_db = 3.0;
+  // Average over many independent field realisations at a fixed point.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    const ShadowingProcess s(config, static_cast<std::uint64_t>(i) + 1);
+    const double v = s.sample_db({3.0, 4.0, 0.0});
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.15);
+  EXPECT_NEAR(std::sqrt(var), config.sigma_db, 0.25);
+}
+
+TEST(Shadowing, CorrelatedNearbyDecorrelatedFar) {
+  ShadowingConfig config;
+  config.sigma_db = 3.0;
+  config.decorrelation_distance_m = 10.0;
+  // Estimate spatial autocorrelation over realisations.
+  double c_near = 0.0;
+  double c_far = 0.0;
+  double var = 0.0;
+  constexpr int kN = 3000;
+  for (int i = 0; i < kN; ++i) {
+    const ShadowingProcess s(config, 1000 + static_cast<std::uint64_t>(i));
+    const double v0 = s.sample_db({0.0, 0.0, 0.0});
+    c_near += v0 * s.sample_db({1.0, 0.0, 0.0});
+    c_far += v0 * s.sample_db({80.0, 0.0, 0.0});
+    var += v0 * v0;
+  }
+  EXPECT_GT(c_near / var, 0.8);   // 1 m apart: strongly correlated
+  EXPECT_LT(std::fabs(c_far / var), 0.2);  // 80 m apart: decorrelated
+}
+
+TEST(Shadowing, SmoothAlongAWalk) {
+  // Sampling every 2 cm of a walk must produce small increments — the
+  // 3 dB rule depends on shadowing not jumping between SSB bursts.
+  const ShadowingConfig config;
+  const ShadowingProcess s(config, 11);
+  double last = s.sample_db({0.0, 0.0, 0.0});
+  for (double x = 0.02; x < 10.0; x += 0.02) {
+    const double v = s.sample_db({x, 0.0, 0.0});
+    EXPECT_LT(std::fabs(v - last), 0.5);
+    last = v;
+  }
+}
+
+TEST(Shadowing, InvalidConfigThrows) {
+  ShadowingConfig bad;
+  bad.sigma_db = -1.0;
+  EXPECT_THROW(ShadowingProcess(bad, 1), std::invalid_argument);
+  bad = ShadowingConfig{};
+  bad.decorrelation_distance_m = 0.0;
+  EXPECT_THROW(ShadowingProcess(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace st::phy

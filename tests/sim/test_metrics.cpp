@@ -1,0 +1,103 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::sim {
+namespace {
+
+using namespace st::sim::literals;
+
+TEST(TimeSeries, RecordsAndIterates) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.record(Time::zero() + 1_ms, -60.0);
+  ts.record(Time::zero() + 2_ms, -63.0);
+  EXPECT_EQ(ts.size(), 2U);
+  EXPECT_DOUBLE_EQ(ts.points()[1].value, -63.0);
+}
+
+TEST(TimeSeries, ValueAtReturnsLastAtOrBefore) {
+  TimeSeries ts;
+  ts.record(Time::zero() + 10_ms, 1.0);
+  ts.record(Time::zero() + 20_ms, 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(Time::zero() + 5_ms, -99.0), -99.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(Time::zero() + 10_ms), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(Time::zero() + 15_ms), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(Time::zero() + 25_ms), 2.0);
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) {
+    ts.record(Time::zero() + i * 1_ms, static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(ts.mean_over(Time::zero() + 2_ms, Time::zero() + 4_ms), 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(Time::zero() + 100_ms, Time::zero() + 200_ms),
+                   0.0);
+}
+
+TEST(TimeSeries, FractionAtLeast) {
+  TimeSeries ts;
+  ts.record(Time::zero() + 1_ms, 1.0);
+  ts.record(Time::zero() + 2_ms, 5.0);
+  ts.record(Time::zero() + 3_ms, 10.0);
+  ts.record(Time::zero() + 4_ms, 2.0);
+  EXPECT_DOUBLE_EQ(
+      ts.fraction_at_least(Time::zero(), Time::zero() + 10_ms, 5.0), 0.5);
+}
+
+TEST(TimeSeries, CsvFormat) {
+  TimeSeries ts;
+  ts.record(Time::zero() + 1500_us, -61.25);
+  const std::string csv = ts.csv();
+  EXPECT_NE(csv.find("1.500000,-61.250000"), std::string::npos);
+}
+
+TEST(CounterSet, IncrementAndQuery) {
+  CounterSet c;
+  EXPECT_EQ(c.value("beam_switches"), 0U);
+  c.increment("beam_switches");
+  c.increment("beam_switches", 4);
+  EXPECT_EQ(c.value("beam_switches"), 5U);
+  EXPECT_EQ(c.all().size(), 1U);
+}
+
+TEST(CounterSet, IndependentCounters) {
+  CounterSet c;
+  c.increment("a");
+  c.increment("b", 2);
+  EXPECT_EQ(c.value("a"), 1U);
+  EXPECT_EQ(c.value("b"), 2U);
+  EXPECT_EQ(c.value("missing"), 0U);
+}
+
+TEST(EventLog, RecordsInOrder) {
+  EventLog log;
+  log.record(Time::zero() + 1_ms, "proto", "STATE Searching");
+  log.record(Time::zero() + 2_ms, "proto", "FOUND cell=1");
+  ASSERT_EQ(log.entries().size(), 2U);
+  EXPECT_EQ(log.entries()[0].message, "STATE Searching");
+  EXPECT_EQ(log.entries()[1].component, "proto");
+}
+
+TEST(EventLog, PrefixFiltering) {
+  EventLog log;
+  log.record(Time::zero() + 1_ms, "a", "HO_COMPLETE x");
+  log.record(Time::zero() + 2_ms, "a", "DROP y");
+  log.record(Time::zero() + 3_ms, "a", "HO_COMPLETE z");
+  const auto hits = log.with_prefix("HO_COMPLETE");
+  ASSERT_EQ(hits.size(), 2U);
+  EXPECT_EQ(hits[1].message, "HO_COMPLETE z");
+}
+
+TEST(EventLog, FirstTimeOf) {
+  EventLog log;
+  log.record(Time::zero() + 5_ms, "a", "FOUND cell=1");
+  Time t{};
+  EXPECT_TRUE(log.first_time_of("FOUND", t));
+  EXPECT_EQ(t, Time::zero() + 5_ms);
+  EXPECT_FALSE(log.first_time_of("MISSING", t));
+}
+
+}  // namespace
+}  // namespace st::sim

@@ -1,0 +1,79 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace st::sim {
+namespace {
+
+using namespace st::sim::literals;
+
+TEST(Duration, Factories) {
+  EXPECT_EQ(Duration::nanoseconds(5).ns(), 5);
+  EXPECT_EQ(Duration::microseconds(2).ns(), 2'000);
+  EXPECT_EQ(Duration::milliseconds(3).ns(), 3'000'000);
+  EXPECT_EQ(Duration::seconds_of(1.5).ns(), 1'500'000'000);
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ((125_us).ns(), 125'000);
+  EXPECT_EQ((20_ms).ns(), 20'000'000);
+  EXPECT_EQ((2_s).ns(), 2'000'000'000);
+  EXPECT_EQ((42_ns).ns(), 42);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((10_ms + 5_ms).ns(), (15_ms).ns());
+  EXPECT_EQ((10_ms - 5_ms).ns(), (5_ms).ns());
+  EXPECT_EQ((3 * 7_ms).ns(), (21_ms).ns());
+  EXPECT_EQ((7_ms * 3).ns(), (21_ms).ns());
+}
+
+TEST(Duration, IntegerDivisionCountsWholeFits) {
+  EXPECT_EQ(100_ms / 20_ms, 5);
+  EXPECT_EQ(99_ms / 20_ms, 4);
+  EXPECT_EQ(19_ms / 20_ms, 0);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_GT(Duration::seconds_of(0.5), 499_ms);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_us).ms(), 1.5);
+  EXPECT_DOUBLE_EQ((2_s).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((3_us).us(), 3.0);
+}
+
+TEST(Time, ZeroAndOffsets) {
+  const Time t0 = Time::zero();
+  EXPECT_EQ(t0.ns(), 0);
+  const Time t1 = t0 + 20_ms;
+  EXPECT_EQ(t1.ms(), 20.0);
+  EXPECT_EQ((t1 - t0).ns(), (20_ms).ns());
+  EXPECT_EQ((t1 - 5_ms).ms(), 15.0);
+}
+
+TEST(Time, ExactArithmeticOverManyPeriods) {
+  // 10^5 SSB periods of 20 ms step exactly, no drift — the reason Time is
+  // integer nanoseconds.
+  Time t = Time::zero();
+  for (int i = 0; i < 100'000; ++i) {
+    t = t + 20_ms;
+  }
+  EXPECT_EQ(t.ns(), 100'000LL * 20'000'000LL);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::zero(), Time::zero() + 1_ns);
+  EXPECT_EQ(Time::from_ns(5), Time::zero() + 5_ns);
+}
+
+TEST(Time, ToStringMilliseconds) {
+  EXPECT_EQ(to_string(Time::zero() + 1500_us), "1.500 ms");
+  EXPECT_EQ(to_string(12_ms + 345_us), "12.345 ms");
+}
+
+}  // namespace
+}  // namespace st::sim
