@@ -53,7 +53,8 @@ int main() {
       config.ue_beamwidth_deg = variant.beamwidth_deg;
       config.tracker.probe_policy = variant.policy;
 
-      const st::bench::Aggregate agg = st::bench::run_batch(config, run_seeds);
+      const st::bench::Aggregate agg =
+          st::bench::run_batch_parallel(config, run_seeds);
 
       table.row()
           .cell(std::string(core::to_string(mobility)))

@@ -46,7 +46,8 @@ int main() {
           sim::Duration::milliseconds(64 * period_ms);
       config.reactive.search = config.tracker.search;
 
-      const st::bench::Aggregate agg = st::bench::run_batch(config, run_seeds);
+      const st::bench::Aggregate agg =
+          st::bench::run_batch_parallel(config, run_seeds);
       table.row()
           .cell(std::string(core::to_string(mobility)))
           .cell(static_cast<int>(period_ms))

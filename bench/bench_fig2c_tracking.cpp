@@ -58,7 +58,7 @@ int main() {
        {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation,
         core::MobilityScenario::kVehicular}) {
     const st::bench::Aggregate agg =
-        st::bench::run_batch(config_for(mobility), run_seeds);
+        st::bench::run_batch_parallel(config_for(mobility), run_seeds);
 
     table.row()
         .cell(std::string(core::to_string(mobility)))

@@ -48,7 +48,8 @@ int main() {
     for (const auto protocol :
          {core::ProtocolKind::kSilentTracker, core::ProtocolKind::kReactive}) {
       const st::bench::Aggregate agg =
-          st::bench::run_batch(config_for(mobility, protocol), run_seeds);
+          st::bench::run_batch_parallel(config_for(mobility, protocol),
+                                        run_seeds);
 
       table.row()
           .cell(std::string(core::to_string(mobility)))

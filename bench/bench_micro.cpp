@@ -5,12 +5,26 @@
 // evaluations, and simulator event dispatch — all of which must be cheap
 // enough that a 30 s scenario with millisecond-scale events runs in well
 // under a second.
+//
+// The BM_BestBeamPair* pair measures the channel-sweep fast path against
+// the naive per-pair formulation over the same codebooks; the snapshot
+// kernel must hold a >= 5x advantage (tracked across PRs via the JSON).
+//
+// Besides the stdout table, the binary writes a machine-readable
+// `BENCH_micro.json` (op name -> ns/op, plus items/s throughput where a
+// benchmark reports it) into the working directory so the perf
+// trajectory is diffable across PRs.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/rss_tracker.hpp"
 #include "net/timing.hpp"
 #include "phy/channel.hpp"
 #include "phy/codebook.hpp"
+#include "phy/path_snapshot.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -76,6 +90,84 @@ void BM_ChannelEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelEvaluation)->Arg(0)->Arg(3)->Arg(8);
 
+/// Shared fixture for the sweep benchmarks: the calibrated operating
+/// point's BS codebook (45 deg x 8) against the paper's 20 deg x 18 UE
+/// codebook — 144 beam pairs per exhaustive sweep.
+struct SweepFixture {
+  phy::ChannelConfig config{};
+  phy::Channel channel;
+  phy::Codebook bs_codebook = phy::Codebook::from_beamwidth_deg(45.0);
+  phy::Codebook ue_codebook = phy::Codebook::from_beamwidth_deg(20.0);
+  Pose tx;
+  Pose rx;
+
+  SweepFixture()
+      : channel(config, {0.0, 0.0, 0.0}, {30.0, 10.0, 0.0}, 60_s, 1) {
+    rx.position = {30.0, 10.0, 0.0};
+  }
+};
+
+void BM_BestBeamPairNaive(benchmark::State& state) {
+  SweepFixture f;
+  std::int64_t t_ns = 0;
+  for (auto _ : state) {
+    t_ns += 1'000'000;
+    f.rx.position.x += 1e-4;
+    benchmark::DoNotOptimize(
+        f.channel.best_beam_pair_naive(f.tx, f.bs_codebook, f.rx,
+                                       f.ue_codebook,
+                                       sim::Time::from_ns(t_ns), 13.0));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.bs_codebook.size() * f.ue_codebook.size()));
+}
+BENCHMARK(BM_BestBeamPairNaive);
+
+void BM_BestBeamPairSnapshot(benchmark::State& state) {
+  SweepFixture f;
+  std::int64_t t_ns = 0;
+  for (auto _ : state) {
+    t_ns += 1'000'000;
+    f.rx.position.x += 1e-4;
+    benchmark::DoNotOptimize(
+        f.channel.best_beam_pair(f.tx, f.bs_codebook, f.rx, f.ue_codebook,
+                                 sim::Time::from_ns(t_ns), 13.0));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.bs_codebook.size() * f.ue_codebook.size()));
+}
+BENCHMARK(BM_BestBeamPairSnapshot);
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  SweepFixture f;
+  phy::PathSnapshot snapshot;
+  std::int64_t t_ns = 0;
+  for (auto _ : state) {
+    t_ns += 1'000'000;
+    f.rx.position.x += 1e-4;
+    f.channel.make_snapshot(f.tx, f.rx, sim::Time::from_ns(t_ns), 13.0,
+                            snapshot);
+    benchmark::DoNotOptimize(snapshot.paths.data());
+  }
+}
+BENCHMARK(BM_SnapshotBuild);
+
+void BM_SweepRxBeamsKernel(benchmark::State& state) {
+  SweepFixture f;
+  phy::PathSnapshot snapshot;
+  f.channel.make_snapshot(f.tx, f.rx, sim::Time::from_ns(1'000'000), 13.0,
+                          snapshot);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phy::sweep_rx_beams(snapshot, f.bs_codebook.beam(0), f.ue_codebook));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.ue_codebook.size()));
+}
+BENCHMARK(BM_SweepRxBeamsKernel);
+
 void BM_FrameScheduleNextSsb(benchmark::State& state) {
   const net::FrameSchedule schedule(net::FrameConfig{}, 7_ms);
   sim::Time t = sim::Time::zero();
@@ -104,6 +196,79 @@ void BM_SimulatorEventDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventDispatch);
 
+/// Console reporter that also collects every run and dumps a compact
+/// machine-readable summary (op name -> ns/op, plus items/s where
+/// reported) to BENCH_micro.json on finalize.
+class JsonTeeReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.ns_per_op = run.GetAdjustedRealTime() * to_ns(run.time_unit);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        entry.items_per_second = it->second;
+        entry.has_items = true;
+      }
+      entries_.push_back(entry);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    std::ofstream out("BENCH_micro.json");
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "    {\"name\": \"" << e.name
+          << "\", \"ns_per_op\": " << e.ns_per_op;
+      if (e.has_items) {
+        out << ", \"items_per_second\": " << e.items_per_second;
+      }
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+    bool has_items = false;
+  };
+
+  static double to_ns(benchmark::TimeUnit unit) noexcept {
+    switch (unit) {
+      case benchmark::kNanosecond:
+        return 1.0;
+      case benchmark::kMicrosecond:
+        return 1e3;
+      case benchmark::kMillisecond:
+        return 1e6;
+      case benchmark::kSecond:
+        return 1e9;
+    }
+    return 1.0;
+  }
+
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

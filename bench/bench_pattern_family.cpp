@@ -56,7 +56,8 @@ int main() {
       config.duration = 20'000_ms;
       config.ue_ula_codebook = ula;
 
-      const st::bench::Aggregate agg = st::bench::run_batch(config, run_seeds);
+      const st::bench::Aggregate agg =
+          st::bench::run_batch_parallel(config, run_seeds);
       table.row()
           .cell(std::string(core::to_string(mobility)))
           .cell(ula ? "ULA (real sidelobes)" : "Gaussian (analytic)")

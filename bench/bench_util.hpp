@@ -6,8 +6,13 @@
 // bit for bit.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <iostream>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -62,6 +67,65 @@ struct Aggregate {
   for (const std::uint64_t seed : run_seeds) {
     config.seed = seed;
     agg.absorb(core::run_scenario(config));
+  }
+  return agg;
+}
+
+/// Parallel run_batch: distributes the seeds over a pool of std::threads
+/// and absorbs the per-run results in seed order once every worker has
+/// joined. Each run is a pure function of (config, seed) and absorption
+/// order is the only aggregation-order effect, so the returned Aggregate
+/// is bit-identical to the serial run_batch for the same seed list
+/// (pinned by tests/core/test_batch_runner.cpp). `n_threads == 0` uses
+/// the hardware concurrency.
+[[nodiscard]] inline Aggregate run_batch_parallel(
+    const core::ScenarioConfig& config,
+    const std::vector<std::uint64_t>& run_seeds, unsigned n_threads = 0) {
+  if (n_threads == 0) {
+    n_threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  n_threads = static_cast<unsigned>(
+      std::min<std::size_t>(n_threads, run_seeds.size()));
+  if (n_threads <= 1) {
+    return run_batch(config, run_seeds);
+  }
+
+  std::vector<std::optional<core::ScenarioResult>> results(run_seeds.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < run_seeds.size();
+         i = next.fetch_add(1)) {
+      try {
+        core::ScenarioConfig run_config = config;
+        run_config.seed = run_seeds[i];
+        results[i].emplace(core::run_scenario(run_config));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned i = 0; i < n_threads; ++i) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+
+  Aggregate agg;
+  for (std::optional<core::ScenarioResult>& result : results) {
+    agg.absorb(*result);
   }
   return agg;
 }

@@ -31,6 +31,20 @@ RadioEnvironment::RadioEnvironment(
         config.channel, bs.pose().position, ue_start.position, config.horizon,
         link_seed));
   }
+  snapshot_cache_.resize(base_stations_.size());
+}
+
+const phy::PathSnapshot& RadioEnvironment::snapshot_for(CellId cell,
+                                                        sim::Time t) const {
+  SnapshotCacheEntry& entry = snapshot_cache_[cell];
+  if (!entry.valid || entry.t != t) {
+    const BaseStation& station = base_stations_[cell];
+    channels_[cell]->make_snapshot(station.pose(), ue_pose(t), t,
+                                   station.tx_power_dbm(), entry.snapshot);
+    entry.t = t;
+    entry.valid = true;
+  }
+  return entry.snapshot;
 }
 
 const BaseStation& RadioEnvironment::bs(CellId cell) const {
@@ -57,9 +71,9 @@ const phy::Channel& RadioEnvironment::channel(CellId cell) const {
 double RadioEnvironment::true_dl_rss_dbm(CellId cell, phy::BeamId tx_beam,
                                          phy::BeamId ue_beam, sim::Time t) const {
   const BaseStation& station = bs(cell);
-  return channels_[cell]->rx_power_dbm(
-      station.pose(), station.codebook().beam(tx_beam), ue_pose(t),
-      ue_codebook_.beam(ue_beam), t, station.tx_power_dbm());
+  return phy::snapshot_rx_power_dbm(snapshot_for(cell, t),
+                                    station.codebook().beam(tx_beam),
+                                    ue_codebook_.beam(ue_beam));
 }
 
 double RadioEnvironment::interference_dbm(CellId wanted, phy::BeamId ue_beam,
@@ -127,12 +141,18 @@ bool RadioEnvironment::uplink_success(CellId cell, phy::BeamId ue_beam,
                                       phy::BeamId bs_beam, sim::Time t,
                                       double extra_power_db) {
   // TDD reciprocity: the downlink expression with beam roles swapped gives
-  // the uplink received power at the base station.
+  // the uplink received power at the base station. The cached snapshot is
+  // built with the cell's DL tx power; since every path scales equally
+  // with tx power, the UE-power uplink result is the DL result shifted by
+  // the power delta in dB.
   const BaseStation& station = bs(cell);
-  const double rx_at_bs = channels_[cell]->rx_power_dbm(
-      station.pose(), station.codebook().beam(bs_beam), ue_pose(t),
-      ue_codebook_.beam(ue_beam), t,
-      config_.ue_tx_power_dbm + extra_power_db);
+  const double power_delta_db =
+      config_.ue_tx_power_dbm + extra_power_db - station.tx_power_dbm();
+  const double rx_at_bs =
+      phy::snapshot_rx_power_dbm(snapshot_for(cell, t),
+                                 station.codebook().beam(bs_beam),
+                                 ue_codebook_.beam(ue_beam)) +
+      power_delta_db;
   return link_.detect(link_.snr_db(rx_at_bs), detection_rng_);
 }
 
@@ -150,18 +170,15 @@ double RadioEnvironment::true_dl_snr_db(CellId cell, phy::BeamId tx_beam,
 phy::Channel::BestPair RadioEnvironment::ground_truth_best_pair(CellId cell,
                                                                 sim::Time t) const {
   const BaseStation& station = bs(cell);
-  return channels_[cell]->best_beam_pair(station.pose(), station.codebook(),
-                                         ue_pose(t), ue_codebook_, t,
-                                         station.tx_power_dbm());
+  return phy::sweep_beam_pairs(snapshot_for(cell, t), station.codebook(),
+                               ue_codebook_);
 }
 
 phy::Channel::BestBeam RadioEnvironment::ground_truth_best_rx(
     CellId cell, phy::BeamId tx_beam, sim::Time t) const {
   const BaseStation& station = bs(cell);
-  return channels_[cell]->best_rx_beam(station.pose(),
-                                       station.codebook().beam(tx_beam),
-                                       ue_pose(t), ue_codebook_, t,
-                                       station.tx_power_dbm());
+  return phy::sweep_rx_beams(snapshot_for(cell, t),
+                             station.codebook().beam(tx_beam), ue_codebook_);
 }
 
 }  // namespace st::net

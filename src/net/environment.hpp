@@ -23,6 +23,7 @@
 #include "net/observation.hpp"
 #include "phy/channel.hpp"
 #include "phy/link.hpp"
+#include "phy/path_snapshot.hpp"
 
 namespace st::net {
 
@@ -126,6 +127,18 @@ class RadioEnvironment {
   [[nodiscard]] double true_dl_rss_dbm(CellId cell, phy::BeamId tx_beam,
                                        phy::BeamId ue_beam, sim::Time t) const;
 
+  /// Path snapshot for (cell, t), served from a one-entry-per-cell epoch
+  /// cache. Validity rule: an entry is reusable iff it was built for
+  /// exactly the queried time — the UE pose is a pure function of t and
+  /// base stations never move, so (cell, t) fully keys the geometry; any
+  /// query at a different t rebuilds in place (storage reused, no
+  /// allocation once warm). The metric tick and protocol callbacks firing
+  /// at the same instant therefore share one snapshot per cell.
+  /// Snapshots are built with the cell's DL tx power; uplink reuses them
+  /// by adding the tx-power delta in dB (every path scales equally).
+  [[nodiscard]] const phy::PathSnapshot& snapshot_for(CellId cell,
+                                                      sim::Time t) const;
+
   /// SINR [dB] for an SSB of `cell` received on `ue_beam`: signal against
   /// thermal noise plus any concurrent SSB transmissions of other cells.
   [[nodiscard]] double ssb_sinr_db(CellId cell, double true_rss_dbm,
@@ -137,6 +150,17 @@ class RadioEnvironment {
   phy::Codebook ue_codebook_;
   phy::LinkBudget link_;
   std::vector<std::unique_ptr<phy::Channel>> channels_;  // one per cell
+
+  struct SnapshotCacheEntry {
+    bool valid = false;
+    sim::Time t;
+    phy::PathSnapshot snapshot;
+  };
+  /// One entry per cell; mutable because ground-truth queries are const.
+  /// Not synchronised: a RadioEnvironment is single-threaded by design
+  /// (parallel batch runs give each thread its own environment).
+  mutable std::vector<SnapshotCacheEntry> snapshot_cache_;
+
   Rng measurement_rng_;
   Rng detection_rng_;
   std::uint64_t ssb_observations_ = 0;

@@ -39,20 +39,39 @@ double ula_af_gain_linear(unsigned n, double offset_rad) noexcept {
 }
 
 /// Numerical half-power beamwidth for a symmetric pattern given a gain
-/// functor (linear) with its peak at offset zero.
+/// functor (linear) with its peak at offset zero. A coarse scan brackets
+/// the first crossing below half power, then bisection refines it. The
+/// bracket contains exactly one crossing for every pattern family here:
+/// sidelobes sit far below −3 dB, so the gain stays under half power once
+/// the main lobe has crossed it.
 template <typename GainFn>
 double numeric_hpbw(GainFn&& gain, double peak_linear) {
   const double half = 0.5 * peak_linear;
-  constexpr double kStep = 1e-4;
-  for (double theta = kStep; theta <= kPi; theta += kStep) {
+  constexpr double kCoarseStep = kPi / 1024.0;
+  double lo = 0.0;
+  double hi = -1.0;
+  for (double theta = kCoarseStep; theta <= kPi; theta += kCoarseStep) {
     if (gain(theta) < half) {
-      return 2.0 * theta;
+      hi = theta;
+      break;
     }
+    lo = theta;
   }
-  return kTwoPi;
+  if (hi < 0.0) {
+    return kTwoPi;  // never drops below half power within the half circle
+  }
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (gain(mid) < half ? hi : lo) = mid;
+  }
+  return 2.0 * hi;
 }
 
 }  // namespace
+
+double BeamPattern::gain_linear(double offset_rad) const noexcept {
+  return from_db(gain_dbi(offset_rad));
+}
 
 double OmniPattern::hpbw_rad() const noexcept { return kTwoPi; }
 
@@ -88,10 +107,14 @@ GaussianPattern::GaussianPattern(double hpbw_rad, double sidelobe_floor_db)
 }
 
 double GaussianPattern::gain_dbi(double offset_rad) const noexcept {
+  return to_db(gain_linear(offset_rad));
+}
+
+double GaussianPattern::gain_linear(double offset_rad) const noexcept {
   const double theta = wrap_pi(offset_rad);
   const double lobe =
       peak_linear_ * std::exp(-theta * theta / (2.0 * sigma_ * sigma_));
-  return to_db(std::max(lobe, floor_linear_));
+  return std::max(lobe, floor_linear_);
 }
 
 double GaussianPattern::peak_gain_dbi() const noexcept {
@@ -112,9 +135,13 @@ UlaPattern::UlaPattern(unsigned elements) : n_(elements) {
 }
 
 double UlaPattern::gain_dbi(double offset_rad) const noexcept {
+  return to_db(gain_linear(offset_rad));
+}
+
+double UlaPattern::gain_linear(double offset_rad) const noexcept {
   const double theta = wrap_pi(offset_rad);
   const double g = ula_af_gain_linear(n_, theta) * element_gain_linear(theta);
-  return to_db(std::max(g, 1e-6));
+  return std::max(g, 1e-6);
 }
 
 double UlaPattern::peak_gain_dbi() const noexcept {
@@ -125,12 +152,27 @@ unsigned ula_elements_for_hpbw(double hpbw_rad) {
   if (!(hpbw_rad > 0.0)) {
     throw std::invalid_argument("ula_elements_for_hpbw: hpbw must be positive");
   }
-  for (unsigned n = 1; n <= 512; ++n) {
-    if (UlaPattern(n).hpbw_rad() <= hpbw_rad) {
-      return n;
+  // HPBW is strictly decreasing in the element count, so the smallest
+  // qualifying array is found by bisection — ~10 pattern constructions
+  // instead of up to 512.
+  constexpr unsigned kMaxElements = 512;
+  if (UlaPattern(1).hpbw_rad() <= hpbw_rad) {
+    return 1;
+  }
+  if (UlaPattern(kMaxElements).hpbw_rad() > hpbw_rad) {
+    return kMaxElements;
+  }
+  unsigned too_wide = 1;           // hpbw > requested
+  unsigned narrow = kMaxElements;  // hpbw <= requested
+  while (narrow - too_wide > 1) {
+    const unsigned mid = too_wide + (narrow - too_wide) / 2;
+    if (UlaPattern(mid).hpbw_rad() <= hpbw_rad) {
+      narrow = mid;
+    } else {
+      too_wide = mid;
     }
   }
-  return 512;
+  return narrow;
 }
 
 }  // namespace st::phy

@@ -35,6 +35,12 @@ class BeamPattern {
   /// Offset is wrapped internally; any real value is accepted.
   [[nodiscard]] virtual double gain_dbi(double offset_rad) const noexcept = 0;
 
+  /// Power gain as a linear ratio at an angular offset [rad] from
+  /// boresight. Equivalent to from_db(gain_dbi(offset)) up to rounding,
+  /// but skips the dB round trip — the sweep kernels call this once per
+  /// (path, candidate beam) in their inner loop.
+  [[nodiscard]] virtual double gain_linear(double offset_rad) const noexcept;
+
   /// Half-power (−3 dB) beamwidth [rad]. Omni patterns report 2*pi.
   [[nodiscard]] virtual double hpbw_rad() const noexcept = 0;
 
@@ -52,6 +58,9 @@ class BeamPattern {
 class OmniPattern final : public BeamPattern {
  public:
   [[nodiscard]] double gain_dbi(double) const noexcept override { return 0.0; }
+  [[nodiscard]] double gain_linear(double) const noexcept override {
+    return 1.0;
+  }
   [[nodiscard]] double hpbw_rad() const noexcept override;
   [[nodiscard]] double peak_gain_dbi() const noexcept override { return 0.0; }
 };
@@ -65,6 +74,7 @@ class GaussianPattern final : public BeamPattern {
   explicit GaussianPattern(double hpbw_rad, double sidelobe_floor_db = -20.0);
 
   [[nodiscard]] double gain_dbi(double offset_rad) const noexcept override;
+  [[nodiscard]] double gain_linear(double offset_rad) const noexcept override;
   [[nodiscard]] double hpbw_rad() const noexcept override { return hpbw_; }
   [[nodiscard]] double peak_gain_dbi() const noexcept override;
 
@@ -84,6 +94,7 @@ class UlaPattern final : public BeamPattern {
   explicit UlaPattern(unsigned elements);
 
   [[nodiscard]] double gain_dbi(double offset_rad) const noexcept override;
+  [[nodiscard]] double gain_linear(double offset_rad) const noexcept override;
   [[nodiscard]] double hpbw_rad() const noexcept override { return hpbw_; }
   [[nodiscard]] double peak_gain_dbi() const noexcept override;
   [[nodiscard]] unsigned elements() const noexcept { return n_; }

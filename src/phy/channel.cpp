@@ -5,8 +5,22 @@
 
 #include "common/angles.hpp"
 #include "common/units.hpp"
+#include "phy/path_snapshot.hpp"
 
 namespace st::phy {
+
+namespace {
+
+/// Scratch snapshot for the pose-based convenience entry points. One per
+/// thread so concurrent scenario runs (run_batch_parallel) never share
+/// state; capacity is retained across calls, so the hot path allocates
+/// only on each thread's first use.
+PathSnapshot& scratch_snapshot() {
+  thread_local PathSnapshot snapshot;
+  return snapshot;
+}
+
+}  // namespace
 
 Channel::Channel(const ChannelConfig& config, Vec3 tx_anchor, Vec3 rx_anchor,
                  sim::Duration horizon, std::uint64_t seed)
@@ -18,9 +32,70 @@ Channel::Channel(const ChannelConfig& config, Vec3 tx_anchor, Vec3 rx_anchor,
       multipath_(config.multipath, tx_anchor, rx_anchor,
                  derive_seed(seed, "multipath")) {}
 
+void Channel::make_snapshot(const Pose& tx_pose, const Pose& rx_pose,
+                            sim::Time t, double tx_power_dbm,
+                            PathSnapshot& out) const {
+  const double shadow_db = shadowing_.sample_db(rx_pose.position);
+  const double block_db = blockage_.attenuation_db(t);
+
+  out.coherent = coherent_;
+  out.paths.clear();
+  multipath_.visit_paths(
+      tx_pose.position, rx_pose.position, [&](const PropagationPath& path) {
+        PathSnapshot::Path p;
+        p.base_db = tx_power_dbm - pathloss_.loss_db(path.length_m) -
+                    path.extra_loss_db - shadow_db;
+        if (path.is_los) {
+          p.base_db -= block_db;
+        }
+        p.base_linear = from_db(p.base_db);
+        if (coherent_) {
+          const double phase =
+              kTwoPi * std::fmod(path.length_m / wavelength_m_, 1.0);
+          const double amp = std::sqrt(p.base_linear);
+          p.amp_cos = amp * std::cos(phase);
+          p.amp_sin = amp * std::sin(phase);
+        } else {
+          p.amp_cos = 0.0;
+          p.amp_sin = 0.0;
+        }
+        p.tx_az = tx_pose.to_body_frame(path.departure_world).azimuth();
+        p.rx_az = rx_pose.to_body_frame(path.arrival_world).azimuth();
+        out.paths.push_back(p);
+      });
+}
+
 double Channel::rx_power_dbm(const Pose& tx_pose, const Beam& tx_beam,
                              const Pose& rx_pose, const Beam& rx_beam,
                              sim::Time t, double tx_power_dbm) const {
+  PathSnapshot& snapshot = scratch_snapshot();
+  make_snapshot(tx_pose, rx_pose, t, tx_power_dbm, snapshot);
+  return snapshot_rx_power_dbm(snapshot, tx_beam, rx_beam);
+}
+
+Channel::BestBeam Channel::best_rx_beam(const Pose& tx_pose,
+                                        const Beam& tx_beam,
+                                        const Pose& rx_pose,
+                                        const Codebook& rx_codebook,
+                                        sim::Time t, double tx_power_dbm) const {
+  PathSnapshot& snapshot = scratch_snapshot();
+  make_snapshot(tx_pose, rx_pose, t, tx_power_dbm, snapshot);
+  return sweep_rx_beams(snapshot, tx_beam, rx_codebook);
+}
+
+Channel::BestPair Channel::best_beam_pair(const Pose& tx_pose,
+                                          const Codebook& tx_codebook,
+                                          const Pose& rx_pose,
+                                          const Codebook& rx_codebook,
+                                          sim::Time t, double tx_power_dbm) const {
+  PathSnapshot& snapshot = scratch_snapshot();
+  make_snapshot(tx_pose, rx_pose, t, tx_power_dbm, snapshot);
+  return sweep_beam_pairs(snapshot, tx_codebook, rx_codebook);
+}
+
+double Channel::rx_power_dbm_naive(const Pose& tx_pose, const Beam& tx_beam,
+                                   const Pose& rx_pose, const Beam& rx_beam,
+                                   sim::Time t, double tx_power_dbm) const {
   const double shadow_db = shadowing_.sample_db(rx_pose.position);
   const double block_db = blockage_.attenuation_db(t);
 
@@ -53,32 +128,23 @@ double Channel::rx_power_dbm(const Pose& tx_pose, const Beam& tx_beam,
   return to_db(sum_linear_mw);
 }
 
-Channel::BestBeam Channel::best_rx_beam(const Pose& tx_pose,
-                                        const Beam& tx_beam,
-                                        const Pose& rx_pose,
-                                        const Codebook& rx_codebook,
-                                        sim::Time t, double tx_power_dbm) const {
-  BestBeam best;
-  for (const Beam& candidate : rx_codebook.beams()) {
-    const double p =
-        rx_power_dbm(tx_pose, tx_beam, rx_pose, candidate, t, tx_power_dbm);
-    if (best.beam == kInvalidBeam || p > best.rx_power_dbm) {
-      best.beam = candidate.id();
-      best.rx_power_dbm = p;
-    }
-  }
-  return best;
-}
-
-Channel::BestPair Channel::best_beam_pair(const Pose& tx_pose,
-                                          const Codebook& tx_codebook,
-                                          const Pose& rx_pose,
-                                          const Codebook& rx_codebook,
-                                          sim::Time t, double tx_power_dbm) const {
+Channel::BestPair Channel::best_beam_pair_naive(const Pose& tx_pose,
+                                                const Codebook& tx_codebook,
+                                                const Pose& rx_pose,
+                                                const Codebook& rx_codebook,
+                                                sim::Time t,
+                                                double tx_power_dbm) const {
   BestPair best;
   for (const Beam& tx : tx_codebook.beams()) {
-    const BestBeam b =
-        best_rx_beam(tx_pose, tx, rx_pose, rx_codebook, t, tx_power_dbm);
+    BestBeam b;
+    for (const Beam& candidate : rx_codebook.beams()) {
+      const double p = rx_power_dbm_naive(tx_pose, tx, rx_pose, candidate, t,
+                                          tx_power_dbm);
+      if (b.beam == kInvalidBeam || p > b.rx_power_dbm) {
+        b.beam = candidate.id();
+        b.rx_power_dbm = p;
+      }
+    }
     if (best.tx_beam == kInvalidBeam || b.rx_power_dbm > best.rx_power_dbm) {
       best.tx_beam = tx.id();
       best.rx_beam = b.beam;

@@ -30,6 +30,9 @@
 
 namespace st::phy {
 
+// Defined in path_snapshot.hpp together with the sweep kernels.
+struct PathSnapshot;
+
 struct ChannelConfig {
   PathLossConfig pathloss{.model = PathLossModel::kFreeSpace,
                           .carrier_hz = kDefaultCarrierHz};
@@ -56,9 +59,22 @@ class Channel {
           sim::Duration horizon, std::uint64_t seed);
 
   /// Received power [dBm] for the given geometry, beams, and time.
+  /// Internally builds a PathSnapshot (thread-local scratch, no
+  /// allocation once warm) and evaluates the pair over it.
   [[nodiscard]] double rx_power_dbm(const Pose& tx_pose, const Beam& tx_beam,
                                     const Pose& rx_pose, const Beam& rx_beam,
                                     sim::Time t, double tx_power_dbm) const;
+
+  /// Build the beam-independent snapshot for this geometry/time: per
+  /// path, the base power (tx power − path loss − reflection loss −
+  /// shadowing − blockage on the LOS path), the body-frame azimuths, and
+  /// the geometric phase. `out`'s storage is reused across calls, so a
+  /// warmed snapshot rebuilds without allocating. Callers that evaluate
+  /// many beams at one (poses, t) — sweeps, the environment's per-tick
+  /// queries — should build one snapshot and use the kernels in
+  /// path_snapshot.hpp.
+  void make_snapshot(const Pose& tx_pose, const Pose& rx_pose, sim::Time t,
+                     double tx_power_dbm, PathSnapshot& out) const;
 
   /// Ground-truth helper for the metric layer (protocols must not call
   /// this): the RX beam in `rx_codebook` with the highest rx power for
@@ -85,11 +101,34 @@ class Channel {
                                         const Codebook& rx_codebook,
                                         sim::Time t, double tx_power_dbm) const;
 
+  // ---- Naive reference formulation ------------------------------------
+  // The original per-call formulation that re-derives every term (path
+  // set, shadowing, blockage, pathloss) for each beam pair. Kept as the
+  // golden reference for the snapshot equivalence tests
+  // (tests/phy/test_path_snapshot.cpp) and the bench_micro speedup
+  // comparison; production callers use the snapshot fast path above.
+
+  [[nodiscard]] double rx_power_dbm_naive(const Pose& tx_pose,
+                                          const Beam& tx_beam,
+                                          const Pose& rx_pose,
+                                          const Beam& rx_beam, sim::Time t,
+                                          double tx_power_dbm) const;
+
+  [[nodiscard]] BestPair best_beam_pair_naive(const Pose& tx_pose,
+                                              const Codebook& tx_codebook,
+                                              const Pose& rx_pose,
+                                              const Codebook& rx_codebook,
+                                              sim::Time t,
+                                              double tx_power_dbm) const;
+
   [[nodiscard]] const BlockageProcess& blockage() const noexcept {
     return blockage_;
   }
   [[nodiscard]] const MultipathGeometry& multipath() const noexcept {
     return multipath_;
+  }
+  [[nodiscard]] const ShadowingProcess& shadowing() const noexcept {
+    return shadowing_;
   }
 
  private:

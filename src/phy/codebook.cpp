@@ -20,6 +20,10 @@ double Beam::gain_dbi(double azimuth_rad) const noexcept {
   return pattern_->gain_dbi(angular_difference(boresight_, azimuth_rad));
 }
 
+double Beam::gain_linear(double azimuth_rad) const noexcept {
+  return pattern_->gain_linear(angular_difference(boresight_, azimuth_rad));
+}
+
 Codebook::Codebook(std::vector<Beam> beams) : beams_(std::move(beams)) {
   if (beams_.empty()) {
     throw std::invalid_argument("Codebook: needs at least one beam");

@@ -39,6 +39,10 @@ class Beam {
   /// Power gain [dBi] towards a body-frame azimuth.
   [[nodiscard]] double gain_dbi(double azimuth_rad) const noexcept;
 
+  /// Power gain (linear ratio) towards a body-frame azimuth — the sweep
+  /// kernels' inner-loop accessor, skipping the dB round trip.
+  [[nodiscard]] double gain_linear(double azimuth_rad) const noexcept;
+
  private:
   BeamId id_;
   double boresight_;

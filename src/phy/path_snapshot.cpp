@@ -1,0 +1,118 @@
+#include "phy/path_snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace st::phy {
+
+namespace {
+
+/// The coherent sum clamps at −300 dB so an exact phase null cannot
+/// produce −inf; identical to the naive formulation's floor.
+constexpr double kCoherentFloorLinear = 1e-30;
+
+/// Accumulate the sweep metric (linear power, or |amplitude|^2 when
+/// coherent) for one RX beam over the snapshot, with the per-path TX
+/// gains already evaluated into `tx_gain`.
+double beam_metric(const PathSnapshot& snapshot, const double* tx_gain,
+                   std::size_t n_paths, const Beam& rx_beam) noexcept {
+  if (snapshot.coherent) {
+    double re = 0.0;
+    double im = 0.0;
+    for (std::size_t i = 0; i < n_paths; ++i) {
+      const PathSnapshot::Path& p = snapshot.paths[i];
+      const double a = std::sqrt(tx_gain[i] * rx_beam.gain_linear(p.rx_az));
+      re += a * p.amp_cos;
+      im += a * p.amp_sin;
+    }
+    return re * re + im * im;
+  }
+  double sum_mw = 0.0;
+  for (std::size_t i = 0; i < n_paths; ++i) {
+    const PathSnapshot::Path& p = snapshot.paths[i];
+    sum_mw += p.base_linear * tx_gain[i] * rx_beam.gain_linear(p.rx_az);
+  }
+  return sum_mw;
+}
+
+double metric_to_dbm(const PathSnapshot& snapshot, double metric) noexcept {
+  if (snapshot.coherent) {
+    return to_db(std::max(metric, kCoherentFloorLinear));
+  }
+  return to_db(metric);
+}
+
+}  // namespace
+
+double snapshot_rx_power_dbm(const PathSnapshot& snapshot, const Beam& tx_beam,
+                             const Beam& rx_beam) noexcept {
+  if (snapshot.coherent) {
+    double re = 0.0;
+    double im = 0.0;
+    for (const PathSnapshot::Path& p : snapshot.paths) {
+      const double a = std::sqrt(tx_beam.gain_linear(p.tx_az) *
+                                 rx_beam.gain_linear(p.rx_az));
+      re += a * p.amp_cos;
+      im += a * p.amp_sin;
+    }
+    return to_db(std::max(re * re + im * im, kCoherentFloorLinear));
+  }
+  double sum_mw = 0.0;
+  for (const PathSnapshot::Path& p : snapshot.paths) {
+    sum_mw += p.base_linear * tx_beam.gain_linear(p.tx_az) *
+              rx_beam.gain_linear(p.rx_az);
+  }
+  return to_db(sum_mw);
+}
+
+Channel::BestBeam sweep_rx_beams(const PathSnapshot& snapshot,
+                                 const Beam& tx_beam,
+                                 const Codebook& rx_codebook) noexcept {
+  // The TX-side gains are shared by every RX candidate: hoist them out of
+  // the beam loop into a stack buffer. Path counts are tiny (1 + the
+  // reflector count); configs beyond the buffer would be pathological but
+  // are still handled by chunk-free per-path evaluation below.
+  constexpr std::size_t kMaxHoistedPaths = 64;
+  double tx_gain[kMaxHoistedPaths];
+  const std::size_t n_paths =
+      std::min(snapshot.paths.size(), kMaxHoistedPaths);
+  for (std::size_t i = 0; i < n_paths; ++i) {
+    tx_gain[i] = tx_beam.gain_linear(snapshot.paths[i].tx_az);
+  }
+  const bool hoisted = n_paths == snapshot.paths.size();
+
+  Channel::BestBeam best;
+  double best_metric = 0.0;
+  for (const Beam& candidate : rx_codebook.beams()) {
+    const double metric =
+        hoisted
+            ? beam_metric(snapshot, tx_gain, n_paths, candidate)
+            : from_db(snapshot_rx_power_dbm(snapshot, tx_beam, candidate));
+    if (best.beam == kInvalidBeam || metric > best_metric) {
+      best.beam = candidate.id();
+      best_metric = metric;
+    }
+  }
+  best.rx_power_dbm = metric_to_dbm(snapshot, best_metric);
+  return best;
+}
+
+Channel::BestPair sweep_beam_pairs(const PathSnapshot& snapshot,
+                                   const Codebook& tx_codebook,
+                                   const Codebook& rx_codebook) noexcept {
+  Channel::BestPair best;
+  for (const Beam& tx : tx_codebook.beams()) {
+    const Channel::BestBeam b = sweep_rx_beams(snapshot, tx, rx_codebook);
+    if (best.tx_beam == kInvalidBeam || b.rx_power_dbm > best.rx_power_dbm) {
+      best.tx_beam = tx.id();
+      best.rx_beam = b.beam;
+      best.rx_power_dbm = b.rx_power_dbm;
+    }
+  }
+  return best;
+}
+
+}  // namespace st::phy

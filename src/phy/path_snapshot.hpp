@@ -1,0 +1,64 @@
+// Beam-independent path snapshots and allocation-free codebook sweep
+// kernels — the channel-sweep fast path.
+//
+// An exhaustive sweep (Channel::best_rx_beam / best_beam_pair) evaluates
+// the received power once per candidate beam (pair), but between
+// candidates only the beam gains change: the multipath path set, path
+// loss, reflection losses, shadowing, blockage and the body-frame
+// azimuths depend solely on (tx pose, rx pose, t). A PathSnapshot
+// captures those once; the sweep kernels then score entire codebooks
+// touching nothing but a handful of precomputed scalars per path and the
+// patterns' linear gains — no heap allocation and no dB<->linear round
+// trips in the inner loop.
+//
+// Equivalence with the naive per-call formulation (kept as
+// Channel::rx_power_dbm_naive) is pinned to <= 1e-9 dB by
+// tests/phy/test_path_snapshot.cpp across coherent/incoherent configs and
+// all pattern families.
+#pragma once
+
+#include <vector>
+
+#include "phy/channel.hpp"
+
+namespace st::phy {
+
+/// Per-path state that does not depend on the beams under evaluation,
+/// computed once per (tx pose, rx pose, t, tx power) by
+/// Channel::make_snapshot. Paths appear LOS first, then one per
+/// reflector — the same order as MultipathGeometry::paths().
+struct PathSnapshot {
+  struct Path {
+    double base_db;      ///< beam-independent rx power [dBm]: tx power −
+                         ///< path loss − reflection loss − shadowing −
+                         ///< blockage (LOS only); beam gains excluded
+    double base_linear;  ///< from_db(base_db) [mW]
+    double amp_cos;      ///< sqrt(base_linear)·cos(geometric phase)
+    double amp_sin;      ///< sqrt(base_linear)·sin(geometric phase)
+    double tx_az;        ///< body-frame azimuth of departure at the TX
+    double rx_az;        ///< body-frame azimuth of arrival at the RX
+  };
+
+  bool coherent = false;   ///< combine amplitudes instead of powers
+  std::vector<Path> paths; ///< storage reused across make_snapshot calls
+};
+
+/// Received power [dBm] for one (TX beam, RX beam) pair over a snapshot.
+[[nodiscard]] double snapshot_rx_power_dbm(const PathSnapshot& snapshot,
+                                           const Beam& tx_beam,
+                                           const Beam& rx_beam) noexcept;
+
+/// Best RX beam in `rx_codebook` for a fixed TX beam — the fast
+/// equivalent of Channel::best_rx_beam once a snapshot exists. Ties keep
+/// the lowest beam id, matching the naive scan.
+[[nodiscard]] Channel::BestBeam sweep_rx_beams(
+    const PathSnapshot& snapshot, const Beam& tx_beam,
+    const Codebook& rx_codebook) noexcept;
+
+/// Best (TX beam, RX beam) pair over both codebooks — the fast equivalent
+/// of Channel::best_beam_pair once a snapshot exists.
+[[nodiscard]] Channel::BestPair sweep_beam_pairs(
+    const PathSnapshot& snapshot, const Codebook& tx_codebook,
+    const Codebook& rx_codebook) noexcept;
+
+}  // namespace st::phy

@@ -1,0 +1,78 @@
+// run_batch_parallel must be indistinguishable from the serial run_batch:
+// each scenario run is a pure function of (config, seed) and the parallel
+// runner absorbs the per-run results in seed order, so every Aggregate
+// field — counts and raw samples alike — must be bit-identical. The
+// bench binaries all route through the parallel runner, so this test is
+// what keeps their printed tables byte-stable regardless of thread count.
+#include "bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace st::bench {
+namespace {
+
+core::ScenarioConfig short_config() {
+  core::ScenarioConfig config;
+  config.duration = sim::Duration::milliseconds(2'000);
+  return config;
+}
+
+void expect_identical(const SuccessRate& a, const SuccessRate& b) {
+  EXPECT_EQ(a.trials(), b.trials());
+  EXPECT_EQ(a.successes(), b.successes());
+}
+
+void expect_identical(const SampleSet& a, const SampleSet& b) {
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    // Bit-identical, not approximately equal: same runs, same order.
+    EXPECT_EQ(a.samples()[i], b.samples()[i]) << "sample " << i;
+  }
+}
+
+void expect_identical(const Aggregate& a, const Aggregate& b) {
+  expect_identical(a.handover_success, b.handover_success);
+  expect_identical(a.soft_fraction, b.soft_fraction);
+  expect_identical(a.aligned_at_completion, b.aligned_at_completion);
+  expect_identical(a.interruption_ms, b.interruption_ms);
+  expect_identical(a.alignment_fraction, b.alignment_fraction);
+  expect_identical(a.rach_attempts, b.rach_attempts);
+}
+
+TEST(RunBatchParallel, BitIdenticalToSerial) {
+  const core::ScenarioConfig config = short_config();
+  const std::vector<std::uint64_t> run_seeds = seeds(5);
+  const Aggregate serial = run_batch(config, run_seeds);
+  // Force a real pool: the CI container may report one hardware thread,
+  // which would silently select the serial fallback.
+  const Aggregate parallel = run_batch_parallel(config, run_seeds, 4);
+  expect_identical(serial, parallel);
+}
+
+TEST(RunBatchParallel, MoreThreadsThanSeedsStillIdentical) {
+  const core::ScenarioConfig config = short_config();
+  const std::vector<std::uint64_t> run_seeds = seeds(2);
+  expect_identical(run_batch(config, run_seeds),
+                   run_batch_parallel(config, run_seeds, 8));
+}
+
+TEST(RunBatchParallel, SingleThreadFallsBackToSerial) {
+  const core::ScenarioConfig config = short_config();
+  const std::vector<std::uint64_t> run_seeds = seeds(3);
+  expect_identical(run_batch(config, run_seeds),
+                   run_batch_parallel(config, run_seeds, 1));
+}
+
+TEST(RunBatchParallel, RepeatedParallelRunsAreDeterministic) {
+  const core::ScenarioConfig config = short_config();
+  const std::vector<std::uint64_t> run_seeds = seeds(4);
+  expect_identical(run_batch_parallel(config, run_seeds, 3),
+                   run_batch_parallel(config, run_seeds, 4));
+}
+
+}  // namespace
+}  // namespace st::bench

@@ -1,0 +1,219 @@
+// Golden equivalence of the channel-sweep fast path (path snapshots +
+// allocation-free kernels, path_snapshot.hpp) against the naive per-call
+// formulation kept as Channel::rx_power_dbm_naive /
+// best_beam_pair_naive. The fast path replaces the naive one everywhere
+// in production, so these tests are the contract that the refactor
+// changed nothing observable: power matches to <= 1e-9 dB and sweeps
+// pick the identical winning beam ids across coherent/incoherent
+// combining, all pattern families, rotated poses, and blocked instants.
+#include "phy/path_snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/quaternion.hpp"
+#include "phy/channel.hpp"
+#include "phy/codebook.hpp"
+
+namespace st::phy {
+namespace {
+
+using sim::literals::operator""_s;
+
+constexpr double kTolDb = 1e-9;
+constexpr double kTxPowerDbm = 13.0;
+
+/// Blockage config busy enough that a 60 s horizon reliably contains a
+/// blocked instant to test the LOS-attenuated branch.
+BlockageConfig busy_blockage() {
+  BlockageConfig config;
+  config.rate_per_s = 2.0;
+  config.mean_duration_s = 0.4;
+  return config;
+}
+
+Channel make_channel(bool coherent, unsigned reflectors = 3,
+                     std::uint64_t seed = 7) {
+  ChannelConfig config;
+  config.coherent_combining = coherent;
+  config.multipath.reflector_count = reflectors;
+  config.blockage = busy_blockage();
+  return Channel(config, {0.0, 0.0, 0.0}, {30.0, 10.0, 0.0}, 60_s, seed);
+}
+
+/// A pose set exercising translation and body-frame rotation (the
+/// snapshot stores body-frame azimuths, so yaw must flow through).
+std::vector<Pose> rx_poses() {
+  std::vector<Pose> poses;
+  Pose p;
+  p.position = {30.0, 10.0, 0.0};
+  poses.push_back(p);
+  p.position = {45.0, -12.0, 1.5};
+  p.orientation = Quaternion::from_yaw(0.9);
+  poses.push_back(p);
+  p.position = {12.0, 33.0, 0.0};
+  p.orientation = Quaternion::from_yaw(-2.4);
+  poses.push_back(p);
+  return poses;
+}
+
+/// Sample times spread over the horizon; with busy_blockage at least one
+/// falls inside a blockage event (asserted below).
+std::vector<sim::Time> sample_times(const Channel& channel) {
+  std::vector<sim::Time> times;
+  bool saw_blocked = false;
+  for (int ms = 100; ms < 60'000; ms += 1'700) {
+    const sim::Time t = sim::Time::from_ns(std::int64_t{ms} * 1'000'000);
+    if (times.size() < 8) {
+      times.push_back(t);
+    }
+    if (!saw_blocked && channel.blockage().attenuation_db(t) > 1.0) {
+      times.push_back(t);
+      saw_blocked = true;
+    }
+  }
+  EXPECT_TRUE(saw_blocked) << "no blocked instant sampled — weaken config?";
+  return times;
+}
+
+struct PatternCase {
+  const char* name;
+  Codebook tx;
+  Codebook rx;
+};
+
+std::vector<PatternCase> pattern_cases() {
+  std::vector<PatternCase> cases;
+  cases.push_back({"omni", Codebook::omni(), Codebook::omni()});
+  cases.push_back({"gaussian", Codebook::from_beamwidth_deg(45.0),
+                   Codebook::from_beamwidth_deg(20.0)});
+  cases.push_back({"ula", Codebook::ula_from_beamwidth_deg(45.0),
+                   Codebook::ula_from_beamwidth_deg(20.0)});
+  return cases;
+}
+
+class PathSnapshotEquivalence : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PathSnapshotEquivalence, RxPowerMatchesNaive) {
+  const Channel channel = make_channel(GetParam());
+  const Pose tx_pose;
+  for (const PatternCase& pc : pattern_cases()) {
+    for (const Pose& rx_pose : rx_poses()) {
+      for (const sim::Time t : sample_times(channel)) {
+        for (BeamId tb = 0; tb < pc.tx.size(); ++tb) {
+          for (BeamId rb = 0; rb < pc.rx.size(); ++rb) {
+            const double fast =
+                channel.rx_power_dbm(tx_pose, pc.tx.beam(tb), rx_pose,
+                                     pc.rx.beam(rb), t, kTxPowerDbm);
+            const double naive =
+                channel.rx_power_dbm_naive(tx_pose, pc.tx.beam(tb), rx_pose,
+                                           pc.rx.beam(rb), t, kTxPowerDbm);
+            ASSERT_NEAR(fast, naive, kTolDb)
+                << pc.name << " tx_beam=" << tb << " rx_beam=" << rb
+                << " t=" << t.ns() << "ns";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PathSnapshotEquivalence, BestPairMatchesNaive) {
+  const Channel channel = make_channel(GetParam());
+  const Pose tx_pose;
+  for (const PatternCase& pc : pattern_cases()) {
+    for (const Pose& rx_pose : rx_poses()) {
+      for (const sim::Time t : sample_times(channel)) {
+        const Channel::BestPair fast = channel.best_beam_pair(
+            tx_pose, pc.tx, rx_pose, pc.rx, t, kTxPowerDbm);
+        const Channel::BestPair naive = channel.best_beam_pair_naive(
+            tx_pose, pc.tx, rx_pose, pc.rx, t, kTxPowerDbm);
+        ASSERT_EQ(fast.tx_beam, naive.tx_beam) << pc.name;
+        ASSERT_EQ(fast.rx_beam, naive.rx_beam) << pc.name;
+        ASSERT_NEAR(fast.rx_power_dbm, naive.rx_power_dbm, kTolDb) << pc.name;
+      }
+    }
+  }
+}
+
+TEST_P(PathSnapshotEquivalence, SweepRxBeamsMatchesManualScan) {
+  const Channel channel = make_channel(GetParam());
+  const Codebook tx_cb = Codebook::from_beamwidth_deg(45.0);
+  const Codebook rx_cb = Codebook::from_beamwidth_deg(20.0);
+  const Pose tx_pose;
+  for (const Pose& rx_pose : rx_poses()) {
+    for (const sim::Time t : sample_times(channel)) {
+      PathSnapshot snapshot;
+      channel.make_snapshot(tx_pose, rx_pose, t, kTxPowerDbm, snapshot);
+      for (BeamId tb = 0; tb < tx_cb.size(); ++tb) {
+        const Channel::BestBeam fast =
+            sweep_rx_beams(snapshot, tx_cb.beam(tb), rx_cb);
+        // Manual first-strictly-greater scan over pairwise evaluations.
+        BeamId want = 0;
+        double want_dbm =
+            snapshot_rx_power_dbm(snapshot, tx_cb.beam(tb), rx_cb.beam(0));
+        for (BeamId rb = 1; rb < rx_cb.size(); ++rb) {
+          const double dbm =
+              snapshot_rx_power_dbm(snapshot, tx_cb.beam(tb), rx_cb.beam(rb));
+          if (dbm > want_dbm) {
+            want_dbm = dbm;
+            want = rb;
+          }
+        }
+        ASSERT_EQ(fast.beam, want);
+        ASSERT_NEAR(fast.rx_power_dbm, want_dbm, kTolDb);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CombiningModes, PathSnapshotEquivalence,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "Coherent" : "Incoherent";
+                         });
+
+TEST(PathSnapshot, LosOnlyChannelHasSinglePath) {
+  const Channel channel = make_channel(false, /*reflectors=*/0);
+  PathSnapshot snapshot;
+  channel.make_snapshot(Pose{}, rx_poses()[0], sim::Time::from_ns(1'000'000),
+                        kTxPowerDbm, snapshot);
+  EXPECT_EQ(snapshot.paths.size(), 1U);
+  EXPECT_FALSE(snapshot.coherent);
+}
+
+TEST(PathSnapshot, StorageIsReusedAcrossRebuilds) {
+  const Channel channel = make_channel(true);
+  PathSnapshot snapshot;
+  channel.make_snapshot(Pose{}, rx_poses()[0], sim::Time::from_ns(1'000'000),
+                        kTxPowerDbm, snapshot);
+  const std::size_t n_paths = snapshot.paths.size();
+  const PathSnapshot::Path* data = snapshot.paths.data();
+  for (std::size_t i = 2; i < 40; ++i) {
+    channel.make_snapshot(Pose{}, rx_poses()[i % 3],
+                          sim::Time::from_ns(static_cast<std::int64_t>(i) *
+                                             1'000'000),
+                          kTxPowerDbm, snapshot);
+    ASSERT_EQ(snapshot.paths.size(), n_paths);
+    ASSERT_EQ(snapshot.paths.data(), data) << "snapshot reallocated";
+  }
+}
+
+TEST(PathSnapshot, BaseLinearIsConsistentWithBaseDb) {
+  const Channel channel = make_channel(true);
+  PathSnapshot snapshot;
+  channel.make_snapshot(Pose{}, rx_poses()[1], sim::Time::from_ns(5'000'000),
+                        kTxPowerDbm, snapshot);
+  for (const PathSnapshot::Path& path : snapshot.paths) {
+    EXPECT_NEAR(path.base_linear, from_db(path.base_db),
+                1e-12 * path.base_linear);
+    // Coherent amplitude decomposition preserves the path power.
+    EXPECT_NEAR(path.amp_cos * path.amp_cos + path.amp_sin * path.amp_sin,
+                path.base_linear, 1e-12 * path.base_linear);
+  }
+}
+
+}  // namespace
+}  // namespace st::phy
