@@ -78,7 +78,9 @@ SearchStats measure_codebook(double beamwidth_deg, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const st::bench::ObsOptions obs_options =
+      st::bench::consume_obs_options(argc, argv);
   st::bench::print_header(
       "E1: beam search under mobility, human walk at cell edge",
       "Fig. 2a — search latency and success rate per mobile codebook");
@@ -128,5 +130,12 @@ int main() {
   table.print(std::cout);
   std::cout << "\nShape check (paper): success(20deg) > success(60deg) >> "
                "success(omni); latency grows as beams narrow.\n";
-  return 0;
+
+  // Optional observability outputs: one instrumented cell-edge walk run
+  // (full scenario, so the trace shows search, tracking, and access).
+  st::core::ScenarioConfig traced;
+  traced.mobility = st::core::MobilityScenario::kHumanWalk;
+  traced.duration = kRunLength;
+  traced.seed = 1000;
+  return st::bench::write_observability(obs_options, traced) ? 0 : 1;
 }

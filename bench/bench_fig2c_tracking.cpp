@@ -42,7 +42,9 @@ void print_series(const core::ScenarioResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const st::bench::ObsOptions obs_options =
+      st::bench::consume_obs_options(argc, argv);
   st::bench::print_header(
       "E3: Silent Tracker tracking evaluation",
       "Fig. 2c — beam kept aligned until handover completion, three "
@@ -90,5 +92,9 @@ int main() {
   std::cout << "\nShape check (paper): alignment maintained to handover "
                "completion in all three scenarios; handovers predominantly "
                "soft.\n";
-  return 0;
+
+  // Optional observability outputs: one instrumented human-walk run.
+  core::ScenarioConfig traced = config_for(core::MobilityScenario::kHumanWalk);
+  traced.seed = 1000;
+  return st::bench::write_observability(obs_options, traced) ? 0 : 1;
 }

@@ -17,10 +17,12 @@
 #include <benchmark/benchmark.h>
 
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/rss_tracker.hpp"
+#include "core/scenario.hpp"
 #include "net/timing.hpp"
 #include "phy/channel.hpp"
 #include "phy/codebook.hpp"
@@ -219,6 +221,12 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(runs);
   }
 
+  /// Extra top-level JSON members ("\"key\": {...}" fragments) appended
+  /// after the benchmark array — carries the snapshot-cache stats.
+  void add_extra(std::string fragment) {
+    extras_.push_back(std::move(fragment));
+  }
+
   void Finalize() override {
     ConsoleReporter::Finalize();
     std::ofstream out("BENCH_micro.json");
@@ -232,7 +240,11 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
       }
       out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ]";
+    for (const std::string& extra : extras_) {
+      out << ",\n  " << extra;
+    }
+    out << "\n}\n";
   }
 
  private:
@@ -258,7 +270,27 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
   }
 
   std::vector<Entry> entries_;
+  std::vector<std::string> extras_;
 };
+
+/// Snapshot-cache effectiveness on a representative scenario (2 s walk):
+/// the cache is what turns the metric tick's ground-truth sweeps from a
+/// per-query 144-pair evaluation into an epoch lookup, so its hit rate is
+/// tracked in the JSON alongside the kernel timings it protects.
+std::string snapshot_cache_fragment() {
+  core::ScenarioConfig config;
+  config.duration = 2'000_ms;
+  const core::ScenarioResult result = core::run_scenario(config);
+  const net::SnapshotCacheStats& cache = result.snapshot_cache;
+  std::ostringstream out;
+  out << "\"snapshot_cache\": {\"hits\": " << cache.hits
+      << ", \"misses\": " << cache.misses
+      << ", \"invalidations\": " << cache.invalidations
+      << ", \"pair_sweeps\": " << cache.pair_sweeps
+      << ", \"rx_sweeps\": " << cache.rx_sweeps
+      << ", \"hit_rate\": " << cache.hit_rate() << "}";
+  return out.str();
+}
 
 }  // namespace
 
@@ -268,6 +300,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   JsonTeeReporter reporter;
+  reporter.add_extra(snapshot_cache_fragment());
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;

@@ -12,14 +12,89 @@
 #include <iostream>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/scenario.hpp"
+#include "obs/export.hpp"
 
 namespace st::bench {
+
+/// Observability outputs shared by the scenario-driven binaries:
+/// `--trace-out=<path>` writes a Chrome/Perfetto trace.json of one
+/// instrumented run, `--report-out=<path>` the machine-readable RunReport
+/// JSON. Both default off, so the measured runs stay untraced.
+struct ObsOptions {
+  std::string trace_out;
+  std::string report_out;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !trace_out.empty() || !report_out.empty();
+  }
+};
+
+/// Strip `--trace-out=...` / `--report-out=...` (also the two-token
+/// `--flag value` spelling) from argv so the binary's own parsing — or
+/// google-benchmark's — never sees them.
+[[nodiscard]] inline ObsOptions consume_obs_options(int& argc, char** argv) {
+  ObsOptions options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto match = [&](const std::string& flag,
+                           std::string& value) -> bool {
+      if (arg.rfind(flag + "=", 0) == 0) {
+        value = arg.substr(flag.size() + 1);
+        return true;
+      }
+      if (arg == flag && i + 1 < argc) {
+        value = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (match("--trace-out", options.trace_out) ||
+        match("--report-out", options.report_out)) {
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return options;
+}
+
+/// Re-run `config` once with tracing on and write whichever outputs were
+/// requested. Returns false (with a stderr note) if a file failed to open.
+inline bool write_observability(const ObsOptions& options,
+                                core::ScenarioConfig config) {
+  if (!options.enabled()) {
+    return true;
+  }
+  config.collect_trace = true;
+  const core::ScenarioResult result = core::run_scenario(config);
+  bool ok = true;
+  if (!options.trace_out.empty()) {
+    if (obs::write_chrome_trace_file(*result.trace, options.trace_out)) {
+      std::cout << "trace written to " << options.trace_out << "\n";
+    } else {
+      std::cerr << "failed to write trace to " << options.trace_out << "\n";
+      ok = false;
+    }
+  }
+  if (!options.report_out.empty()) {
+    const obs::RunReport report = core::build_run_report(config, result);
+    if (obs::write_text_file(options.report_out, report.to_json())) {
+      std::cout << "report written to " << options.report_out << "\n";
+    } else {
+      std::cerr << "failed to write report to " << options.report_out << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 /// Repetition seeds used across benches (arbitrary but fixed).
 [[nodiscard]] inline std::vector<std::uint64_t> seeds(std::size_t n) {

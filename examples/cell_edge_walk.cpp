@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   config.mobility = core::MobilityScenario::kHumanWalk;
   config.duration = 30'000_ms;
   config.chain_handovers = false;  // one clean A -> B story
+  config.collect_trace = true;     // feeds the run-report summary below
   config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
 
   std::cout
@@ -98,5 +99,7 @@ int main(int argc, char** argv) {
             << st::format_double(
                    100.0 * result.alignment_until_first_handover(), 1)
             << "% of the tracking time before the handover\n";
+
+  std::cout << '\n' << core::build_run_report(config, result).summary_text();
   return 0;
 }

@@ -25,6 +25,7 @@
 
 #include "common/table.hpp"
 #include "core/scenario.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -55,6 +56,8 @@ void print_help() {
   --seed <n>                           RNG root seed            [1]
   --csv rss|gap|snr                    dump a series as CSV
   --quiet                              summary only
+  --trace-out <path>                   write Chrome/Perfetto trace.json
+  --report-out <path>                  write machine-readable RunReport JSON
 )";
 }
 
@@ -64,6 +67,8 @@ int main(int argc, char** argv) {
   core::ScenarioConfig config;
   config.duration = 20'000_ms;
   std::string csv;
+  std::string trace_out;
+  std::string report_out;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,6 +131,10 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(next_value().c_str(), nullptr, 10);
     } else if (arg == "--csv") {
       csv = next_value();
+    } else if (arg == "--trace-out") {
+      trace_out = next_value();
+    } else if (arg == "--report-out") {
+      report_out = next_value();
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -133,7 +142,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  config.collect_trace = !trace_out.empty() || !report_out.empty();
+
   const core::ScenarioResult result = core::run_scenario(config);
+
+  if (!trace_out.empty() &&
+      !obs::write_chrome_trace_file(*result.trace, trace_out)) {
+    std::cerr << "scenario_cli: failed to write trace to " << trace_out
+              << "\n";
+    return 1;
+  }
+  if (!report_out.empty()) {
+    const obs::RunReport report = core::build_run_report(config, result);
+    if (!obs::write_text_file(report_out, report.to_json())) {
+      std::cerr << "scenario_cli: failed to write report to " << report_out
+                << "\n";
+      return 1;
+    }
+  }
 
   if (csv == "rss") {
     std::cout << "t_ms,tracked_rss_dbm\n"

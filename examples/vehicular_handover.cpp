@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   config.mobility = core::MobilityScenario::kVehicular;
   config.n_cells = 3;
   config.duration = 20'000_ms;
+  config.collect_trace = true;  // feeds the run-report summary below
   config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
 
   const double speed = mph_to_mps(config.vehicle_speed_mph);
@@ -53,5 +54,7 @@ int main(int argc, char** argv) {
             << result.counters.value("serving_rx_switches") << " serving\n"
             << "  BS-side switches    : "
             << result.counters.value("bs_switches") << '\n';
+
+  std::cout << '\n' << core::build_run_report(config, result).summary_text();
   return 0;
 }

@@ -25,11 +25,17 @@ Logger& Logger::global() noexcept {
   return instance;
 }
 
+void Logger::set_sink(std::ostream& sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = &sink;
+}
+
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view message) {
   if (!enabled(level) || level == LogLevel::kOff) {
     return;
   }
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
   out << '[' << to_string(level) << "] " << component << ": " << message
       << '\n';

@@ -2,8 +2,16 @@
 // transitions, and handover events; examples run with Info, tests with
 // Warning, and debugging sessions can flip to Debug without recompiling
 // call sites. No macros — call sites pay one branch on the level check.
+//
+// Thread safety: the global logger is shared by the parallel batch
+// runner's worker threads, so the level is an atomic (lock-free check on
+// the hot path) and the sink pointer plus the actual write are guarded by
+// a mutex — concurrent log() calls serialise instead of interleaving
+// bytes, and set_sink() during logging is safe.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -21,15 +29,20 @@ class Logger {
   /// stderr so tests stay quiet.
   static Logger& global() noexcept;
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   /// Redirect output (e.g. to a file stream owned by the caller). The
-  /// stream must outlive the logger's use of it.
-  void set_sink(std::ostream& sink) noexcept { sink_ = &sink; }
+  /// stream must outlive the logger's use of it. Safe to call while
+  /// other threads are logging: the swap happens under the sink mutex.
+  void set_sink(std::ostream& sink);
 
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return level >= level_;
+    return level >= level_.load(std::memory_order_relaxed);
   }
 
   /// `component` is a short tag such as "silent_tracker" or "rach".
@@ -51,8 +64,9 @@ class Logger {
  private:
   Logger() = default;
 
-  LogLevel level_ = LogLevel::kWarning;
-  std::ostream* sink_ = nullptr;  // nullptr => std::cerr
+  std::atomic<LogLevel> level_{LogLevel::kWarning};
+  std::mutex sink_mutex_;
+  std::ostream* sink_ = nullptr;  // nullptr => std::cerr; guarded by mutex
 };
 
 /// Build a message from streamable parts: log_message("rss=", -62.5, " dBm").

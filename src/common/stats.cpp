@@ -141,6 +141,96 @@ std::pair<double, double> SuccessRate::wilson95() const noexcept {
   return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
 }
 
+LogLinearHistogram::LogLinearHistogram(unsigned sub_buckets_per_octave)
+    : sub_(sub_buckets_per_octave) {
+  if (sub_ == 0) {
+    throw std::invalid_argument(
+        "LogLinearHistogram: sub_buckets_per_octave must be >= 1");
+  }
+  counts_.assign(1 + static_cast<std::size_t>(kMaxExp - kMinExp + 1) * sub_, 0);
+}
+
+std::size_t LogLinearHistogram::bucket_index(double x) const noexcept {
+  if (!(x > 0.0)) {
+    return 0;  // zero bin (also catches NaN)
+  }
+  int exp = 0;
+  const double frac = std::frexp(x, &exp);  // x = frac * 2^exp, frac in [0.5,1)
+  // Rebase so the octave is [2^(exp-1), 2^exp) with frac in [0.5, 1).
+  const int octave = std::clamp(exp - 1, kMinExp, kMaxExp);
+  // Linear sub-bin inside the octave: (frac - 0.5) / 0.5 in [0, 1).
+  auto sub = static_cast<std::size_t>((frac - 0.5) * 2.0 *
+                                      static_cast<double>(sub_));
+  sub = std::min<std::size_t>(sub, sub_ - 1);
+  return 1 + static_cast<std::size_t>(octave - kMinExp) * sub_ + sub;
+}
+
+double LogLinearHistogram::bucket_mid(std::size_t index) const noexcept {
+  if (index == 0) {
+    return 0.0;
+  }
+  const std::size_t linear = index - 1;
+  const int octave = kMinExp + static_cast<int>(linear / sub_);
+  const auto sub = static_cast<double>(linear % sub_);
+  const double lo = std::ldexp(1.0, octave);  // 2^octave
+  const double width = lo / static_cast<double>(sub_);
+  return lo + (sub + 0.5) * width;
+}
+
+void LogLinearHistogram::add(double x) noexcept {
+  if (total_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++counts_[bucket_index(x)];
+  ++total_;
+  sum_ += x;
+}
+
+void LogLinearHistogram::merge(const LogLinearHistogram& other) {
+  if (other.sub_ != sub_) {
+    throw std::invalid_argument(
+        "LogLinearHistogram::merge: mismatched sub-bucket resolution");
+  }
+  if (other.total_ == 0) {
+    return;
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LogLinearHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, matching SampleSet::percentile's convention
+  // of interpolating over n-1 intervals (rounded to the nearest sample).
+  const auto rank = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(total_ - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > rank) {
+      return std::clamp(bucket_mid(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
   if (bins == 0 || !(hi > lo)) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -87,6 +88,57 @@ class SuccessRate {
  private:
   std::size_t trials_ = 0;
   std::size_t successes_ = 0;
+};
+
+/// Log-linear histogram for non-negative, heavy-tailed quantities
+/// (latencies, wall times): each power-of-two octave is split into
+/// `sub_buckets_per_octave` linear bins, so relative resolution is
+/// bounded by 1/sub_buckets across the whole dynamic range while memory
+/// stays a few kilobytes regardless of sample count. This is what the
+/// telemetry layer uses for p50/p95/p99 — unlike SampleSet it never
+/// stores samples, so it is safe to feed from per-event hot paths.
+///
+/// Samples <= 0 land in a dedicated zero bin. Quantiles are approximate:
+/// the returned value is the midpoint of the containing bin, clamped to
+/// the exact observed [min, max].
+class LogLinearHistogram {
+ public:
+  explicit LogLinearHistogram(unsigned sub_buckets_per_octave = 16);
+
+  void add(double x) noexcept;
+  void merge(const LogLinearHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+  [[nodiscard]] double min() const noexcept { return total_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return total_ == 0 ? 0.0 : max_; }
+
+  /// Approximate quantile, `q` in [0, 1] (0.5 = median). 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+ private:
+  /// Octaves 2^-32 .. 2^63 cover sub-nanosecond to ~3e18; anything
+  /// outside clamps to the edge bins.
+  static constexpr int kMinExp = -32;
+  static constexpr int kMaxExp = 63;
+
+  [[nodiscard]] std::size_t bucket_index(double x) const noexcept;
+  [[nodiscard]] double bucket_mid(std::size_t index) const noexcept;
+
+  unsigned sub_;
+  std::vector<std::uint64_t> counts_;  // [0] = zero bin, then octaves
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the

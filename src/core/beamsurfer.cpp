@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "common/logging.hpp"
-
 namespace st::core {
 
 namespace {
@@ -51,18 +49,6 @@ void BeamSurfer::stop() {
   }
   pending_events_.clear();
   running_ = false;
-}
-
-void BeamSurfer::note(std::string_view message) {
-  if (log_ != nullptr) {
-    log_->record(simulator_.now(), "beamsurfer", message);
-  }
-}
-
-void BeamSurfer::count(std::string_view name) {
-  if (counters_ != nullptr) {
-    counters_->increment(name);
-  }
 }
 
 void BeamSurfer::on_burst() {
@@ -142,6 +128,15 @@ void BeamSurfer::handle_serving_sample(const SsbObservation& obs) {
                             ? obs.rss_dbm
                             : environment_.link_budget().noise_floor_dbm();
 
+  if (emit_.tracing()) {
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kRssSample,
+                .cell = cell_,
+                .beam_a = probing_now_.value_or(tracker_.beam()),
+                .value = sample,
+                .flag = obs.detected});
+  }
+
   if (probing_now_.has_value()) {
     probe_results_.emplace_back(*probing_now_, sample);
     if (probe_pending_.empty()) {
@@ -159,9 +154,12 @@ void BeamSurfer::handle_serving_sample(const SsbObservation& obs) {
       // serving SSBs means the link collapsed past what the RSS filter
       // (parked at the noise floor) can express as a further drop.
       if (tracker_.drop_detected() || missed_ssbs_ >= config_.missed_ssb_limit) {
-        count("serving_drop_events");
-        note(log_message("DROP serving rss=", tracker_.filtered_rss_dbm(),
-                         " ref=", tracker_.reference_rss_dbm()));
+        emit_.count("serving_drop_events");
+        emit_.emit({.t = simulator_.now(),
+                    .type = obs::TraceEventType::kRssDrop,
+                    .cell = cell_,
+                    .value = tracker_.filtered_rss_dbm(),
+                    .value2 = tracker_.reference_rss_dbm()});
         state_ = State::kProbing;
         // Probe the adjacent beams AND re-measure the current one: the
         // filtered value lags the channel, and comparing a fresh candidate
@@ -197,9 +195,13 @@ void BeamSurfer::finish_probing() {
 
   if (best != probe_results_.end()) {
     if (best->first != tracker_.beam()) {
-      note(log_message("RX_SWITCH beam ", tracker_.beam(), " -> ",
-                       best->first, " rss=", best->second));
-      count("serving_rx_switches");
+      emit_.emit({.t = simulator_.now(),
+                  .type = obs::TraceEventType::kRxBeamSwitch,
+                  .cell = cell_,
+                  .beam_a = tracker_.beam(),
+                  .beam_b = best->first,
+                  .value = best->second});
+      emit_.count("serving_rx_switches");
       rx_trend_ = best->first == environment_.ue_codebook().left_neighbour(
                                      tracker_.beam())
                       ? -1
@@ -237,7 +239,7 @@ void BeamSurfer::attempt_bs_switch() {
   // through that tells the mobile the serving cell is lost (the paper's
   // trigger for switching cells).
   ++request_attempts_;
-  count("bs_switch_requests");
+  emit_.count("bs_switch_requests");
   const bool delivered = environment_.uplink_success(
       cell_, tracker_.beam(), environment_.bs(cell_).serving_tx_beam(),
       simulator_.now());
@@ -250,8 +252,11 @@ void BeamSurfer::attempt_bs_switch() {
             tracker_.filtered_rss_dbm() + config_.probe_margin_db;
     if (candidate_better) {
       const phy::BeamId new_tx = best_adjacent_tx_->first;
-      note(log_message("TX_SWITCH serving tx -> ", new_tx));
-      count("bs_switches");
+      emit_.emit({.t = simulator_.now(),
+                  .type = obs::TraceEventType::kTxBeamSwitch,
+                  .cell = cell_,
+                  .beam_b = new_tx});
+      emit_.count("bs_switches");
       environment_.bs_mutable(cell_).set_serving_tx_beam(new_tx);
       // Re-seed on the new configuration at its reported strength.
       tracker_.select_beam(tracker_.beam(), best_adjacent_tx_->second);
@@ -264,8 +269,10 @@ void BeamSurfer::attempt_bs_switch() {
     return;
   }
   if (request_attempts_ >= config_.max_request_attempts) {
-    note("SERVING_UNREACHABLE");
-    count("serving_unreachable");
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kServingUnreachable,
+                .cell = cell_});
+    emit_.count("serving_unreachable");
     state_ = State::kSteady;  // keep sampling; the owner decides what next
     request_attempts_ = 0;
     if (on_unreachable_) {

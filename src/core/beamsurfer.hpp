@@ -27,6 +27,7 @@
 
 #include "core/rss_tracker.hpp"
 #include "net/environment.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -78,11 +79,16 @@ class BeamSurfer {
     on_unreachable_ = std::move(cb);
   }
 
-  /// Optional experiment recorders (not owned; may be null).
+  /// Optional experiment recorders (not owned; may be null). The legacy
+  /// EventLog view is derived from the typed trace events and stays
+  /// byte-identical to the historical strings.
   void set_recorders(sim::EventLog* log, sim::CounterSet* counters) {
-    log_ = log;
-    counters_ = counters;
+    emit_.log = log;
+    emit_.counters = counters;
   }
+
+  /// Optional structured trace sink (not owned; may be null).
+  void set_tracer(obs::TraceRecorder* recorder) { emit_.recorder = recorder; }
 
  private:
   enum class State { kSteady, kProbing, kRequesting };
@@ -91,8 +97,6 @@ class BeamSurfer {
   void handle_serving_sample(const net::SsbObservation& obs);
   void finish_probing();
   void attempt_bs_switch();
-  void note(std::string_view message);
-  void count(std::string_view name);
 
   sim::Simulator& simulator_;
   net::RadioEnvironment& environment_;
@@ -121,8 +125,7 @@ class BeamSurfer {
   sim::EventId burst_event_ = 0;
 
   std::function<void()> on_unreachable_;
-  sim::EventLog* log_ = nullptr;
-  sim::CounterSet* counters_ = nullptr;
+  obs::Emitter emit_{obs::Component::kBeamSurfer};
 };
 
 }  // namespace st::core

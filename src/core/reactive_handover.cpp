@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "common/logging.hpp"
-
 namespace st::core {
 
 ReactiveHandover::ReactiveHandover(sim::Simulator& simulator,
@@ -19,10 +17,26 @@ ReactiveHandover::~ReactiveHandover() { stop(); }
 
 void ReactiveHandover::set_recorders(sim::EventLog* log,
                                      sim::CounterSet* counters) {
-  log_ = log;
-  counters_ = counters;
+  emit_.log = log;
+  emit_.counters = counters;
   if (beamsurfer_ != nullptr) {
     beamsurfer_->set_recorders(log, counters);
+  }
+}
+
+void ReactiveHandover::set_tracer(obs::TraceRecorder* recorder) {
+  emit_.recorder = recorder;
+  if (beamsurfer_ != nullptr) {
+    beamsurfer_->set_tracer(recorder);
+  }
+  if (link_monitor_ != nullptr) {
+    link_monitor_->set_tracer(recorder);
+  }
+  if (search_ != nullptr) {
+    search_->set_tracer(recorder);
+  }
+  if (rach_ != nullptr) {
+    rach_->set_tracer(recorder);
   }
 }
 
@@ -43,7 +57,8 @@ void ReactiveHandover::start(net::CellId serving_cell,
 
   beamsurfer_ = std::make_unique<BeamSurfer>(simulator_, environment_,
                                              serving_cell, config_.beamsurfer);
-  beamsurfer_->set_recorders(log_, counters_);
+  beamsurfer_->set_recorders(emit_.log, emit_.counters);
+  beamsurfer_->set_tracer(emit_.recorder);
   // A reactive mobile has no plan B: an undeliverable switch request is
   // treated the same as RLF.
   beamsurfer_->set_unreachable_callback([this] { on_serving_lost(); });
@@ -51,6 +66,7 @@ void ReactiveHandover::start(net::CellId serving_cell,
 
   link_monitor_ = std::make_unique<net::LinkMonitor>(simulator_, environment_,
                                                      config_.link_monitor);
+  link_monitor_->set_tracer(emit_.recorder);
   link_monitor_->start(
       serving_cell, [this] { return beamsurfer_->rx_beam(); },
       [this] { on_serving_lost(); });
@@ -78,9 +94,9 @@ void ReactiveHandover::on_serving_lost() {
   }
   serving_alive_ = false;
   record_.serving_lost = simulator_.now();
-  if (log_ != nullptr) {
-    log_->record(simulator_.now(), "reactive", "SERVING_LOST");
-  }
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kServingLost,
+              .cell = serving_});
   beamsurfer_->stop();
   link_monitor_->stop();
   next_round();
@@ -92,9 +108,7 @@ void ReactiveHandover::next_round() {
     return;
   }
   ++rounds_;
-  if (counters_ != nullptr) {
-    counters_->increment("reactive_search_rounds");
-  }
+  emit_.count("reactive_search_rounds");
   std::vector<net::CellId> candidates;
   for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
     if (c != serving_) {
@@ -104,6 +118,7 @@ void ReactiveHandover::next_round() {
   search_ = std::make_unique<net::CellSearch>(simulator_, environment_,
                                               std::move(candidates),
                                               config_.search);
+  search_->set_tracer(emit_.recorder);
   search_->start([this](const net::SearchOutcome& o) { on_search_done(o); });
 }
 
@@ -119,6 +134,7 @@ void ReactiveHandover::on_search_done(const net::SearchOutcome& outcome) {
 
   rach_ = std::make_unique<net::RachProcedure>(simulator_, environment_,
                                                config_.rach);
+  rach_->set_tracer(emit_.recorder);
   // The beam is frozen at what the search found: no tracking happens
   // between search and (possibly many) RACH attempts.
   rach_->start(
@@ -128,6 +144,12 @@ void ReactiveHandover::on_search_done(const net::SearchOutcome& outcome) {
 
 void ReactiveHandover::on_rach_done(const net::RachOutcome& outcome) {
   record_.rach_attempts += outcome.attempts;
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kRachOutcome,
+              .cell = record_.to,
+              .value = static_cast<double>(outcome.attempts),
+              .value2 = outcome.latency.ms(),
+              .flag = outcome.success});
   if (outcome.success) {
     complete(true);
   } else {
@@ -139,12 +161,12 @@ void ReactiveHandover::complete(bool success) {
   record_.success = success;
   record_.completed = simulator_.now();
   record_.final_rx_beam = found_rx_beam_;
-  if (log_ != nullptr) {
-    log_->record(simulator_.now(), "reactive",
-                 log_message(success ? "HO_COMPLETE" : "HO_FAILED",
-                             " interruption_ms=",
-                             record_.interruption().ms()));
-  }
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kHandoverComplete,
+              .cell = record_.to,
+              .beam_b = record_.final_rx_beam,
+              .value = record_.interruption().ms(),
+              .flag = success});
   if (on_handover_) {
     HandoverCallback cb = std::move(on_handover_);
     on_handover_ = nullptr;

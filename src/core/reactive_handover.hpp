@@ -21,6 +21,7 @@
 #include "net/handover.hpp"
 #include "net/link_monitor.hpp"
 #include "net/rach.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -58,6 +59,10 @@ class ReactiveHandover {
 
   void set_recorders(sim::EventLog* log, sim::CounterSet* counters);
 
+  /// Structured trace sink (not owned; may be null). Propagated to the
+  /// sub-procedures so every component records into the same buffers.
+  void set_tracer(obs::TraceRecorder* recorder);
+
  private:
   void on_serving_lost();
   void next_round();
@@ -82,8 +87,7 @@ class ReactiveHandover {
   net::HandoverRecord record_;
   HandoverCallback on_handover_;
 
-  sim::EventLog* log_ = nullptr;
-  sim::CounterSet* counters_ = nullptr;
+  obs::Emitter emit_{obs::Component::kReactive};
 };
 
 }  // namespace st::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "common/units.hpp"
@@ -95,6 +96,12 @@ class ScenarioRun {
         env_config, deployment_.base_stations,
         make_mobility(config, deployment_),
         make_ue_codebook(config.ue_beamwidth_deg, config.ue_ula_codebook));
+    if (config.collect_trace) {
+      trace_ = std::make_shared<obs::TraceRecorder>(
+          obs::TraceConfig{config.trace_buffer_capacity});
+      simulator_.set_dispatch_histogram(
+          &trace_->metrics().histogram("engine.dispatch_us"));
+    }
   }
 
   ScenarioResult run() {
@@ -108,6 +115,18 @@ class ScenarioRun {
     schedule_metric_tick();
     simulator_.run_until(Time::zero() + config_.duration);
     result_.ssb_observations = environment_->ssb_observation_count();
+    result_.engine = simulator_.stats();
+    result_.snapshot_cache = environment_->snapshot_stats();
+    if (trace_ != nullptr) {
+      obs::MetricRegistry& metrics = trace_->metrics();
+      metrics.gauge("engine.queue_depth_hwm")
+          .set(static_cast<double>(result_.engine.queue_depth_hwm));
+      metrics.gauge("engine.wall_per_sim_second")
+          .set(result_.engine.wall_per_sim_second());
+      metrics.gauge("phy.snapshot_cache.hit_rate")
+          .set(result_.snapshot_cache.hit_rate());
+    }
+    result_.trace = trace_;
     return std::move(result_);
   }
 
@@ -119,6 +138,7 @@ class ScenarioRun {
           simulator_, *environment_, config_.tracker));
       SilentTracker& tracker = *trackers_.back();
       tracker.set_recorders(&result_.log, &result_.counters);
+      tracker.set_tracer(trace_.get());
       tracker.start(serving, rx_beam, rss_dbm,
                     [this](const net::HandoverRecord& r) {
                       on_handover(r);
@@ -128,6 +148,7 @@ class ScenarioRun {
           simulator_, *environment_, config_.reactive));
       ReactiveHandover& reactive = *reactives_.back();
       reactive.set_recorders(&result_.log, &result_.counters);
+      reactive.set_tracer(trace_.get());
       reactive.start(serving, rx_beam, rss_dbm,
                      [this](const net::HandoverRecord& r) {
                        on_handover(r);
@@ -225,6 +246,7 @@ class ScenarioRun {
   ScenarioConfig config_;
   net::Deployment deployment_;
   sim::Simulator simulator_;
+  std::shared_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<net::RadioEnvironment> environment_;
   std::vector<std::unique_ptr<SilentTracker>> trackers_;
   std::vector<std::unique_ptr<ReactiveHandover>> reactives_;
@@ -317,6 +339,138 @@ bool ScenarioResult::all_handovers_aligned() const noexcept {
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   ScenarioRun run(config);
   return run.run();
+}
+
+namespace {
+
+/// Drop-to-switch latency per component: every kRssDrop is answered (or
+/// not) by the next kRxBeamSwitch of the same component; the gap is the
+/// tracking loop's reaction time.
+void add_tracking_loop_latencies(const obs::TraceRecorder& trace,
+                                 obs::Component component,
+                                 LogLinearHistogram& out) {
+  Time drop_at = Time::zero();
+  bool drop_pending = false;
+  for (const obs::TraceEvent& e : trace.buffer(component).snapshot()) {
+    if (e.type == obs::TraceEventType::kRssDrop) {
+      drop_at = e.t;
+      drop_pending = true;
+    } else if (e.type == obs::TraceEventType::kRxBeamSwitch && drop_pending) {
+      out.add((e.t - drop_at).ms());
+      drop_pending = false;
+    }
+  }
+}
+
+/// Collect value2 (= latency in ms) of every event of `type`.
+void add_outcome_latencies(const obs::TraceRecorder& trace,
+                           obs::Component component, obs::TraceEventType type,
+                           LogLinearHistogram& out) {
+  for (const obs::TraceEvent& e : trace.buffer(component).snapshot()) {
+    if (e.type == type) {
+      out.add(e.value2);
+    }
+  }
+}
+
+}  // namespace
+
+obs::RunReport build_run_report(const ScenarioConfig& config,
+                                const ScenarioResult& result) {
+  obs::RunReport report;
+  report.scenario = std::string(to_string(config.mobility));
+  report.protocol = std::string(to_string(config.protocol));
+  report.seed = config.seed;
+  report.duration_ms = config.duration.ms();
+  report.ue_beamwidth_deg = config.ue_beamwidth_deg;
+  report.n_cells = config.n_cells;
+
+  obs::HandoverReport& ho = report.handover;
+  ho.total = result.handovers.size();
+  ho.successful = result.successful_handovers();
+  ho.soft = result.soft_handovers();
+  ho.hard = result.hard_handovers();
+  double interruption_sum = 0.0;
+  std::uint64_t interruption_n = 0;
+  for (const auto& h : result.handovers) {
+    if (!h.success) {
+      continue;
+    }
+    const double ms = h.interruption().ms();
+    if (interruption_n == 0) {
+      ho.first_interruption_ms = ms;
+    }
+    interruption_sum += ms;
+    ++interruption_n;
+  }
+  ho.mean_interruption_ms =
+      interruption_n > 0
+          ? interruption_sum / static_cast<double>(interruption_n)
+          : 0.0;
+  ho.rx_beam_switches = result.counters.value("serving_rx_switches") +
+                        result.counters.value("neighbour_rx_switches");
+  ho.tx_beam_switches = result.counters.value("bs_switches") +
+                        result.counters.value("neighbour_tx_retargets");
+  ho.alignment_fraction = result.tracking_alignment_fraction();
+  ho.alignment_until_first_handover = result.alignment_until_first_handover();
+  ho.ssb_observations = result.ssb_observations;
+
+  report.engine.events_executed = result.engine.events_executed;
+  report.engine.queue_depth_hwm = result.engine.queue_depth_hwm;
+  report.engine.wall_seconds = result.engine.wall_seconds;
+  report.engine.sim_seconds = result.engine.sim_seconds;
+  report.engine.wall_per_sim_second = result.engine.wall_per_sim_second();
+
+  const net::SnapshotCacheStats& cache = result.snapshot_cache;
+  report.snapshot_cache.hits = cache.hits;
+  report.snapshot_cache.misses = cache.misses;
+  report.snapshot_cache.invalidations = cache.invalidations;
+  report.snapshot_cache.pair_sweeps = cache.pair_sweeps;
+  report.snapshot_cache.rx_sweeps = cache.rx_sweeps;
+  report.snapshot_cache.hit_rate = cache.hit_rate();
+
+  for (const auto& [name, value] : result.counters.all()) {
+    report.counters[name] = value;
+  }
+
+  if (result.trace != nullptr) {
+    const obs::TraceRecorder& trace = *result.trace;
+    report.trace_events = trace.total_events();
+    report.trace_dropped = trace.total_dropped();
+
+    LogLinearHistogram tracking_ms;
+    add_tracking_loop_latencies(trace, obs::Component::kBeamSurfer,
+                                tracking_ms);
+    add_tracking_loop_latencies(trace, obs::Component::kSilentTracker,
+                                tracking_ms);
+    if (tracking_ms.count() > 0) {
+      report.latencies["tracking_loop_ms"] =
+          obs::HistogramSummary::from(tracking_ms);
+    }
+
+    LogLinearHistogram search_ms;
+    add_outcome_latencies(trace, obs::Component::kCellSearch,
+                          obs::TraceEventType::kSearchOutcome, search_ms);
+    if (search_ms.count() > 0) {
+      report.latencies["search_ms"] = obs::HistogramSummary::from(search_ms);
+    }
+
+    LogLinearHistogram rach_ms;
+    add_outcome_latencies(trace, obs::Component::kRach,
+                          obs::TraceEventType::kRachOutcome, rach_ms);
+    if (rach_ms.count() > 0) {
+      report.latencies["rach_ms"] = obs::HistogramSummary::from(rach_ms);
+    }
+
+    for (const auto& [name, histogram] : trace.metrics().histograms()) {
+      report.latencies[name] = obs::HistogramSummary::from(histogram);
+    }
+    for (const auto& [name, gauge] : trace.metrics().gauges()) {
+      report.gauges[name] = gauge.value();
+    }
+  }
+
+  return report;
 }
 
 }  // namespace st::core

@@ -20,6 +20,8 @@
 #include "net/deployment.hpp"
 #include "net/environment.hpp"
 #include "net/handover.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -67,6 +69,14 @@ struct ScenarioConfig {
   /// vehicular drive passes several cells).
   bool chain_handovers = true;
 
+  /// Record typed trace events (obs::TraceRecorder) and per-event dispatch
+  /// timing during the run. Off by default: the benches measure the
+  /// protocols, not the telemetry. Enabling it populates
+  /// ScenarioResult::trace for the exporters and RunReport latencies.
+  bool collect_trace = false;
+  /// Per-component ring capacity when collect_trace is on.
+  std::size_t trace_buffer_capacity = 1 << 16;
+
   std::uint64_t seed = 1;
 };
 
@@ -82,6 +92,16 @@ struct ScenarioResult {
 
   sim::EventLog log;
   sim::CounterSet counters;
+
+  /// Typed trace (null unless ScenarioConfig::collect_trace was set).
+  /// shared_ptr so results stay copyable for the repetition-merging
+  /// experiment code.
+  std::shared_ptr<obs::TraceRecorder> trace;
+
+  /// Engine runtime statistics (always populated).
+  sim::EngineStats engine;
+  /// Phy snapshot-cache statistics (always populated).
+  net::SnapshotCacheStats snapshot_cache;
 
   /// Radio measurement budget spent: total SSB listening attempts over
   /// the run (the paper's "minimal resource usage" axis).
@@ -117,5 +137,12 @@ struct ScenarioResult {
 
 /// Run one scenario to completion (deterministic in `config.seed`).
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Assemble the machine-readable run report from a finished result:
+/// handover outcomes, engine and snapshot-cache stats, legacy counters,
+/// registry gauges, and latency digests (tracking loop, search, RACH,
+/// per-event dispatch) derived from the typed trace when present.
+[[nodiscard]] obs::RunReport build_run_report(const ScenarioConfig& config,
+                                              const ScenarioResult& result);
 
 }  // namespace st::core

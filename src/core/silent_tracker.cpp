@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "common/logging.hpp"
 
 namespace st::core {
 
@@ -50,22 +49,29 @@ SilentTracker::~SilentTracker() { stop(); }
 
 void SilentTracker::set_recorders(sim::EventLog* log,
                                   sim::CounterSet* counters) {
-  log_ = log;
-  counters_ = counters;
+  emit_.log = log;
+  emit_.counters = counters;
   if (beamsurfer_ != nullptr) {
     beamsurfer_->set_recorders(log, counters);
   }
 }
 
-void SilentTracker::note(std::string_view message) {
-  if (log_ != nullptr) {
-    log_->record(simulator_.now(), "silent_tracker", message);
+void SilentTracker::set_tracer(obs::TraceRecorder* recorder) {
+  emit_.recorder = recorder;
+  if (beamsurfer_ != nullptr) {
+    beamsurfer_->set_tracer(recorder);
   }
-}
-
-void SilentTracker::count(std::string_view name) {
-  if (counters_ != nullptr) {
-    counters_->increment(name);
+  if (link_monitor_ != nullptr) {
+    link_monitor_->set_tracer(recorder);
+  }
+  if (search_ != nullptr) {
+    search_->set_tracer(recorder);
+  }
+  if (fallback_search_ != nullptr) {
+    fallback_search_->set_tracer(recorder);
+  }
+  if (rach_ != nullptr) {
+    rach_->set_tracer(recorder);
   }
 }
 
@@ -87,13 +93,15 @@ void SilentTracker::start(net::CellId serving_cell,
 
   beamsurfer_ = std::make_unique<BeamSurfer>(simulator_, environment_,
                                              serving_cell, config_.beamsurfer);
-  beamsurfer_->set_recorders(log_, counters_);
+  beamsurfer_->set_recorders(emit_.log, emit_.counters);
+  beamsurfer_->set_tracer(emit_.recorder);
   beamsurfer_->set_unreachable_callback(
       [this] { on_serving_lost("bs_switch_request_undeliverable"); });
   beamsurfer_->start(serving_rx_beam, serving_rss_dbm);
 
   link_monitor_ = std::make_unique<net::LinkMonitor>(simulator_, environment_,
                                                      config_.link_monitor);
+  link_monitor_->set_tracer(emit_.recorder);
   link_monitor_->start(
       serving_cell, [this] { return beamsurfer_->rx_beam(); },
       [this] { on_serving_lost("radio_link_failure"); });
@@ -143,7 +151,9 @@ void SilentTracker::cancel_tracking_events() {
 
 void SilentTracker::enter_searching() {
   state_ = SilentTrackerState::kSearching;
-  note("STATE InitialSearch");
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kStateTransition,
+              .label = "InitialSearch"});
 
   std::vector<net::CellId> candidates;
   for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
@@ -154,6 +164,7 @@ void SilentTracker::enter_searching() {
   search_ = std::make_unique<net::CellSearch>(
       simulator_, environment_, std::move(candidates), config_.search,
       [this](sim::Time t) { return radio_busy(t); });
+  search_->set_tracer(emit_.recorder);
   search_->start([this](const net::SearchOutcome& o) { on_search_done(o); });
 }
 
@@ -162,19 +173,23 @@ void SilentTracker::on_search_done(const net::SearchOutcome& outcome) {
     return;
   }
   if (!outcome.found) {
-    count("initial_search_misses");
+    emit_.count("initial_search_misses");
     // Fig. 2b: keep searching until a neighbour beam is discovered (or
     // the serving link dies, which routes to the fallback path).
     enter_searching();
     return;
   }
-  count("initial_search_hits");
+  emit_.count("initial_search_hits");
   neighbour_ = outcome.cell;
   neighbour_tx_beam_ = outcome.tx_beam;
   neighbour_rss_.select_beam(outcome.rx_beam, outcome.rss_dbm);
-  note(log_message("FOUND cell=", outcome.cell, " tx=", outcome.tx_beam,
-                   " rx=", outcome.rx_beam, " rss=", outcome.rss_dbm,
-                   " latency_ms=", outcome.latency.ms()));
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kCellFound,
+              .cell = outcome.cell,
+              .beam_a = outcome.tx_beam,
+              .beam_b = outcome.rx_beam,
+              .value = outcome.rss_dbm,
+              .value2 = outcome.latency.ms()});
   enter_tracking();
 }
 
@@ -182,7 +197,9 @@ void SilentTracker::on_search_done(const net::SearchOutcome& outcome) {
 
 void SilentTracker::enter_tracking() {
   state_ = SilentTrackerState::kTracking;
-  note("STATE Tracking");
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kStateTransition,
+              .label = "Tracking"});
   probe_pending_.clear();
   probe_results_.clear();
   probing_now_.reset();
@@ -219,7 +236,7 @@ void SilentTracker::on_neighbour_burst() {
   tracking_events_.push_back(simulator_.schedule_at(
       tracked_slot.start, [this, listen_beam] {
         if (radio_busy(simulator_.now())) {
-          count("neighbour_slots_preempted");
+          emit_.count("neighbour_slots_preempted");
           return;
         }
         const SsbObservation obs = environment_.observe_ssb(
@@ -265,6 +282,15 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
                             ? obs.rss_dbm
                             : environment_.link_budget().noise_floor_dbm();
 
+  if (emit_.tracing()) {
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kRssSample,
+                .cell = neighbour_,
+                .beam_a = probing_now_.value_or(neighbour_rss_.beam()),
+                .value = sample,
+                .flag = obs.detected});
+  }
+
   if (probing_now_.has_value()) {
     probe_results_.emplace_back(*probing_now_, sample);
     if (probe_pending_.empty()) {
@@ -287,10 +313,11 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
   } else if (state_ == SilentTrackerState::kTracking && serving_alive_ &&
              simulator_.now() - *neighbour_quiet_since_ >=
                  config_.neighbour_abandon_after) {
-    note(log_message("NEIGHBOUR_ABANDONED cell=", neighbour_,
-                     " quiet_ms=",
-                     (simulator_.now() - *neighbour_quiet_since_).ms()));
-    count("neighbour_abandoned");
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kNeighbourAbandoned,
+                .cell = neighbour_,
+                .value = (simulator_.now() - *neighbour_quiet_since_).ms()});
+    emit_.count("neighbour_abandoned");
     cancel_tracking_events();
     probe_pending_.clear();
     probe_results_.clear();
@@ -306,9 +333,12 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
       best_adjacent_tx_->second >
           neighbour_rss_.filtered_rss_dbm() + config_.tx_retarget_margin_db) {
     if (++retarget_votes_ >= 2) {
-      note(log_message("TX_RETARGET ", neighbour_tx_beam_, " -> ",
-                       best_adjacent_tx_->first));
-      count("neighbour_tx_retargets");
+      emit_.emit({.t = simulator_.now(),
+                  .type = obs::TraceEventType::kTxBeamSwitch,
+                  .cell = neighbour_,
+                  .beam_a = neighbour_tx_beam_,
+                  .beam_b = best_adjacent_tx_->first});
+      emit_.count("neighbour_tx_retargets");
       neighbour_tx_beam_ = best_adjacent_tx_->first;
       neighbour_rss_.select_beam(neighbour_rss_.beam(),
                                  best_adjacent_tx_->second);
@@ -325,9 +355,12 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
   if ((neighbour_rss_.drop_detected() || missed_tracked_ >= 3) &&
       probe_pending_.empty()) {
     missed_tracked_ = 0;
-    count("neighbour_drop_events");
-    note(log_message("NEIGHBOUR_DROP rss=", neighbour_rss_.filtered_rss_dbm(),
-                     " ref=", neighbour_rss_.reference_rss_dbm()));
+    emit_.count("neighbour_drop_events");
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kRssDrop,
+                .cell = neighbour_,
+                .value = neighbour_rss_.filtered_rss_dbm(),
+                .value2 = neighbour_rss_.reference_rss_dbm()});
     const phy::Codebook& cb = environment_.ue_codebook();
     if (config_.probe_policy == ProbePolicy::kAdjacent) {
       // Adjacent candidates plus a fresh re-measurement of the current
@@ -373,8 +406,10 @@ void SilentTracker::finish_neighbour_probe() {
     probe_results_.clear();
     if (!in_recovery_sweep_) {
       in_recovery_sweep_ = true;
-      count("neighbour_recovery_sweeps");
-      note("NEIGHBOUR_RECOVERY_SWEEP");
+      emit_.count("neighbour_recovery_sweeps");
+      emit_.emit({.t = simulator_.now(),
+                  .type = obs::TraceEventType::kRecoverySweep,
+                  .cell = neighbour_});
       for (const phy::Beam& beam : environment_.ue_codebook().beams()) {
         probe_pending_.push_back(beam.id());
       }
@@ -389,9 +424,13 @@ void SilentTracker::finish_neighbour_probe() {
   in_recovery_sweep_ = false;
 
   if (best->first != neighbour_rss_.beam()) {
-    note(log_message("NEIGHBOUR_RX_SWITCH ", neighbour_rss_.beam(), " -> ",
-                     best->first, " rss=", best->second));
-    count("neighbour_rx_switches");
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kRxBeamSwitch,
+                .cell = neighbour_,
+                .beam_a = neighbour_rss_.beam(),
+                .beam_b = best->first,
+                .value = best->second});
+    emit_.count("neighbour_rx_switches");
     rx_trend_ = best->first ==
                         environment_.ue_codebook().left_neighbour(
                             neighbour_rss_.beam())
@@ -418,8 +457,11 @@ void SilentTracker::on_serving_lost(std::string_view reason) {
   }
   serving_alive_ = false;
   record_.serving_lost = simulator_.now();
-  note(log_message("SERVING_LOST reason=", reason));
-  count("serving_lost");
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kServingLost,
+              .cell = serving_,
+              .label = reason});
+  emit_.count("serving_lost");
   beamsurfer_->stop();
   link_monitor_->stop();
 
@@ -443,14 +485,18 @@ void SilentTracker::on_serving_lost(std::string_view reason) {
 
 void SilentTracker::enter_accessing() {
   state_ = SilentTrackerState::kAccessing;
-  note(log_message("STATE Accessing cell=", neighbour_,
-                   " tx=", neighbour_tx_beam_,
-                   " rx=", neighbour_rss_.beam()));
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kStateTransition,
+              .cell = neighbour_,
+              .beam_a = neighbour_tx_beam_,
+              .beam_b = neighbour_rss_.beam(),
+              .label = "Accessing"});
   record_.to = neighbour_;
   record_.access_started = simulator_.now();
 
   rach_ = std::make_unique<net::RachProcedure>(simulator_, environment_,
                                                config_.rach);
+  rach_->set_tracer(emit_.recorder);
   rach_->start(
       neighbour_, neighbour_tx_beam_,
       [this] { return neighbour_rss_.beam(); },
@@ -459,12 +505,17 @@ void SilentTracker::enter_accessing() {
 
 void SilentTracker::on_rach_done(const net::RachOutcome& outcome) {
   record_.rach_attempts += outcome.attempts;
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kRachOutcome,
+              .cell = neighbour_,
+              .value = static_cast<double>(outcome.attempts),
+              .value2 = outcome.latency.ms(),
+              .flag = outcome.success});
   if (outcome.success) {
     complete(true);
     return;
   }
-  note("RACH_FAILED");
-  count("rach_failures");
+  emit_.count("rach_failures");
   enter_fallback();
 }
 
@@ -479,8 +530,10 @@ void SilentTracker::enter_fallback() {
   }
   ++fallback_rounds_;
   state_ = SilentTrackerState::kFallbackSearch;
-  note("STATE FallbackSearch");
-  count("fallback_searches");
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kStateTransition,
+              .label = "FallbackSearch"});
+  emit_.count("fallback_searches");
 
   std::vector<net::CellId> candidates;
   for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
@@ -492,6 +545,7 @@ void SilentTracker::enter_fallback() {
   // user has no service either.
   fallback_search_ = std::make_unique<net::CellSearch>(
       simulator_, environment_, std::move(candidates), config_.search);
+  fallback_search_->set_tracer(emit_.recorder);
   fallback_search_->start(
       [this](const net::SearchOutcome& o) { on_fallback_search_done(o); });
 }
@@ -519,10 +573,13 @@ void SilentTracker::complete(bool success) {
   record_.target_tx_beam = neighbour_tx_beam_;
   record_.final_rx_beam = neighbour_rss_.beam();
   state_ = success ? SilentTrackerState::kComplete : SilentTrackerState::kFailed;
-  note(log_message(success ? "HO_COMPLETE" : "HO_FAILED",
-                   " cell=", record_.to, " rx=", record_.final_rx_beam,
-                   " interruption_ms=", record_.interruption().ms()));
-  count(success ? "handover_complete" : "handover_failed");
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kHandoverComplete,
+              .cell = record_.to,
+              .beam_b = record_.final_rx_beam,
+              .value = record_.interruption().ms(),
+              .flag = success});
+  emit_.count(success ? "handover_complete" : "handover_failed");
   if (on_handover_) {
     HandoverCallback cb = std::move(on_handover_);
     on_handover_ = nullptr;

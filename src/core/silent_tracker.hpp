@@ -45,6 +45,7 @@
 #include "net/handover.hpp"
 #include "net/link_monitor.hpp"
 #include "net/rach.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -135,8 +136,15 @@ class SilentTracker {
   /// moment RLF / unreachability routed the protocol towards access).
   [[nodiscard]] bool serving_alive() const noexcept { return serving_alive_; }
 
-  /// Experiment recorders (not owned; may be null).
+  /// Experiment recorders (not owned; may be null). The EventLog view is
+  /// derived from the typed trace events (see obs::legacy_message) and is
+  /// byte-identical to the historical free-form strings.
   void set_recorders(sim::EventLog* log, sim::CounterSet* counters);
+
+  /// Structured trace sink (not owned; may be null). Propagated to the
+  /// sub-procedures (BeamSurfer, search, RACH, link monitor) so every
+  /// component records into the same per-component buffers.
+  void set_tracer(obs::TraceRecorder* recorder);
 
  private:
   void enter_searching();
@@ -153,8 +161,6 @@ class SilentTracker {
   void complete(bool success);
   [[nodiscard]] bool radio_busy(sim::Time t) const;
   void cancel_tracking_events();
-  void note(std::string_view message);
-  void count(std::string_view name);
 
   sim::Simulator& simulator_;
   net::RadioEnvironment& environment_;
@@ -204,8 +210,7 @@ class SilentTracker {
   unsigned fallback_rounds_ = 0;
   HandoverCallback on_handover_;
 
-  sim::EventLog* log_ = nullptr;
-  sim::CounterSet* counters_ = nullptr;
+  obs::Emitter emit_{obs::Component::kSilentTracker};
 };
 
 }  // namespace st::core

@@ -36,6 +36,11 @@ void CellSearch::start(Callback on_done) {
   dwells_used_ = 0;
   current_rx_beam_ = config_.start_rx_beam %
                      static_cast<phy::BeamId>(environment_.ue_codebook().size());
+  if (emit_.tracing()) {
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kSearchStart,
+                .value = static_cast<double>(candidates_.size())});
+  }
   begin_dwell();
 }
 
@@ -52,6 +57,12 @@ void CellSearch::begin_dwell() {
   dwell_detections_.clear();
   dwell_end_ = simulator_.now() + config_.dwell;
   ++dwells_used_;
+  if (emit_.tracing()) {
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kSearchDwell,
+                .beam_a = current_rx_beam_,
+                .value = static_cast<double>(dwells_used_)});
+  }
   schedule_observations();
   pending_events_.push_back(
       simulator_.schedule_at(dwell_end_, [this] { finish_dwell(); }));
@@ -119,6 +130,20 @@ void CellSearch::finish_dwell() {
 
 void CellSearch::conclude(const SearchOutcome& outcome) {
   running_ = false;
+  if (emit_.tracing()) {
+    obs::TraceEvent e;
+    e.t = simulator_.now();
+    e.type = obs::TraceEventType::kSearchOutcome;
+    e.flag = outcome.found;
+    e.value = outcome.rss_dbm;
+    e.value2 = outcome.latency.ms();
+    if (outcome.found) {
+      e.cell = outcome.cell;
+      e.beam_a = outcome.tx_beam;
+      e.beam_b = outcome.rx_beam;
+    }
+    emit_.emit(e);
+  }
   Callback cb = std::move(on_done_);
   on_done_ = nullptr;
   cb(outcome);

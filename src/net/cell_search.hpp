@@ -28,6 +28,7 @@
 #include "net/environment.hpp"
 #include "net/ids.hpp"
 #include "net/observation.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace st::net {
@@ -74,6 +75,10 @@ class CellSearch {
 
   [[nodiscard]] bool running() const noexcept { return running_; }
 
+  /// Structured trace sink (not owned; may be null). Search events are
+  /// trace-only: they never appear in the legacy EventLog view.
+  void set_tracer(obs::TraceRecorder* recorder) { emit_.recorder = recorder; }
+
  private:
   void begin_dwell();
   void schedule_observations();
@@ -94,6 +99,7 @@ class CellSearch {
   unsigned dwells_used_ = 0;
   std::vector<SsbObservation> dwell_detections_;
   std::vector<sim::EventId> pending_events_;
+  obs::Emitter emit_{obs::Component::kCellSearch};
 };
 
 }  // namespace st::net

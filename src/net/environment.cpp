@@ -38,11 +38,17 @@ const phy::PathSnapshot& RadioEnvironment::snapshot_for(CellId cell,
                                                         sim::Time t) const {
   SnapshotCacheEntry& entry = snapshot_cache_[cell];
   if (!entry.valid || entry.t != t) {
+    if (entry.valid) {
+      ++snapshot_stats_.invalidations;
+    }
+    ++snapshot_stats_.misses;
     const BaseStation& station = base_stations_[cell];
     channels_[cell]->make_snapshot(station.pose(), ue_pose(t), t,
                                    station.tx_power_dbm(), entry.snapshot);
     entry.t = t;
     entry.valid = true;
+  } else {
+    ++snapshot_stats_.hits;
   }
   return entry.snapshot;
 }
@@ -170,6 +176,7 @@ double RadioEnvironment::true_dl_snr_db(CellId cell, phy::BeamId tx_beam,
 phy::Channel::BestPair RadioEnvironment::ground_truth_best_pair(CellId cell,
                                                                 sim::Time t) const {
   const BaseStation& station = bs(cell);
+  ++snapshot_stats_.pair_sweeps;
   return phy::sweep_beam_pairs(snapshot_for(cell, t), station.codebook(),
                                ue_codebook_);
 }
@@ -177,6 +184,7 @@ phy::Channel::BestPair RadioEnvironment::ground_truth_best_pair(CellId cell,
 phy::Channel::BestBeam RadioEnvironment::ground_truth_best_rx(
     CellId cell, phy::BeamId tx_beam, sim::Time t) const {
   const BaseStation& station = bs(cell);
+  ++snapshot_stats_.rx_sweeps;
   return phy::sweep_rx_beams(snapshot_for(cell, t),
                              station.codebook().beam(tx_beam), ue_codebook_);
 }

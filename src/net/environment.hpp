@@ -41,6 +41,22 @@ struct EnvironmentConfig {
   std::uint64_t seed = 1;
 };
 
+/// Snapshot-cache and sweep-kernel statistics, maintained unconditionally
+/// (one integer increment per query) and read by the telemetry layer.
+struct SnapshotCacheStats {
+  std::uint64_t hits = 0;          ///< query served from the cached epoch
+  std::uint64_t misses = 0;        ///< snapshot (re)built for the query
+  std::uint64_t invalidations = 0; ///< rebuilds that evicted a valid entry
+  std::uint64_t pair_sweeps = 0;   ///< ground_truth_best_pair kernel calls
+  std::uint64_t rx_sweeps = 0;     ///< ground_truth_best_rx kernel calls
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 class RadioEnvironment {
  public:
   /// The UE codebook is fixed per experiment (the paper compares 20°,
@@ -114,6 +130,12 @@ class RadioEnvironment {
     return ssb_observations_;
   }
 
+  /// Snapshot-cache hit/miss/invalidation and sweep-kernel call counts —
+  /// the measured basis for the fast-path claims in docs/PERFORMANCE.md.
+  [[nodiscard]] const SnapshotCacheStats& snapshot_stats() const noexcept {
+    return snapshot_stats_;
+  }
+
   // ---- Ground truth (metric layer only) ---------------------------------
 
   [[nodiscard]] phy::Channel::BestPair ground_truth_best_pair(CellId cell,
@@ -160,6 +182,7 @@ class RadioEnvironment {
   /// Not synchronised: a RadioEnvironment is single-threaded by design
   /// (parallel batch runs give each thread its own environment).
   mutable std::vector<SnapshotCacheEntry> snapshot_cache_;
+  mutable SnapshotCacheStats snapshot_stats_;
 
   Rng measurement_rng_;
   Rng detection_rng_;

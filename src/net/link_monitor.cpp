@@ -48,8 +48,20 @@ void LinkMonitor::check() {
     below_since_.reset();
   } else if (!below_since_.has_value()) {
     below_since_ = simulator_.now();
+    if (emit_.tracing()) {
+      emit_.emit({.t = simulator_.now(),
+                  .type = obs::TraceEventType::kLinkBelowThreshold,
+                  .cell = cell_,
+                  .value = last_snr_db_});
+    }
   } else if (simulator_.now() - *below_since_ >= config_.failure_window) {
     running_ = false;
+    if (emit_.tracing()) {
+      emit_.emit({.t = simulator_.now(),
+                  .type = obs::TraceEventType::kRadioLinkFailure,
+                  .cell = cell_,
+                  .value = last_snr_db_});
+    }
     FailureCallback cb = std::move(on_failure_);
     on_failure_ = nullptr;
     ue_beam_ = nullptr;

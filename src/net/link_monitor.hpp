@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "net/environment.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace st::net {
@@ -55,6 +56,10 @@ class LinkMonitor {
     return below_since_.has_value();
   }
 
+  /// Structured trace sink (not owned; may be null). Link events are
+  /// trace-only: outage entry and RLF, never the per-check samples.
+  void set_tracer(obs::TraceRecorder* recorder) { emit_.recorder = recorder; }
+
  private:
   void check();
 
@@ -69,6 +74,7 @@ class LinkMonitor {
   std::optional<sim::Time> below_since_;
   double last_snr_db_ = 0.0;
   sim::EventId tick_ = 0;
+  obs::Emitter emit_{obs::Component::kLinkMonitor};
 };
 
 }  // namespace st::net

@@ -28,6 +28,12 @@ void RachProcedure::start(CellId target, phy::BeamId target_tx_beam,
   on_done_ = std::move(on_done);
   started_ = simulator_.now();
   attempts_ = 0;
+  if (emit_.tracing()) {
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kRachStart,
+                .cell = target,
+                .beam_a = target_tx_beam});
+  }
   attempt();
 }
 
@@ -46,6 +52,14 @@ void RachProcedure::attempt() {
   ++attempts_;
   const double ramp_db =
       config_.power_ramp_db * static_cast<double>(attempts_ - 1);
+  if (emit_.tracing()) {
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kRachAttempt,
+                .cell = target_,
+                .beam_a = target_tx_beam_,
+                .value = static_cast<double>(attempts_),
+                .value2 = ramp_db});
+  }
 
   // Step 1: wait for the RACH occasion mapped to the target's SSB beam.
   const sim::Time occasion = environment_.bs(target_).schedule()
@@ -100,6 +114,15 @@ void RachProcedure::conclude(bool success) {
   outcome.success = success;
   outcome.attempts = attempts_;
   outcome.latency = simulator_.now() - started_;
+  if (emit_.tracing()) {
+    emit_.emit({.t = simulator_.now(),
+                .type = obs::TraceEventType::kRachOutcome,
+                .cell = target_,
+                .beam_a = target_tx_beam_,
+                .value = static_cast<double>(outcome.attempts),
+                .value2 = outcome.latency.ms(),
+                .flag = outcome.success});
+  }
   Callback cb = std::move(on_done_);
   on_done_ = nullptr;
   ue_beam_ = nullptr;

@@ -21,6 +21,7 @@
 #include <functional>
 
 #include "net/environment.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace st::net {
@@ -59,6 +60,10 @@ class RachProcedure {
 
   [[nodiscard]] bool running() const noexcept { return running_; }
 
+  /// Structured trace sink (not owned; may be null). RACH events are
+  /// trace-only: they never appear in the legacy EventLog view.
+  void set_tracer(obs::TraceRecorder* recorder) { emit_.recorder = recorder; }
+
  private:
   void attempt();
   void fail_attempt();
@@ -76,6 +81,7 @@ class RachProcedure {
   sim::Time started_{};
   unsigned attempts_ = 0;
   sim::EventId pending_ = 0;
+  obs::Emitter emit_{obs::Component::kRach};
 };
 
 }  // namespace st::net

@@ -1,0 +1,44 @@
+#include "obs/metrics.hpp"
+
+namespace st::obs {
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    return it->second;
+  }
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    return it->second;
+  }
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+LogLinearHistogram& MetricRegistry::histogram(
+    std::string_view name, unsigned sub_buckets_per_octave) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_
+      .emplace(std::string(name), LogLinearHistogram(sub_buckets_per_octave))
+      .first->second;
+}
+
+std::uint64_t MetricRegistry::counter_value(
+    std::string_view name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+const LogLinearHistogram* MetricRegistry::find_histogram(
+    std::string_view name) const noexcept {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace st::obs

@@ -1,0 +1,277 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace st::obs {
+
+namespace {
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string num(double v) {
+  if (!std::isfinite(v)) {
+    return "null";  // JSON has no NaN/Inf
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+[[nodiscard]] std::string num(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Tiny append-only pretty printer; enough structure for one document.
+class JsonOut {
+ public:
+  void open(std::string_view key = {}) { begin(key, '{'); }
+  void open_array(std::string_view key) { begin(key, '['); }
+  void close() { end('}'); }
+  void close_array() { end(']'); }
+
+  void field(std::string_view key, std::string_view string_value) {
+    std::string rendered;
+    rendered += '"';
+    rendered += json_escape(string_value);
+    rendered += '"';
+    item(key, rendered);
+  }
+  void field(std::string_view key, double v) { item(key, num(v)); }
+  void field(std::string_view key, std::uint64_t v) { item(key, num(v)); }
+
+  [[nodiscard]] std::string take() {
+    out_ += '\n';
+    return std::move(out_);
+  }
+
+ private:
+  void begin(std::string_view key, char bracket) {
+    comma();
+    indent();
+    if (!key.empty()) {
+      out_ += '"';
+      out_ += json_escape(key);
+      out_ += "\": ";
+    }
+    out_ += bracket;
+    out_ += '\n';
+    ++depth_;
+    first_ = true;
+  }
+
+  void end(char bracket) {
+    --depth_;
+    out_ += '\n';
+    indent();
+    out_ += bracket;
+    first_ = false;
+  }
+
+  void item(std::string_view key, const std::string& rendered) {
+    comma();
+    indent();
+    out_ += '"';
+    out_ += json_escape(key);
+    out_ += "\": ";
+    out_ += rendered;
+    first_ = false;
+  }
+
+  void comma() {
+    if (!first_ && !out_.empty()) {
+      out_ += ",\n";
+    } else if (!out_.empty() && out_.back() != '\n') {
+      out_ += '\n';
+    }
+    // After closing a brace `first_` is false, so the comma above covers
+    // the sibling case; nothing else to do.
+  }
+
+  void indent() { out_.append(2 * static_cast<std::size_t>(depth_), ' '); }
+
+  std::string out_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+void write_summary(JsonOut& json, std::string_view key,
+                   const HistogramSummary& s) {
+  json.open(key);
+  json.field("count", s.count);
+  json.field("mean", s.mean);
+  json.field("p50", s.p50);
+  json.field("p95", s.p95);
+  json.field("p99", s.p99);
+  json.field("max", s.max);
+  json.close();
+}
+
+}  // namespace
+
+HistogramSummary HistogramSummary::from(const LogLinearHistogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.p50();
+  s.p95 = h.p95();
+  s.p99 = h.p99();
+  s.max = h.max();
+  return s;
+}
+
+std::string RunReport::to_json() const {
+  JsonOut json;
+  json.open();
+  json.field("schema", schema);
+
+  json.open("scenario");
+  json.field("mobility", scenario);
+  json.field("protocol", protocol);
+  json.field("seed", seed);
+  json.field("duration_ms", duration_ms);
+  json.field("ue_beamwidth_deg", ue_beamwidth_deg);
+  json.field("n_cells", n_cells);
+  json.close();
+
+  json.open("handover");
+  json.field("total", handover.total);
+  json.field("successful", handover.successful);
+  json.field("soft", handover.soft);
+  json.field("hard", handover.hard);
+  json.field("first_interruption_ms", handover.first_interruption_ms);
+  json.field("mean_interruption_ms", handover.mean_interruption_ms);
+  json.field("rx_beam_switches", handover.rx_beam_switches);
+  json.field("tx_beam_switches", handover.tx_beam_switches);
+  json.field("alignment_fraction", handover.alignment_fraction);
+  json.field("alignment_until_first_handover",
+             handover.alignment_until_first_handover);
+  json.field("ssb_observations", handover.ssb_observations);
+  json.close();
+
+  json.open("engine");
+  json.field("events_executed", engine.events_executed);
+  json.field("queue_depth_hwm", engine.queue_depth_hwm);
+  json.field("wall_seconds", engine.wall_seconds);
+  json.field("sim_seconds", engine.sim_seconds);
+  json.field("wall_per_sim_second", engine.wall_per_sim_second);
+  json.close();
+
+  json.open("snapshot_cache");
+  json.field("hits", snapshot_cache.hits);
+  json.field("misses", snapshot_cache.misses);
+  json.field("invalidations", snapshot_cache.invalidations);
+  json.field("pair_sweeps", snapshot_cache.pair_sweeps);
+  json.field("rx_sweeps", snapshot_cache.rx_sweeps);
+  json.field("hit_rate", snapshot_cache.hit_rate);
+  json.close();
+
+  json.open("counters");
+  for (const auto& [name, value] : counters) {
+    json.field(name, value);
+  }
+  json.close();
+
+  json.open("gauges");
+  for (const auto& [name, value] : gauges) {
+    json.field(name, value);
+  }
+  json.close();
+
+  json.open("latencies");
+  for (const auto& [name, summary] : latencies) {
+    write_summary(json, name, summary);
+  }
+  json.close();
+
+  json.open("trace");
+  json.field("events", trace_events);
+  json.field("dropped", trace_dropped);
+  json.close();
+
+  json.close();
+  return json.take();
+}
+
+std::string RunReport::summary_text() const {
+  std::string out;
+  char buf[256];
+  const auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+
+  line("== run report: %s / %s (seed %llu) ==", scenario.c_str(),
+       protocol.c_str(), static_cast<unsigned long long>(seed));
+  line("  sim duration     %.1f ms  (wall %.3f s, %.4f wall-s/sim-s)",
+       duration_ms, engine.wall_seconds, engine.wall_per_sim_second);
+  line("  handovers        %llu/%llu successful (%llu soft, %llu hard)",
+       static_cast<unsigned long long>(handover.successful),
+       static_cast<unsigned long long>(handover.total),
+       static_cast<unsigned long long>(handover.soft),
+       static_cast<unsigned long long>(handover.hard));
+  if (handover.first_interruption_ms >= 0.0) {
+    line("  interruption     first %.3f ms, mean %.3f ms",
+         handover.first_interruption_ms, handover.mean_interruption_ms);
+  } else {
+    line("  interruption     (no successful handover)");
+  }
+  line("  beam switches    %llu rx, %llu tx",
+       static_cast<unsigned long long>(handover.rx_beam_switches),
+       static_cast<unsigned long long>(handover.tx_beam_switches));
+  line("  alignment        %.1f%% of tracked samples within 3 dB "
+       "(%.1f%% until first handover)",
+       100.0 * handover.alignment_fraction,
+       100.0 * handover.alignment_until_first_handover);
+  line("  ssb budget       %llu observations",
+       static_cast<unsigned long long>(handover.ssb_observations));
+  line("  engine           %llu events, queue hwm %llu",
+       static_cast<unsigned long long>(engine.events_executed),
+       static_cast<unsigned long long>(engine.queue_depth_hwm));
+  line("  snapshot cache   %.1f%% hit rate (%llu hits / %llu misses)",
+       100.0 * snapshot_cache.hit_rate,
+       static_cast<unsigned long long>(snapshot_cache.hits),
+       static_cast<unsigned long long>(snapshot_cache.misses));
+  const auto tracking = latencies.find("tracking_loop_ms");
+  if (tracking != latencies.end() && tracking->second.count > 0) {
+    line("  tracking loop    p50 %.1f ms, p95 %.1f ms (%llu reactions)",
+         tracking->second.p50, tracking->second.p95,
+         static_cast<unsigned long long>(tracking->second.count));
+  }
+  return out;
+}
+
+}  // namespace st::obs

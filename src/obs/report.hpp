@@ -1,0 +1,102 @@
+// Machine-readable run report: one JSON document per scenario run with
+// everything a dashboard or regression script needs — handover outcomes,
+// beam-switch counts, alignment fractions, engine runtime stats,
+// phy snapshot-cache hit rates, and latency quantiles.
+//
+// The report is a plain value assembled by core::build_run_report() from
+// a finished ScenarioResult; this header only defines the shape, its JSON
+// serialisation, and a one-screen human summary used by the examples.
+// Schema versioned as "silent-tracker/run-report/v1"; consumers should
+// check the `schema` field before parsing further.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace st::obs {
+
+/// Quantile digest of one LogLinearHistogram, small enough to embed.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] static HistogramSummary from(const LogLinearHistogram& h);
+};
+
+/// sim::EngineStats, flattened to plain numbers.
+struct EngineReport {
+  std::uint64_t events_executed = 0;
+  std::uint64_t queue_depth_hwm = 0;
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+  double wall_per_sim_second = 0.0;
+};
+
+/// net::SnapshotCacheStats, flattened (obs sits below net in the link
+/// order, so the struct is mirrored rather than included).
+struct SnapshotCacheReport {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t pair_sweeps = 0;
+  std::uint64_t rx_sweeps = 0;
+  double hit_rate = 0.0;
+};
+
+struct HandoverReport {
+  std::uint64_t total = 0;
+  std::uint64_t successful = 0;
+  std::uint64_t soft = 0;
+  std::uint64_t hard = 0;
+  /// Interruption of the first successful handover; < 0 when none.
+  double first_interruption_ms = -1.0;
+  /// Mean interruption over successful handovers; 0 when none.
+  double mean_interruption_ms = 0.0;
+  std::uint64_t rx_beam_switches = 0;  ///< serving + neighbour RX switches
+  std::uint64_t tx_beam_switches = 0;  ///< BS switches + neighbour retargets
+  double alignment_fraction = 0.0;
+  double alignment_until_first_handover = 0.0;
+  std::uint64_t ssb_observations = 0;
+};
+
+struct RunReport {
+  std::string schema = "silent-tracker/run-report/v1";
+
+  // Scenario echo, so a report is self-describing.
+  std::string scenario;
+  std::string protocol;
+  std::uint64_t seed = 0;
+  double duration_ms = 0.0;
+  double ue_beamwidth_deg = 0.0;
+  std::uint64_t n_cells = 0;
+
+  HandoverReport handover;
+  EngineReport engine;
+  SnapshotCacheReport snapshot_cache;
+
+  /// Legacy experiment counters (protocol event counts).
+  std::map<std::string, std::uint64_t> counters;
+  /// Registry gauges at end of run.
+  std::map<std::string, double> gauges;
+  /// Latency digests: "tracking_loop_ms", "search_ms", "rach_ms",
+  /// "engine.dispatch_us", ...
+  std::map<std::string, HistogramSummary> latencies;
+
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+
+  /// Pretty-printed JSON document (trailing newline included).
+  [[nodiscard]] std::string to_json() const;
+
+  /// One-screen human rendering for the example binaries.
+  [[nodiscard]] std::string summary_text() const;
+};
+
+}  // namespace st::obs

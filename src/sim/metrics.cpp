@@ -4,6 +4,19 @@
 
 namespace st::sim {
 
+void TimeSeries::record(Time t, double value) {
+  if (points_.empty() || !(t < points_.back().t)) {
+    points_.push_back({t, value});
+    return;
+  }
+  // Out-of-order insert: place after any existing points at the same
+  // time so equal-time points keep their recording order.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Time lhs, const Point& p) { return lhs < p.t; });
+  points_.insert(it, {t, value});
+}
+
 double TimeSeries::value_at(Time t, double fallback) const noexcept {
   double latest = fallback;
   for (const Point& p : points_) {

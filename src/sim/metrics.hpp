@@ -26,7 +26,13 @@ class TimeSeries {
     double value;
   };
 
-  void record(Time t, double value) { points_.push_back({t, value}); }
+  /// Append a point. Ordering contract: `points()` is always sorted by
+  /// non-decreasing time — the simulator's clock never goes backwards, so
+  /// in-order recording is the O(1) fast path; an out-of-order `record`
+  /// (e.g. merging series assembled off the sim clock) is accepted and
+  /// inserted at its sorted position (O(n) worst case). Queries
+  /// (`value_at`, `mean_over`, `fraction_at_least`) rely on this order.
+  void record(Time t, double value);
 
   [[nodiscard]] std::span<const Point> points() const noexcept {
     return points_;

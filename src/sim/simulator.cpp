@@ -1,15 +1,27 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
 namespace st::sim {
 
+namespace {
+[[nodiscard]] double seconds_since(
+    std::chrono::steady_clock::time_point start) noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
 EventId Simulator::schedule_at(Time when, EventFn fn) {
   if (when < now_) {
     when = now_;
   }
-  return queue_.push(when, std::move(fn));
+  const EventId id = queue_.push(when, std::move(fn));
+  note_queue_depth();
+  return id;
 }
 
 EventId Simulator::schedule_after(Duration delay, EventFn fn) {
@@ -35,6 +47,7 @@ EventId Simulator::schedule_periodic(Time first, Duration period, EventFn fn) {
     chain->fn();
     const EventId next =
         queue_.push(now_ + chain->period, [recur]() { (*recur)(); });
+    note_queue_depth();
     periodic_current_[chain->first_id] = next;
   };
 
@@ -56,11 +69,15 @@ void Simulator::cancel_periodic(EventId first_id) {
 }
 
 void Simulator::run_until(Time end) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const Time sim_start = now_;
   while (step(end)) {
   }
   if (now_ < end) {
     now_ = end;
   }
+  stats_.wall_seconds += seconds_since(wall_start);
+  stats_.sim_seconds += (now_ - sim_start).seconds();
 }
 
 bool Simulator::step(Time end) {
@@ -73,8 +90,14 @@ bool Simulator::step(Time end) {
   }
   EventQueue::Entry entry = queue_.pop();
   now_ = entry.when;
-  ++events_executed_;
-  entry.fn();
+  ++stats_.events_executed;
+  if (dispatch_us_ != nullptr) {
+    const auto dispatch_start = std::chrono::steady_clock::now();
+    entry.fn();
+    dispatch_us_->add(seconds_since(dispatch_start) * 1e6);
+  } else {
+    entry.fn();
+  }
   return true;
 }
 

@@ -8,13 +8,34 @@
 // not from parallel packet crunching.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
+#include "common/stats.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace st::sim {
+
+/// Engine runtime statistics, maintained unconditionally (a handful of
+/// integer updates per event) and read by the telemetry layer's RunReport.
+struct EngineStats {
+  /// Events dispatched so far.
+  std::uint64_t events_executed = 0;
+  /// High-water mark of the pending-event set — how deep the schedule got.
+  std::size_t queue_depth_hwm = 0;
+  /// Wall-clock time spent inside run_until()/step() dispatch loops.
+  double wall_seconds = 0.0;
+  /// Simulated time advanced by run_until() calls.
+  double sim_seconds = 0.0;
+
+  /// Wall seconds burned per simulated second (< 1 means faster than
+  /// real time); 0 when nothing ran.
+  [[nodiscard]] double wall_per_sim_second() const noexcept {
+    return sim_seconds > 0.0 ? wall_seconds / sim_seconds : 0.0;
+  }
+};
 
 class Simulator {
  public:
@@ -56,15 +77,32 @@ class Simulator {
 
   /// Number of events executed so far (diagnostics / perf tests).
   [[nodiscard]] std::uint64_t events_executed() const noexcept {
-    return events_executed_;
+    return stats_.events_executed;
+  }
+
+  /// Engine statistics so far (event count, queue high-water mark, wall
+  /// time spent dispatching).
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  /// Attach a histogram that receives the wall-clock microseconds of
+  /// every dispatched event callback (telemetry profiling). Null (the
+  /// default) disables timing entirely — the dispatch loop pays only a
+  /// pointer test. The histogram must outlive the simulator's use of it.
+  void set_dispatch_histogram(LogLinearHistogram* histogram) noexcept {
+    dispatch_us_ = histogram;
   }
 
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
 
  private:
+  void note_queue_depth() noexcept {
+    stats_.queue_depth_hwm = std::max(stats_.queue_depth_hwm, queue_.size());
+  }
+
   EventQueue queue_;
   Time now_ = Time::zero();
-  std::uint64_t events_executed_ = 0;
+  EngineStats stats_;
+  LogLinearHistogram* dispatch_us_ = nullptr;
 
   // Periodic chains: maps the user-visible first id to the id of the
   // currently pending occurrence.

@@ -174,6 +174,94 @@ TEST(Histogram, InvalidConstructionThrows) {
   EXPECT_THROW(Histogram(9.0, 5.0, 3), std::invalid_argument);
 }
 
+TEST(LogLinearHistogram, EmptyReturnsZeros) {
+  LogLinearHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(LogLinearHistogram, CountSumMeanMinMaxAreExact) {
+  LogLinearHistogram h;
+  for (const double x : {2.0, 4.0, 4.0, 5.0, 9.0}) {
+    h.add(x);
+  }
+  EXPECT_EQ(h.count(), 5U);
+  EXPECT_DOUBLE_EQ(h.sum(), 24.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.8);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(LogLinearHistogram, QuantilesApproximateWithinBinResolution) {
+  LogLinearHistogram h;  // 16 sub-buckets/octave: <= ~4.5% relative error
+  for (int i = 1; i <= 1000; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(h.p95(), 950.0, 950.0 * 0.05);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.05);
+  EXPECT_LE(h.quantile(0.0), h.p50());
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(LogLinearHistogram, QuantilesClampToObservedRange) {
+  LogLinearHistogram h;
+  h.add(7.3);
+  // A one-sample histogram must report that sample for every quantile —
+  // the bin midpoint is clamped to the exact observed [min, max].
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.3);
+  EXPECT_DOUBLE_EQ(h.p50(), 7.3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.3);
+}
+
+TEST(LogLinearHistogram, ZeroAndNegativeSamplesLandInZeroBin) {
+  LogLinearHistogram h;
+  h.add(0.0);
+  h.add(-5.0);
+  h.add(10.0);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  // Two of three samples are in the zero bin, so the median is <= 0.
+  EXPECT_LE(h.p50(), 0.0);
+}
+
+TEST(LogLinearHistogram, MergeMatchesCombinedStream) {
+  LogLinearHistogram left;
+  LogLinearHistogram right;
+  LogLinearHistogram all;
+  for (int i = 1; i <= 200; ++i) {
+    const double x = 0.5 * i;
+    (i % 2 == 0 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  EXPECT_DOUBLE_EQ(left.p50(), all.p50());
+  EXPECT_DOUBLE_EQ(left.p95(), all.p95());
+}
+
+TEST(LogLinearHistogram, MergeWithEmptyIsIdentity) {
+  LogLinearHistogram h;
+  h.add(3.0);
+  LogLinearHistogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1U);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
 TEST(Histogram, AsciiRendersOneLinePerBin) {
   Histogram h(0.0, 3.0, 3);
   h.add(0.5);

@@ -212,5 +212,120 @@ TEST(Scenario, VehicularThreeCellsChainsHandovers) {
   EXPECT_GE(r.successful_handovers(), 1U);
 }
 
+TEST(Scenario, EngineAndCacheStatsAlwaysPopulated) {
+  // Even without collect_trace, the run carries engine and snapshot-cache
+  // statistics (they are maintained unconditionally).
+  const ScenarioResult r = run_scenario(quick_config());
+  EXPECT_EQ(r.trace, nullptr);
+  EXPECT_GT(r.engine.events_executed, 100u);
+  EXPECT_GT(r.engine.queue_depth_hwm, 0u);
+  EXPECT_NEAR(r.engine.sim_seconds, 10.0, 1e-9);
+  EXPECT_GT(r.snapshot_cache.hits + r.snapshot_cache.misses, 0u);
+  EXPECT_GT(r.snapshot_cache.pair_sweeps, 0u);
+}
+
+TEST(Scenario, CollectTracePopulatesRecorder) {
+  ScenarioConfig c = quick_config();
+  c.collect_trace = true;
+  const ScenarioResult r = run_scenario(c);
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_GT(r.trace->total_events(), 0u);
+  // The tracker narrates state transitions from t=0 (Searching).
+  EXPECT_FALSE(r.trace->buffer(obs::Component::kSilentTracker).empty());
+  // Engine dispatch timing flows into the registry histogram.
+  const LogLinearHistogram* dispatch =
+      r.trace->metrics().find_histogram("engine.dispatch_us");
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->count(), r.engine.events_executed);
+  // End-of-run gauges are recorded for the report.
+  EXPECT_GT(r.trace->metrics().gauges().count("engine.queue_depth_hwm"), 0u);
+}
+
+TEST(Scenario, TraceBufferCapacityIsRespected) {
+  ScenarioConfig c = quick_config();
+  c.collect_trace = true;
+  c.trace_buffer_capacity = 4;
+  const ScenarioResult r = run_scenario(c);
+  ASSERT_NE(r.trace, nullptr);
+  for (std::size_t i = 0; i < obs::kComponentCount; ++i) {
+    EXPECT_LE(r.trace->buffer(static_cast<obs::Component>(i)).size(), 4u);
+  }
+  // A 10 s run emits far more than 4 events somewhere, so drops count up.
+  EXPECT_GT(r.trace->total_dropped(), 0u);
+  EXPECT_EQ(r.trace->total_events() - r.trace->total_dropped(),
+            r.trace->buffer(obs::Component::kSilentTracker).size() +
+                r.trace->buffer(obs::Component::kBeamSurfer).size() +
+                r.trace->buffer(obs::Component::kReactive).size() +
+                r.trace->buffer(obs::Component::kCellSearch).size() +
+                r.trace->buffer(obs::Component::kRach).size() +
+                r.trace->buffer(obs::Component::kLinkMonitor).size() +
+                r.trace->buffer(obs::Component::kScenario).size() +
+                r.trace->buffer(obs::Component::kEngine).size());
+}
+
+TEST(Scenario, TracingDoesNotPerturbTheRun) {
+  // The observability layer must be read-only with respect to protocol
+  // behaviour: same seed with and without tracing gives byte-identical
+  // logs, counters, and handover outcomes.
+  ScenarioConfig plain = quick_config();
+  ScenarioConfig traced = quick_config();
+  traced.collect_trace = true;
+  const ScenarioResult a = run_scenario(plain);
+  const ScenarioResult b = run_scenario(traced);
+
+  EXPECT_EQ(a.counters.all(), b.counters.all());
+  ASSERT_EQ(a.handovers.size(), b.handovers.size());
+  for (std::size_t i = 0; i < a.handovers.size(); ++i) {
+    EXPECT_EQ(a.handovers[i].completed.ns(), b.handovers[i].completed.ns());
+    EXPECT_EQ(a.handovers[i].to, b.handovers[i].to);
+    EXPECT_EQ(a.handovers[i].final_rx_beam, b.handovers[i].final_rx_beam);
+  }
+  ASSERT_EQ(a.log.entries().size(), b.log.entries().size());
+  for (std::size_t i = 0; i < a.log.entries().size(); ++i) {
+    EXPECT_EQ(a.log.entries()[i].t, b.log.entries()[i].t);
+    EXPECT_EQ(a.log.entries()[i].component, b.log.entries()[i].component);
+    EXPECT_EQ(a.log.entries()[i].message, b.log.entries()[i].message);
+  }
+}
+
+TEST(Scenario, BuildRunReportEchoesScenarioAndResults) {
+  ScenarioConfig c = quick_config();
+  c.collect_trace = true;
+  const ScenarioResult r = run_scenario(c);
+  const obs::RunReport report = build_run_report(c, r);
+
+  EXPECT_EQ(report.schema, "silent-tracker/run-report/v1");
+  EXPECT_EQ(report.scenario, "human_walk");
+  EXPECT_EQ(report.protocol, "silent_tracker");
+  EXPECT_EQ(report.seed, 7u);
+  EXPECT_DOUBLE_EQ(report.duration_ms, 10000.0);
+  EXPECT_EQ(report.n_cells, 2u);
+  EXPECT_EQ(report.handover.total, r.handovers.size());
+  EXPECT_EQ(report.handover.successful, r.successful_handovers());
+  EXPECT_EQ(report.engine.events_executed, r.engine.events_executed);
+  EXPECT_EQ(report.snapshot_cache.hits, r.snapshot_cache.hits);
+  EXPECT_DOUBLE_EQ(report.snapshot_cache.hit_rate,
+                   r.snapshot_cache.hit_rate());
+  EXPECT_EQ(report.counters.size(), r.counters.all().size());
+  EXPECT_EQ(report.trace_events, r.trace->total_events());
+  // The engine dispatch digest always exists when tracing was on.
+  EXPECT_GT(report.latencies.count("engine.dispatch_us"), 0u);
+  // And the JSON document serialises without blowing up.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\""), std::string::npos);
+}
+
+TEST(Scenario, BuildRunReportWithoutTraceOmitsTraceSections) {
+  ScenarioConfig c = quick_config();
+  const ScenarioResult r = run_scenario(c);
+  const obs::RunReport report = build_run_report(c, r);
+  EXPECT_EQ(report.trace_events, 0u);
+  EXPECT_TRUE(report.latencies.empty());
+  EXPECT_TRUE(report.gauges.empty());
+  // Non-trace material is still filled in.
+  EXPECT_GT(report.engine.events_executed, 0u);
+  EXPECT_FALSE(report.counters.empty());
+}
+
 }  // namespace
 }  // namespace st::core

@@ -154,6 +154,53 @@ TEST(Environment, ClosenessOrdersRss) {
   EXPECT_GT(near.rx_power_dbm, far.rx_power_dbm + 6.0);
 }
 
+TEST(Environment, SnapshotCacheCountsMissHitAndInvalidation) {
+  auto env = test::make_two_cell_env(test::standing_at({20.0, 10.0, 0.0}));
+  EXPECT_EQ(env.snapshot_stats().hits, 0u);
+  EXPECT_EQ(env.snapshot_stats().misses, 0u);
+  EXPECT_EQ(env.snapshot_stats().pair_sweeps, 0u);
+  EXPECT_DOUBLE_EQ(env.snapshot_stats().hit_rate(), 0.0);
+
+  // First query at t0 builds cell 0's snapshot: a miss, no eviction.
+  (void)env.ground_truth_best_pair(0, Time::zero());
+  EXPECT_EQ(env.snapshot_stats().misses, 1u);
+  EXPECT_EQ(env.snapshot_stats().hits, 0u);
+  EXPECT_EQ(env.snapshot_stats().invalidations, 0u);
+  EXPECT_EQ(env.snapshot_stats().pair_sweeps, 1u);
+
+  // Same cell, same instant: served from the cached epoch.
+  (void)env.ground_truth_best_pair(0, Time::zero());
+  EXPECT_EQ(env.snapshot_stats().hits, 1u);
+  EXPECT_EQ(env.snapshot_stats().misses, 1u);
+  EXPECT_EQ(env.snapshot_stats().pair_sweeps, 2u);
+
+  // A different cell misses without evicting cell 0's entry.
+  (void)env.ground_truth_best_pair(1, Time::zero());
+  EXPECT_EQ(env.snapshot_stats().misses, 2u);
+  EXPECT_EQ(env.snapshot_stats().invalidations, 0u);
+  (void)env.ground_truth_best_pair(0, Time::zero());
+  EXPECT_EQ(env.snapshot_stats().hits, 2u);
+
+  // A new instant rebuilds in place: miss + invalidation of a valid entry.
+  (void)env.ground_truth_best_pair(0, Time::zero() + 1_ms);
+  EXPECT_EQ(env.snapshot_stats().misses, 3u);
+  EXPECT_EQ(env.snapshot_stats().invalidations, 1u);
+
+  EXPECT_DOUBLE_EQ(env.snapshot_stats().hit_rate(), 2.0 / 5.0);
+}
+
+TEST(Environment, SweepKernelCountersSplitPairAndRxSweeps) {
+  auto env = test::make_two_cell_env(test::standing_at({20.0, 10.0, 0.0}));
+  (void)env.ground_truth_best_pair(0, Time::zero());
+  (void)env.ground_truth_best_rx(0, 0, Time::zero());
+  (void)env.ground_truth_best_rx(0, 1, Time::zero());
+  EXPECT_EQ(env.snapshot_stats().pair_sweeps, 1u);
+  EXPECT_EQ(env.snapshot_stats().rx_sweeps, 2u);
+  // Sweeps at one instant share a single snapshot build.
+  EXPECT_EQ(env.snapshot_stats().misses, 1u);
+  EXPECT_EQ(env.snapshot_stats().hits, 2u);
+}
+
 TEST(Environment, DetectionDrawsVaryNearThreshold) {
   // With a normal slope, a near-threshold link detects sometimes — the
   // probabilistic middle ground matters for search latency distributions.

@@ -1,0 +1,156 @@
+// Exporters: the Chrome/Perfetto trace must be structurally sound
+// (balanced B/E slices, metadata tracks, instant events with args) and
+// the JSONL dump one time-ordered object per event.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace st;
+using obs::Component;
+using obs::TraceEvent;
+using obs::TraceEventType;
+
+sim::Time at_ms(std::int64_t ms) {
+  return sim::Time::zero() + sim::Duration::milliseconds(ms);
+}
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+obs::TraceRecorder make_recorder() {
+  obs::TraceRecorder recorder;
+  recorder.record(Component::kSilentTracker,
+                  {.t = at_ms(0),
+                   .type = TraceEventType::kStateTransition,
+                   .label = "Searching"});
+  recorder.record(Component::kSilentTracker,
+                  {.t = at_ms(100),
+                   .type = TraceEventType::kStateTransition,
+                   .cell = 1,
+                   .beam_a = 5,
+                   .beam_b = 9,
+                   .label = "Accessing"});
+  recorder.record(Component::kSilentTracker,
+                  {.t = at_ms(50),
+                   .type = TraceEventType::kRssSample,
+                   .cell = 1,
+                   .beam_a = 9,
+                   .value = -72.5});
+  recorder.record(Component::kBeamSurfer,
+                  {.t = at_ms(20),
+                   .type = TraceEventType::kRxBeamSwitch,
+                   .beam_a = 3,
+                   .beam_b = 4,
+                   .value = -71.0});
+  return recorder;
+}
+
+TEST(ChromeTrace, EmptyRecorderStillProducesAValidEnvelope) {
+  obs::TraceRecorder recorder;
+  std::ostringstream os;
+  ASSERT_TRUE(obs::write_chrome_trace(recorder, os));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+}
+
+TEST(ChromeTrace, SlicesAreBalancedAndTracksNamed) {
+  const obs::TraceRecorder recorder = make_recorder();
+  std::ostringstream os;
+  ASSERT_TRUE(obs::write_chrome_trace(recorder, os));
+  const std::string out = os.str();
+
+  // Two state transitions open two B slices; the first is closed by the
+  // second, the last at trace end — so B and E counts match.
+  EXPECT_EQ(count_of(out, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_of(out, "\"ph\":\"E\""), 2u);
+  EXPECT_NE(out.find("\"name\":\"Searching\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"Accessing\""), std::string::npos);
+
+  // The RSS sample becomes a per-cell counter track.
+  EXPECT_NE(out.find("\"name\":\"silent_tracker rss_dbm cell=1\""),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);
+
+  // The beam switch is an instant with its fields in args.
+  EXPECT_NE(out.find("\"name\":\"rx_beam_switch\""), std::string::npos);
+  EXPECT_NE(out.find("\"beam_a\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"beam_b\":4"), std::string::npos);
+
+  // One thread_name metadata record per non-empty component.
+  EXPECT_EQ(count_of(out, "\"name\":\"thread_name\""), 2u);
+  EXPECT_NE(out.find("\"args\":{\"name\":\"silent_tracker\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"args\":{\"name\":\"beamsurfer\"}"),
+            std::string::npos);
+}
+
+TEST(TraceJsonl, OneLinePerEventInTimeOrder) {
+  const obs::TraceRecorder recorder = make_recorder();
+  std::ostringstream os;
+  ASSERT_TRUE(obs::write_trace_jsonl(recorder, os));
+
+  std::istringstream in(os.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 4u);
+  // Merged across components, sorted by t: 0, 20, 50, 100 ms.
+  EXPECT_NE(lines[0].find("\"t_ns\":0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"label\":\"Searching\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"t_ns\":20000000"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"component\":\"beamsurfer\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"t_ns\":50000000"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"rss_sample\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"t_ns\":100000000"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"cell\":1"), std::string::npos);
+
+  // Every line carries the always-present fields.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"value\":"), std::string::npos);
+    EXPECT_NE(line.find("\"flag\":"), std::string::npos);
+  }
+}
+
+TEST(TraceJsonl, OmitsUnsetOptionalFields) {
+  obs::TraceRecorder recorder;
+  recorder.record(Component::kBeamSurfer,
+                  {.t = at_ms(1), .type = TraceEventType::kRecoverySweep});
+  std::ostringstream os;
+  ASSERT_TRUE(obs::write_trace_jsonl(recorder, os));
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("\"cell\""), std::string::npos);
+  EXPECT_EQ(out.find("\"beam_a\""), std::string::npos);
+  EXPECT_EQ(out.find("\"label\""), std::string::npos);
+}
+
+TEST(WriteTextFile, RoundTripsAndFailsOnBadPath) {
+  const std::string path =
+      testing::TempDir() + "/st_obs_write_text_file_test.json";
+  ASSERT_TRUE(obs::write_text_file(path, "{\"ok\": true}\n"));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\"ok\": true}\n");
+
+  EXPECT_FALSE(
+      obs::write_text_file("/nonexistent-dir/sub/file.json", "x"));
+}
+
+}  // namespace

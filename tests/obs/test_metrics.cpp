@@ -1,0 +1,55 @@
+// MetricRegistry: find-or-create semantics, reference stability across
+// later insertions, and the read-side lookups the RunReport uses.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace st;
+
+TEST(MetricRegistry, CounterFindOrCreate) {
+  obs::MetricRegistry registry;
+  EXPECT_EQ(registry.counter_value("a.b"), 0u);
+  registry.counter("a.b").increment();
+  registry.counter("a.b").increment(4);
+  EXPECT_EQ(registry.counter_value("a.b"), 5u);
+  EXPECT_EQ(registry.counters().size(), 1u);
+}
+
+TEST(MetricRegistry, ReferencesSurviveLaterInsertions) {
+  obs::MetricRegistry registry;
+  obs::Counter& first = registry.counter("hot.path");
+  // Insert enough entries that a non-node-based container would have
+  // rehashed/reallocated; the cached reference must stay valid.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i)).increment();
+  }
+  first.increment(7);
+  EXPECT_EQ(registry.counter_value("hot.path"), 7u);
+}
+
+TEST(MetricRegistry, GaugeSetAndSetMax) {
+  obs::MetricRegistry registry;
+  obs::Gauge& gauge = registry.gauge("queue.depth");
+  gauge.set(3.0);
+  gauge.set_max(2.0);  // lower value must not win
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.set_max(9.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 9.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("queue.depth").value(), 9.0);
+}
+
+TEST(MetricRegistry, HistogramFindOrCreateAndLookup) {
+  obs::MetricRegistry registry;
+  EXPECT_EQ(registry.find_histogram("lat.ms"), nullptr);
+  registry.histogram("lat.ms").add(10.0);
+  registry.histogram("lat.ms").add(20.0);
+  const LogLinearHistogram* found = registry.find_histogram("lat.ms");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count(), 2u);
+  EXPECT_DOUBLE_EQ(found->sum(), 30.0);
+  EXPECT_EQ(registry.histograms().size(), 1u);
+}
+
+}  // namespace

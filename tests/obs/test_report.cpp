@@ -1,0 +1,118 @@
+// RunReport: histogram digests, JSON serialisation shape, and the
+// one-screen summary used by the example binaries.
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using namespace st;
+
+obs::RunReport make_report() {
+  obs::RunReport report;
+  report.scenario = "walk";
+  report.protocol = "tracker";
+  report.seed = 7;
+  report.duration_ms = 30000.0;
+  report.ue_beamwidth_deg = 20.0;
+  report.n_cells = 2;
+  report.handover.total = 1;
+  report.handover.successful = 1;
+  report.handover.soft = 1;
+  report.handover.first_interruption_ms = 0.0;
+  report.handover.rx_beam_switches = 12;
+  report.handover.alignment_fraction = 0.9;
+  report.engine.events_executed = 5000;
+  report.engine.queue_depth_hwm = 16;
+  report.engine.sim_seconds = 30.0;
+  report.snapshot_cache.hits = 90;
+  report.snapshot_cache.misses = 10;
+  report.snapshot_cache.hit_rate = 0.9;
+  report.counters["serving_rx_switches"] = 8;
+  report.gauges["engine.queue_depth_hwm"] = 16.0;
+
+  LogLinearHistogram h;
+  h.add(10.0);
+  h.add(20.0);
+  h.add(400.0);
+  report.latencies["tracking_loop_ms"] = obs::HistogramSummary::from(h);
+  report.trace_events = 123;
+  return report;
+}
+
+TEST(HistogramSummary, DigestsCountMeanAndQuantiles) {
+  LogLinearHistogram h;
+  const obs::HistogramSummary empty = obs::HistogramSummary::from(h);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+  for (int i = 1; i <= 100; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  const obs::HistogramSummary s = obs::HistogramSummary::from(h);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_GT(s.p95, s.p50);
+  EXPECT_GE(s.p99, s.p95);
+  EXPECT_NEAR(s.max, 100.0, 1e-9);
+  // Quantiles are bin midpoints, accurate to the log-linear resolution.
+  EXPECT_NEAR(s.p50, 50.0, 50.0 * 0.05);
+  EXPECT_NEAR(s.p95, 95.0, 95.0 * 0.05);
+}
+
+TEST(RunReport, JsonCarriesSchemaAndSections) {
+  const std::string json = make_report().to_json();
+  EXPECT_NE(json.find("\"schema\": \"silent-tracker/run-report/v1\""),
+            std::string::npos);
+  for (const char* section :
+       {"\"scenario\"", "\"handover\"", "\"engine\"", "\"snapshot_cache\"",
+        "\"counters\"", "\"gauges\"", "\"latencies\"", "\"trace\""}) {
+    EXPECT_NE(json.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(json.find("\"tracking_loop_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\": 0.9"), std::string::npos);
+  EXPECT_NE(json.find("\"serving_rx_switches\": 8"), std::string::npos);
+  // Pretty-printed document: ends with a newline, starts with a brace.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(RunReport, JsonBalancesBracesAndQuotes) {
+  const std::string json = make_report().to_json();
+  int depth = 0;
+  std::size_t quotes = 0;
+  bool in_string = false;
+  for (const char c : json) {
+    if (c == '"') {
+      in_string = !in_string;
+      ++quotes;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0u);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(RunReport, SummaryTextFitsOneScreenAndNamesTheHeadlines) {
+  const std::string text = make_report().summary_text();
+  EXPECT_NE(text.find("run report"), std::string::npos);
+  EXPECT_NE(text.find("handover"), std::string::npos);
+  EXPECT_NE(text.find("snapshot cache"), std::string::npos);
+  EXPECT_NE(text.find("tracking loop"), std::string::npos);
+  // One screen: a couple of dozen lines at most.
+  std::size_t lines = 0;
+  for (const char c : text) {
+    lines += c == '\n' ? 1u : 0u;
+  }
+  EXPECT_LE(lines, 24u);
+  EXPECT_GE(lines, 5u);
+}
+
+}  // namespace

@@ -135,6 +135,56 @@ TEST(Simulator, IdleReflectsQueue) {
   EXPECT_TRUE(sim.idle());
 }
 
+TEST(Simulator, EngineStatsTrackExecutionAndQueueDepth) {
+  Simulator sim;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_at(Time::zero() + i * 1_ms, [] {});
+  }
+  // All eight are pending at once before anything dispatches.
+  sim.run_until(Time::zero() + 20_ms);
+  const EngineStats& stats = sim.stats();
+  EXPECT_EQ(stats.events_executed, 8U);
+  EXPECT_GE(stats.queue_depth_hwm, 8U);
+  EXPECT_DOUBLE_EQ(stats.sim_seconds, 0.02);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+}
+
+TEST(Simulator, EngineStatsAccumulateAcrossRunCalls) {
+  Simulator sim;
+  sim.schedule_at(Time::zero() + 1_ms, [] {});
+  sim.run_until(Time::zero() + 10_ms);
+  sim.schedule_at(Time::zero() + 15_ms, [] {});
+  sim.run_until(Time::zero() + 20_ms);
+  EXPECT_EQ(sim.stats().events_executed, 2U);
+  EXPECT_DOUBLE_EQ(sim.stats().sim_seconds, 0.02);
+}
+
+TEST(EngineStats, WallPerSimSecondGuardsAgainstZero) {
+  EngineStats stats;
+  EXPECT_DOUBLE_EQ(stats.wall_per_sim_second(), 0.0);
+  stats.wall_seconds = 0.5;
+  stats.sim_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(stats.wall_per_sim_second(), 0.25);
+}
+
+TEST(Simulator, DispatchHistogramReceivesOneSamplePerEvent) {
+  Simulator sim;
+  LogLinearHistogram dispatch_us;
+  sim.set_dispatch_histogram(&dispatch_us);
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(Time::zero() + i * 1_ms, [] {});
+  }
+  sim.run_until(Time::zero() + 10_ms);
+  EXPECT_EQ(dispatch_us.count(), 5U);
+  EXPECT_GE(dispatch_us.min(), 0.0);
+
+  // Detaching stops the sampling without touching the histogram.
+  sim.set_dispatch_histogram(nullptr);
+  sim.schedule_at(Time::zero() + 15_ms, [] {});
+  sim.run_until(Time::zero() + 20_ms);
+  EXPECT_EQ(dispatch_us.count(), 5U);
+}
+
 TEST(Simulator, CascadedEventsSameTimeRunThisCall) {
   // An event scheduling another event at the same timestamp: the child
   // must run within the same run_until.
