@@ -46,7 +46,7 @@ struct ObsOptions {
     const std::string arg = argv[i];
     const auto match = [&](const std::string& flag,
                            std::string& value) -> bool {
-      if (arg.rfind(flag + "=", 0) == 0) {
+      if (arg.starts_with(flag + "=")) {
         value = arg.substr(flag.size() + 1);
         return true;
       }

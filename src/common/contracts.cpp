@@ -1,0 +1,32 @@
+#include "common/contracts.hpp"
+
+namespace st::contracts {
+
+namespace {
+std::atomic<bool> g_enforce{true};
+std::atomic<std::uint64_t> g_violations{0};
+}  // namespace
+
+bool enforcement_enabled() noexcept {
+  return g_enforce.load(std::memory_order_relaxed);
+}
+
+void set_enforcement(bool on) noexcept {
+  g_enforce.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t violation_count() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void violate(std::string_view where, std::string_view what) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  std::string message;
+  message.reserve(where.size() + what.size() + 2);
+  message.append(where);
+  message.append(": ");
+  message.append(what);
+  throw ContractViolation(message);
+}
+
+}  // namespace st::contracts

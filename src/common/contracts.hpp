@@ -1,0 +1,139 @@
+// Debug-build protocol-contract machinery.
+//
+// The protocol state machines (Fig. 2b's Silent Tracker, BeamSurfer's
+// serving-link loop, the soft/hard handover classification) are defined
+// by transition rules; a bug that lets an illegal transition through
+// produces results that *look* plausible but no longer measure the
+// paper's protocol. This header provides the generic pieces the checkers
+// in core/invariants.hpp are built from:
+//
+//  * `ContractViolation` — the exception a failed check raises, carrying
+//    the checked expression and a rendered message.
+//  * A process-wide runtime enforcement switch (atomic, default on), so
+//    a single binary can pin checker-on vs checker-off determinism.
+//  * `TransitionTable<State, N>` — a constexpr adjacency matrix over a
+//    small enum, built from an edge list.
+//  * `ST_INVARIANT(...)` — the wiring macro protocol code uses at every
+//    state mutation. It compiles to nothing unless the build was
+//    configured with `-DST_CHECK_INVARIANTS=ON`, which is what keeps the
+//    Release fast path byte-for-byte free of checking overhead.
+//
+// Checks always *throw* rather than abort: a violation is a test failure
+// (and catchable by the suites that seed deliberate illegal transitions),
+// not a process death.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#if defined(ST_CHECK_INVARIANTS) && ST_CHECK_INVARIANTS
+#define ST_INVARIANTS_ENABLED 1
+#else
+#define ST_INVARIANTS_ENABLED 0
+#endif
+
+namespace st::contracts {
+
+/// Raised by every failed contract check. Derives from std::logic_error:
+/// an illegal transition is a programming error in the protocol wiring,
+/// never a runtime condition of the simulated channel.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Whether this binary was compiled with the checker wired into the
+/// protocol mutation points (`-DST_CHECK_INVARIANTS=ON`).
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+  return ST_INVARIANTS_ENABLED != 0;
+}
+
+/// Runtime enforcement switch consulted by the ST_INVARIANT wiring macro
+/// (not by direct calls to the check_* functions, which always check).
+/// Default on. Exists so one checker-enabled binary can compare an
+/// enforced run against an unenforced one — the determinism pin.
+[[nodiscard]] bool enforcement_enabled() noexcept;
+void set_enforcement(bool on) noexcept;
+
+/// RAII enforcement toggle for tests.
+class EnforcementGuard {
+ public:
+  explicit EnforcementGuard(bool on) : previous_(enforcement_enabled()) {
+    set_enforcement(on);
+  }
+  ~EnforcementGuard() { set_enforcement(previous_); }
+
+  EnforcementGuard(const EnforcementGuard&) = delete;
+  EnforcementGuard& operator=(const EnforcementGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Count of violations raised since process start (enforced or not —
+/// direct check_* calls count too). Tests use it to assert the checker
+/// stayed silent over a legal run.
+[[nodiscard]] std::uint64_t violation_count() noexcept;
+
+/// Render and throw a ContractViolation ("<where>: <what>"), bumping the
+/// violation counter first.
+[[noreturn]] void violate(std::string_view where, std::string_view what);
+
+/// Constexpr adjacency matrix over a small scoped enum whose underlying
+/// values are 0..N-1. Built from an edge list; `allowed(s, s)` self-loops
+/// must be listed explicitly if legal.
+template <typename State, std::size_t N>
+class TransitionTable {
+ public:
+  struct Edge {
+    State from;
+    State to;
+  };
+
+  constexpr TransitionTable(std::initializer_list<Edge> edges) : matrix_{} {
+    for (const Edge& e : edges) {
+      matrix_[index(e.from)][index(e.to)] = true;
+    }
+  }
+
+  [[nodiscard]] constexpr bool allowed(State from, State to) const {
+    return matrix_[index(from)][index(to)];
+  }
+
+  [[nodiscard]] static constexpr std::size_t state_count() noexcept {
+    return N;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::size_t index(State s) {
+    return static_cast<std::size_t>(s);
+  }
+
+  std::array<std::array<bool, N>, N> matrix_;
+};
+
+}  // namespace st::contracts
+
+// Wiring macro: evaluates (and enforces) `check_call` only in a
+// checker-enabled build with enforcement on. `check_call` is any
+// expression — typically a core::invariants::check_* invocation that
+// throws ContractViolation on failure.
+#if ST_INVARIANTS_ENABLED
+#define ST_INVARIANT(check_call)                   \
+  do {                                             \
+    if (::st::contracts::enforcement_enabled()) {  \
+      (check_call);                                \
+    }                                              \
+  } while (false)
+#else
+#define ST_INVARIANT(check_call) \
+  do {                           \
+  } while (false)
+#endif

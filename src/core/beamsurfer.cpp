@@ -3,11 +3,31 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+#include "core/invariants.hpp"
+
 namespace st::core {
 
 namespace {
 using net::SsbObservation;
 }  // namespace
+
+std::string_view to_string(BeamSurferState state) noexcept {
+  switch (state) {
+    case BeamSurferState::kSteady:
+      return "Steady";
+    case BeamSurferState::kProbing:
+      return "Probing";
+    case BeamSurferState::kRequesting:
+      return "Requesting";
+  }
+  return "?";
+}
+
+void BeamSurfer::transition_to(State next) {
+  ST_INVARIANT(invariants::check_beamsurfer_transition(state_, next));
+  state_ = next;
+}
 
 BeamSurfer::BeamSurfer(sim::Simulator& simulator,
                        net::RadioEnvironment& environment,
@@ -27,7 +47,10 @@ void BeamSurfer::start(phy::BeamId initial_rx_beam, double initial_rss_dbm) {
     throw std::logic_error("BeamSurfer: already running");
   }
   running_ = true;
-  state_ = State::kSteady;
+  ST_INVARIANT(invariants::check_beam_in_codebook(
+      "initial serving rx beam", initial_rx_beam,
+      environment_.ue_codebook().size()));
+  transition_to(State::kSteady);
   tracker_.select_beam(initial_rx_beam, initial_rss_dbm);
   probe_pending_.clear();
   probe_results_.clear();
@@ -160,7 +183,7 @@ void BeamSurfer::handle_serving_sample(const SsbObservation& obs) {
                     .cell = cell_,
                     .value = tracker_.filtered_rss_dbm(),
                     .value2 = tracker_.reference_rss_dbm()});
-        state_ = State::kProbing;
+        transition_to(State::kProbing);
         // Probe the adjacent beams AND re-measure the current one: the
         // filtered value lags the channel, and comparing a fresh candidate
         // sample against a stale filter causes spurious switches. Under a
@@ -194,6 +217,9 @@ void BeamSurfer::finish_probing() {
       [](const auto& a, const auto& b) { return a.second < b.second; });
 
   if (best != probe_results_.end()) {
+    ST_INVARIANT(invariants::check_beam_in_codebook(
+        "winning serving rx beam", best->first,
+        environment_.ue_codebook().size()));
     if (best->first != tracker_.beam()) {
       emit_.emit({.t = simulator_.now(),
                   .type = obs::TraceEventType::kRxBeamSwitch,
@@ -224,10 +250,10 @@ void BeamSurfer::finish_probing() {
   // either the drop persists, or the serving SSBs are not even being
   // detected any more.
   if (tracker_.drop_detected() || missed_ssbs_ >= config_.missed_ssb_limit) {
-    state_ = State::kRequesting;
+    transition_to(State::kRequesting);
     request_attempts_ = 0;
   } else {
-    state_ = State::kSteady;
+    transition_to(State::kSteady);
   }
 }
 
@@ -245,13 +271,16 @@ void BeamSurfer::attempt_bs_switch() {
       simulator_.now());
   if (delivered) {
     request_attempts_ = 0;
-    state_ = State::kSteady;
+    transition_to(State::kSteady);
     const bool candidate_better =
         best_adjacent_tx_.has_value() &&
         best_adjacent_tx_->second >
             tracker_.filtered_rss_dbm() + config_.probe_margin_db;
     if (candidate_better) {
       const phy::BeamId new_tx = best_adjacent_tx_->first;
+      ST_INVARIANT(invariants::check_beam_in_codebook(
+          "requested serving tx beam", new_tx,
+          environment_.bs(cell_).codebook().size()));
       emit_.emit({.t = simulator_.now(),
                   .type = obs::TraceEventType::kTxBeamSwitch,
                   .cell = cell_,
@@ -273,7 +302,7 @@ void BeamSurfer::attempt_bs_switch() {
                 .type = obs::TraceEventType::kServingUnreachable,
                 .cell = cell_});
     emit_.count("serving_unreachable");
-    state_ = State::kSteady;  // keep sampling; the owner decides what next
+    transition_to(State::kSteady);  // keep sampling; the owner decides
     request_attempts_ = 0;
     if (on_unreachable_) {
       on_unreachable_();

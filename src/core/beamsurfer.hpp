@@ -24,6 +24,7 @@
 
 #include <functional>
 #include <optional>
+#include <string_view>
 
 #include "core/rss_tracker.hpp"
 #include "net/environment.hpp"
@@ -32,6 +33,17 @@
 #include "sim/simulator.hpp"
 
 namespace st::core {
+
+/// BeamSurfer's serving-link loop states. Namespace-scope (rather than
+/// nested) so the protocol-contract checker in core/invariants.hpp can
+/// name them in its transition table.
+enum class BeamSurferState {
+  kSteady,      ///< tracked beam healthy; sampling every burst
+  kProbing,     ///< 3 dB rule fired; measuring adjacent receive beams
+  kRequesting,  ///< rule (ii): asking the BS for a transmit-beam switch
+};
+
+[[nodiscard]] std::string_view to_string(BeamSurferState state) noexcept;
 
 struct BeamSurferConfig {
   RssTrackerConfig tracker{};
@@ -90,9 +102,14 @@ class BeamSurfer {
   /// Optional structured trace sink (not owned; may be null).
   void set_tracer(obs::TraceRecorder* recorder) { emit_.recorder = recorder; }
 
- private:
-  enum class State { kSteady, kProbing, kRequesting };
+  /// Current loop state (exposed for the contract checker and tests).
+  [[nodiscard]] BeamSurferState state() const noexcept { return state_; }
 
+ private:
+  using State = BeamSurferState;
+
+  /// Single mutation point for `state_` (see core/invariants.hpp).
+  void transition_to(State next);
   void on_burst();
   void handle_serving_sample(const net::SsbObservation& obs);
   void finish_probing();

@@ -1,0 +1,136 @@
+#include "core/invariants.hpp"
+
+#include "common/logging.hpp"
+
+namespace st::core::invariants {
+
+namespace {
+
+using contracts::TransitionTable;
+using S = SilentTrackerState;
+using B = BeamSurferState;
+using H = net::HandoverType;
+
+// The normative Fig. 2b table (see the header comment and
+// docs/STATIC_ANALYSIS.md). `stop()`'s reset edge is the `-> kIdle` row.
+constexpr TransitionTable<S, 7> kSilentTrackerTable{
+    {S::kIdle, S::kSearching},
+    {S::kSearching, S::kSearching},
+    {S::kSearching, S::kTracking},
+    {S::kSearching, S::kFallbackSearch},
+    {S::kTracking, S::kSearching},
+    {S::kTracking, S::kAccessing},
+    {S::kAccessing, S::kComplete},
+    {S::kAccessing, S::kFallbackSearch},
+    {S::kAccessing, S::kFailed},
+    {S::kFallbackSearch, S::kFallbackSearch},
+    {S::kFallbackSearch, S::kTracking},
+    {S::kFallbackSearch, S::kFailed},
+    // Reset edge: stop() returns to Idle from every state.
+    {S::kIdle, S::kIdle},
+    {S::kSearching, S::kIdle},
+    {S::kTracking, S::kIdle},
+    {S::kAccessing, S::kIdle},
+    {S::kFallbackSearch, S::kIdle},
+    {S::kComplete, S::kIdle},
+    {S::kFailed, S::kIdle},
+};
+
+constexpr TransitionTable<B, 3> kBeamSurferTable{
+    {B::kSteady, B::kProbing},
+    {B::kProbing, B::kSteady},
+    {B::kProbing, B::kRequesting},
+    {B::kRequesting, B::kSteady},
+    // Reset edge: start() re-seeds Steady from every state.
+    {B::kSteady, B::kSteady},
+};
+
+constexpr TransitionTable<H, 2> kHandoverTypeTable{
+    {H::kSoft, H::kSoft},
+    {H::kSoft, H::kHard},
+    {H::kHard, H::kHard},
+};
+
+}  // namespace
+
+bool silent_tracker_transition_allowed(SilentTrackerState from,
+                                       SilentTrackerState to) noexcept {
+  return kSilentTrackerTable.allowed(from, to);
+}
+
+bool beamsurfer_transition_allowed(BeamSurferState from,
+                                   BeamSurferState to) noexcept {
+  return kBeamSurferTable.allowed(from, to);
+}
+
+bool handover_type_transition_allowed(net::HandoverType from,
+                                      net::HandoverType to) noexcept {
+  return kHandoverTypeTable.allowed(from, to);
+}
+
+void check_silent_tracker_transition(SilentTrackerState from,
+                                     SilentTrackerState to) {
+  if (!silent_tracker_transition_allowed(from, to)) {
+    contracts::violate(
+        "SilentTracker",
+        log_message("illegal Fig. 2b transition ", to_string(from), " -> ",
+                    to_string(to)));
+  }
+}
+
+void check_beamsurfer_transition(BeamSurferState from, BeamSurferState to) {
+  if (!beamsurfer_transition_allowed(from, to)) {
+    contracts::violate(
+        "BeamSurfer",
+        log_message("illegal loop transition ", to_string(from), " -> ",
+                    to_string(to)));
+  }
+}
+
+void check_handover_type_transition(net::HandoverType from,
+                                    net::HandoverType to) {
+  if (!handover_type_transition_allowed(from, to)) {
+    contracts::violate("HandoverRecord",
+                       "a hard handover never upgrades back to soft");
+  }
+}
+
+void check_beam_in_codebook(const char* what, phy::BeamId beam,
+                            std::size_t codebook_size) {
+  if (beam == phy::kInvalidBeam ||
+      static_cast<std::size_t>(beam) >= codebook_size) {
+    contracts::violate(
+        "beam index",
+        log_message(what, " = ", beam, " outside codebook of ", codebook_size,
+                    " beams"));
+  }
+}
+
+void check_drop_on_tracked_beam(SilentTrackerState state, phy::BeamId beam,
+                                std::size_t ue_codebook_size) {
+  if (state != SilentTrackerState::kTracking &&
+      state != SilentTrackerState::kAccessing) {
+    contracts::violate(
+        "SilentTracker",
+        log_message("3 dB switch threshold fired in state ", to_string(state),
+                    " (no beam is tracked there)"));
+  }
+  check_beam_in_codebook("tracked neighbour rx beam", beam, ue_codebook_size);
+}
+
+void check_rach_entry(net::CellId target, net::CellId previous_serving,
+                      phy::BeamId target_tx_beam, std::size_t bs_codebook_size,
+                      phy::BeamId ue_rx_beam, std::size_t ue_codebook_size) {
+  if (target == net::kInvalidCell) {
+    contracts::violate("RACH entry", "random access towards no cell");
+  }
+  if (target == previous_serving) {
+    contracts::violate(
+        "RACH entry",
+        log_message("random access back into the lost serving cell ", target));
+  }
+  check_beam_in_codebook("target tx beam", target_tx_beam, bs_codebook_size);
+  check_beam_in_codebook("ue rx beam", ue_rx_beam, ue_codebook_size);
+}
+
+}  // namespace st::core::invariants

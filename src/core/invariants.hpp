@@ -1,0 +1,106 @@
+// Protocol-contract checker for the Fig. 2b state machines.
+//
+// This header is the executable form of the paper's transition rules:
+// the Silent Tracker state machine (Fig. 2b), BeamSurfer's serving-link
+// loop (§3 rules (i)/(ii)), and the soft/hard handover classification.
+// The transition tables below are the *normative* ones documented in
+// docs/STATIC_ANALYSIS.md; the `check_*` functions throw
+// contracts::ContractViolation when the rules are broken.
+//
+// Two usage layers:
+//
+//  * The `*_transition_allowed` predicates and `check_*` functions are
+//    plain functions, available in every build — tests call them
+//    directly to assert that illegal transitions are rejected.
+//  * The protocols wire the checks into their mutation points through
+//    the ST_INVARIANT macro (common/contracts.hpp), which compiles to
+//    nothing unless the build enables -DST_CHECK_INVARIANTS=ON. Release
+//    binaries therefore carry zero checking overhead.
+//
+// Legal Silent Tracker transitions (Fig. 2b plus the explicit reset
+// edge `stop()` provides):
+//
+//   Idle           -> InitialSearch                     (start)
+//   InitialSearch  -> InitialSearch                     (miss; search again)
+//   InitialSearch  -> Tracking                          (neighbour found)
+//   InitialSearch  -> FallbackSearch                    (serving lost first)
+//   Tracking       -> InitialSearch                     (neighbour abandoned)
+//   Tracking       -> Accessing                         (serving lost)
+//   Accessing      -> Complete                          (RACH success)
+//   Accessing      -> FallbackSearch                    (RACH failed)
+//   Accessing      -> Failed                            (rounds exhausted)
+//   FallbackSearch -> FallbackSearch                    (miss; new round)
+//   FallbackSearch -> Tracking                          (fallback found)
+//   FallbackSearch -> Failed                            (rounds exhausted)
+//   any            -> Idle                              (stop/reset)
+//
+// BeamSurfer (rule (ii) may only follow a probe round that proved
+// mobile-side adaptation insufficient — Steady can never jump straight
+// to Requesting):
+//
+//   Steady     -> Probing      (3 dB drop or missed-SSB limit)
+//   Probing    -> Steady       (probe recovered the link)
+//   Probing    -> Requesting   (best beam still 3 dB below reference)
+//   Requesting -> Steady       (request delivered, or attempts exhausted)
+//   any        -> Steady       (start/reset)
+//
+// HandoverType: a soft handover degrades to hard (the fallback path);
+// a hard handover never silently upgrades back to soft.
+#pragma once
+
+#include <cstddef>
+
+#include "common/contracts.hpp"
+#include "core/beamsurfer.hpp"
+#include "core/silent_tracker.hpp"
+#include "net/handover.hpp"
+#include "net/ids.hpp"
+#include "phy/codebook.hpp"
+
+namespace st::core::invariants {
+
+// ---- Transition predicates (pure, always available) ----------------------
+
+[[nodiscard]] bool silent_tracker_transition_allowed(
+    SilentTrackerState from, SilentTrackerState to) noexcept;
+
+[[nodiscard]] bool beamsurfer_transition_allowed(BeamSurferState from,
+                                                 BeamSurferState to) noexcept;
+
+[[nodiscard]] bool handover_type_transition_allowed(
+    net::HandoverType from, net::HandoverType to) noexcept;
+
+// ---- Checks (throw contracts::ContractViolation on failure) --------------
+
+/// Fig. 2b transition legality.
+void check_silent_tracker_transition(SilentTrackerState from,
+                                     SilentTrackerState to);
+
+/// BeamSurfer loop transition legality.
+void check_beamsurfer_transition(BeamSurferState from, BeamSurferState to);
+
+/// Soft may degrade to hard; hard never upgrades back.
+void check_handover_type_transition(net::HandoverType from,
+                                    net::HandoverType to);
+
+/// A beam index used by a protocol must address a real codebook entry.
+/// `what` names the beam role ("serving rx beam", "neighbour tx beam").
+void check_beam_in_codebook(const char* what, phy::BeamId beam,
+                            std::size_t codebook_size);
+
+/// The 3 dB switch threshold is only meaningful on a beam the protocol
+/// actually tracks: a valid beam index, in a state where tracking runs
+/// (Tracking, or Accessing — tracking persists until Msg4).
+void check_drop_on_tracked_beam(SilentTrackerState state, phy::BeamId beam,
+                                std::size_t ue_codebook_size);
+
+/// Random access may only start on an aligned neighbour beam pair: a
+/// real target cell distinct from the old serving cell, and tx/rx beams
+/// inside their respective codebooks. This is the protocol's core
+/// promise — access happens on a beam that tracking kept fresh, never
+/// on nothing.
+void check_rach_entry(net::CellId target, net::CellId previous_serving,
+                      phy::BeamId target_tx_beam, std::size_t bs_codebook_size,
+                      phy::BeamId ue_rx_beam, std::size_t ue_codebook_size);
+
+}  // namespace st::core::invariants

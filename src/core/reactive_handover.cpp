@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+#include "core/invariants.hpp"
+
 namespace st::core {
 
 ReactiveHandover::ReactiveHandover(sim::Simulator& simulator,
@@ -53,6 +56,8 @@ void ReactiveHandover::start(net::CellId serving_cell,
   on_handover_ = std::move(on_handover);
   record_ = net::HandoverRecord{};
   record_.from = serving_cell;
+  ST_INVARIANT(invariants::check_handover_type_transition(
+      record_.type, net::HandoverType::kHard));
   record_.type = net::HandoverType::kHard;  // always, by construction
 
   beamsurfer_ = std::make_unique<BeamSurfer>(simulator_, environment_,
@@ -110,6 +115,7 @@ void ReactiveHandover::next_round() {
   ++rounds_;
   emit_.count("reactive_search_rounds");
   std::vector<net::CellId> candidates;
+  candidates.reserve(environment_.cell_count());
   for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
     if (c != serving_) {
       candidates.push_back(c);
@@ -127,6 +133,10 @@ void ReactiveHandover::on_search_done(const net::SearchOutcome& outcome) {
     next_round();
     return;
   }
+  ST_INVARIANT(invariants::check_rach_entry(
+      outcome.cell, serving_, outcome.tx_beam,
+      environment_.bs(outcome.cell).codebook().size(), outcome.rx_beam,
+      environment_.ue_codebook().size()));
   record_.to = outcome.cell;
   record_.access_started = simulator_.now();
   record_.target_tx_beam = outcome.tx_beam;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+#include "core/invariants.hpp"
 
 namespace st::core {
 
@@ -30,6 +32,11 @@ std::string_view to_string(SilentTrackerState state) noexcept {
       return "Failed";
   }
   return "?";
+}
+
+void SilentTracker::transition_to(SilentTrackerState next) {
+  ST_INVARIANT(invariants::check_silent_tracker_transition(state_, next));
+  state_ = next;
 }
 
 SilentTracker::SilentTracker(sim::Simulator& simulator,
@@ -126,7 +133,7 @@ void SilentTracker::stop() {
   if (rach_ != nullptr) {
     rach_->abort();
   }
-  state_ = SilentTrackerState::kIdle;
+  transition_to(SilentTrackerState::kIdle);
   on_handover_ = nullptr;
 }
 
@@ -150,12 +157,13 @@ void SilentTracker::cancel_tracking_events() {
 // ---- Initial search ------------------------------------------------------
 
 void SilentTracker::enter_searching() {
-  state_ = SilentTrackerState::kSearching;
+  transition_to(SilentTrackerState::kSearching);
   emit_.emit({.t = simulator_.now(),
               .type = obs::TraceEventType::kStateTransition,
               .label = "InitialSearch"});
 
   std::vector<net::CellId> candidates;
+  candidates.reserve(environment_.cell_count());
   for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
     if (c != serving_) {
       candidates.push_back(c);
@@ -196,7 +204,7 @@ void SilentTracker::on_search_done(const net::SearchOutcome& outcome) {
 // ---- Silent tracking -----------------------------------------------------
 
 void SilentTracker::enter_tracking() {
-  state_ = SilentTrackerState::kTracking;
+  transition_to(SilentTrackerState::kTracking);
   emit_.emit({.t = simulator_.now(),
               .type = obs::TraceEventType::kStateTransition,
               .label = "Tracking"});
@@ -354,6 +362,8 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
   // of the adjacent RX beams.
   if ((neighbour_rss_.drop_detected() || missed_tracked_ >= 3) &&
       probe_pending_.empty()) {
+    ST_INVARIANT(invariants::check_drop_on_tracked_beam(
+        state_, neighbour_rss_.beam(), environment_.ue_codebook().size()));
     missed_tracked_ = 0;
     emit_.count("neighbour_drop_events");
     emit_.emit({.t = simulator_.now(),
@@ -379,6 +389,7 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
                           neighbour_rss_.beam()};
       }
     } else {
+      probe_pending_.reserve(cb.size());
       for (const phy::Beam& beam : cb.beams()) {
         if (beam.id() != neighbour_rss_.beam()) {
           probe_pending_.push_back(beam.id());
@@ -410,6 +421,7 @@ void SilentTracker::finish_neighbour_probe() {
       emit_.emit({.t = simulator_.now(),
                   .type = obs::TraceEventType::kRecoverySweep,
                   .cell = neighbour_});
+      probe_pending_.reserve(environment_.ue_codebook().size());
       for (const phy::Beam& beam : environment_.ue_codebook().beams()) {
         probe_pending_.push_back(beam.id());
       }
@@ -484,7 +496,11 @@ void SilentTracker::on_serving_lost(std::string_view reason) {
 }
 
 void SilentTracker::enter_accessing() {
-  state_ = SilentTrackerState::kAccessing;
+  ST_INVARIANT(invariants::check_rach_entry(
+      neighbour_, serving_, neighbour_tx_beam_,
+      environment_.bs(neighbour_).codebook().size(), neighbour_rss_.beam(),
+      environment_.ue_codebook().size()));
+  transition_to(SilentTrackerState::kAccessing);
   emit_.emit({.t = simulator_.now(),
               .type = obs::TraceEventType::kStateTransition,
               .cell = neighbour_,
@@ -523,19 +539,22 @@ void SilentTracker::on_rach_done(const net::RachOutcome& outcome) {
 
 void SilentTracker::enter_fallback() {
   cancel_tracking_events();
+  ST_INVARIANT(invariants::check_handover_type_transition(
+      record_.type, net::HandoverType::kHard));
   record_.type = net::HandoverType::kHard;
   if (fallback_rounds_ >= config_.max_fallback_rounds) {
     complete(false);
     return;
   }
   ++fallback_rounds_;
-  state_ = SilentTrackerState::kFallbackSearch;
+  transition_to(SilentTrackerState::kFallbackSearch);
   emit_.emit({.t = simulator_.now(),
               .type = obs::TraceEventType::kStateTransition,
               .label = "FallbackSearch"});
   emit_.count("fallback_searches");
 
   std::vector<net::CellId> candidates;
+  candidates.reserve(environment_.cell_count());
   for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
     if (c != serving_) {
       candidates.push_back(c);
@@ -572,7 +591,8 @@ void SilentTracker::complete(bool success) {
   record_.completed = simulator_.now();
   record_.target_tx_beam = neighbour_tx_beam_;
   record_.final_rx_beam = neighbour_rss_.beam();
-  state_ = success ? SilentTrackerState::kComplete : SilentTrackerState::kFailed;
+  transition_to(success ? SilentTrackerState::kComplete
+                        : SilentTrackerState::kFailed);
   emit_.emit({.t = simulator_.now(),
               .type = obs::TraceEventType::kHandoverComplete,
               .cell = record_.to,

@@ -147,6 +147,10 @@ class SilentTracker {
   void set_tracer(obs::TraceRecorder* recorder);
 
  private:
+  /// Single mutation point for `state_`: every state change funnels
+  /// through here so the Fig. 2b contract checker (core/invariants.hpp,
+  /// compiled in with ST_CHECK_INVARIANTS=ON) sees each transition.
+  void transition_to(SilentTrackerState next);
   void enter_searching();
   void on_search_done(const net::SearchOutcome& outcome);
   void enter_tracking();

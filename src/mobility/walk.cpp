@@ -34,6 +34,7 @@ LinearWalk::LinearWalk(const WalkConfig& config, sim::Duration horizon,
   const double rho = std::exp(-dt / config.yaw_jitter_tau_s);
   const double innovation = sigma * std::sqrt(1.0 - rho * rho);
   double x = rng.normal(0.0, sigma);
+  jitter_.reserve(steps);
   for (std::size_t i = 0; i < steps; ++i) {
     jitter_.push_back(x);
     x = rho * x + rng.normal(0.0, innovation);

@@ -17,14 +17,14 @@ bool EventQueue::empty() const noexcept { return callbacks_.empty(); }
 
 std::size_t EventQueue::size() const noexcept { return callbacks_.size(); }
 
-void EventQueue::skip_cancelled() {
+void EventQueue::skip_cancelled() const {
   while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
     heap_.pop();
   }
 }
 
 Time EventQueue::next_time() const {
-  const_cast<EventQueue*>(this)->skip_cancelled();
+  skip_cancelled();
   if (heap_.empty()) {
     throw std::logic_error("EventQueue::next_time on empty queue");
   }

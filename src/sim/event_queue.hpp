@@ -61,10 +61,13 @@ class EventQueue {
     }
   };
 
-  /// Drop cancelled entries from the heap top.
-  void skip_cancelled();
+  /// Drop cancelled entries from the heap top. Logically const — it only
+  /// collapses lazily-cancelled entries, never changes the observable
+  /// queue — so const accessors (next_time) may call it on the mutable
+  /// heap without casting away constness.
+  void skip_cancelled() const;
 
-  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
+  mutable std::priority_queue<HeapItem, std::vector<HeapItem>, Later> heap_;
   std::unordered_map<EventId, EventFn> callbacks_;
   EventId next_id_ = 1;
   std::uint64_t next_seq_ = 0;
