@@ -33,16 +33,16 @@ int main() {
   for (const auto mobility : {core::MobilityScenario::kHumanWalk,
                               core::MobilityScenario::kRotation}) {
     for (const double beamwidth : {10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 0.0}) {
-      core::ScenarioConfig config;
-      config.mobility = mobility;
-      config.duration = 20'000_ms;
-      config.ue_beamwidth_deg = beamwidth;
+      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
+                                    .duration(20'000_ms)
+                                    .build();
+      spec.ues.front().ue_beamwidth_deg = beamwidth;
 
       st::bench::Aggregate agg;
       RunningStats switches;
       for (const std::uint64_t seed : run_seeds) {
-        config.seed = seed;
-        const core::ScenarioResult result = core::run_scenario(config);
+        spec.seed = seed;
+        const core::ScenarioResult result = core::run_scenario(spec);
         agg.absorb(result);
         switches.add(static_cast<double>(
             result.counters.value("neighbour_rx_switches") +

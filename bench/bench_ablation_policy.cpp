@@ -47,14 +47,15 @@ int main() {
   for (const auto mobility : {core::MobilityScenario::kHumanWalk,
                               core::MobilityScenario::kRotation}) {
     for (const Variant& variant : variants) {
-      core::ScenarioConfig config;
-      config.mobility = mobility;
-      config.duration = 20'000_ms;
-      config.ue_beamwidth_deg = variant.beamwidth_deg;
-      config.tracker.probe_policy = variant.policy;
+      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
+                                    .duration(20'000_ms)
+                                    .build();
+      core::UeProfile& ue = spec.ues.front();
+      ue.ue_beamwidth_deg = variant.beamwidth_deg;
+      ue.tracker.probe_policy = variant.policy;
 
       const st::bench::Aggregate agg =
-          st::bench::run_batch_parallel(config, run_seeds);
+          st::bench::run_batch_parallel(spec, run_seeds);
 
       table.row()
           .cell(std::string(core::to_string(mobility)))

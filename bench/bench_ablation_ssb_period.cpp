@@ -35,19 +35,19 @@ int main() {
   for (const auto mobility : {core::MobilityScenario::kHumanWalk,
                               core::MobilityScenario::kRotation}) {
     for (const std::int64_t period_ms : {5LL, 10LL, 20LL, 40LL, 80LL}) {
-      core::ScenarioConfig config;
-      config.mobility = mobility;
-      config.duration = 20'000_ms;
-      config.deployment.frame.ssb_period =
+      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
+                                    .duration(20'000_ms)
+                                    .build();
+      spec.deployment.frame.ssb_period =
           sim::Duration::milliseconds(period_ms);
       // Keep the search budget at 64 dwells, as in NR initial access.
-      config.tracker.search.dwell = sim::Duration::milliseconds(period_ms);
-      config.tracker.search.budget =
-          sim::Duration::milliseconds(64 * period_ms);
-      config.reactive.search = config.tracker.search;
+      core::UeProfile& ue = spec.ues.front();
+      ue.tracker.search.dwell = sim::Duration::milliseconds(period_ms);
+      ue.tracker.search.budget = sim::Duration::milliseconds(64 * period_ms);
+      ue.reactive.search = ue.tracker.search;
 
       const st::bench::Aggregate agg =
-          st::bench::run_batch_parallel(config, run_seeds);
+          st::bench::run_batch_parallel(spec, run_seeds);
       table.row()
           .cell(std::string(core::to_string(mobility)))
           .cell(static_cast<int>(period_ms))

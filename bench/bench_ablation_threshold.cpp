@@ -35,18 +35,19 @@ int main() {
   for (const auto mobility : {core::MobilityScenario::kHumanWalk,
                               core::MobilityScenario::kRotation}) {
     for (const double threshold : {1.0, 2.0, 3.0, 5.0, 8.0, 10.0}) {
-      core::ScenarioConfig config;
-      config.mobility = mobility;
-      config.duration = 20'000_ms;
-      config.tracker.neighbour_tracker.drop_threshold_db = threshold;
-      config.tracker.beamsurfer.tracker.drop_threshold_db = threshold;
+      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
+                                    .duration(20'000_ms)
+                                    .build();
+      core::UeProfile& ue = spec.ues.front();
+      ue.tracker.neighbour_tracker.drop_threshold_db = threshold;
+      ue.tracker.beamsurfer.tracker.drop_threshold_db = threshold;
 
       st::bench::Aggregate agg;
       RunningStats switches;
       RunningStats drops;
       for (const std::uint64_t seed : run_seeds) {
-        config.seed = seed;
-        const core::ScenarioResult result = core::run_scenario(config);
+        spec.seed = seed;
+        const core::ScenarioResult result = core::run_scenario(spec);
         agg.absorb(result);
         switches.add(static_cast<double>(
             result.counters.value("neighbour_rx_switches") +

@@ -133,9 +133,10 @@ int main(int argc, char** argv) {
 
   // Optional observability outputs: one instrumented cell-edge walk run
   // (full scenario, so the trace shows search, tracking, and access).
-  st::core::ScenarioConfig traced;
-  traced.mobility = st::core::MobilityScenario::kHumanWalk;
-  traced.duration = kRunLength;
-  traced.seed = 1000;
+  const st::core::ScenarioSpec traced =
+      st::core::SpecBuilder(st::core::preset::paper_walk())
+          .duration(kRunLength)
+          .seed(1000)
+          .build();
   return st::bench::write_observability(obs_options, traced) ? 0 : 1;
 }

@@ -20,14 +20,6 @@ namespace {
 using namespace st;
 using namespace st::sim::literals;
 
-core::ScenarioConfig config_for(core::MobilityScenario mobility) {
-  core::ScenarioConfig config;
-  config.mobility = mobility;
-  config.n_cells = mobility == core::MobilityScenario::kVehicular ? 3U : 2U;
-  config.duration = 25'000_ms;
-  return config;
-}
-
 void print_series(const core::ScenarioResult& result) {
   const auto tracked = result.neighbour_tracked_rss_dbm.points();
   const auto best = result.neighbour_best_rss_dbm.points();
@@ -60,7 +52,7 @@ int main(int argc, char** argv) {
        {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation,
         core::MobilityScenario::kVehicular}) {
     const st::bench::Aggregate agg =
-        st::bench::run_batch_parallel(config_for(mobility), run_seeds);
+        st::bench::run_batch_parallel(core::preset::paper(mobility), run_seeds);
 
     table.row()
         .cell(std::string(core::to_string(mobility)))
@@ -83,10 +75,10 @@ int main(int argc, char** argv) {
   for (const auto mobility :
        {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation,
         core::MobilityScenario::kVehicular}) {
-    core::ScenarioConfig config = config_for(mobility);
-    config.seed = 1000;
+    const core::ScenarioSpec spec =
+        core::SpecBuilder(core::preset::paper(mobility)).seed(1000).build();
     std::cout << "\n[" << core::to_string(mobility) << "]\n";
-    print_series(core::run_scenario(config));
+    print_series(core::run_scenario(spec));
   }
 
   std::cout << "\nShape check (paper): alignment maintained to handover "
@@ -94,7 +86,7 @@ int main(int argc, char** argv) {
                "soft.\n";
 
   // Optional observability outputs: one instrumented human-walk run.
-  core::ScenarioConfig traced = config_for(core::MobilityScenario::kHumanWalk);
-  traced.seed = 1000;
+  const core::ScenarioSpec traced =
+      core::SpecBuilder(core::preset::paper_walk()).seed(1000).build();
   return st::bench::write_observability(obs_options, traced) ? 0 : 1;
 }

@@ -16,14 +16,11 @@ namespace {
 using namespace st;
 using namespace st::sim::literals;
 
-core::ScenarioConfig config_for(core::MobilityScenario mobility,
-                                core::ProtocolKind protocol) {
-  core::ScenarioConfig config;
-  config.mobility = mobility;
-  config.protocol = protocol;
-  config.n_cells = mobility == core::MobilityScenario::kVehicular ? 3U : 2U;
-  config.duration = 25'000_ms;
-  return config;
+core::ScenarioSpec spec_for(core::MobilityScenario mobility,
+                            core::ProtocolKind protocol) {
+  core::ScenarioSpec spec = core::preset::paper(mobility);
+  spec.ues.front().protocol = protocol;
+  return spec;
 }
 
 }  // namespace
@@ -48,7 +45,7 @@ int main() {
     for (const auto protocol :
          {core::ProtocolKind::kSilentTracker, core::ProtocolKind::kReactive}) {
       const st::bench::Aggregate agg =
-          st::bench::run_batch_parallel(config_for(mobility, protocol),
+          st::bench::run_batch_parallel(spec_for(mobility, protocol),
                                         run_seeds);
 
       table.row()

@@ -46,20 +46,21 @@ int main() {
   for (const auto mobility : {core::MobilityScenario::kHumanWalk,
                               core::MobilityScenario::kRotation}) {
     for (const Variant& variant : variants) {
-      core::ScenarioConfig config;
-      config.mobility = mobility;
-      config.protocol = variant.protocol;
-      config.duration = 20'000_ms;
-      config.tracker.probe_policy = variant.policy;
+      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
+                                    .duration(20'000_ms)
+                                    .build();
+      core::UeProfile& ue = spec.ues.front();
+      ue.protocol = variant.protocol;
+      ue.tracker.probe_policy = variant.policy;
 
       st::bench::Aggregate agg;
       RunningStats obs_per_s;
       for (const std::uint64_t seed : run_seeds) {
-        config.seed = seed;
-        const core::ScenarioResult result = core::run_scenario(config);
+        spec.seed = seed;
+        const core::ScenarioResult result = core::run_scenario(spec);
         agg.absorb(result);
         obs_per_s.add(static_cast<double>(result.ssb_observations) /
-                      config.duration.seconds());
+                      spec.duration.seconds());
       }
 
       table.row()

@@ -278,9 +278,10 @@ class JsonTeeReporter final : public benchmark::ConsoleReporter {
 /// per-query 144-pair evaluation into an epoch lookup, so its hit rate is
 /// tracked in the JSON alongside the kernel timings it protects.
 std::string snapshot_cache_fragment() {
-  core::ScenarioConfig config;
-  config.duration = 2'000_ms;
-  const core::ScenarioResult result = core::run_scenario(config);
+  const core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper_walk())
+                                      .duration(2'000_ms)
+                                      .build();
+  const core::ScenarioResult result = core::run_scenario(spec);
   const net::SnapshotCacheStats& cache = result.snapshot_cache;
   std::ostringstream out;
   out << "\"snapshot_cache\": {\"hits\": " << cache.hits

@@ -51,13 +51,13 @@ int main() {
   for (const auto mobility : {core::MobilityScenario::kHumanWalk,
                               core::MobilityScenario::kRotation}) {
     for (const bool ula : {false, true}) {
-      core::ScenarioConfig config;
-      config.mobility = mobility;
-      config.duration = 20'000_ms;
-      config.ue_ula_codebook = ula;
+      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
+                                    .duration(20'000_ms)
+                                    .build();
+      spec.ues.front().ue_ula_codebook = ula;
 
       const st::bench::Aggregate agg =
-          st::bench::run_batch_parallel(config, run_seeds);
+          st::bench::run_batch_parallel(spec, run_seeds);
       table.row()
           .cell(std::string(core::to_string(mobility)))
           .cell(ula ? "ULA (real sidelobes)" : "Gaussian (analytic)")

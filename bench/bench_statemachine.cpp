@@ -31,12 +31,11 @@ int main() {
   Dwells dwells;
   SuccessRate discovery_before_loss;
 
+  core::ScenarioSpec spec = core::preset::paper_walk();
+  spec.ues.front().chain_handovers = false;  // isolate one full traversal
   for (const std::uint64_t seed : st::bench::seeds(30)) {
-    core::ScenarioConfig config;
-    config.duration = 25'000_ms;
-    config.chain_handovers = false;  // isolate one full traversal
-    config.seed = seed;
-    const core::ScenarioResult result = core::run_scenario(config);
+    spec.seed = seed;
+    const core::ScenarioResult result = core::run_scenario(spec);
 
     sim::Time t_found{};
     sim::Time t_lost{};

@@ -3,22 +3,20 @@
 // Every bench binary regenerates one table/figure of the paper's
 // evaluation (see DESIGN.md §4) and prints the rows/series the paper
 // reports. All runs are seeded; rerunning a binary reproduces its output
-// bit for bit.
+// bit for bit. Configurations are ScenarioSpecs, usually started from the
+// presets in core/scenario_spec.hpp (preset::paper_walk() etc.) so every
+// binary shares one definition of the paper's setups.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <exception>
 #include <iostream>
-#include <mutex>
-#include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/scenario.hpp"
+#include "fleet/parallel.hpp"
 #include "obs/export.hpp"
 
 namespace st::bench {
@@ -66,15 +64,15 @@ struct ObsOptions {
   return options;
 }
 
-/// Re-run `config` once with tracing on and write whichever outputs were
+/// Re-run `spec` once with tracing on and write whichever outputs were
 /// requested. Returns false (with a stderr note) if a file failed to open.
 inline bool write_observability(const ObsOptions& options,
-                                core::ScenarioConfig config) {
+                                core::ScenarioSpec spec) {
   if (!options.enabled()) {
     return true;
   }
-  config.collect_trace = true;
-  const core::ScenarioResult result = core::run_scenario(config);
+  spec.collect_trace = true;
+  const core::ScenarioResult result = core::run_scenario(spec);
   bool ok = true;
   if (!options.trace_out.empty()) {
     if (obs::write_chrome_trace_file(*result.trace, options.trace_out)) {
@@ -85,7 +83,7 @@ inline bool write_observability(const ObsOptions& options,
     }
   }
   if (!options.report_out.empty()) {
-    const obs::RunReport report = core::build_run_report(config, result);
+    const obs::RunReport report = core::build_run_report(spec, result);
     if (obs::write_text_file(options.report_out, report.to_json())) {
       std::cout << "report written to " << options.report_out << "\n";
     } else {
@@ -135,72 +133,36 @@ struct Aggregate {
   }
 };
 
-/// Run one configuration across `run_seeds`, aggregating outcomes.
+/// Run one spec across `run_seeds`, aggregating outcomes.
 [[nodiscard]] inline Aggregate run_batch(
-    core::ScenarioConfig config, const std::vector<std::uint64_t>& run_seeds) {
+    core::ScenarioSpec spec, const std::vector<std::uint64_t>& run_seeds) {
   Aggregate agg;
   for (const std::uint64_t seed : run_seeds) {
-    config.seed = seed;
-    agg.absorb(core::run_scenario(config));
+    spec.seed = seed;
+    agg.absorb(core::run_scenario(spec));
   }
   return agg;
 }
 
-/// Parallel run_batch: distributes the seeds over a pool of std::threads
-/// and absorbs the per-run results in seed order once every worker has
-/// joined. Each run is a pure function of (config, seed) and absorption
+/// Parallel run_batch: shards the seeds over fleet::parallel_map's thread
+/// pool and absorbs the per-run results in seed order once every worker
+/// has joined. Each run is a pure function of (spec, seed) and absorption
 /// order is the only aggregation-order effect, so the returned Aggregate
 /// is bit-identical to the serial run_batch for the same seed list
 /// (pinned by tests/core/test_batch_runner.cpp). `n_threads == 0` uses
 /// the hardware concurrency.
 [[nodiscard]] inline Aggregate run_batch_parallel(
-    const core::ScenarioConfig& config,
+    const core::ScenarioSpec& spec,
     const std::vector<std::uint64_t>& run_seeds, unsigned n_threads = 0) {
-  if (n_threads == 0) {
-    n_threads = std::max(1U, std::thread::hardware_concurrency());
-  }
-  n_threads = static_cast<unsigned>(
-      std::min<std::size_t>(n_threads, run_seeds.size()));
-  if (n_threads <= 1) {
-    return run_batch(config, run_seeds);
-  }
-
-  std::vector<std::optional<core::ScenarioResult>> results(run_seeds.size());
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  const auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < run_seeds.size();
-         i = next.fetch_add(1)) {
-      try {
-        core::ScenarioConfig run_config = config;
-        run_config.seed = run_seeds[i];
-        results[i].emplace(core::run_scenario(run_config));
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr) {
-          first_error = std::current_exception();
-        }
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(n_threads);
-  for (unsigned i = 0; i < n_threads; ++i) {
-    pool.emplace_back(worker);
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
-  if (first_error != nullptr) {
-    std::rethrow_exception(first_error);
-  }
-
+  const std::vector<core::ScenarioResult> results = fleet::parallel_map(
+      run_seeds.size(), n_threads, [&](std::size_t i) {
+        core::ScenarioSpec run_spec = spec;
+        run_spec.seed = run_seeds[i];
+        return core::run_scenario(run_spec);
+      });
   Aggregate agg;
-  for (std::optional<core::ScenarioResult>& result : results) {
-    agg.absorb(*result);
+  for (const core::ScenarioResult& result : results) {
+    agg.absorb(result);
   }
   return agg;
 }

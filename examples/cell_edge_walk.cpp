@@ -41,19 +41,20 @@ const char* bar(double snr_db) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ScenarioConfig config;
-  config.mobility = core::MobilityScenario::kHumanWalk;
-  config.duration = 30'000_ms;
-  config.chain_handovers = false;  // one clean A -> B story
-  config.collect_trace = true;     // feeds the run-report summary below
-  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  core::ScenarioSpec spec =
+      core::SpecBuilder(core::preset::paper_walk())
+          .duration(30'000_ms)
+          .collect_trace(true)  // feeds the run-report summary below
+          .seed(argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7)
+          .build();
+  spec.ues.front().chain_handovers = false;  // one clean A -> B story
 
   std::cout
       << "Cell-edge walk (Fig. 1): Cell A at x=0, Cell B at x=60, corridor "
          "at y=10.\nThe user starts 20 m before the boundary and walks at "
          "1.4 m/s towards Cell B.\n\n";
 
-  const core::ScenarioResult result = core::run_scenario(config);
+  const core::ScenarioResult result = core::run_scenario(spec);
 
   // Interleave the 1 Hz link picture with protocol events.
   std::cout << "time      serving-SNR        protocol events\n";
@@ -100,6 +101,6 @@ int main(int argc, char** argv) {
                    100.0 * result.alignment_until_first_handover(), 1)
             << "% of the tracking time before the handover\n";
 
-  std::cout << '\n' << core::build_run_report(config, result).summary_text();
+  std::cout << '\n' << core::build_run_report(spec, result).summary_text();
   return 0;
 }

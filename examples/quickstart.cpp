@@ -11,21 +11,21 @@
 #include "core/scenario.hpp"
 
 int main(int argc, char** argv) {
-  st::core::ScenarioConfig config;
-  config.mobility = st::core::MobilityScenario::kHumanWalk;
-  config.protocol = st::core::ProtocolKind::kSilentTracker;
-  config.ue_beamwidth_deg = 20.0;
-  config.duration = st::sim::Duration::milliseconds(20'000);
-  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const st::core::ScenarioSpec spec =
+      st::core::SpecBuilder(st::core::preset::paper_walk())
+          .duration(st::sim::Duration::milliseconds(20'000))
+          .seed(argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42)
+          .build();
+  const st::core::UeProfile& ue = spec.ues.front();
 
   std::cout << "Silent Tracker quickstart\n"
-            << "  scenario : human walk, " << config.walk_speed_mps
+            << "  scenario : human walk, " << ue.walk_speed_mps
             << " m/s across the cell boundary\n"
-            << "  codebook : " << config.ue_beamwidth_deg
+            << "  codebook : " << ue.ue_beamwidth_deg
             << " deg mobile receive beams\n"
-            << "  seed     : " << config.seed << "\n\n";
+            << "  seed     : " << spec.seed << "\n\n";
 
-  const st::core::ScenarioResult result = st::core::run_scenario(config);
+  const st::core::ScenarioResult result = st::core::run_scenario(spec);
 
   std::cout << "--- protocol timeline ---\n";
   for (const auto& entry : result.log.entries()) {

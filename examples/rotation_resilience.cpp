@@ -16,21 +16,23 @@ int main(int argc, char** argv) {
   using namespace st;
   using namespace st::sim::literals;
 
-  core::ScenarioConfig config;
-  config.mobility = core::MobilityScenario::kRotation;
-  config.duration = 12'000_ms;
-  config.chain_handovers = false;
-  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  core::ScenarioSpec spec =
+      core::SpecBuilder(core::preset::paper_rotation())
+          .duration(12'000_ms)
+          .seed(argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3)
+          .build();
+  core::UeProfile& ue = spec.ues.front();
+  ue.chain_handovers = false;
 
-  std::cout << "Device rotation at the cell edge: " << config.rotation_rate_deg_s
+  std::cout << "Device rotation at the cell edge: " << ue.rotation_rate_deg_s
             << " deg/s (full turn every "
-            << format_double(360.0 / config.rotation_rate_deg_s, 1)
+            << format_double(360.0 / ue.rotation_rate_deg_s, 1)
             << " s), 20-degree receive beams.\n"
             << "A fixed base station must appear to 'rotate' through the\n"
             << "codebook; the protocols chase it with adjacent-beam "
                "switches.\n\n";
 
-  const core::ScenarioResult result = core::run_scenario(config);
+  const core::ScenarioResult result = core::run_scenario(spec);
 
   std::cout << "--- beam switching activity ---\n"
             << "  serving RX switches   : "
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
 
   // Switch cadence check: a full turn crosses 18 beams, so at 120 deg/s
   // the serving tracker should switch ~6 times per second.
-  const double run_s = config.duration.seconds();
+  const double run_s = spec.duration.seconds();
   std::cout << "  serving switch rate   : "
             << format_double(static_cast<double>(result.counters.value(
                                  "serving_rx_switches")) /

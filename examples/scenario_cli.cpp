@@ -18,6 +18,7 @@
 //     --seed <n>                           (default 1)
 //     --csv rss|gap|snr                    (print a series as CSV and exit)
 //     --quiet                              (summary only, no event log)
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -64,8 +65,9 @@ void print_help() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::ScenarioConfig config;
-  config.duration = 20'000_ms;
+  core::ScenarioSpec spec;
+  spec.duration = 20'000_ms;
+  core::UeProfile& ue = spec.ues.front();
   std::string csv;
   std::string trace_out;
   std::string report_out;
@@ -85,50 +87,54 @@ int main(int argc, char** argv) {
     } else if (arg == "--scenario") {
       const std::string v = next_value();
       if (v == "walk") {
-        config.mobility = core::MobilityScenario::kHumanWalk;
+        ue.mobility = core::MobilityScenario::kHumanWalk;
       } else if (v == "rotation") {
-        config.mobility = core::MobilityScenario::kRotation;
+        ue.mobility = core::MobilityScenario::kRotation;
+        // The paper's rotation runs sit at a tighter 40 m cell edge (see
+        // preset::paper_rotation()).
+        spec.deployment.inter_site_m =
+            std::min(spec.deployment.inter_site_m, 40.0);
       } else if (v == "vehicular") {
-        config.mobility = core::MobilityScenario::kVehicular;
-        config.n_cells = 3;
+        ue.mobility = core::MobilityScenario::kVehicular;
+        spec.n_cells = 3;
       } else {
         usage_error("unknown scenario '" + v + "'");
       }
     } else if (arg == "--protocol") {
       const std::string v = next_value();
       if (v == "tracker") {
-        config.protocol = core::ProtocolKind::kSilentTracker;
+        ue.protocol = core::ProtocolKind::kSilentTracker;
       } else if (v == "reactive") {
-        config.protocol = core::ProtocolKind::kReactive;
+        ue.protocol = core::ProtocolKind::kReactive;
       } else {
         usage_error("unknown protocol '" + v + "'");
       }
     } else if (arg == "--beamwidth") {
-      config.ue_beamwidth_deg = std::strtod(next_value().c_str(), nullptr);
+      ue.ue_beamwidth_deg = std::strtod(next_value().c_str(), nullptr);
     } else if (arg == "--ula") {
-      config.ue_ula_codebook = true;
+      ue.ue_ula_codebook = true;
     } else if (arg == "--threshold") {
       const double thr = std::strtod(next_value().c_str(), nullptr);
-      config.tracker.neighbour_tracker.drop_threshold_db = thr;
-      config.tracker.beamsurfer.tracker.drop_threshold_db = thr;
-      config.reactive.beamsurfer.tracker.drop_threshold_db = thr;
+      ue.tracker.neighbour_tracker.drop_threshold_db = thr;
+      ue.tracker.beamsurfer.tracker.drop_threshold_db = thr;
+      ue.reactive.beamsurfer.tracker.drop_threshold_db = thr;
     } else if (arg == "--cells") {
-      config.n_cells =
+      spec.n_cells =
           static_cast<unsigned>(std::strtoul(next_value().c_str(), nullptr, 10));
     } else if (arg == "--duration") {
-      config.duration = sim::Duration::seconds_of(
+      spec.duration = sim::Duration::seconds_of(
           std::strtod(next_value().c_str(), nullptr));
     } else if (arg == "--speed") {
-      config.walk_speed_mps = std::strtod(next_value().c_str(), nullptr);
+      ue.walk_speed_mps = std::strtod(next_value().c_str(), nullptr);
     } else if (arg == "--rotation-rate") {
-      config.rotation_rate_deg_s = std::strtod(next_value().c_str(), nullptr);
+      ue.rotation_rate_deg_s = std::strtod(next_value().c_str(), nullptr);
     } else if (arg == "--vehicle-mph") {
-      config.vehicle_speed_mph = std::strtod(next_value().c_str(), nullptr);
+      ue.vehicle_speed_mph = std::strtod(next_value().c_str(), nullptr);
     } else if (arg == "--ssb-period") {
-      config.deployment.frame.ssb_period = sim::Duration::milliseconds(
+      spec.deployment.frame.ssb_period = sim::Duration::milliseconds(
           std::strtol(next_value().c_str(), nullptr, 10));
     } else if (arg == "--seed") {
-      config.seed = std::strtoull(next_value().c_str(), nullptr, 10);
+      spec.seed = std::strtoull(next_value().c_str(), nullptr, 10);
     } else if (arg == "--csv") {
       csv = next_value();
     } else if (arg == "--trace-out") {
@@ -142,9 +148,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  config.collect_trace = !trace_out.empty() || !report_out.empty();
+  spec.collect_trace = !trace_out.empty() || !report_out.empty();
 
-  const core::ScenarioResult result = core::run_scenario(config);
+  const core::ScenarioResult result = core::run_scenario(spec);
 
   if (!trace_out.empty() &&
       !obs::write_chrome_trace_file(*result.trace, trace_out)) {
@@ -153,7 +159,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!report_out.empty()) {
-    const obs::RunReport report = core::build_run_report(config, result);
+    const obs::RunReport report = core::build_run_report(spec, result);
     if (!obs::write_text_file(report_out, report.to_json())) {
       std::cerr << "scenario_cli: failed to write report to " << report_out
                 << "\n";
@@ -186,10 +192,10 @@ int main(int argc, char** argv) {
     std::cout << '\n';
   }
 
-  std::cout << "scenario=" << core::to_string(config.mobility)
-            << " protocol=" << core::to_string(config.protocol)
-            << " beamwidth=" << config.ue_beamwidth_deg
-            << " seed=" << config.seed << '\n'
+  std::cout << "scenario=" << core::to_string(ue.mobility)
+            << " protocol=" << core::to_string(ue.protocol)
+            << " beamwidth=" << ue.ue_beamwidth_deg
+            << " seed=" << spec.seed << '\n'
             << "handovers=" << result.handovers.size()
             << " successful=" << result.successful_handovers()
             << " soft=" << result.soft_handovers() << '\n'

@@ -15,20 +15,21 @@ int main(int argc, char** argv) {
   using namespace st;
   using namespace st::sim::literals;
 
-  core::ScenarioConfig config;
-  config.mobility = core::MobilityScenario::kVehicular;
-  config.n_cells = 3;
-  config.duration = 20'000_ms;
-  config.collect_trace = true;  // feeds the run-report summary below
-  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  const core::ScenarioSpec spec =
+      core::SpecBuilder(core::preset::paper_vehicular())
+          .duration(20'000_ms)
+          .collect_trace(true)  // feeds the run-report summary below
+          .seed(argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11)
+          .build();
+  const core::UeProfile& ue = spec.ues.front();
 
-  const double speed = mph_to_mps(config.vehicle_speed_mph);
+  const double speed = mph_to_mps(ue.vehicle_speed_mph);
   std::cout << "Vehicular drive: 3 cells at x = 0, 60, 120 m; corridor at "
                "y = 10 m;\nspeed "
-            << config.vehicle_speed_mph << " mph (" << format_double(speed, 2)
-            << " m/s), " << config.duration.seconds() << " s of driving.\n\n";
+            << ue.vehicle_speed_mph << " mph (" << format_double(speed, 2)
+            << " m/s), " << spec.duration.seconds() << " s of driving.\n\n";
 
-  const core::ScenarioResult result = core::run_scenario(config);
+  const core::ScenarioResult result = core::run_scenario(spec);
 
   std::cout << "--- handovers along the road ---\n";
   for (const auto& h : result.handovers) {
@@ -55,6 +56,6 @@ int main(int argc, char** argv) {
             << "  BS-side switches    : "
             << result.counters.value("bs_switches") << '\n';
 
-  std::cout << '\n' << core::build_run_report(config, result).summary_text();
+  std::cout << '\n' << core::build_run_report(spec, result).summary_text();
   return 0;
 }

@@ -19,28 +19,6 @@ using sim::Time;
 constexpr double kAlignmentToleranceDb = 3.0;
 }  // namespace
 
-std::string_view to_string(MobilityScenario s) noexcept {
-  switch (s) {
-    case MobilityScenario::kHumanWalk:
-      return "human_walk";
-    case MobilityScenario::kRotation:
-      return "rotation";
-    case MobilityScenario::kVehicular:
-      return "vehicular";
-  }
-  return "?";
-}
-
-std::string_view to_string(ProtocolKind p) noexcept {
-  switch (p) {
-    case ProtocolKind::kSilentTracker:
-      return "silent_tracker";
-    case ProtocolKind::kReactive:
-      return "reactive";
-  }
-  return "?";
-}
-
 phy::Codebook make_ue_codebook(double beamwidth_deg) {
   return make_ue_codebook(beamwidth_deg, false);
 }
@@ -55,50 +33,84 @@ phy::Codebook make_ue_codebook(double beamwidth_deg, bool ula) {
   return phy::Codebook::from_beamwidth_deg(beamwidth_deg);
 }
 
+net::Deployment make_deployment(const ScenarioSpec& spec) {
+  return net::make_cell_row(spec.deployment, spec.n_cells);
+}
+
 std::shared_ptr<const mobility::MobilityModel> make_mobility(
-    const ScenarioConfig& config, const net::Deployment& deployment) {
-  switch (config.mobility) {
+    const ScenarioSpec& spec, const UeProfile& profile, std::uint64_t root_seed,
+    const net::Deployment& deployment) {
+  switch (profile.mobility) {
     case MobilityScenario::kHumanWalk:
-      return net::make_edge_walk(deployment, config.walk_speed_mps,
-                                 config.duration,
-                                 derive_seed(config.seed, "mobility"));
+      return net::make_edge_walk(deployment, profile.walk_speed_mps,
+                                 spec.duration,
+                                 derive_seed(root_seed, "mobility"));
     case MobilityScenario::kRotation:
-      return net::make_edge_rotation(deployment, config.rotation_rate_deg_s);
+      return net::make_edge_rotation(deployment, profile.rotation_rate_deg_s);
     case MobilityScenario::kVehicular:
       return net::make_drive(deployment,
-                             mph_to_mps(config.vehicle_speed_mph));
+                             mph_to_mps(profile.vehicle_speed_mph));
   }
   throw std::logic_error("make_mobility: unknown scenario");
 }
 
 namespace {
 
-/// Owns everything alive during a run; members are declared in dependency
-/// order so destruction tears protocols down before the environment.
+/// to_spec() without the deprecation note, for the legacy entry points
+/// that forward through the conversion internally.
+ScenarioSpec spec_from_config(const ScenarioConfig& config) {
+  ScenarioSpec spec;
+  spec.n_cells = config.n_cells;
+  spec.deployment = config.deployment;
+  if (config.mobility == MobilityScenario::kRotation) {
+    // The legacy rotation rule, applied at conversion time so the spec's
+    // deployment is explicit (specs never adjust geometry per mobility).
+    spec.deployment.inter_site_m =
+        std::min(spec.deployment.inter_site_m, config.rotation_inter_site_m);
+  }
+  spec.environment = config.environment;
+  spec.duration = config.duration;
+  spec.metric_period = config.metric_period;
+  spec.collect_trace = config.collect_trace;
+  spec.trace_buffer_capacity = config.trace_buffer_capacity;
+  spec.seed = config.seed;
+
+  UeProfile& profile = spec.ues.front();
+  profile.mobility = config.mobility;
+  profile.protocol = config.protocol;
+  profile.ue_beamwidth_deg = config.ue_beamwidth_deg;
+  profile.ue_ula_codebook = config.ue_ula_codebook;
+  profile.tracker = config.tracker;
+  profile.reactive = config.reactive;
+  profile.walk_speed_mps = config.walk_speed_mps;
+  profile.rotation_rate_deg_s = config.rotation_rate_deg_s;
+  profile.vehicle_speed_mph = config.vehicle_speed_mph;
+  profile.chain_handovers = config.chain_handovers;
+  return spec;
+}
+
+/// Owns everything alive during one mobile's run; members are declared in
+/// dependency order so destruction tears protocols down before the
+/// environment. The shared deployment is only read during construction
+/// (base stations are copied into the per-UE environment), so one
+/// Deployment can back many concurrent ScenarioRuns.
 class ScenarioRun {
  public:
-  static net::DeploymentConfig deployment_config(const ScenarioConfig& config) {
-    net::DeploymentConfig dep = config.deployment;
-    if (config.mobility == MobilityScenario::kRotation) {
-      dep.inter_site_m = std::min(dep.inter_site_m,
-                                  config.rotation_inter_site_m);
-    }
-    return dep;
-  }
-
-  explicit ScenarioRun(const ScenarioConfig& config)
-      : config_(config), deployment_(net::make_cell_row(
-                             deployment_config(config), config.n_cells)) {
-    net::EnvironmentConfig env_config = config.environment;
-    env_config.horizon = config.duration + Duration::milliseconds(1000);
-    env_config.seed = derive_seed(config.seed, "environment");
+  ScenarioRun(const ScenarioSpec& spec, const UeProfile& profile,
+              std::uint64_t root_seed, net::UeId ue,
+              const net::Deployment& deployment)
+      : spec_(spec), profile_(profile) {
+    net::EnvironmentConfig env_config = spec.environment;
+    env_config.horizon = spec.duration + Duration::milliseconds(1000);
+    env_config.seed = derive_seed(root_seed, "environment");
+    env_config.ue = ue;
     environment_ = std::make_unique<net::RadioEnvironment>(
-        env_config, deployment_.base_stations,
-        make_mobility(config, deployment_),
-        make_ue_codebook(config.ue_beamwidth_deg, config.ue_ula_codebook));
-    if (config.collect_trace) {
+        env_config, deployment.base_stations,
+        make_mobility(spec, profile, root_seed, deployment),
+        make_ue_codebook(profile.ue_beamwidth_deg, profile.ue_ula_codebook));
+    if (spec.collect_trace) {
       trace_ = std::make_shared<obs::TraceRecorder>(
-          obs::TraceConfig{config.trace_buffer_capacity});
+          obs::TraceConfig{spec.trace_buffer_capacity});
       simulator_.set_dispatch_histogram(
           &trace_->metrics().histogram("engine.dispatch_us"));
     }
@@ -113,7 +125,7 @@ class ScenarioRun {
 
     start_protocol(0, initial.rx_beam, initial.rx_power_dbm);
     schedule_metric_tick();
-    simulator_.run_until(Time::zero() + config_.duration);
+    simulator_.run_until(Time::zero() + spec_.duration);
     result_.ssb_observations = environment_->ssb_observation_count();
     result_.engine = simulator_.stats();
     result_.snapshot_cache = environment_->snapshot_stats();
@@ -133,9 +145,9 @@ class ScenarioRun {
  private:
   void start_protocol(net::CellId serving, phy::BeamId rx_beam,
                       double rss_dbm) {
-    if (config_.protocol == ProtocolKind::kSilentTracker) {
+    if (profile_.protocol == ProtocolKind::kSilentTracker) {
       trackers_.push_back(std::make_unique<SilentTracker>(
-          simulator_, *environment_, config_.tracker));
+          simulator_, *environment_, profile_.tracker));
       SilentTracker& tracker = *trackers_.back();
       tracker.set_recorders(&result_.log, &result_.counters);
       tracker.set_tracer(trace_.get());
@@ -145,7 +157,7 @@ class ScenarioRun {
                     });
     } else {
       reactives_.push_back(std::make_unique<ReactiveHandover>(
-          simulator_, *environment_, config_.reactive));
+          simulator_, *environment_, profile_.reactive));
       ReactiveHandover& reactive = *reactives_.back();
       reactive.set_recorders(&result_.log, &result_.counters);
       reactive.set_tracer(trace_.get());
@@ -171,8 +183,8 @@ class ScenarioRun {
     }
     result_.handovers.push_back(record);
 
-    if (record.success && config_.chain_handovers &&
-        now + Duration::milliseconds(100) < Time::zero() + config_.duration) {
+    if (record.success && profile_.chain_handovers &&
+        now + Duration::milliseconds(100) < Time::zero() + spec_.duration) {
       // Connected-mode beam refinement: once attached, the NR P-2/P-3
       // procedures (CSI-RS sweeps with network assistance) polish the
       // beam pair within a few tens of milliseconds — fast against our
@@ -190,7 +202,7 @@ class ScenarioRun {
   }
 
   void schedule_metric_tick() {
-    simulator_.schedule_periodic(Time::zero(), config_.metric_period, [this] {
+    simulator_.schedule_periodic(Time::zero(), spec_.metric_period, [this] {
       sample_metrics();
     });
   }
@@ -198,7 +210,7 @@ class ScenarioRun {
   void sample_metrics() {
     const Time now = simulator_.now();
 
-    if (config_.protocol == ProtocolKind::kSilentTracker &&
+    if (profile_.protocol == ProtocolKind::kSilentTracker &&
         !trackers_.empty()) {
       const SilentTracker& tracker = *trackers_.back();
 
@@ -228,7 +240,7 @@ class ScenarioRun {
         result_.alignment_gap_db.record(now,
                                         best.rx_power_dbm - tracked_rss);
       }
-    } else if (config_.protocol == ProtocolKind::kReactive &&
+    } else if (profile_.protocol == ProtocolKind::kReactive &&
                !reactives_.empty()) {
       const ReactiveHandover& reactive = *reactives_.back();
       if (reactive.serving_alive()) {
@@ -243,8 +255,8 @@ class ScenarioRun {
     }
   }
 
-  ScenarioConfig config_;
-  net::Deployment deployment_;
+  const ScenarioSpec& spec_;
+  const UeProfile& profile_;
   sim::Simulator simulator_;
   std::shared_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<net::RadioEnvironment> environment_;
@@ -336,9 +348,41 @@ bool ScenarioResult::all_handovers_aligned() const noexcept {
   return true;
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& config) {
-  ScenarioRun run(config);
+std::shared_ptr<const mobility::MobilityModel> make_mobility(
+    const ScenarioConfig& config, const net::Deployment& deployment) {
+  const ScenarioSpec spec = spec_from_config(config);
+  return make_mobility(spec, spec.ues.front(), config.seed, deployment);
+}
+
+ScenarioResult run_scenario_ue(const ScenarioSpec& spec, std::size_t ue,
+                               const net::Deployment& deployment) {
+  if (ue >= spec.ues.size()) {
+    throw std::out_of_range("run_scenario_ue: UE index beyond the fleet");
+  }
+  ScenarioRun run(spec, spec.ues[ue], fleet_ue_seed(spec.seed, ue),
+                  static_cast<net::UeId>(ue), deployment);
   return run.run();
+}
+
+ScenarioResult run_scenario_ue(const ScenarioSpec& spec, std::size_t ue) {
+  const net::Deployment deployment = make_deployment(spec);
+  return run_scenario_ue(spec, ue, deployment);
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  if (spec.ue_count() != 1) {
+    throw std::invalid_argument(
+        "run_scenario: spec holds a fleet; use fleet::run_fleet");
+  }
+  return run_scenario_ue(spec, 0);
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  return run_scenario_ue(spec_from_config(config), 0);
+}
+
+ScenarioSpec to_spec(const ScenarioConfig& config) {
+  return spec_from_config(config);
 }
 
 namespace {
@@ -375,15 +419,16 @@ void add_outcome_latencies(const obs::TraceRecorder& trace,
 
 }  // namespace
 
-obs::RunReport build_run_report(const ScenarioConfig& config,
-                                const ScenarioResult& result) {
+obs::RunReport build_run_report(const ScenarioSpec& spec,
+                                const ScenarioResult& result, std::size_t ue) {
+  const UeProfile& profile = spec.ues.at(ue);
   obs::RunReport report;
-  report.scenario = std::string(to_string(config.mobility));
-  report.protocol = std::string(to_string(config.protocol));
-  report.seed = config.seed;
-  report.duration_ms = config.duration.ms();
-  report.ue_beamwidth_deg = config.ue_beamwidth_deg;
-  report.n_cells = config.n_cells;
+  report.scenario = std::string(to_string(profile.mobility));
+  report.protocol = std::string(to_string(profile.protocol));
+  report.seed = fleet_ue_seed(spec.seed, ue);
+  report.duration_ms = spec.duration.ms();
+  report.ue_beamwidth_deg = profile.ue_beamwidth_deg;
+  report.n_cells = spec.n_cells;
 
   obs::HandoverReport& ho = report.handover;
   ho.total = result.handovers.size();
@@ -471,6 +516,11 @@ obs::RunReport build_run_report(const ScenarioConfig& config,
   }
 
   return report;
+}
+
+obs::RunReport build_run_report(const ScenarioConfig& config,
+                                const ScenarioResult& result) {
+  return build_run_report(spec_from_config(config), result, 0);
 }
 
 }  // namespace st::core

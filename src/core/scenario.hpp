@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/reactive_handover.hpp"
+#include "core/scenario_spec.hpp"
 #include "core/silent_tracker.hpp"
 #include "net/deployment.hpp"
 #include "net/environment.hpp"
@@ -27,12 +28,11 @@
 
 namespace st::core {
 
-enum class MobilityScenario { kHumanWalk, kRotation, kVehicular };
-enum class ProtocolKind { kSilentTracker, kReactive };
-
-[[nodiscard]] std::string_view to_string(MobilityScenario s) noexcept;
-[[nodiscard]] std::string_view to_string(ProtocolKind p) noexcept;
-
+/// Legacy single-mobile configuration, superseded by the ScenarioSpec /
+/// UeProfile split in core/scenario_spec.hpp (see docs/SCENARIO_API.md for
+/// the migration table). Kept for one release as a compatibility surface:
+/// run_scenario(ScenarioConfig) forwards to the spec engine through the
+/// same conversion as the deprecated to_spec() adapter below.
 struct ScenarioConfig {
   MobilityScenario mobility = MobilityScenario::kHumanWalk;
   ProtocolKind protocol = ProtocolKind::kSilentTracker;
@@ -125,7 +125,21 @@ struct ScenarioResult {
   [[nodiscard]] bool all_handovers_aligned() const noexcept;
 };
 
-/// Build the mobility model for a scenario over a deployment.
+/// Build the shared deployment of a spec: a row of spec.n_cells cells
+/// from spec.deployment, taken verbatim — unlike the legacy path, no
+/// mobility-dependent adjustment is applied (presets encode their
+/// geometry explicitly), so every UE of a fleet sees the same sites.
+[[nodiscard]] net::Deployment make_deployment(const ScenarioSpec& spec);
+
+/// Build the mobility model of one mobile over a deployment; `root_seed`
+/// is the UE's root (fleet_ue_seed), from which the walk's own stream is
+/// derived.
+[[nodiscard]] std::shared_ptr<const mobility::MobilityModel> make_mobility(
+    const ScenarioSpec& spec, const UeProfile& profile, std::uint64_t root_seed,
+    const net::Deployment& deployment);
+
+/// Legacy overload over the flat config (deployment already built by the
+/// caller, including any rotation tightening).
 [[nodiscard]] std::shared_ptr<const mobility::MobilityModel> make_mobility(
     const ScenarioConfig& config, const net::Deployment& deployment);
 
@@ -135,14 +149,50 @@ struct ScenarioResult {
 /// As above, optionally with physical ULA patterns (real sidelobes).
 [[nodiscard]] phy::Codebook make_ue_codebook(double beamwidth_deg, bool ula);
 
+/// Run one mobile of a spec to completion against a caller-provided
+/// deployment (the fleet engine builds it once and shares it). The run is
+/// deterministic in fleet_ue_seed(spec.seed, ue) alone: the same UE
+/// profile run alone in a single-UE spec seeded with that root produces a
+/// bit-identical result.
+[[nodiscard]] ScenarioResult run_scenario_ue(const ScenarioSpec& spec,
+                                             std::size_t ue,
+                                             const net::Deployment& deployment);
+
+/// As above, building the deployment from the spec.
+[[nodiscard]] ScenarioResult run_scenario_ue(const ScenarioSpec& spec,
+                                             std::size_t ue);
+
+/// Run a single-mobile spec to completion. Throws std::invalid_argument
+/// if the spec holds more than one UE — fleets run through
+/// fleet::run_fleet, which aggregates per-UE results.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
 /// Run one scenario to completion (deterministic in `config.seed`).
+/// Legacy entry point: forwards to the spec engine via the same
+/// conversion as to_spec().
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
 
 /// Assemble the machine-readable run report from a finished result:
 /// handover outcomes, engine and snapshot-cache stats, legacy counters,
 /// registry gauges, and latency digests (tracking loop, search, RACH,
-/// per-event dispatch) derived from the typed trace when present.
+/// per-event dispatch) derived from the typed trace when present. `ue`
+/// selects which mobile of the spec the result belongs to.
+[[nodiscard]] obs::RunReport build_run_report(const ScenarioSpec& spec,
+                                              const ScenarioResult& result,
+                                              std::size_t ue = 0);
+
+/// Legacy overload over the flat config.
 [[nodiscard]] obs::RunReport build_run_report(const ScenarioConfig& config,
                                               const ScenarioResult& result);
+
+/// Adapter from the legacy flat config to the ScenarioSpec / UeProfile
+/// split: one UE carrying the per-mobile fields, a spec carrying the
+/// shared frame. The legacy rotation rule — a kRotation mobility tightens
+/// the deployment to rotation_inter_site_m — is applied here, at
+/// conversion time, so the resulting spec's deployment is explicit.
+[[deprecated(
+    "ScenarioConfig is superseded by ScenarioSpec + UeProfile; build specs "
+    "with SpecBuilder or preset::paper_*() — see docs/SCENARIO_API.md")]]
+[[nodiscard]] ScenarioSpec to_spec(const ScenarioConfig& config);
 
 }  // namespace st::core

@@ -1,0 +1,121 @@
+#include "fleet/engine.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "fleet/parallel.hpp"
+
+namespace st::fleet {
+
+FleetResult run_fleet(const core::ScenarioSpec& spec, unsigned n_threads) {
+  if (spec.ues.empty()) {
+    throw std::invalid_argument("run_fleet: fleet needs at least one UE");
+  }
+  const net::Deployment deployment = core::make_deployment(spec);
+
+  FleetResult result;
+  result.threads_used = resolve_threads(spec.ues.size(), n_threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  result.ue_results =
+      parallel_map(spec.ues.size(), n_threads, [&](std::size_t ue) {
+        return core::run_scenario_ue(spec, ue, deployment);
+      });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const core::ScenarioResult& ue_result : result.ue_results) {
+    result.engine.merge(ue_result.engine);
+    result.snapshot_cache.merge(ue_result.snapshot_cache);
+    result.ssb_observations += ue_result.ssb_observations;
+  }
+  return result;
+}
+
+obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
+                                    const FleetResult& result) {
+  obs::FleetReport report;
+  report.seed = spec.seed;
+  report.duration_ms = spec.duration.ms();
+  report.n_cells = spec.n_cells;
+  report.n_ues = result.ue_results.size();
+  report.threads = result.threads_used;
+
+  LogLinearHistogram alignment;
+  LogLinearHistogram interruption;
+  LogLinearHistogram rach;
+
+  for (std::size_t ue = 0; ue < result.ue_results.size(); ++ue) {
+    const core::ScenarioResult& ue_result = result.ue_results[ue];
+    const core::UeProfile& profile = spec.ues.at(ue);
+
+    obs::FleetUeReport row;
+    row.ue = ue;
+    row.scenario = std::string(core::to_string(profile.mobility));
+    row.protocol = std::string(core::to_string(profile.protocol));
+    row.seed = core::fleet_ue_seed(spec.seed, ue);
+    row.handovers_total = ue_result.handovers.size();
+    row.handovers_successful = ue_result.successful_handovers();
+    row.soft = ue_result.soft_handovers();
+    row.hard = ue_result.hard_handovers();
+    row.ssb_observations = ue_result.ssb_observations;
+
+    double interruption_sum = 0.0;
+    std::uint64_t interruption_n = 0;
+    for (const net::HandoverRecord& h : ue_result.handovers) {
+      row.rach_attempts += h.rach_attempts;
+      if (!h.success) {
+        continue;
+      }
+      const double ms = h.interruption().ms();
+      interruption.add(ms);
+      rach.add(static_cast<double>(h.rach_attempts));
+      interruption_sum += ms;
+      ++interruption_n;
+    }
+    row.mean_interruption_ms =
+        interruption_n > 0
+            ? interruption_sum / static_cast<double>(interruption_n)
+            : 0.0;
+
+    // Same convention as the bench aggregates: a UE only contributes an
+    // alignment sample when it produced tracking samples at all (the
+    // reactive baseline has no neighbour series by construction).
+    if (!ue_result.alignment_gap_db.empty()) {
+      row.alignment_fraction = ue_result.alignment_until_first_handover();
+      alignment.add(row.alignment_fraction);
+    }
+
+    report.handovers_total += row.handovers_total;
+    report.handovers_successful += row.handovers_successful;
+    report.soft += row.soft;
+    report.hard += row.hard;
+    report.rach_attempts += row.rach_attempts;
+    report.ues.push_back(std::move(row));
+  }
+  report.ssb_observations = result.ssb_observations;
+
+  report.alignment_fraction = obs::HistogramSummary::from(alignment);
+  report.interruption_ms = obs::HistogramSummary::from(interruption);
+  report.rach_attempts_per_handover = obs::HistogramSummary::from(rach);
+
+  report.engine.events_executed = result.engine.events_executed;
+  report.engine.queue_depth_hwm = result.engine.queue_depth_hwm;
+  report.engine.wall_seconds = result.engine.wall_seconds;
+  report.engine.sim_seconds = result.engine.sim_seconds;
+  report.engine.wall_per_sim_second = result.engine.wall_per_sim_second();
+
+  report.snapshot_cache.hits = result.snapshot_cache.hits;
+  report.snapshot_cache.misses = result.snapshot_cache.misses;
+  report.snapshot_cache.invalidations = result.snapshot_cache.invalidations;
+  report.snapshot_cache.pair_sweeps = result.snapshot_cache.pair_sweeps;
+  report.snapshot_cache.rx_sweeps = result.snapshot_cache.rx_sweeps;
+  report.snapshot_cache.hit_rate = result.snapshot_cache.hit_rate();
+
+  report.wall_seconds = result.wall_seconds;
+  report.ues_per_second = result.ues_per_second();
+  return report;
+}
+
+}  // namespace st::fleet

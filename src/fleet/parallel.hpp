@@ -1,0 +1,93 @@
+// Deterministic index-sharded parallelism for fleet and batch runs.
+//
+// parallel_map(n, threads, fn) evaluates fn(0..n-1) across a pool of
+// std::threads and returns the results in index order. Each call must be
+// a pure function of its index (every scenario run is a pure function of
+// its derived seed), and the work-claiming order is the only scheduling
+// freedom — results land in their own slots and are collected in index
+// order after every worker has joined, so the output is bit-identical to
+// the serial evaluation for any thread count (pinned by
+// tests/fleet/test_fleet.cpp and tests/core/test_batch_runner.cpp).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace st::fleet {
+
+/// Worker count actually used for `n` items: `requested` capped at the
+/// item count, with 0 meaning the hardware concurrency.
+[[nodiscard]] inline unsigned resolve_threads(std::size_t n,
+                                              unsigned requested) noexcept {
+  if (requested == 0) {
+    requested = std::max(1U, std::thread::hardware_concurrency());
+  }
+  return static_cast<unsigned>(
+      std::min<std::size_t>(requested, std::max<std::size_t>(1, n)));
+}
+
+/// Evaluate `fn(i)` for every i in [0, n) and return the results in index
+/// order. `n_threads == 0` uses the hardware concurrency; `<= 1` (after
+/// capping at n) runs serially on the calling thread. The first exception
+/// thrown by any evaluation is rethrown after all workers join.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, unsigned n_threads,
+                                const Fn& fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using Result = std::invoke_result_t<Fn, std::size_t>;
+
+  std::vector<Result> out;
+  out.reserve(n);
+  if (resolve_threads(n, n_threads) <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(fn(i));
+    }
+    return out;
+  }
+
+  std::vector<std::optional<Result>> slots(n);
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        slots[i].emplace(fn(i));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const unsigned pool_size = resolve_threads(n, n_threads);
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (unsigned i = 0; i < pool_size; ++i) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+
+  for (std::optional<Result>& slot : slots) {
+    out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace st::fleet

@@ -36,21 +36,12 @@ RadioEnvironment::RadioEnvironment(
 
 const phy::PathSnapshot& RadioEnvironment::snapshot_for(CellId cell,
                                                         sim::Time t) const {
-  SnapshotCacheEntry& entry = snapshot_cache_[cell];
-  if (!entry.valid || entry.t != t) {
-    if (entry.valid) {
-      ++snapshot_stats_.invalidations;
-    }
-    ++snapshot_stats_.misses;
-    const BaseStation& station = base_stations_[cell];
-    channels_[cell]->make_snapshot(station.pose(), ue_pose(t), t,
-                                   station.tx_power_dbm(), entry.snapshot);
-    entry.t = t;
-    entry.valid = true;
-  } else {
-    ++snapshot_stats_.hits;
-  }
-  return entry.snapshot;
+  const BaseStation& station = base_stations_[cell];
+  return snapshot_cache_.fill(
+      config_.ue, cell, t, [&](phy::PathSnapshot& snapshot) {
+        channels_[cell]->make_snapshot(station.pose(), ue_pose(t), t,
+                                       station.tx_power_dbm(), snapshot);
+      });
 }
 
 const BaseStation& RadioEnvironment::bs(CellId cell) const {

@@ -20,10 +20,12 @@
 #include "common/rng.hpp"
 #include "mobility/model.hpp"
 #include "net/basestation.hpp"
+#include "net/ids.hpp"
 #include "net/observation.hpp"
 #include "phy/channel.hpp"
 #include "phy/link.hpp"
 #include "phy/path_snapshot.hpp"
+#include "phy/snapshot_cache.hpp"
 
 namespace st::net {
 
@@ -39,6 +41,11 @@ struct EnvironmentConfig {
   /// deployments do — the reason NR staggers neighbour SSBs in time.
   bool enable_interference = true;
   std::uint64_t seed = 1;
+  /// Identity of the mobile this environment belongs to. Each UE of a
+  /// fleet owns its own RadioEnvironment (base-station copies, channels,
+  /// RNG streams); the id keys the snapshot epoch cache so per-UE
+  /// shadowing/blockage state can never be served to another mobile.
+  UeId ue = 0;
 };
 
 /// Snapshot-cache and sweep-kernel statistics, maintained unconditionally
@@ -54,6 +61,15 @@ struct SnapshotCacheStats {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0
                       : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  /// Accumulate another environment's counters (fleet-level aggregation).
+  void merge(const SnapshotCacheStats& other) noexcept {
+    hits += other.hits;
+    misses += other.misses;
+    invalidations += other.invalidations;
+    pair_sweeps += other.pair_sweeps;
+    rx_sweeps += other.rx_sweeps;
   }
 };
 
@@ -132,8 +148,15 @@ class RadioEnvironment {
 
   /// Snapshot-cache hit/miss/invalidation and sweep-kernel call counts —
   /// the measured basis for the fast-path claims in docs/PERFORMANCE.md.
-  [[nodiscard]] const SnapshotCacheStats& snapshot_stats() const noexcept {
-    return snapshot_stats_;
+  /// Assembled on demand: the cache counters live in the phy-layer epoch
+  /// cache, the sweep counters here.
+  [[nodiscard]] SnapshotCacheStats snapshot_stats() const noexcept {
+    SnapshotCacheStats stats = snapshot_stats_;
+    const phy::SnapshotEpochCache::Stats& cache = snapshot_cache_.stats();
+    stats.hits = cache.hits;
+    stats.misses = cache.misses;
+    stats.invalidations = cache.invalidations;
+    return stats;
   }
 
   // ---- Ground truth (metric layer only) ---------------------------------
@@ -149,15 +172,13 @@ class RadioEnvironment {
   [[nodiscard]] double true_dl_rss_dbm(CellId cell, phy::BeamId tx_beam,
                                        phy::BeamId ue_beam, sim::Time t) const;
 
-  /// Path snapshot for (cell, t), served from a one-entry-per-cell epoch
-  /// cache. Validity rule: an entry is reusable iff it was built for
-  /// exactly the queried time — the UE pose is a pure function of t and
-  /// base stations never move, so (cell, t) fully keys the geometry; any
-  /// query at a different t rebuilds in place (storage reused, no
-  /// allocation once warm). The metric tick and protocol callbacks firing
-  /// at the same instant therefore share one snapshot per cell.
-  /// Snapshots are built with the cell's DL tx power; uplink reuses them
-  /// by adding the tx-power delta in dB (every path scales equally).
+  /// Path snapshot for (config.ue, cell, t), served from the phy-layer
+  /// epoch cache (one entry per cell, keyed on UE id and time; see
+  /// phy/snapshot_cache.hpp for the validity rule). The metric tick and
+  /// protocol callbacks firing at the same instant therefore share one
+  /// snapshot per cell. Snapshots are built with the cell's DL tx power;
+  /// uplink reuses them by adding the tx-power delta in dB (every path
+  /// scales equally).
   [[nodiscard]] const phy::PathSnapshot& snapshot_for(CellId cell,
                                                       sim::Time t) const;
 
@@ -173,15 +194,11 @@ class RadioEnvironment {
   phy::LinkBudget link_;
   std::vector<std::unique_ptr<phy::Channel>> channels_;  // one per cell
 
-  struct SnapshotCacheEntry {
-    bool valid = false;
-    sim::Time t;
-    phy::PathSnapshot snapshot;
-  };
-  /// One entry per cell; mutable because ground-truth queries are const.
-  /// Not synchronised: a RadioEnvironment is single-threaded by design
-  /// (parallel batch runs give each thread its own environment).
-  mutable std::vector<SnapshotCacheEntry> snapshot_cache_;
+  /// Mutable because ground-truth queries are const. Not synchronised: a
+  /// RadioEnvironment is single-threaded by design (parallel batch and
+  /// fleet runs give each thread its own environment).
+  mutable phy::SnapshotEpochCache snapshot_cache_;
+  /// Sweep-kernel counters only; cache counters live in snapshot_cache_.
   mutable SnapshotCacheStats snapshot_stats_;
 
   Rng measurement_rng_;

@@ -10,4 +10,8 @@ namespace st::net {
 using CellId = std::uint32_t;
 inline constexpr CellId kInvalidCell = std::numeric_limits<CellId>::max();
 
+/// Mobile identity within a fleet (index into ScenarioSpec::ues). The
+/// paper's single-mobile experiments are UE 0.
+using UeId = std::uint32_t;
+
 }  // namespace st::net

@@ -274,4 +274,124 @@ std::string RunReport::summary_text() const {
   return out;
 }
 
+std::string FleetReport::to_json() const {
+  JsonOut json;
+  json.open();
+  json.field("schema", schema);
+
+  json.open("fleet");
+  json.field("seed", seed);
+  json.field("duration_ms", duration_ms);
+  json.field("n_cells", n_cells);
+  json.field("n_ues", n_ues);
+  json.field("threads", threads);
+  json.close();
+
+  json.open("handover");
+  json.field("total", handovers_total);
+  json.field("successful", handovers_successful);
+  json.field("soft", soft);
+  json.field("hard", hard);
+  json.field("rach_attempts", rach_attempts);
+  json.field("ssb_observations", ssb_observations);
+  json.close();
+
+  json.open("distributions");
+  write_summary(json, "alignment_fraction", alignment_fraction);
+  write_summary(json, "interruption_ms", interruption_ms);
+  write_summary(json, "rach_attempts_per_handover", rach_attempts_per_handover);
+  json.close();
+
+  json.open("engine");
+  json.field("events_executed", engine.events_executed);
+  json.field("queue_depth_hwm", engine.queue_depth_hwm);
+  json.field("wall_seconds", engine.wall_seconds);
+  json.field("sim_seconds", engine.sim_seconds);
+  json.field("wall_per_sim_second", engine.wall_per_sim_second);
+  json.close();
+
+  json.open("snapshot_cache");
+  json.field("hits", snapshot_cache.hits);
+  json.field("misses", snapshot_cache.misses);
+  json.field("invalidations", snapshot_cache.invalidations);
+  json.field("pair_sweeps", snapshot_cache.pair_sweeps);
+  json.field("rx_sweeps", snapshot_cache.rx_sweeps);
+  json.field("hit_rate", snapshot_cache.hit_rate);
+  json.close();
+
+  json.open("timing");
+  json.field("wall_seconds", wall_seconds);
+  json.field("ues_per_second", ues_per_second);
+  json.close();
+
+  json.open_array("ues");
+  for (const FleetUeReport& ue : ues) {
+    json.open();
+    json.field("ue", ue.ue);
+    json.field("scenario", ue.scenario);
+    json.field("protocol", ue.protocol);
+    json.field("seed", ue.seed);
+    json.field("handovers_total", ue.handovers_total);
+    json.field("handovers_successful", ue.handovers_successful);
+    json.field("soft", ue.soft);
+    json.field("hard", ue.hard);
+    json.field("mean_interruption_ms", ue.mean_interruption_ms);
+    json.field("alignment_fraction", ue.alignment_fraction);
+    json.field("rach_attempts", ue.rach_attempts);
+    json.field("ssb_observations", ue.ssb_observations);
+    json.close();
+  }
+  json.close_array();
+
+  json.close();
+  return json.take();
+}
+
+std::string FleetReport::summary_text() const {
+  std::string out;
+  char buf[256];
+  const auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+
+  line("== fleet report: %llu UEs, %llu cells (seed %llu) ==",
+       static_cast<unsigned long long>(n_ues),
+       static_cast<unsigned long long>(n_cells),
+       static_cast<unsigned long long>(seed));
+  line("  sim duration     %.1f ms per UE  (wall %.3f s over %llu threads, "
+       "%.2f UEs/s)",
+       duration_ms, wall_seconds, static_cast<unsigned long long>(threads),
+       ues_per_second);
+  line("  handovers        %llu/%llu successful (%llu soft, %llu hard)",
+       static_cast<unsigned long long>(handovers_successful),
+       static_cast<unsigned long long>(handovers_total),
+       static_cast<unsigned long long>(soft),
+       static_cast<unsigned long long>(hard));
+  if (interruption_ms.count > 0) {
+    line("  interruption     p50 %.1f ms, p95 %.1f ms (%llu handovers)",
+         interruption_ms.p50, interruption_ms.p95,
+         static_cast<unsigned long long>(interruption_ms.count));
+  }
+  if (alignment_fraction.count > 0) {
+    line("  alignment        mean %.1f%%, p50 %.1f%% across %llu tracked UEs",
+         100.0 * alignment_fraction.mean, 100.0 * alignment_fraction.p50,
+         static_cast<unsigned long long>(alignment_fraction.count));
+  }
+  line("  rach             %llu attempts (%.2f per successful handover)",
+       static_cast<unsigned long long>(rach_attempts),
+       rach_attempts_per_handover.mean);
+  line("  ssb budget       %llu observations",
+       static_cast<unsigned long long>(ssb_observations));
+  line("  engine           %llu events, queue hwm %llu",
+       static_cast<unsigned long long>(engine.events_executed),
+       static_cast<unsigned long long>(engine.queue_depth_hwm));
+  line("  snapshot cache   %.1f%% hit rate (%llu hits / %llu misses)",
+       100.0 * snapshot_cache.hit_rate,
+       static_cast<unsigned long long>(snapshot_cache.hits),
+       static_cast<unsigned long long>(snapshot_cache.misses));
+  return out;
+}
+
 }  // namespace st::obs

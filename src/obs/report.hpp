@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 
@@ -96,6 +97,68 @@ struct RunReport {
   [[nodiscard]] std::string to_json() const;
 
   /// One-screen human rendering for the example binaries.
+  [[nodiscard]] std::string summary_text() const;
+};
+
+/// One row of a fleet report: the headline outcomes of a single mobile.
+struct FleetUeReport {
+  std::uint64_t ue = 0;
+  std::string scenario;
+  std::string protocol;
+  std::uint64_t seed = 0;  ///< the UE's derived root seed
+
+  std::uint64_t handovers_total = 0;
+  std::uint64_t handovers_successful = 0;
+  std::uint64_t soft = 0;
+  std::uint64_t hard = 0;
+  double mean_interruption_ms = 0.0;  ///< over successful handovers; 0 if none
+  /// Fig. 2c criterion until the first successful handover; < 0 when the
+  /// UE produced no tracking samples (e.g. the reactive baseline).
+  double alignment_fraction = -1.0;
+  std::uint64_t rach_attempts = 0;
+  std::uint64_t ssb_observations = 0;
+};
+
+/// Fleet-level report: per-UE rows plus the distributions a fleet run is
+/// judged on — alignment fractions across UEs, handover interruption
+/// across all successful handovers, RACH attempts per handover — and the
+/// merged engine/snapshot-cache stats. Schema
+/// "silent-tracker/fleet-report/v1"; assembled by fleet::build_fleet_report.
+struct FleetReport {
+  std::string schema = "silent-tracker/fleet-report/v1";
+
+  std::uint64_t seed = 0;  ///< fleet root seed
+  double duration_ms = 0.0;
+  std::uint64_t n_cells = 0;
+  std::uint64_t n_ues = 0;
+  std::uint64_t threads = 1;
+
+  std::vector<FleetUeReport> ues;
+
+  // Fleet totals.
+  std::uint64_t handovers_total = 0;
+  std::uint64_t handovers_successful = 0;
+  std::uint64_t soft = 0;
+  std::uint64_t hard = 0;
+  std::uint64_t rach_attempts = 0;
+  std::uint64_t ssb_observations = 0;
+
+  // Fleet distributions.
+  HistogramSummary alignment_fraction;  ///< across UEs with tracking samples
+  HistogramSummary interruption_ms;     ///< across successful handovers
+  HistogramSummary rach_attempts_per_handover;
+
+  EngineReport engine;  ///< merged across UEs
+  SnapshotCacheReport snapshot_cache;
+
+  // Throughput (non-deterministic; equivalence tests ignore this block).
+  double wall_seconds = 0.0;
+  double ues_per_second = 0.0;
+
+  /// Pretty-printed JSON document (trailing newline included).
+  [[nodiscard]] std::string to_json() const;
+
+  /// One-screen human rendering for the fleet bench/examples.
   [[nodiscard]] std::string summary_text() const;
 };
 

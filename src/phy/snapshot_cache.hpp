@@ -1,0 +1,78 @@
+// Epoch cache of PathSnapshots keyed on (UE, cell, time).
+//
+// A PathSnapshot freezes every per-path quantity of one (base station,
+// mobile) link at one instant; rebuilding it is the expensive step the
+// sweep kernels amortise. The UE pose is a pure function of time and base
+// stations never move, so (ue, cell, t) fully keys the geometry — but the
+// shadowing and blockage processes are *per-link* state, which is why the
+// UE id is part of the key: two mobiles at the same instant never share a
+// snapshot. Storage is one entry per cell, reused in place across
+// rebuilds (no allocation once warm); with one environment per UE — the
+// fleet engine's sharding contract — the UE component of the key is
+// constant per instance and the cache behaves exactly like the original
+// per-cell epoch cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/path_snapshot.hpp"
+#include "sim/time.hpp"
+
+namespace st::phy {
+
+class SnapshotEpochCache {
+ public:
+  /// Hit/miss accounting, maintained unconditionally (one integer
+  /// increment per query) and surfaced through net::SnapshotCacheStats.
+  struct Stats {
+    std::uint64_t hits = 0;          ///< query served from the cached epoch
+    std::uint64_t misses = 0;        ///< snapshot (re)built for the query
+    std::uint64_t invalidations = 0; ///< rebuilds that evicted a valid entry
+  };
+
+  /// One slot per cell; existing snapshot storage is kept on resize.
+  void resize(std::size_t cells) { entries_.resize(cells); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Snapshot for (ue, cell, t). An entry is reusable iff it was built for
+  /// exactly this key; any other query rebuilds in place via
+  /// `build(PathSnapshot&)`. The entry is marked invalid before the build
+  /// runs, so a throwing builder can never leave a stale snapshot keyed as
+  /// current.
+  template <typename BuildFn>
+  const PathSnapshot& fill(std::uint32_t ue, std::size_t cell, sim::Time t,
+                           BuildFn&& build) {
+    Entry& entry = entries_[cell];
+    if (entry.valid && entry.ue == ue && entry.t == t) {
+      ++stats_.hits;
+      return entry.snapshot;
+    }
+    if (entry.valid) {
+      ++stats_.invalidations;
+    }
+    ++stats_.misses;
+    entry.valid = false;
+    build(entry.snapshot);
+    entry.ue = ue;
+    entry.t = t;
+    entry.valid = true;
+    return entry.snapshot;
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint32_t ue = 0;
+    sim::Time t;
+    PathSnapshot snapshot;
+  };
+
+  std::vector<Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace st::phy

@@ -35,6 +35,17 @@ struct EngineStats {
   [[nodiscard]] double wall_per_sim_second() const noexcept {
     return sim_seconds > 0.0 ? wall_seconds / sim_seconds : 0.0;
   }
+
+  /// Accumulate another engine's stats (fleet-level aggregation): counts
+  /// and wall time add up, the queue high-water mark is the max across
+  /// engines, and sim_seconds sums the per-UE clocks (UEs advance their
+  /// own simulators, so total simulated work is the sum).
+  void merge(const EngineStats& other) noexcept {
+    events_executed += other.events_executed;
+    queue_depth_hwm = std::max(queue_depth_hwm, other.queue_depth_hwm);
+    wall_seconds += other.wall_seconds;
+    sim_seconds += other.sim_seconds;
+  }
 };
 
 class Simulator {

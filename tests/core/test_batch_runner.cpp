@@ -1,5 +1,5 @@
 // run_batch_parallel must be indistinguishable from the serial run_batch:
-// each scenario run is a pure function of (config, seed) and the parallel
+// each scenario run is a pure function of (spec, seed) and the parallel
 // runner absorbs the per-run results in seed order, so every Aggregate
 // field — counts and raw samples alike — must be bit-identical. The
 // bench binaries all route through the parallel runner, so this test is
@@ -15,10 +15,10 @@
 namespace st::bench {
 namespace {
 
-core::ScenarioConfig short_config() {
-  core::ScenarioConfig config;
-  config.duration = sim::Duration::milliseconds(2'000);
-  return config;
+core::ScenarioSpec short_spec() {
+  return core::SpecBuilder(core::preset::paper_walk())
+      .duration(sim::Duration::milliseconds(2'000))
+      .build();
 }
 
 void expect_identical(const SuccessRate& a, const SuccessRate& b) {
@@ -44,34 +44,34 @@ void expect_identical(const Aggregate& a, const Aggregate& b) {
 }
 
 TEST(RunBatchParallel, BitIdenticalToSerial) {
-  const core::ScenarioConfig config = short_config();
+  const core::ScenarioSpec spec = short_spec();
   const std::vector<std::uint64_t> run_seeds = seeds(5);
-  const Aggregate serial = run_batch(config, run_seeds);
+  const Aggregate serial = run_batch(spec, run_seeds);
   // Force a real pool: the CI container may report one hardware thread,
   // which would silently select the serial fallback.
-  const Aggregate parallel = run_batch_parallel(config, run_seeds, 4);
+  const Aggregate parallel = run_batch_parallel(spec, run_seeds, 4);
   expect_identical(serial, parallel);
 }
 
 TEST(RunBatchParallel, MoreThreadsThanSeedsStillIdentical) {
-  const core::ScenarioConfig config = short_config();
+  const core::ScenarioSpec spec = short_spec();
   const std::vector<std::uint64_t> run_seeds = seeds(2);
-  expect_identical(run_batch(config, run_seeds),
-                   run_batch_parallel(config, run_seeds, 8));
+  expect_identical(run_batch(spec, run_seeds),
+                   run_batch_parallel(spec, run_seeds, 8));
 }
 
 TEST(RunBatchParallel, SingleThreadFallsBackToSerial) {
-  const core::ScenarioConfig config = short_config();
+  const core::ScenarioSpec spec = short_spec();
   const std::vector<std::uint64_t> run_seeds = seeds(3);
-  expect_identical(run_batch(config, run_seeds),
-                   run_batch_parallel(config, run_seeds, 1));
+  expect_identical(run_batch(spec, run_seeds),
+                   run_batch_parallel(spec, run_seeds, 1));
 }
 
 TEST(RunBatchParallel, RepeatedParallelRunsAreDeterministic) {
-  const core::ScenarioConfig config = short_config();
+  const core::ScenarioSpec spec = short_spec();
   const std::vector<std::uint64_t> run_seeds = seeds(4);
-  expect_identical(run_batch_parallel(config, run_seeds, 3),
-                   run_batch_parallel(config, run_seeds, 4));
+  expect_identical(run_batch_parallel(spec, run_seeds, 3),
+                   run_batch_parallel(spec, run_seeds, 4));
 }
 
 }  // namespace

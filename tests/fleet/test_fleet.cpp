@@ -1,0 +1,191 @@
+// The fleet engine: N mobiles against one shared deployment, sharded
+// across a thread pool. The load-bearing contract is determinism — the
+// parallel schedule must be bit-identical to the serial one, per UE —
+// plus obs isolation (each UE owns its ring buffers) and faithful
+// aggregation into the FleetReport.
+#include "fleet/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace st::fleet {
+namespace {
+
+using namespace st::sim::literals;
+
+std::string fingerprint(const core::ScenarioResult& r) {
+  std::ostringstream oss;
+  for (const auto& e : r.log.entries()) {
+    oss << e.t.ns() << '|' << e.component << '|' << e.message << '\n';
+  }
+  for (const auto& [name, value] : r.counters.all()) {
+    oss << name << '=' << value << '\n';
+  }
+  for (const auto& h : r.handovers) {
+    oss << h.from << "->" << h.to << '@' << h.completed.ns() << ' '
+        << h.success << h.rach_attempts << '\n';
+  }
+  oss << r.alignment_gap_db.csv();
+  oss << r.serving_snr_db.csv();
+  return oss.str();
+}
+
+/// A heterogeneous fleet on the three-cell row (walk / rotation /
+/// vehicular profiles cycling), short enough for the test budget.
+core::ScenarioSpec fleet_spec(std::size_t n_ues, sim::Duration duration) {
+  core::SpecBuilder builder;
+  builder.cells(3).duration(duration).seed(1000);
+  const core::UeProfile profiles[] = {core::preset::walking_ue(),
+                                      core::preset::rotating_ue(),
+                                      core::preset::vehicular_ue()};
+  for (std::size_t i = 0; i < n_ues; ++i) {
+    builder.ue(profiles[i % 3]);
+  }
+  return builder.build();
+}
+
+TEST(FleetEngine, SerialAndParallelSchedulesAreBitIdentical) {
+  // The acceptance bar: a 64-UE fleet, serial vs a real pool, every UE's
+  // realisation compared bit for bit.
+  const core::ScenarioSpec spec = fleet_spec(64, 1'000_ms);
+  const FleetResult serial = run_fleet(spec, 1);
+  const FleetResult parallel = run_fleet(spec, 4);
+
+  EXPECT_EQ(serial.threads_used, 1u);
+  EXPECT_EQ(parallel.threads_used, 4u);
+  ASSERT_EQ(serial.ue_count(), 64u);
+  ASSERT_EQ(parallel.ue_count(), 64u);
+  for (std::size_t ue = 0; ue < serial.ue_count(); ++ue) {
+    EXPECT_EQ(fingerprint(serial.ue_results[ue]),
+              fingerprint(parallel.ue_results[ue]))
+        << "ue " << ue;
+  }
+  // Merged statistics (sums over per-UE runs) agree too; wall-clock
+  // fields are the only non-deterministic content of a FleetResult.
+  EXPECT_EQ(serial.engine.events_executed, parallel.engine.events_executed);
+  EXPECT_EQ(serial.snapshot_cache.hits, parallel.snapshot_cache.hits);
+  EXPECT_EQ(serial.snapshot_cache.misses, parallel.snapshot_cache.misses);
+  EXPECT_EQ(serial.ssb_observations, parallel.ssb_observations);
+}
+
+TEST(FleetEngine, SingleUeFleetMatchesRunScenario) {
+  core::ScenarioSpec spec = core::preset::paper_walk();
+  spec.duration = 2'000_ms;
+  spec.seed = 1000;
+  const FleetResult fleet = run_fleet(spec);
+  ASSERT_EQ(fleet.ue_count(), 1u);
+  EXPECT_EQ(fingerprint(fleet.ue_results.front()),
+            fingerprint(core::run_scenario(spec)));
+}
+
+TEST(FleetEngine, EmptyFleetIsRejected) {
+  core::ScenarioSpec spec = core::preset::paper_walk();
+  spec.ues.clear();
+  EXPECT_THROW((void)run_fleet(spec), std::invalid_argument);
+}
+
+TEST(FleetEngine, TracedUesOwnPrivateRecorders) {
+  // One TraceRecorder per mobile, never shared: every traced UE surfaces
+  // its own ring buffers, at distinct addresses, each with events.
+  core::ScenarioSpec spec = fleet_spec(6, 1'000_ms);
+  spec.collect_trace = true;
+  spec.trace_buffer_capacity = 1 << 8;
+  const FleetResult result = run_fleet(spec, 3);
+
+  std::set<const obs::TraceRecorder*> recorders;
+  for (const core::ScenarioResult& ue_result : result.ue_results) {
+    ASSERT_NE(ue_result.trace, nullptr);
+    EXPECT_GT(ue_result.trace->total_events(), 0u);
+    recorders.insert(ue_result.trace.get());
+  }
+  EXPECT_EQ(recorders.size(), result.ue_count());
+}
+
+TEST(FleetEngine, MergedStatsSumThePerUeRuns) {
+  const core::ScenarioSpec spec = fleet_spec(5, 1'000_ms);
+  const FleetResult result = run_fleet(spec, 2);
+
+  std::uint64_t events = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t ssb = 0;
+  double sim_seconds = 0.0;
+  for (const core::ScenarioResult& ue_result : result.ue_results) {
+    events += ue_result.engine.events_executed;
+    hits += ue_result.snapshot_cache.hits;
+    misses += ue_result.snapshot_cache.misses;
+    ssb += ue_result.ssb_observations;
+    sim_seconds += ue_result.engine.sim_seconds;
+  }
+  EXPECT_EQ(result.engine.events_executed, events);
+  EXPECT_EQ(result.snapshot_cache.hits, hits);
+  EXPECT_EQ(result.snapshot_cache.misses, misses);
+  EXPECT_EQ(result.ssb_observations, ssb);
+  EXPECT_DOUBLE_EQ(result.engine.sim_seconds, sim_seconds);
+  EXPECT_GE(result.wall_seconds, 0.0);
+}
+
+TEST(FleetReport, AggregatesPerUeRowsAndTotals) {
+  const core::ScenarioSpec spec = fleet_spec(6, 2'000_ms);
+  const FleetResult result = run_fleet(spec, 2);
+  const obs::FleetReport report = build_fleet_report(spec, result);
+
+  EXPECT_EQ(report.schema, "silent-tracker/fleet-report/v1");
+  EXPECT_EQ(report.seed, spec.seed);
+  EXPECT_EQ(report.n_ues, 6u);
+  EXPECT_EQ(report.n_cells, 3u);
+  ASSERT_EQ(report.ues.size(), 6u);
+
+  std::size_t handovers = 0;
+  std::uint64_t ssb = 0;
+  for (std::size_t ue = 0; ue < report.ues.size(); ++ue) {
+    const obs::FleetUeReport& row = report.ues[ue];
+    EXPECT_EQ(row.ue, ue);
+    EXPECT_EQ(row.seed, core::fleet_ue_seed(spec.seed, ue));
+    EXPECT_EQ(row.scenario,
+              std::string(core::to_string(spec.ues[ue].mobility)));
+    handovers += row.handovers_total;
+    ssb += row.ssb_observations;
+  }
+  EXPECT_EQ(report.handovers_total, handovers);
+  EXPECT_EQ(report.ssb_observations, ssb);
+  EXPECT_EQ(report.ssb_observations, result.ssb_observations);
+
+  // Rendering round-trips: the JSON carries the schema and one object per
+  // UE; the human summary mentions the fleet size.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"silent-tracker/fleet-report/v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ues\""), std::string::npos);
+  EXPECT_FALSE(report.summary_text().empty());
+}
+
+TEST(FleetReport, ReactiveUesContributeNoAlignmentSamples) {
+  // The reactive baseline never tracks a neighbour, so its row keeps the
+  // "no samples" sentinel and the alignment histogram only counts the
+  // tracker UEs.
+  core::SpecBuilder builder;
+  core::UeProfile reactive = core::preset::walking_ue();
+  reactive.protocol = core::ProtocolKind::kReactive;
+  const core::ScenarioSpec spec = builder.cells(2)
+                                      .duration(2'000_ms)
+                                      .seed(1000)
+                                      .ue(core::preset::walking_ue())
+                                      .ue(reactive)
+                                      .build();
+  const FleetResult result = run_fleet(spec, 1);
+  const obs::FleetReport report = build_fleet_report(spec, result);
+  ASSERT_EQ(report.ues.size(), 2u);
+  EXPECT_LT(report.ues[1].alignment_fraction, 0.0);
+  EXPECT_LE(report.alignment_fraction.count, 1u);
+}
+
+}  // namespace
+}  // namespace st::fleet

@@ -25,22 +25,20 @@ namespace {
 
 // ---- run_batch_parallel ---------------------------------------------------
 
-core::ScenarioConfig short_config() {
-  core::ScenarioConfig config;
-  config.mobility = core::MobilityScenario::kHumanWalk;
-  config.protocol = core::ProtocolKind::kSilentTracker;
-  config.duration = sim::Duration::milliseconds(2'000);
-  return config;
+core::ScenarioSpec short_spec() {
+  return core::SpecBuilder(core::preset::paper_walk())
+      .duration(sim::Duration::milliseconds(2'000))
+      .build();
 }
 
 TEST(BatchRunnerStress, ParallelRunsMatchSerialUnderContention) {
   // More seeds than hardware threads so workers steal from the shared
   // atomic cursor repeatedly — the interleaving TSan needs to see.
   const std::vector<std::uint64_t> seeds = bench::seeds(12);
-  const core::ScenarioConfig config = short_config();
+  const core::ScenarioSpec spec = short_spec();
 
-  const bench::Aggregate serial = bench::run_batch(config, seeds);
-  const bench::Aggregate parallel = bench::run_batch_parallel(config, seeds, 4);
+  const bench::Aggregate serial = bench::run_batch(spec, seeds);
+  const bench::Aggregate parallel = bench::run_batch_parallel(spec, seeds, 4);
 
   EXPECT_EQ(serial.handover_success.successes(),
             parallel.handover_success.successes());
@@ -54,13 +52,13 @@ TEST(BatchRunnerStress, TracedParallelRunsAreIsolated) {
   // dispatch-timing hook to every worker: the whole obs recording path
   // runs concurrently across threads, one recorder per run (the
   // documented ownership model — nothing is shared).
-  core::ScenarioConfig config = short_config();
-  config.collect_trace = true;
-  config.trace_buffer_capacity = 1 << 10;
+  core::ScenarioSpec spec = short_spec();
+  spec.collect_trace = true;
+  spec.trace_buffer_capacity = 1 << 10;
 
   const std::vector<std::uint64_t> seeds = bench::seeds(8);
-  const bench::Aggregate parallel = bench::run_batch_parallel(config, seeds, 4);
-  const bench::Aggregate serial = bench::run_batch(config, seeds);
+  const bench::Aggregate parallel = bench::run_batch_parallel(spec, seeds, 4);
+  const bench::Aggregate serial = bench::run_batch(spec, seeds);
   EXPECT_EQ(serial.handover_success.trials(),
             parallel.handover_success.trials());
 }
@@ -70,10 +68,9 @@ TEST(BatchRunnerStress, OversubscribedPoolDrainsEverySeed) {
   // immediately and exit — the short-lived-thread path. Every seed must
   // still be absorbed exactly once (bit-identical to serial).
   const std::vector<std::uint64_t> seeds = bench::seeds(3);
-  const core::ScenarioConfig config = short_config();
-  const bench::Aggregate parallel =
-      bench::run_batch_parallel(config, seeds, 16);
-  const bench::Aggregate serial = bench::run_batch(config, seeds);
+  const core::ScenarioSpec spec = short_spec();
+  const bench::Aggregate parallel = bench::run_batch_parallel(spec, seeds, 16);
+  const bench::Aggregate serial = bench::run_batch(spec, seeds);
   EXPECT_EQ(serial.handover_success.trials(),
             parallel.handover_success.trials());
   EXPECT_EQ(serial.alignment_fraction.count(),

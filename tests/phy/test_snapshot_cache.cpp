@@ -1,0 +1,123 @@
+// The (UE, cell, time) epoch cache behind RadioEnvironment::snapshot_for.
+// Per-cell storage with UE identity in the key: two mobiles querying the
+// same cell at the same instant must never share a snapshot (shadowing
+// and blockage are per-link state), and a throwing builder must never
+// leave a stale snapshot keyed as current.
+#include "phy/snapshot_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace st::phy {
+namespace {
+
+sim::Time at_ms(std::int64_t ms) {
+  return sim::Time::zero() + sim::Duration::milliseconds(ms);
+}
+
+/// Builder that stamps a marker value into the snapshot and counts calls.
+struct MarkerBuilder {
+  double marker;
+  int* calls;
+  void operator()(PathSnapshot& snapshot) const {
+    ++*calls;
+    snapshot.paths.assign(1, PathSnapshot::Path{.base_db = marker,
+                                                .base_linear = 0.0,
+                                                .amp_cos = 0.0,
+                                                .amp_sin = 0.0,
+                                                .tx_az = 0.0,
+                                                .rx_az = 0.0});
+  }
+};
+
+TEST(SnapshotEpochCache, RepeatQueryIsAHit) {
+  SnapshotEpochCache cache;
+  cache.resize(2);
+  int calls = 0;
+  cache.fill(0, 0, at_ms(10), MarkerBuilder{1.0, &calls});
+  const PathSnapshot& again =
+      cache.fill(0, 0, at_ms(10), MarkerBuilder{2.0, &calls});
+  EXPECT_EQ(calls, 1);  // second query served from the epoch
+  EXPECT_DOUBLE_EQ(again.paths.at(0).base_db, 1.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST(SnapshotEpochCache, NewEpochRebuildsAndInvalidates) {
+  SnapshotEpochCache cache;
+  cache.resize(1);
+  int calls = 0;
+  cache.fill(0, 0, at_ms(10), MarkerBuilder{1.0, &calls});
+  const PathSnapshot& later =
+      cache.fill(0, 0, at_ms(20), MarkerBuilder{2.0, &calls});
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(later.paths.at(0).base_db, 2.0);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);  // a valid entry was evicted
+}
+
+TEST(SnapshotEpochCache, UeIdentityIsPartOfTheKey) {
+  SnapshotEpochCache cache;
+  cache.resize(1);
+  int calls = 0;
+  // Same cell, same instant, different mobiles: never shared.
+  cache.fill(0, 0, at_ms(10), MarkerBuilder{1.0, &calls});
+  const PathSnapshot& other =
+      cache.fill(1, 0, at_ms(10), MarkerBuilder{2.0, &calls});
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(other.paths.at(0).base_db, 2.0);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  // And returning to the first UE rebuilds again (one entry per cell).
+  cache.fill(0, 0, at_ms(10), MarkerBuilder{3.0, &calls});
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(SnapshotEpochCache, CellsAreIndependentSlots) {
+  SnapshotEpochCache cache;
+  cache.resize(3);
+  EXPECT_EQ(cache.size(), 3u);
+  int calls = 0;
+  cache.fill(0, 0, at_ms(10), MarkerBuilder{1.0, &calls});
+  cache.fill(0, 2, at_ms(10), MarkerBuilder{3.0, &calls});
+  // Filling cell 2 did not evict cell 0's epoch.
+  const PathSnapshot& kept =
+      cache.fill(0, 0, at_ms(10), MarkerBuilder{9.0, &calls});
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(kept.paths.at(0).base_db, 1.0);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST(SnapshotEpochCache, ThrowingBuilderNeverLeavesAStaleEpoch) {
+  SnapshotEpochCache cache;
+  cache.resize(1);
+  int calls = 0;
+  cache.fill(0, 0, at_ms(10), MarkerBuilder{1.0, &calls});
+  EXPECT_THROW(cache.fill(0, 0, at_ms(20),
+                          [](PathSnapshot&) {
+                            throw std::runtime_error("channel failed");
+                          }),
+               std::runtime_error);
+  // The failed rebuild marked the entry invalid: the original epoch must
+  // not be served, not even for its own key.
+  const PathSnapshot& rebuilt =
+      cache.fill(0, 0, at_ms(10), MarkerBuilder{5.0, &calls});
+  EXPECT_DOUBLE_EQ(rebuilt.paths.at(0).base_db, 5.0);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SnapshotEpochCache, ResizeKeepsExistingEntries) {
+  SnapshotEpochCache cache;
+  cache.resize(1);
+  int calls = 0;
+  cache.fill(0, 0, at_ms(10), MarkerBuilder{1.0, &calls});
+  cache.resize(4);
+  const PathSnapshot& kept =
+      cache.fill(0, 0, at_ms(10), MarkerBuilder{9.0, &calls});
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(kept.paths.at(0).base_db, 1.0);
+}
+
+}  // namespace
+}  // namespace st::phy
