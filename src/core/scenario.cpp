@@ -116,7 +116,7 @@ class ScenarioRun {
     }
   }
 
-  ScenarioResult run() {
+  ScenarioResult run(const sim::CancelToken* cancel = nullptr) {
     // Steady-state initial condition: the mobile has been inside cell 0
     // with BeamSurfer keeping it aligned; start from the true best pair.
     const phy::Channel::BestPair initial =
@@ -125,7 +125,8 @@ class ScenarioRun {
 
     start_protocol(0, initial.rx_beam, initial.rx_power_dbm);
     schedule_metric_tick();
-    simulator_.run_until(Time::zero() + spec_.duration);
+    result_.cancelled =
+        !simulator_.run_until(Time::zero() + spec_.duration, cancel);
     result_.ssb_observations = environment_->ssb_observation_count();
     result_.engine = simulator_.stats();
     result_.snapshot_cache = environment_->snapshot_stats();
@@ -356,12 +357,18 @@ std::shared_ptr<const mobility::MobilityModel> make_mobility(
 
 ScenarioResult run_scenario_ue(const ScenarioSpec& spec, std::size_t ue,
                                const net::Deployment& deployment) {
+  return run_scenario_ue(spec, ue, deployment, nullptr);
+}
+
+ScenarioResult run_scenario_ue(const ScenarioSpec& spec, std::size_t ue,
+                               const net::Deployment& deployment,
+                               const sim::CancelToken* cancel) {
   if (ue >= spec.ues.size()) {
     throw std::out_of_range("run_scenario_ue: UE index beyond the fleet");
   }
   ScenarioRun run(spec, spec.ues[ue], fleet_ue_seed(spec.seed, ue),
                   static_cast<net::UeId>(ue), deployment);
-  return run.run();
+  return run.run(cancel);
 }
 
 ScenarioResult run_scenario_ue(const ScenarioSpec& spec, std::size_t ue) {

@@ -23,6 +23,7 @@
 #include "net/handover.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "sim/cancel.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -107,6 +108,11 @@ struct ScenarioResult {
   /// the run (the paper's "minimal resource usage" axis).
   std::uint64_t ssb_observations = 0;
 
+  /// True when the run was stopped early by a sim::CancelToken; the
+  /// series and handover records then cover a consistent prefix of the
+  /// schedule (engine.sim_seconds says how far it got).
+  bool cancelled = false;
+
   /// Fraction of tracked samples where the protocol's beam was within
   /// 3 dB of the ground-truth best (the Fig. 2c criterion), over the
   /// whole run.
@@ -157,6 +163,16 @@ struct ScenarioResult {
 [[nodiscard]] ScenarioResult run_scenario_ue(const ScenarioSpec& spec,
                                              std::size_t ue,
                                              const net::Deployment& deployment);
+
+/// As above with a cooperative cancellation token threaded into the
+/// scenario step loop: the engine polls it between events and returns
+/// the partial result (cancelled = true) once it fires. A null or
+/// never-fired token produces a result bit-identical to the plain
+/// overload, apart from wall-clock stats.
+[[nodiscard]] ScenarioResult run_scenario_ue(const ScenarioSpec& spec,
+                                             std::size_t ue,
+                                             const net::Deployment& deployment,
+                                             const sim::CancelToken* cancel);
 
 /// As above, building the deployment from the spec.
 [[nodiscard]] ScenarioResult run_scenario_ue(const ScenarioSpec& spec,

@@ -1,0 +1,230 @@
+#include "core/spec_json.hpp"
+
+#include <string>
+
+namespace st::core {
+
+namespace {
+
+using json::ParseError;
+using json::Value;
+
+[[noreturn]] void fail(const std::string& what) { throw ParseError(what); }
+
+/// Walk an override object, dispatching each member through `apply`;
+/// `apply` returns false for keys it does not know.
+template <typename Fn>
+void for_each_member(const Value& overrides, std::string_view where,
+                     const Fn& apply) {
+  if (!overrides.is_object()) {
+    fail(std::string(where) + ": expected an object");
+  }
+  for (const Value::Member& member : overrides.members()) {
+    if (!apply(member.first, member.second)) {
+      fail(std::string(where) + ": unknown key \"" + member.first + "\"");
+    }
+  }
+}
+
+[[nodiscard]] sim::Duration duration_ms(const Value& v,
+                                        std::string_view where) {
+  if (!v.is_number()) {
+    fail(std::string(where) + ": expected a number (milliseconds)");
+  }
+  return sim::Duration::nanoseconds(
+      static_cast<std::int64_t>(v.as_double() * 1e6));
+}
+
+void apply_deployment_overrides(net::DeploymentConfig& deployment,
+                                const Value& overrides) {
+  for_each_member(
+      overrides, "deployment",
+      [&](const std::string& key, const Value& v) {
+        if (key == "inter_site_m") {
+          deployment.inter_site_m = v.as_double();
+        } else if (key == "corridor_offset_m") {
+          deployment.corridor_offset_m = v.as_double();
+        } else if (key == "bs_beamwidth_deg") {
+          deployment.bs_beamwidth_deg = v.as_double();
+        } else if (key == "bs_tx_power_dbm") {
+          deployment.bs_tx_power_dbm = v.as_double();
+        } else {
+          return false;
+        }
+        return true;
+      });
+}
+
+}  // namespace
+
+ScenarioSpec preset_by_name(std::string_view name) {
+  if (name == "paper_walk") {
+    return preset::paper_walk();
+  }
+  if (name == "paper_rotation") {
+    return preset::paper_rotation();
+  }
+  if (name == "paper_vehicular") {
+    return preset::paper_vehicular();
+  }
+  fail("unknown preset \"" + std::string(name) +
+       "\" (expected paper_walk, paper_rotation, or paper_vehicular)");
+}
+
+MobilityScenario mobility_from_string(std::string_view name) {
+  if (name == to_string(MobilityScenario::kHumanWalk)) {
+    return MobilityScenario::kHumanWalk;
+  }
+  if (name == to_string(MobilityScenario::kRotation)) {
+    return MobilityScenario::kRotation;
+  }
+  if (name == to_string(MobilityScenario::kVehicular)) {
+    return MobilityScenario::kVehicular;
+  }
+  fail("unknown mobility \"" + std::string(name) + "\"");
+}
+
+ProtocolKind protocol_from_string(std::string_view name) {
+  if (name == to_string(ProtocolKind::kSilentTracker)) {
+    return ProtocolKind::kSilentTracker;
+  }
+  if (name == to_string(ProtocolKind::kReactive)) {
+    return ProtocolKind::kReactive;
+  }
+  fail("unknown protocol \"" + std::string(name) + "\"");
+}
+
+void apply_profile_overrides(UeProfile& profile, const Value& overrides) {
+  for_each_member(
+      overrides, "ue", [&](const std::string& key, const Value& v) {
+        if (key == "mobility") {
+          profile.mobility = mobility_from_string(v.as_string());
+        } else if (key == "protocol") {
+          profile.protocol = protocol_from_string(v.as_string());
+        } else if (key == "ue_beamwidth_deg") {
+          profile.ue_beamwidth_deg = v.as_double();
+        } else if (key == "ue_ula_codebook") {
+          profile.ue_ula_codebook = v.as_bool();
+        } else if (key == "walk_speed_mps") {
+          profile.walk_speed_mps = v.as_double();
+        } else if (key == "rotation_rate_deg_s") {
+          profile.rotation_rate_deg_s = v.as_double();
+        } else if (key == "vehicle_speed_mph") {
+          profile.vehicle_speed_mph = v.as_double();
+        } else if (key == "chain_handovers") {
+          profile.chain_handovers = v.as_bool();
+        } else {
+          return false;
+        }
+        return true;
+      });
+}
+
+void apply_spec_overrides(ScenarioSpec& spec, const Value& overrides) {
+  for_each_member(
+      overrides, "overrides", [&](const std::string& key, const Value& v) {
+        if (key == "cells") {
+          spec.n_cells = static_cast<unsigned>(v.as_u64());
+        } else if (key == "duration_ms") {
+          spec.duration = duration_ms(v, "duration_ms");
+        } else if (key == "metric_period_ms") {
+          spec.metric_period = duration_ms(v, "metric_period_ms");
+        } else if (key == "collect_trace") {
+          spec.collect_trace = v.as_bool();
+        } else if (key == "trace_buffer_capacity") {
+          spec.trace_buffer_capacity = static_cast<std::size_t>(v.as_u64());
+        } else if (key == "seed") {
+          spec.seed = v.as_u64();
+        } else if (key == "deployment") {
+          apply_deployment_overrides(spec.deployment, v);
+        } else if (key == "n_ues") {
+          const std::uint64_t n = v.as_u64();
+          if (n == 0 || spec.ues.empty()) {
+            fail("n_ues: need a non-empty fleet to replicate");
+          }
+          spec.ues.assign(static_cast<std::size_t>(n), spec.ues.front());
+        } else if (key == "ue") {
+          for (UeProfile& profile : spec.ues) {
+            apply_profile_overrides(profile, v);
+          }
+        } else if (key == "ues") {
+          spec.ues.clear();
+          for (const Value& entry : v.items()) {
+            UeProfile profile;
+            apply_profile_overrides(profile, entry);
+            spec.ues.push_back(profile);
+          }
+        } else {
+          return false;
+        }
+        return true;
+      });
+}
+
+ScenarioSpec spec_from_job_json(const Value& job) {
+  if (!job.is_object()) {
+    fail("job: expected an object");
+  }
+  const Value* preset = job.find("preset");
+  if (preset == nullptr) {
+    fail("job: missing \"preset\"");
+  }
+  ScenarioSpec spec = preset_by_name(preset->as_string());
+
+  for (const Value::Member& member : job.members()) {
+    if (member.first == "preset") {
+      continue;
+    }
+    if (member.first == "seed") {
+      spec.seed = member.second.as_u64();
+    } else if (member.first == "overrides") {
+      apply_spec_overrides(spec, member.second);
+    } else {
+      fail("job: unknown key \"" + member.first + "\"");
+    }
+  }
+  // The builder's validation is the contract; a job must not be able to
+  // assemble a spec the library itself would reject.
+  return SpecBuilder(std::move(spec)).build();
+}
+
+Value profile_to_json(const UeProfile& profile) {
+  Value out = Value::object();
+  out.set("mobility", Value::string(std::string(to_string(profile.mobility))));
+  out.set("protocol", Value::string(std::string(to_string(profile.protocol))));
+  out.set("ue_beamwidth_deg", Value::number(profile.ue_beamwidth_deg));
+  out.set("ue_ula_codebook", Value::boolean(profile.ue_ula_codebook));
+  out.set("walk_speed_mps", Value::number(profile.walk_speed_mps));
+  out.set("rotation_rate_deg_s", Value::number(profile.rotation_rate_deg_s));
+  out.set("vehicle_speed_mph", Value::number(profile.vehicle_speed_mph));
+  out.set("chain_handovers", Value::boolean(profile.chain_handovers));
+  return out;
+}
+
+Value spec_to_json(const ScenarioSpec& spec) {
+  Value out = Value::object();
+  out.set("cells", Value::unsigned_integer(spec.n_cells));
+  out.set("duration_ms", Value::number(spec.duration.ms()));
+  out.set("metric_period_ms", Value::number(spec.metric_period.ms()));
+  out.set("collect_trace", Value::boolean(spec.collect_trace));
+  out.set("seed", Value::unsigned_integer(spec.seed));
+
+  Value deployment = Value::object();
+  deployment.set("inter_site_m", Value::number(spec.deployment.inter_site_m));
+  deployment.set("corridor_offset_m",
+                 Value::number(spec.deployment.corridor_offset_m));
+  deployment.set("bs_beamwidth_deg",
+                 Value::number(spec.deployment.bs_beamwidth_deg));
+  deployment.set("bs_tx_power_dbm",
+                 Value::number(spec.deployment.bs_tx_power_dbm));
+  out.set("deployment", std::move(deployment));
+
+  Value ues = Value::array();
+  for (const UeProfile& profile : spec.ues) {
+    ues.push_back(profile_to_json(profile));
+  }
+  out.set("ues", std::move(ues));
+  return out;
+}
+
+}  // namespace st::core

@@ -1,0 +1,74 @@
+// JSON wire format for the scenario API.
+//
+// The scenario service (src/serve) accepts jobs as "preset name +
+// SpecBuilder-style overrides + seed" JSON documents; this header owns
+// the mapping between that wire format and the in-memory
+// ScenarioSpec/UeProfile structs, so the service layer never touches
+// spec internals and the format is testable without a socket.
+//
+// A job document looks like:
+//
+//   {
+//     "preset": "paper_walk",            // required: paper_walk |
+//                                        //   paper_rotation | paper_vehicular
+//     "seed": 7,                         // optional, overrides the preset's
+//     "overrides": {                     // optional, all keys optional
+//       "cells": 3,
+//       "duration_ms": 8000.0,
+//       "metric_period_ms": 10.0,
+//       "collect_trace": false,
+//       "deployment": {"inter_site_m": 40.0, ...},
+//       "n_ues": 8,                      // replicate the preset's profile
+//       "ue": {"mobility": "vehicular", "ue_beamwidth_deg": 30.0, ...},
+//       "ues": [{...}, {...}]            // or: replace the fleet outright
+//     }
+//   }
+//
+// Unknown keys anywhere are *errors*, not ignored — a typo'd override
+// silently falling back to the preset default would corrupt experiment
+// campaigns. All failures throw json::ParseError with a message naming
+// the offending key; the service maps that to a typed `bad_request`
+// wire error.
+//
+// The reverse direction (spec_to_json) serialises the resolved spec so
+// a served job can echo exactly what it is about to run; it emits only
+// wire-format fields (frame + deployment + per-UE scalars) — nested
+// protocol configs stay at their preset values on the wire.
+#pragma once
+
+#include <string_view>
+
+#include "common/json.hpp"
+#include "core/scenario_spec.hpp"
+
+namespace st::core {
+
+/// Preset lookup by wire name ("paper_walk", "paper_rotation",
+/// "paper_vehicular"); throws json::ParseError on an unknown name.
+[[nodiscard]] ScenarioSpec preset_by_name(std::string_view name);
+
+/// Parse a mobility / protocol wire name (the to_string() spellings);
+/// throws json::ParseError on an unknown name.
+[[nodiscard]] MobilityScenario mobility_from_string(std::string_view name);
+[[nodiscard]] ProtocolKind protocol_from_string(std::string_view name);
+
+/// Apply one "ue" override object onto a profile (unknown keys throw).
+void apply_profile_overrides(UeProfile& profile, const json::Value& overrides);
+
+/// Apply a SpecBuilder-style override object onto a spec (unknown keys
+/// throw). `n_ues` replicates the spec's first profile; `ue` mutates
+/// every profile; `ues` replaces the fleet with fully parsed profiles.
+void apply_spec_overrides(ScenarioSpec& spec, const json::Value& overrides);
+
+/// Resolve a full job document (preset + seed + overrides, as above)
+/// into a validated spec. Runs the result through SpecBuilder::build()
+/// so the service rejects exactly what the library rejects.
+[[nodiscard]] ScenarioSpec spec_from_job_json(const json::Value& job);
+
+/// Serialise the wire-format fields of a spec (see header comment).
+[[nodiscard]] json::Value spec_to_json(const ScenarioSpec& spec);
+
+/// Serialise one profile's wire-format fields.
+[[nodiscard]] json::Value profile_to_json(const UeProfile& profile);
+
+}  // namespace st::core

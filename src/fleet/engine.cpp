@@ -1,5 +1,6 @@
 #include "fleet/engine.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
@@ -8,6 +9,11 @@
 namespace st::fleet {
 
 FleetResult run_fleet(const core::ScenarioSpec& spec, unsigned n_threads) {
+  return run_fleet(spec, n_threads, RunControl{});
+}
+
+FleetResult run_fleet(const core::ScenarioSpec& spec, unsigned n_threads,
+                      const RunControl& control) {
   if (spec.ues.empty()) {
     throw std::invalid_argument("run_fleet: fleet needs at least one UE");
   }
@@ -16,11 +22,17 @@ FleetResult run_fleet(const core::ScenarioSpec& spec, unsigned n_threads) {
   FleetResult result;
   result.threads_used = resolve_threads(spec.ues.size(), n_threads);
 
+  const std::size_t total = spec.ues.size();
+  std::atomic<std::size_t> completed{0};
   const auto start = std::chrono::steady_clock::now();
-  result.ue_results =
-      parallel_map(spec.ues.size(), n_threads, [&](std::size_t ue) {
-        return core::run_scenario_ue(spec, ue, deployment);
-      });
+  result.ue_results = parallel_map(total, n_threads, [&](std::size_t ue) {
+    core::ScenarioResult ue_result =
+        core::run_scenario_ue(spec, ue, deployment, control.cancel);
+    if (control.on_ue_complete) {
+      control.on_ue_complete(completed.fetch_add(1) + 1, total);
+    }
+    return ue_result;
+  });
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -29,6 +41,7 @@ FleetResult run_fleet(const core::ScenarioSpec& spec, unsigned n_threads) {
     result.engine.merge(ue_result.engine);
     result.snapshot_cache.merge(ue_result.snapshot_cache);
     result.ssb_observations += ue_result.ssb_observations;
+    result.cancelled = result.cancelled || ue_result.cancelled;
   }
   return result;
 }

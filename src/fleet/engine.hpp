@@ -13,12 +13,27 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/scenario.hpp"
 #include "obs/report.hpp"
+#include "sim/cancel.hpp"
 
 namespace st::fleet {
+
+/// Optional control surface of a fleet run, used by long-lived callers
+/// (the scenario service): a cooperative cancellation token polled by
+/// every UE's event loop, and a progress hook fired after each UE
+/// completes. The hook runs on the worker thread that finished the UE
+/// and may fire concurrently — it must be thread-safe and cheap. A
+/// default-constructed RunControl changes nothing about the run.
+struct RunControl {
+  const sim::CancelToken* cancel = nullptr;
+  /// (UEs completed so far, fleet size). `completed` counts invocation
+  /// order, not UE ids — UEs finish out of order under sharding.
+  std::function<void(std::size_t completed, std::size_t total)> on_ue_complete;
+};
 
 /// Everything a fleet run produces: the per-UE results (index = UE id)
 /// plus fleet-level aggregates. The wall-clock fields are the only
@@ -33,6 +48,10 @@ struct FleetResult {
   net::SnapshotCacheStats snapshot_cache;
   /// Total SSB listening attempts across the fleet.
   std::uint64_t ssb_observations = 0;
+
+  /// True when a RunControl cancellation stopped the fleet early; the
+  /// per-UE results are then partial (each a consistent prefix).
+  bool cancelled = false;
 
   /// Wall-clock of the whole fleet run (serial or sharded) — unlike
   /// engine.wall_seconds, which sums per-UE dispatch time across threads.
@@ -57,6 +76,15 @@ struct FleetResult {
 /// bit-identical FleetResult apart from the wall-clock fields.
 [[nodiscard]] FleetResult run_fleet(const core::ScenarioSpec& spec,
                                     unsigned n_threads = 0);
+
+/// As above with a control surface: `control.cancel` stops every UE
+/// within one scenario step of firing (partial results are returned
+/// with `cancelled` set), `control.on_ue_complete` reports progress.
+/// A default RunControl makes this bit-identical to the plain overload
+/// apart from the wall-clock fields.
+[[nodiscard]] FleetResult run_fleet(const core::ScenarioSpec& spec,
+                                    unsigned n_threads,
+                                    const RunControl& control);
 
 /// Assemble the fleet-level report: one row per UE (alignment fraction,
 /// handover outcomes, RACH attempts) plus the fleet distributions of

@@ -1,0 +1,65 @@
+// Client side of the scenario service protocol: a blocking
+// one-request-one-response connection over the Unix-domain socket,
+// with typed helpers for every request the server understands.
+//
+// The same class backs the `stctl` CLI and the loopback tests; the
+// low-level `request_raw()` / `fd()` escape hatches exist so hostile
+// wire-protocol tests can send malformed bytes through a real socket.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+
+namespace st::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to a server socket. False when the connection fails
+  /// (daemon not up yet — callers may retry).
+  [[nodiscard]] bool connect(const std::string& socket_path);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  /// Raw descriptor for tests that write hostile bytes directly.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Send one already-serialised payload as a frame and read one
+  /// response frame. Throws std::runtime_error on transport failure
+  /// and json::ParseError when the response is not valid JSON.
+  [[nodiscard]] json::Value request_raw(std::string_view payload);
+
+  /// Serialise and send a request document, parse the response.
+  [[nodiscard]] json::Value request(const json::Value& req);
+
+  // -- typed helpers ---------------------------------------------------
+  [[nodiscard]] json::Value ping();
+  /// `job` is the submission document: {"preset", "seed"?, "overrides"?}.
+  [[nodiscard]] json::Value submit(const json::Value& job);
+  [[nodiscard]] json::Value status(std::uint64_t id);
+  [[nodiscard]] json::Value events(std::uint64_t id, std::uint64_t after = 0);
+  [[nodiscard]] json::Value result(std::uint64_t id);
+  [[nodiscard]] json::Value cancel(std::uint64_t id);
+  [[nodiscard]] json::Value stats();
+  [[nodiscard]] json::Value drain();
+
+  /// Poll `status` until the job reaches a terminal state (or
+  /// `timeout_ms` elapses — returns nullopt then). Returns the final
+  /// status response.
+  [[nodiscard]] std::optional<json::Value> wait(std::uint64_t id,
+                                                int timeout_ms = 60000,
+                                                int poll_interval_ms = 20);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace st::serve

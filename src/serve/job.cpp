@@ -1,0 +1,58 @@
+#include "serve/job.hpp"
+
+namespace st::serve {
+
+namespace {
+
+using contracts::TransitionTable;
+
+constexpr TransitionTable<JobState, kJobStateCount> kJobTable{
+    {JobState::kQueued, JobState::kRunning},
+    {JobState::kQueued, JobState::kCancelled},
+    {JobState::kQueued, JobState::kShed},
+    {JobState::kRunning, JobState::kDone},
+    {JobState::kRunning, JobState::kCancelled},
+    {JobState::kRunning, JobState::kFailed},
+};
+
+}  // namespace
+
+Job::Job() = default;
+Job::~Job() = default;
+
+std::string_view to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+bool job_transition_allowed(JobState from, JobState to) noexcept {
+  return kJobTable.allowed(from, to);
+}
+
+bool job_state_terminal(JobState s) noexcept {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+void check_job_transition(JobState from, JobState to) {
+  if (!job_transition_allowed(from, to)) {
+    contracts::violate("ServeJob",
+                       std::string("illegal lifecycle transition ") +
+                           std::string(to_string(from)) + " -> " +
+                           std::string(to_string(to)));
+  }
+}
+
+}  // namespace st::serve

@@ -1,0 +1,41 @@
+#include "serve/job_queue.hpp"
+
+namespace st::serve {
+
+bool JobQueue::try_push(std::uint64_t id) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || ids_.size() >= capacity_) {
+      return false;
+    }
+    ids_.push_back(id);
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<std::uint64_t> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !ids_.empty(); });
+  if (ids_.empty()) {
+    return std::nullopt;
+  }
+  const std::uint64_t id = ids_.front();
+  ids_.pop_front();
+  return id;
+}
+
+void JobQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ids_.size();
+}
+
+}  // namespace st::serve

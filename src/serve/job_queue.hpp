@@ -1,0 +1,47 @@
+// Bounded admission queue between the request threads and the worker
+// pool.
+//
+// The queue is the service's overload valve: try_push() never blocks —
+// when the queue is full the submission is *shed* with an explicit
+// typed response, instead of stalling the connection or growing an
+// unbounded backlog until the process OOMs. Workers block in pop()
+// until work arrives or the queue is closed for shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace st::serve {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admit a job id. Returns false — without blocking — when the queue
+  /// is at capacity (the caller sheds the job) or already closed.
+  bool try_push(std::uint64_t id);
+
+  /// Block until an id is available, then claim it. Returns nullopt
+  /// once the queue is closed *and* empty — closing still drains what
+  /// was admitted (graceful-drain semantics).
+  [[nodiscard]] std::optional<std::uint64_t> pop();
+
+  /// Stop admissions and wake every blocked pop(); already-admitted ids
+  /// are still handed out.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::uint64_t> ids_;
+  bool closed_ = false;
+};
+
+}  // namespace st::serve

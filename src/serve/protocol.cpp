@@ -1,0 +1,143 @@
+#include "serve/protocol.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace st::serve {
+
+namespace {
+
+constexpr int kPollSliceMs = 100;
+
+enum class IoStatus { kOk, kClosed, kError };
+
+/// Read exactly `len` bytes into `out`, waiting in poll slices so a
+/// stop request can interrupt an idle connection.
+IoStatus read_exact(int fd, char* out, std::size_t len,
+                    const std::atomic<bool>* stop) {
+  std::size_t got = 0;
+  while (got < len) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      return IoStatus::kClosed;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, kPollSliceMs);
+    if (pr < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return IoStatus::kError;
+    }
+    if (pr == 0) {
+      continue;  // timeout slice; re-check stop
+    }
+    const ssize_t n = ::read(fd, out + got, len - got);
+    if (n == 0) {
+      return IoStatus::kClosed;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        continue;
+      }
+      return IoStatus::kError;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace
+
+json::Value ok_response() {
+  json::Value v = json::Value::object();
+  v.set("ok", json::Value::boolean(true));
+  return v;
+}
+
+json::Value error_response(std::string_view code, std::string_view message) {
+  json::Value err = json::Value::object();
+  err.set("code", json::Value::string(std::string(code)));
+  err.set("message", json::Value::string(std::string(message)));
+  json::Value v = json::Value::object();
+  v.set("ok", json::Value::boolean(false));
+  v.set("error", std::move(err));
+  return v;
+}
+
+FrameReadResult read_frame(int fd, std::uint32_t max_bytes,
+                           const std::atomic<bool>* stop) {
+  FrameReadResult result;
+  unsigned char header[4] = {0, 0, 0, 0};
+  switch (read_exact(fd, reinterpret_cast<char*>(header), sizeof(header),
+                     stop)) {
+    case IoStatus::kClosed:
+      result.status = FrameStatus::kClosed;
+      return result;
+    case IoStatus::kError:
+      result.status = FrameStatus::kError;
+      return result;
+    case IoStatus::kOk:
+      break;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8U) |
+                            (static_cast<std::uint32_t>(header[2]) << 16U) |
+                            (static_cast<std::uint32_t>(header[3]) << 24U);
+  if (len > max_bytes) {
+    // Reject before allocating: only the four header bytes were read.
+    result.status = FrameStatus::kTooLarge;
+    return result;
+  }
+  result.payload.resize(len);
+  if (len > 0) {
+    switch (read_exact(fd, result.payload.data(), len, stop)) {
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        // A closed peer mid-payload is a truncated frame, not a clean
+        // connection end — the header promised more bytes.
+        result.payload.clear();
+        result.status = FrameStatus::kError;
+        return result;
+      case IoStatus::kOk:
+        break;
+    }
+  }
+  result.status = FrameStatus::kOk;
+  return result;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxResponseFrameBytes) {
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>(len & 0xFFU),
+      static_cast<unsigned char>((len >> 8U) & 0xFFU),
+      static_cast<unsigned char>((len >> 16U) & 0xFFU),
+      static_cast<unsigned char>((len >> 24U) & 0xFFU),
+  };
+  std::string buf;
+  buf.reserve(sizeof(header) + payload.size());
+  buf.append(reinterpret_cast<const char*>(header), sizeof(header));
+  buf.append(payload.data(), payload.size());
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + sent, buf.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace st::serve

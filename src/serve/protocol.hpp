@@ -1,0 +1,86 @@
+// The framed wire protocol of the scenario service.
+//
+// Transport: a Unix-domain stream socket carrying length-prefixed
+// frames. Each frame is a 4-byte little-endian payload length followed
+// by that many bytes of UTF-8 JSON — one request object per frame from
+// the client, one response object per frame from the server, strictly
+// alternating per connection.
+//
+// Robustness rules (pinned by tests/serve/test_serve.cpp):
+//  * An oversize length prefix is rejected *before* the payload is
+//    allocated or read — a hostile 4 GiB header costs four bytes.
+//  * A truncated frame (peer closed mid-payload) is answered with a
+//    typed `bad_frame` error where the direction still allows it, and
+//    the connection is closed; it never hangs a reader.
+//  * Malformed JSON inside a clean frame is answered with `bad_json`
+//    and the connection stays usable — the frame boundary is intact.
+//
+// Every response carries "ok": true|false; failures add an "error"
+// object {"code", "message"} with one of the errc:: codes below. See
+// docs/SERVING.md for the full request/response catalogue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+
+namespace st::serve {
+
+/// Requests are small control documents; 1 MiB is orders of magnitude
+/// above any legitimate job submission.
+inline constexpr std::uint32_t kMaxRequestFrameBytes = 1U << 20;
+/// Responses embed whole fleet reports (one row per UE).
+inline constexpr std::uint32_t kMaxResponseFrameBytes = 64U << 20;
+
+namespace errc {
+inline constexpr std::string_view kFrameTooLarge = "frame_too_large";
+inline constexpr std::string_view kBadFrame = "bad_frame";
+inline constexpr std::string_view kBadJson = "bad_json";
+inline constexpr std::string_view kBadRequest = "bad_request";
+inline constexpr std::string_view kUnknownType = "unknown_type";
+inline constexpr std::string_view kUnknownJob = "unknown_job";
+inline constexpr std::string_view kShed = "shed";
+inline constexpr std::string_view kDraining = "draining";
+inline constexpr std::string_view kNotDone = "not_done";
+inline constexpr std::string_view kCancelled = "cancelled";
+inline constexpr std::string_view kFailed = "failed";
+inline constexpr std::string_view kAlreadyCancelled = "already_cancelled";
+inline constexpr std::string_view kAlreadyFinished = "already_finished";
+inline constexpr std::string_view kInternal = "internal";
+}  // namespace errc
+
+/// {"ok": true} — extend with set() before sending.
+[[nodiscard]] json::Value ok_response();
+
+/// {"ok": false, "error": {"code", "message"}}.
+[[nodiscard]] json::Value error_response(std::string_view code,
+                                         std::string_view message);
+
+/// Outcome of one frame read.
+enum class FrameStatus {
+  kOk,        ///< payload holds a complete frame
+  kClosed,    ///< peer closed (or stop was requested) before a header
+  kTooLarge,  ///< header promised more than `max_bytes`; nothing read
+  kError,     ///< truncated frame or transport error
+};
+
+struct FrameReadResult {
+  FrameStatus status = FrameStatus::kError;
+  std::string payload;
+};
+
+/// Read one frame from `fd`. Blocks in 100 ms poll slices; when `stop`
+/// is non-null and becomes true between slices the read gives up with
+/// kClosed (used for prompt server shutdown). The payload buffer is
+/// only allocated after the length prefix passed the `max_bytes` check.
+[[nodiscard]] FrameReadResult read_frame(int fd, std::uint32_t max_bytes,
+                                         const std::atomic<bool>* stop);
+
+/// Write one frame (length prefix + payload). False on a transport
+/// error — e.g. the peer closed; callers treat that as connection end.
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+}  // namespace st::serve

@@ -1,0 +1,604 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "fleet/engine.hpp"
+#include "core/spec_json.hpp"
+
+namespace st::serve {
+
+namespace {
+
+[[nodiscard]] double ms_between(std::chrono::steady_clock::time_point a,
+                                std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Extract a required u64 field, or report why not.
+[[nodiscard]] bool get_u64(const json::Value& request, std::string_view key,
+                           std::uint64_t& out, std::string& why) {
+  const json::Value* v = request.find(key);
+  if (v == nullptr) {
+    why = std::string("missing required field \"") + std::string(key) + "\"";
+    return false;
+  }
+  try {
+    out = v->as_u64();
+  } catch (const json::ParseError& e) {
+    why = std::string("field \"") + std::string(key) + "\": " + e.what();
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] json::Value histogram_summary_json(
+    const LogLinearHistogram& h) {
+  json::Value v = json::Value::object();
+  v.set("count", json::Value::unsigned_integer(h.count()));
+  v.set("mean", json::Value::number(h.mean()));
+  v.set("p50", json::Value::number(h.p50()));
+  v.set("p95", json::Value::number(h.p95()));
+  v.set("p99", json::Value::number(h.p99()));
+  v.set("max", json::Value::number(h.max()));
+  return v;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), queue_(config_.queue_capacity) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: socket path too long: " +
+                             config_.socket_path);
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on " + config_.socket_path +
+                             ": " + what);
+  }
+  stop_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  started_ = true;
+}
+
+void Server::stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  stop_.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    for (auto& [id, job] : jobs_) {
+      if (!job_state_terminal(job->state)) {
+        job->cancel.cancel();
+      }
+    }
+  }
+  queue_.close();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (std::thread& c : connections_) {
+      if (c.joinable()) {
+        c.join();
+      }
+    }
+    connections_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
+}
+
+void Server::request_drain() {
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    draining_ = true;
+  }
+  queue_.close();
+  state_changed_.notify_all();
+}
+
+bool Server::drained() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!draining_) {
+    return false;
+  }
+  for (const auto& [id, job] : jobs_) {
+    if (!job_state_terminal(job->state)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::wait_drained() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_changed_.wait(lock, [this] {
+    if (!draining_) {
+      return false;
+    }
+    for (const auto& [id, job] : jobs_) {
+      if (!job_state_terminal(job->state)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+json::Value Server::handle(const json::Value& request) {
+  try {
+    if (request.kind() != json::Value::Kind::kObject) {
+      return error_response(errc::kBadRequest, "request must be an object");
+    }
+    const json::Value* type = request.find("type");
+    if (type == nullptr || type->kind() != json::Value::Kind::kString) {
+      return error_response(errc::kBadRequest,
+                            "request needs a string \"type\" field");
+    }
+    const std::string& t = type->as_string();
+    if (t == "submit") {
+      return handle_submit(request);
+    }
+    if (t == "status") {
+      return handle_status(request);
+    }
+    if (t == "events") {
+      return handle_events(request);
+    }
+    if (t == "result") {
+      return handle_result(request);
+    }
+    if (t == "cancel") {
+      return handle_cancel(request);
+    }
+    if (t == "stats") {
+      return handle_stats();
+    }
+    if (t == "drain") {
+      request_drain();
+      json::Value v = ok_response();
+      v.set("draining", json::Value::boolean(true));
+      return v;
+    }
+    if (t == "ping") {
+      json::Value v = ok_response();
+      v.set("pong", json::Value::boolean(true));
+      return v;
+    }
+    return error_response(errc::kUnknownType,
+                          "unknown request type \"" + t + "\"");
+  } catch (const std::exception& e) {
+    return error_response(errc::kInternal, e.what());
+  } catch (...) {
+    return error_response(errc::kInternal, "unknown internal error");
+  }
+}
+
+json::Value Server::handle_submit(const json::Value& request) {
+  const json::Value* job_doc = request.find("job");
+  if (job_doc == nullptr || job_doc->kind() != json::Value::Kind::kObject) {
+    return error_response(errc::kBadRequest,
+                          "submit needs a \"job\" object");
+  }
+  core::ScenarioSpec spec;
+  try {
+    spec = core::spec_from_job_json(*job_doc);
+  } catch (const std::exception& e) {
+    return error_response(errc::kBadRequest, e.what());
+  }
+
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  if (draining_) {
+    return error_response(errc::kDraining,
+                          "server is draining; not accepting jobs");
+  }
+  const std::uint64_t id = next_job_id_++;
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->ues_total = spec.ues.size();
+  job->spec = std::move(spec);
+  job->submitted_at = std::chrono::steady_clock::now();
+  Job& record = *job;
+  jobs_.emplace(id, std::move(job));
+  metrics_.counter("serve.jobs.submitted").increment();
+  metrics_.counter("serve.jobs.queued").increment();
+  append_event_locked(record, "queued");
+
+  if (!queue_.try_push(id)) {
+    transition_locked(record, JobState::kShed);
+    json::Value v = error_response(
+        errc::kShed, "queue full (capacity " +
+                         std::to_string(queue_.capacity()) + "); job shed");
+    v.set("id", json::Value::unsigned_integer(id));
+    return v;
+  }
+  metrics_.gauge("serve.queue_depth").set(static_cast<double>(queue_.depth()));
+
+  json::Value v = ok_response();
+  v.set("id", json::Value::unsigned_integer(id));
+  v.set("state", json::Value::string(std::string(to_string(record.state))));
+  v.set("queue_depth",
+        json::Value::unsigned_integer(static_cast<std::uint64_t>(
+            queue_.depth())));
+  return v;
+}
+
+json::Value Server::handle_status(const json::Value& request) {
+  std::uint64_t id = 0;
+  std::string why;
+  if (!get_u64(request, "id", id, why)) {
+    return error_response(errc::kBadRequest, why);
+  }
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  Job* job = find_job_locked(id);
+  if (job == nullptr) {
+    return error_response(errc::kUnknownJob,
+                          "no job with id " + std::to_string(id));
+  }
+  json::Value v = ok_response();
+  v.set("id", json::Value::unsigned_integer(id));
+  v.set("state", json::Value::string(std::string(to_string(job->state))));
+  v.set("ues_total", json::Value::unsigned_integer(job->ues_total));
+  v.set("ues_completed", json::Value::unsigned_integer(job->ues_completed));
+  if (job->state == JobState::kFailed) {
+    v.set("error", json::Value::string(job->error));
+  }
+  return v;
+}
+
+json::Value Server::handle_events(const json::Value& request) {
+  std::uint64_t id = 0;
+  std::string why;
+  if (!get_u64(request, "id", id, why)) {
+    return error_response(errc::kBadRequest, why);
+  }
+  std::uint64_t after = 0;
+  if (request.find("after") != nullptr &&
+      !get_u64(request, "after", after, why)) {
+    return error_response(errc::kBadRequest, why);
+  }
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  Job* job = find_job_locked(id);
+  if (job == nullptr) {
+    return error_response(errc::kUnknownJob,
+                          "no job with id " + std::to_string(id));
+  }
+  json::Value events = json::Value::array();
+  for (const json::Value& e : job->events) {
+    const json::Value* seq = e.find("seq");
+    if (seq != nullptr && seq->as_u64() >= after) {
+      events.push_back(e);
+    }
+  }
+  json::Value v = ok_response();
+  v.set("id", json::Value::unsigned_integer(id));
+  v.set("events", std::move(events));
+  v.set("next", json::Value::unsigned_integer(job->next_event_seq));
+  v.set("state", json::Value::string(std::string(to_string(job->state))));
+  return v;
+}
+
+json::Value Server::handle_result(const json::Value& request) {
+  std::uint64_t id = 0;
+  std::string why;
+  if (!get_u64(request, "id", id, why)) {
+    return error_response(errc::kBadRequest, why);
+  }
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  Job* job = find_job_locked(id);
+  if (job == nullptr) {
+    return error_response(errc::kUnknownJob,
+                          "no job with id " + std::to_string(id));
+  }
+  switch (job->state) {
+    case JobState::kDone: {
+      json::Value v = ok_response();
+      v.set("id", json::Value::unsigned_integer(id));
+      // Splice the pre-rendered report document without re-parsing it.
+      v.set("report", json::Value::raw(job->report_json));
+      return v;
+    }
+    case JobState::kFailed:
+      return error_response(errc::kFailed, job->error);
+    case JobState::kCancelled:
+      return error_response(errc::kCancelled,
+                            "job " + std::to_string(id) + " was cancelled");
+    case JobState::kShed:
+      return error_response(errc::kShed,
+                            "job " + std::to_string(id) + " was shed");
+    case JobState::kQueued:
+    case JobState::kRunning:
+      return error_response(
+          errc::kNotDone, "job " + std::to_string(id) + " is still " +
+                              std::string(to_string(job->state)));
+  }
+  return error_response(errc::kInternal, "unreachable job state");
+}
+
+json::Value Server::handle_cancel(const json::Value& request) {
+  std::uint64_t id = 0;
+  std::string why;
+  if (!get_u64(request, "id", id, why)) {
+    return error_response(errc::kBadRequest, why);
+  }
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  Job* job = find_job_locked(id);
+  if (job == nullptr) {
+    return error_response(errc::kUnknownJob,
+                          "no job with id " + std::to_string(id));
+  }
+  if (job->cancel_requested || job->state == JobState::kCancelled) {
+    json::Value v = error_response(
+        errc::kAlreadyCancelled,
+        "job " + std::to_string(id) + " already has a cancel request");
+    v.set("state", json::Value::string(std::string(to_string(job->state))));
+    return v;
+  }
+  if (job_state_terminal(job->state)) {
+    json::Value v = error_response(
+        errc::kAlreadyFinished, "job " + std::to_string(id) + " is already " +
+                                    std::string(to_string(job->state)));
+    v.set("state", json::Value::string(std::string(to_string(job->state))));
+    return v;
+  }
+  job->cancel_requested = true;
+  job->cancel.cancel();
+  if (job->state == JobState::kQueued) {
+    // Still waiting: settle it here; the worker that later pops the id
+    // sees a terminal state and skips it.
+    transition_locked(*job, JobState::kCancelled);
+    job->finished_at = std::chrono::steady_clock::now();
+  }
+  json::Value v = ok_response();
+  v.set("id", json::Value::unsigned_integer(id));
+  v.set("state", json::Value::string(std::string(to_string(job->state))));
+  return v;
+}
+
+json::Value Server::handle_stats() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  json::Value jobs = json::Value::object();
+  for (const char* name :
+       {"submitted", "queued", "running", "done", "cancelled", "failed",
+        "shed"}) {
+    jobs.set(name, json::Value::unsigned_integer(metrics_.counter_value(
+                       std::string("serve.jobs.") + name)));
+  }
+  json::Value latency = json::Value::object();
+  for (const char* name : {"serve.queue_wait_ms", "serve.run_ms"}) {
+    if (const LogLinearHistogram* h = metrics_.find_histogram(name)) {
+      latency.set(std::string_view(name).substr(6), histogram_summary_json(*h));
+    }
+  }
+  json::Value stats = json::Value::object();
+  stats.set("queue_depth", json::Value::unsigned_integer(
+                               static_cast<std::uint64_t>(queue_.depth())));
+  stats.set("queue_capacity", json::Value::unsigned_integer(
+                                  static_cast<std::uint64_t>(
+                                      queue_.capacity())));
+  stats.set("workers", json::Value::unsigned_integer(
+                           static_cast<std::uint64_t>(config_.workers)));
+  stats.set("draining", json::Value::boolean(draining_));
+  stats.set("jobs", std::move(jobs));
+  stats.set("latency", std::move(latency));
+  json::Value v = ok_response();
+  v.set("stats", std::move(stats));
+  return v;
+}
+
+void Server::transition_locked(Job& job, JobState to) {
+  ST_INVARIANT(check_job_transition(job.state, to));
+  if (!job_transition_allowed(job.state, to)) {
+    // Defence in depth for non-checker builds: refuse to corrupt the
+    // lifecycle even when the contract layer is compiled out.
+    throw std::logic_error("serve: illegal job transition " +
+                           std::string(to_string(job.state)) + " -> " +
+                           std::string(to_string(to)));
+  }
+  job.state = to;
+  metrics_.counter(std::string("serve.jobs.") + std::string(to_string(to)))
+      .increment();
+  append_event_locked(job, to_string(to));
+  state_changed_.notify_all();
+}
+
+void Server::append_event_locked(Job& job, std::string_view kind) {
+  json::Value e = json::Value::object();
+  e.set("seq", json::Value::unsigned_integer(job.next_event_seq++));
+  e.set("event", json::Value::string(std::string(kind)));
+  if (kind == "ue_complete") {
+    e.set("ues_completed", json::Value::unsigned_integer(job.ues_completed));
+    e.set("ues_total", json::Value::unsigned_integer(job.ues_total));
+  }
+  job.events.push_back(std::move(e));
+}
+
+Job* Server::find_job_locked(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (pr == 0) {
+      continue;
+    }
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void Server::connection_loop(int fd) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    FrameReadResult frame = read_frame(fd, config_.max_request_frame, &stop_);
+    if (frame.status == FrameStatus::kClosed) {
+      break;
+    }
+    if (frame.status == FrameStatus::kTooLarge) {
+      // The oversize payload was never read, so the stream can't be
+      // re-synchronised: answer and close.
+      (void)write_frame(
+          fd, error_response(errc::kFrameTooLarge,
+                             "request frame exceeds " +
+                                 std::to_string(config_.max_request_frame) +
+                                 " bytes")
+                  .dump());
+      break;
+    }
+    if (frame.status == FrameStatus::kError) {
+      (void)write_frame(fd, error_response(errc::kBadFrame,
+                                           "truncated or unreadable frame")
+                                .dump());
+      break;
+    }
+    json::Value response;
+    try {
+      const json::Value request = json::parse(frame.payload);
+      response = handle(request);
+    } catch (const json::ParseError& e) {
+      // The frame boundary was intact, so the connection stays usable.
+      response = error_response(errc::kBadJson, e.what());
+    }
+    if (!write_frame(fd, response.dump())) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+void Server::worker_loop() {
+  while (auto id = queue_.pop()) {
+    run_job(*id);
+  }
+}
+
+void Server::run_job(std::uint64_t id) {
+  core::ScenarioSpec spec;
+  const sim::CancelToken* cancel = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    metrics_.gauge("serve.queue_depth")
+        .set(static_cast<double>(queue_.depth()));
+    Job* job = find_job_locked(id);
+    if (job == nullptr || job->state != JobState::kQueued) {
+      return;  // cancelled while queued — already settled
+    }
+    job->started_at = std::chrono::steady_clock::now();
+    metrics_.histogram("serve.queue_wait_ms")
+        .add(ms_between(job->submitted_at, job->started_at));
+    transition_locked(*job, JobState::kRunning);
+    spec = job->spec;
+    cancel = &job->cancel;
+  }
+
+  fleet::RunControl control;
+  control.cancel = cancel;
+  control.on_ue_complete = [this, id](std::size_t completed,
+                                      std::size_t total) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Job* job = find_job_locked(id);
+    if (job == nullptr) {
+      return;
+    }
+    job->ues_completed = static_cast<std::uint64_t>(completed);
+    job->ues_total = static_cast<std::uint64_t>(total);
+    append_event_locked(*job, "ue_complete");
+    state_changed_.notify_all();
+  };
+
+  std::string report;
+  std::string error;
+  bool cancelled = false;
+  try {
+    const fleet::FleetResult result =
+        fleet::run_fleet(spec, config_.fleet_threads, control);
+    cancelled = result.cancelled;
+    if (!cancelled) {
+      report = fleet::build_fleet_report(spec, result).to_json();
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown error during fleet run";
+  }
+
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  Job* job = find_job_locked(id);
+  if (job == nullptr) {
+    return;
+  }
+  job->finished_at = std::chrono::steady_clock::now();
+  metrics_.histogram("serve.run_ms")
+      .add(ms_between(job->started_at, job->finished_at));
+  if (!error.empty()) {
+    job->error = std::move(error);
+    transition_locked(*job, JobState::kFailed);
+  } else if (cancelled) {
+    transition_locked(*job, JobState::kCancelled);
+  } else {
+    job->report_json = std::move(report);
+    transition_locked(*job, JobState::kDone);
+  }
+}
+
+}  // namespace st::serve

@@ -1,0 +1,136 @@
+// The scenario service: a Unix-domain-socket daemon that runs fleet
+// scenarios on behalf of clients.
+//
+// Architecture (one process, four thread roles):
+//
+//   accept thread ── one connection thread per client ──┐
+//                                                       │ try_push
+//                                          bounded JobQueue (sheds)
+//                                                       │ pop
+//                              worker pool ── fleet::run_fleet per job
+//
+// Connection threads only parse, validate, and enqueue — every
+// expensive operation happens on a worker. All job records, the
+// metric registry, and lifecycle transitions are guarded by one
+// server-wide mutex (requests are control-plane traffic; contention
+// is negligible next to a fleet run). The per-job sim::CancelToken is
+// the single lock-free channel into a running worker.
+//
+// `handle()` is the transport-free request dispatcher: tests exercise
+// the full request surface against it without a socket, and the socket
+// path adds nothing but framing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/protocol.hpp"
+
+namespace st::serve {
+
+struct ServerConfig {
+  /// Filesystem path of the AF_UNIX listening socket. A stale file at
+  /// the path is unlinked on start.
+  std::string socket_path;
+  /// Jobs admitted but not yet claimed by a worker; submissions beyond
+  /// this are shed with a typed response.
+  std::size_t queue_capacity = 16;
+  /// Concurrent fleet runs.
+  std::size_t workers = 2;
+  /// Threads per fleet run (0 = hardware concurrency). Pin this when a
+  /// client compares a served report against a direct run_fleet call.
+  unsigned fleet_threads = 0;
+  /// Request frames above this are rejected before allocation.
+  std::uint32_t max_request_frame = kMaxRequestFrameBytes;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and spawn the accept thread and worker pool.
+  /// Throws std::runtime_error when the socket cannot be created.
+  void start();
+
+  /// Hard stop: cancel running jobs, close the queue, tear down all
+  /// threads, unlink the socket. Idempotent; also run by ~Server().
+  void stop();
+
+  /// Begin graceful drain: new submissions are rejected with a
+  /// `draining` error, queued and running jobs are finished normally.
+  void request_drain();
+
+  /// True once a requested drain has fully completed (queue empty and
+  /// no job running).
+  [[nodiscard]] bool drained();
+
+  /// Block until drained (request_drain() must have been called, by
+  /// this process or via a client `drain` request).
+  void wait_drained();
+
+  /// Dispatch one parsed request to a response — the entire protocol
+  /// minus framing. Never throws: internal errors become typed
+  /// `internal` error responses.
+  [[nodiscard]] json::Value handle(const json::Value& request);
+
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  // -- request handlers (state_mutex_ NOT held on entry) --------------
+  [[nodiscard]] json::Value handle_submit(const json::Value& request);
+  [[nodiscard]] json::Value handle_status(const json::Value& request);
+  [[nodiscard]] json::Value handle_events(const json::Value& request);
+  [[nodiscard]] json::Value handle_result(const json::Value& request);
+  [[nodiscard]] json::Value handle_cancel(const json::Value& request);
+  [[nodiscard]] json::Value handle_stats();
+
+  /// Lifecycle transition with event log + per-state counters; the
+  /// caller holds state_mutex_. Trips the contract checker (and throws)
+  /// on an illegal edge.
+  void transition_locked(Job& job, JobState to);
+  void append_event_locked(Job& job, std::string_view kind);
+
+  [[nodiscard]] Job* find_job_locked(std::uint64_t id);
+
+  // -- thread bodies --------------------------------------------------
+  void accept_loop();
+  void connection_loop(int fd);
+  void worker_loop();
+  void run_job(std::uint64_t id);
+
+  ServerConfig config_;
+  JobQueue queue_;
+
+  std::mutex state_mutex_;
+  std::condition_variable state_changed_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  obs::MetricRegistry metrics_;
+  std::size_t jobs_running_ = 0;
+  bool draining_ = false;
+
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> connections_;
+  bool started_ = false;
+};
+
+}  // namespace st::serve

@@ -1,0 +1,37 @@
+// Cooperative cancellation for long scenario runs.
+//
+// A CancelToken is a one-way latch shared between the thread that owns a
+// run (the serve worker pool, a CLI signal handler) and the thread
+// executing it. The dispatch loop polls the token between events — one
+// relaxed-ordering atomic load per event, invisible next to the event
+// payloads — and returns early once it fires. Cancellation is
+// *cooperative*: an event callback that has already started always runs
+// to completion, so the simulation state a cancelled run leaves behind
+// is a consistent prefix of the uncancelled schedule.
+#pragma once
+
+#include <atomic>
+
+namespace st::sim {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // The token is shared by address between threads; copying it would
+  // silently split the latch.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Fire the latch. Safe from any thread, idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace st::sim

@@ -68,16 +68,27 @@ void Simulator::cancel_periodic(EventId first_id) {
   periodic_current_.erase(it);
 }
 
-void Simulator::run_until(Time end) {
+void Simulator::run_until(Time end) { run_until(end, nullptr); }
+
+bool Simulator::run_until(Time end, const CancelToken* cancel) {
   const auto wall_start = std::chrono::steady_clock::now();
   const Time sim_start = now_;
+  bool interrupted = false;
   while (step(end)) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      interrupted = true;
+      break;
+    }
   }
-  if (now_ < end) {
+  // Only a completed run advances the clock to `end`: a cancelled run
+  // leaves it at the last dispatched event, so callers can report how
+  // far the schedule actually got.
+  if (!interrupted && now_ < end) {
     now_ = end;
   }
   stats_.wall_seconds += seconds_since(wall_start);
   stats_.sim_seconds += (now_ - sim_start).seconds();
+  return !interrupted;
 }
 
 bool Simulator::step(Time end) {

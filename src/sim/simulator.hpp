@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "common/stats.hpp"
+#include "sim/cancel.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -81,6 +82,14 @@ class Simulator {
   /// The clock is left at `end` (or at the last event if the queue
   /// drained first and you passed Time::max-like sentinel).
   void run_until(Time end);
+
+  /// As above, but polls `cancel` between events and stops early once it
+  /// fires (the in-flight callback always completes). Returns true when
+  /// the run reached `end`; false when it was cancelled, leaving the
+  /// clock at the last dispatched event. A null token — or one that
+  /// never fires — makes this bit-identical to run_until(end) in
+  /// everything but wall-clock stats.
+  bool run_until(Time end, const CancelToken* cancel);
 
   /// Run a single event if one is pending at or before `end`.
   /// Returns true if an event fired.

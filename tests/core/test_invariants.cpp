@@ -173,19 +173,20 @@ TEST(Contracts, ViolationCountsAndMessages) {
 
 // ---- 2. Legal full runs stay silent ---------------------------------------
 
-ScenarioConfig checked_config(ProtocolKind protocol) {
-  ScenarioConfig config;
-  config.protocol = protocol;
-  config.mobility = MobilityScenario::kHumanWalk;
-  config.duration = sim::Duration::milliseconds(15'000);
-  config.seed = 42;
-  return config;
+ScenarioSpec checked_spec(ProtocolKind protocol) {
+  UeProfile ue = preset::walking_ue();
+  ue.protocol = protocol;
+  return SpecBuilder()
+      .duration(sim::Duration::milliseconds(15'000))
+      .seed(42)
+      .ue(ue)
+      .build();
 }
 
 TEST(CheckedRuns, LegalSoftHandoverKeepsCheckerSilent) {
   const std::uint64_t before = contracts::violation_count();
   const ScenarioResult r =
-      run_scenario(checked_config(ProtocolKind::kSilentTracker));
+      run_scenario(checked_spec(ProtocolKind::kSilentTracker));
   EXPECT_GT(r.ssb_observations, 0U);
   // The wiring (when compiled in) checked every state mutation of the
   // run; a conforming execution raises nothing.
@@ -194,7 +195,7 @@ TEST(CheckedRuns, LegalSoftHandoverKeepsCheckerSilent) {
 
 TEST(CheckedRuns, LegalReactiveHandoverKeepsCheckerSilent) {
   const std::uint64_t before = contracts::violation_count();
-  const ScenarioResult r = run_scenario(checked_config(ProtocolKind::kReactive));
+  const ScenarioResult r = run_scenario(checked_spec(ProtocolKind::kReactive));
   EXPECT_GT(r.ssb_observations, 0U);
   EXPECT_EQ(contracts::violation_count(), before);
 }
@@ -206,16 +207,16 @@ TEST(CheckedRuns, EnforcementDoesNotChangeResults) {
   // enforced run and an unenforced run of the same seed are identical.
   // (With the checker compiled out both runs are trivially unenforced —
   // the pin then asserts plain run-to-run determinism.)
-  const ScenarioConfig config = checked_config(ProtocolKind::kSilentTracker);
+  const ScenarioSpec spec = checked_spec(ProtocolKind::kSilentTracker);
 
   ScenarioResult enforced, unenforced;
   {
     const contracts::EnforcementGuard guard{true};
-    enforced = run_scenario(config);
+    enforced = run_scenario(spec);
   }
   {
     const contracts::EnforcementGuard guard{false};
-    unenforced = run_scenario(config);
+    unenforced = run_scenario(spec);
   }
 
   ASSERT_EQ(enforced.handovers.size(), unenforced.handovers.size());

@@ -2,16 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "core/scenario_spec.hpp"
+
 namespace st::core {
 namespace {
 
 using namespace st::sim::literals;
 
-ScenarioConfig quick_config() {
-  ScenarioConfig c;
-  c.duration = 10'000_ms;
-  c.seed = 7;
-  return c;
+ScenarioSpec quick_spec() {
+  return SpecBuilder(preset::paper_walk()).duration(10'000_ms).seed(7).build();
 }
 
 TEST(Scenario, CodebookFactory) {
@@ -22,21 +21,22 @@ TEST(Scenario, CodebookFactory) {
 }
 
 TEST(Scenario, MobilityFactoryMatchesScenario) {
-  ScenarioConfig c = quick_config();
-  const net::Deployment d = net::make_cell_row(c.deployment, 2);
+  const ScenarioSpec spec = quick_spec();
+  const net::Deployment d = make_deployment(spec);
 
-  c.mobility = MobilityScenario::kHumanWalk;
-  EXPECT_NEAR(make_mobility(c, d)->speed_at(sim::Time::zero()), 1.4, 1e-9);
-
-  c.mobility = MobilityScenario::kRotation;
-  EXPECT_DOUBLE_EQ(make_mobility(c, d)->speed_at(sim::Time::zero()), 0.0);
-
-  c.mobility = MobilityScenario::kVehicular;
-  EXPECT_NEAR(make_mobility(c, d)->speed_at(sim::Time::zero()), 8.9408, 1e-4);
+  EXPECT_NEAR(make_mobility(spec, preset::walking_ue(), spec.seed, d)
+                  ->speed_at(sim::Time::zero()),
+              1.4, 1e-9);
+  EXPECT_DOUBLE_EQ(make_mobility(spec, preset::rotating_ue(), spec.seed, d)
+                       ->speed_at(sim::Time::zero()),
+                   0.0);
+  EXPECT_NEAR(make_mobility(spec, preset::vehicular_ue(), spec.seed, d)
+                  ->speed_at(sim::Time::zero()),
+              8.9408, 1e-4);
 }
 
 TEST(Scenario, RunProducesMetrics) {
-  const ScenarioResult r = run_scenario(quick_config());
+  const ScenarioResult r = run_scenario(quick_spec());
   EXPECT_FALSE(r.serving_snr_db.empty());
   EXPECT_FALSE(r.log.entries().empty());
   // Tracking metrics appear once a neighbour was found.
@@ -46,7 +46,7 @@ TEST(Scenario, RunProducesMetrics) {
 }
 
 TEST(Scenario, AlignmentGapIsBestMinusTracked) {
-  const ScenarioResult r = run_scenario(quick_config());
+  const ScenarioResult r = run_scenario(quick_spec());
   const auto gaps = r.alignment_gap_db.points();
   const auto best = r.neighbour_best_rss_dbm.points();
   const auto tracked = r.neighbour_tracked_rss_dbm.points();
@@ -57,8 +57,8 @@ TEST(Scenario, AlignmentGapIsBestMinusTracked) {
 }
 
 TEST(Scenario, DeterministicForSameSeed) {
-  const ScenarioResult a = run_scenario(quick_config());
-  const ScenarioResult b = run_scenario(quick_config());
+  const ScenarioResult a = run_scenario(quick_spec());
+  const ScenarioResult b = run_scenario(quick_spec());
   ASSERT_EQ(a.handovers.size(), b.handovers.size());
   for (std::size_t i = 0; i < a.handovers.size(); ++i) {
     EXPECT_EQ(a.handovers[i].completed.ns(), b.handovers[i].completed.ns());
@@ -69,11 +69,9 @@ TEST(Scenario, DeterministicForSameSeed) {
 }
 
 TEST(Scenario, DifferentSeedsDiffer) {
-  ScenarioConfig c1 = quick_config();
-  ScenarioConfig c2 = quick_config();
-  c2.seed = 8;
-  const ScenarioResult a = run_scenario(c1);
-  const ScenarioResult b = run_scenario(c2);
+  const ScenarioResult a = run_scenario(quick_spec());
+  const ScenarioResult b =
+      run_scenario(SpecBuilder(quick_spec()).seed(8).build());
   // Some observable must differ (channel realisation changed).
   const bool same_handovers =
       a.handovers.size() == b.handovers.size() &&
@@ -84,10 +82,11 @@ TEST(Scenario, DifferentSeedsDiffer) {
 }
 
 TEST(Scenario, ReactiveProtocolRuns) {
-  ScenarioConfig c = quick_config();
-  c.protocol = ProtocolKind::kReactive;
-  c.duration = 15'000_ms;
-  const ScenarioResult r = run_scenario(c);
+  UeProfile reactive = preset::walking_ue();
+  reactive.protocol = ProtocolKind::kReactive;
+  const ScenarioSpec spec =
+      SpecBuilder().duration(15'000_ms).seed(7).ue(reactive).build();
+  const ScenarioResult r = run_scenario(spec);
   EXPECT_FALSE(r.serving_snr_db.empty());
   // Reactive never tracks a neighbour.
   EXPECT_TRUE(r.alignment_gap_db.empty());
@@ -127,14 +126,15 @@ TEST(Scenario, NamesForDisplay) {
 }
 
 TEST(Scenario, MeasurementBudgetIsCounted) {
-  const ScenarioResult r = run_scenario(quick_config());
+  const ScenarioResult r = run_scenario(quick_spec());
   // A 10 s run with 20 ms bursts makes hundreds of SSB observations at
   // minimum (serving maintenance alone samples every burst).
   EXPECT_GT(r.ssb_observations, 300U);
   // And reactive — which never measures neighbours — spends less.
-  ScenarioConfig reactive = quick_config();
-  reactive.protocol = ProtocolKind::kReactive;
-  const ScenarioResult rr = run_scenario(reactive);
+  UeProfile profile = preset::walking_ue();
+  profile.protocol = ProtocolKind::kReactive;
+  const ScenarioResult rr = run_scenario(
+      SpecBuilder().duration(10'000_ms).seed(7).ue(profile).build());
   EXPECT_LT(rr.ssb_observations, r.ssb_observations);
 }
 
@@ -146,9 +146,11 @@ TEST(Scenario, UlaCodebookFlagChangesCodebook) {
   EXPECT_NE(ula.size(), 18U);
   EXPECT_TRUE(make_ue_codebook(0.0, true).is_omni());
 
-  ScenarioConfig c = quick_config();
-  c.ue_ula_codebook = true;
-  const ScenarioResult r = run_scenario(c);
+  UeProfile profile = preset::walking_ue();
+  profile.ue_ula_codebook = true;
+  const ScenarioSpec spec =
+      SpecBuilder().duration(10'000_ms).seed(7).ue(profile).build();
+  const ScenarioResult r = run_scenario(spec);
   EXPECT_FALSE(r.log.entries().empty());
 }
 
@@ -180,13 +182,15 @@ TEST(Scenario, AlignmentUntilFirstHandoverFallsBackWithoutHandover) {
                    r.tracking_alignment_fraction());
 }
 
-TEST(Scenario, RotationUsesTighterDeployment) {
-  // The rotation scenario runs at rotation_inter_site_m; a custom value
-  // must change the realisation.
-  ScenarioConfig a = quick_config();
-  a.mobility = MobilityScenario::kRotation;
-  ScenarioConfig b = a;
-  b.rotation_inter_site_m = 30.0;
+TEST(Scenario, RotationDeploymentScaleChangesRealisation) {
+  // The rotation preset encodes its tighter geometry explicitly in the
+  // spec's deployment; a different inter-site distance must change the
+  // realisation.
+  const ScenarioSpec a =
+      SpecBuilder(preset::paper_rotation()).duration(10'000_ms).seed(7).build();
+  net::DeploymentConfig tighter = a.deployment;
+  tighter.inter_site_m = 30.0;
+  const ScenarioSpec b = SpecBuilder(a).deployment(tighter).build();
   const ScenarioResult ra = run_scenario(a);
   const ScenarioResult rb = run_scenario(b);
   EXPECT_NE(ra.log.entries().size() + ra.counters.all().size() * 1000,
@@ -194,19 +198,20 @@ TEST(Scenario, RotationUsesTighterDeployment) {
 }
 
 TEST(Scenario, OmniConfigurationRuns) {
-  ScenarioConfig c = quick_config();
-  c.ue_beamwidth_deg = 0.0;
-  const ScenarioResult r = run_scenario(c);
+  UeProfile profile = preset::walking_ue();
+  profile.ue_beamwidth_deg = 0.0;
+  const ScenarioSpec spec =
+      SpecBuilder().duration(10'000_ms).seed(7).ue(profile).build();
+  const ScenarioResult r = run_scenario(spec);
   EXPECT_FALSE(r.log.entries().empty());
 }
 
 TEST(Scenario, VehicularThreeCellsChainsHandovers) {
-  ScenarioConfig c = quick_config();
-  c.mobility = MobilityScenario::kVehicular;
-  c.n_cells = 3;
-  c.duration = 20'000_ms;
-  c.chain_handovers = true;
-  const ScenarioResult r = run_scenario(c);
+  const ScenarioSpec spec = SpecBuilder(preset::paper_vehicular())
+                                .duration(20'000_ms)
+                                .seed(7)
+                                .build();
+  const ScenarioResult r = run_scenario(spec);
   // Driving past three cells at 20 mph should produce at least one
   // completed handover.
   EXPECT_GE(r.successful_handovers(), 1U);
@@ -215,7 +220,7 @@ TEST(Scenario, VehicularThreeCellsChainsHandovers) {
 TEST(Scenario, EngineAndCacheStatsAlwaysPopulated) {
   // Even without collect_trace, the run carries engine and snapshot-cache
   // statistics (they are maintained unconditionally).
-  const ScenarioResult r = run_scenario(quick_config());
+  const ScenarioResult r = run_scenario(quick_spec());
   EXPECT_EQ(r.trace, nullptr);
   EXPECT_GT(r.engine.events_executed, 100u);
   EXPECT_GT(r.engine.queue_depth_hwm, 0u);
@@ -225,9 +230,8 @@ TEST(Scenario, EngineAndCacheStatsAlwaysPopulated) {
 }
 
 TEST(Scenario, CollectTracePopulatesRecorder) {
-  ScenarioConfig c = quick_config();
-  c.collect_trace = true;
-  const ScenarioResult r = run_scenario(c);
+  const ScenarioSpec spec = SpecBuilder(quick_spec()).collect_trace().build();
+  const ScenarioResult r = run_scenario(spec);
   ASSERT_NE(r.trace, nullptr);
   EXPECT_GT(r.trace->total_events(), 0u);
   // The tracker narrates state transitions from t=0 (Searching).
@@ -242,10 +246,11 @@ TEST(Scenario, CollectTracePopulatesRecorder) {
 }
 
 TEST(Scenario, TraceBufferCapacityIsRespected) {
-  ScenarioConfig c = quick_config();
-  c.collect_trace = true;
-  c.trace_buffer_capacity = 4;
-  const ScenarioResult r = run_scenario(c);
+  const ScenarioSpec spec = SpecBuilder(quick_spec())
+                                .collect_trace()
+                                .trace_buffer_capacity(4)
+                                .build();
+  const ScenarioResult r = run_scenario(spec);
   ASSERT_NE(r.trace, nullptr);
   for (std::size_t i = 0; i < obs::kComponentCount; ++i) {
     EXPECT_LE(r.trace->buffer(static_cast<obs::Component>(i)).size(), 4u);
@@ -267,11 +272,9 @@ TEST(Scenario, TracingDoesNotPerturbTheRun) {
   // The observability layer must be read-only with respect to protocol
   // behaviour: same seed with and without tracing gives byte-identical
   // logs, counters, and handover outcomes.
-  ScenarioConfig plain = quick_config();
-  ScenarioConfig traced = quick_config();
-  traced.collect_trace = true;
-  const ScenarioResult a = run_scenario(plain);
-  const ScenarioResult b = run_scenario(traced);
+  const ScenarioResult a = run_scenario(quick_spec());
+  const ScenarioResult b =
+      run_scenario(SpecBuilder(quick_spec()).collect_trace().build());
 
   EXPECT_EQ(a.counters.all(), b.counters.all());
   ASSERT_EQ(a.handovers.size(), b.handovers.size());
@@ -289,10 +292,9 @@ TEST(Scenario, TracingDoesNotPerturbTheRun) {
 }
 
 TEST(Scenario, BuildRunReportEchoesScenarioAndResults) {
-  ScenarioConfig c = quick_config();
-  c.collect_trace = true;
-  const ScenarioResult r = run_scenario(c);
-  const obs::RunReport report = build_run_report(c, r);
+  const ScenarioSpec spec = SpecBuilder(quick_spec()).collect_trace().build();
+  const ScenarioResult r = run_scenario(spec);
+  const obs::RunReport report = build_run_report(spec, r);
 
   EXPECT_EQ(report.schema, "silent-tracker/run-report/v1");
   EXPECT_EQ(report.scenario, "human_walk");
@@ -316,9 +318,9 @@ TEST(Scenario, BuildRunReportEchoesScenarioAndResults) {
 }
 
 TEST(Scenario, BuildRunReportWithoutTraceOmitsTraceSections) {
-  ScenarioConfig c = quick_config();
-  const ScenarioResult r = run_scenario(c);
-  const obs::RunReport report = build_run_report(c, r);
+  const ScenarioSpec spec = quick_spec();
+  const ScenarioResult r = run_scenario(spec);
+  const obs::RunReport report = build_run_report(spec, r);
   EXPECT_EQ(report.trace_events, 0u);
   EXPECT_TRUE(report.latencies.empty());
   EXPECT_TRUE(report.gauges.empty());

@@ -172,11 +172,14 @@ TEST(SpecBuilder, UesAppendsSharedProfiles) {
 }
 
 // ---- deprecated adapter ---------------------------------------------------
+// The single place deprecated to_spec() is still exercised: one
+// adapter-equivalence test pinning that the conversion reproduces the
+// legacy semantics (field carry-over, run fingerprint, rotation rule).
 
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
-TEST(ScenarioConfigAdapter, ToSpecPreservesTheRun) {
+TEST(ScenarioConfigAdapter, ToSpecReproducesLegacySemantics) {
   ScenarioConfig config;
   config.mobility = MobilityScenario::kHumanWalk;
   config.duration = 6'000_ms;
@@ -187,22 +190,20 @@ TEST(ScenarioConfigAdapter, ToSpecPreservesTheRun) {
   EXPECT_EQ(spec.seed, 99u);
   EXPECT_DOUBLE_EQ(spec.ues.front().ue_beamwidth_deg, 60.0);
   EXPECT_EQ(fingerprint(run_scenario(config)), fingerprint(run_scenario(spec)));
-}
 
-TEST(ScenarioConfigAdapter, ToSpecAppliesTheLegacyRotationRule) {
-  // Legacy semantics: the rotation scenario ran at
+  // Legacy rotation semantics: the rotation scenario ran at
   // min(inter_site_m, rotation_inter_site_m). The adapter folds that rule
   // into the spec's deployment, where it is now explicit.
-  ScenarioConfig config;
-  config.mobility = MobilityScenario::kRotation;
-  EXPECT_DOUBLE_EQ(to_spec(config).deployment.inter_site_m, 40.0);
+  ScenarioConfig rotation;
+  rotation.mobility = MobilityScenario::kRotation;
+  EXPECT_DOUBLE_EQ(to_spec(rotation).deployment.inter_site_m, 40.0);
 
-  config.rotation_inter_site_m = 30.0;
-  EXPECT_DOUBLE_EQ(to_spec(config).deployment.inter_site_m, 30.0);
+  rotation.rotation_inter_site_m = 30.0;
+  EXPECT_DOUBLE_EQ(to_spec(rotation).deployment.inter_site_m, 30.0);
 
-  config.mobility = MobilityScenario::kHumanWalk;
-  EXPECT_DOUBLE_EQ(to_spec(config).deployment.inter_site_m,
-                   config.deployment.inter_site_m);
+  rotation.mobility = MobilityScenario::kHumanWalk;
+  EXPECT_DOUBLE_EQ(to_spec(rotation).deployment.inter_site_m,
+                   rotation.deployment.inter_site_m);
 }
 
 #pragma GCC diagnostic pop

@@ -1,0 +1,152 @@
+// The job-document wire format: preset + overrides + seed resolves to
+// exactly the spec the SpecBuilder API would build, and every unknown
+// or ill-typed key is a typed error rather than a silent fallback.
+#include "core/spec_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "core/scenario_spec.hpp"
+
+namespace {
+
+using st::core::ScenarioSpec;
+using st::core::spec_from_job_json;
+using st::core::spec_to_json;
+using st::json::parse;
+using st::json::ParseError;
+
+ScenarioSpec from_text(const char* text) {
+  return spec_from_job_json(parse(text));
+}
+
+TEST(SpecJson, PresetOnlyMatchesLibraryPreset) {
+  const ScenarioSpec wire = from_text(R"({"preset": "paper_walk"})");
+  const ScenarioSpec lib = st::core::preset::paper_walk();
+  EXPECT_EQ(spec_to_json(wire).dump(), spec_to_json(lib).dump());
+}
+
+TEST(SpecJson, AllPresetNamesResolve) {
+  EXPECT_NO_THROW((void)from_text(R"({"preset": "paper_walk"})"));
+  EXPECT_NO_THROW((void)from_text(R"({"preset": "paper_rotation"})"));
+  EXPECT_NO_THROW((void)from_text(R"({"preset": "paper_vehicular"})"));
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_typo"})"), ParseError);
+}
+
+TEST(SpecJson, SeedOverrideWins) {
+  const ScenarioSpec spec =
+      from_text(R"({"preset": "paper_walk", "seed": 18446744073709551615})");
+  EXPECT_EQ(spec.seed, 18446744073709551615ULL);
+}
+
+TEST(SpecJson, OverridesMatchSpecBuilder) {
+  const ScenarioSpec wire = from_text(R"({
+    "preset": "paper_walk",
+    "seed": 11,
+    "overrides": {
+      "cells": 3,
+      "duration_ms": 5000,
+      "metric_period_ms": 20,
+      "n_ues": 4,
+      "deployment": {"inter_site_m": 42.0},
+      "ue": {"walk_speed_mps": 2.5}
+    }
+  })");
+
+  ScenarioSpec direct = st::core::preset::paper_walk();
+  direct.seed = 11;
+  direct.n_cells = 3;
+  direct.duration = st::sim::Duration::milliseconds(5000);
+  direct.metric_period = st::sim::Duration::milliseconds(20);
+  direct.deployment.inter_site_m = 42.0;
+  direct.ues.assign(4, direct.ues.front());
+  for (auto& ue : direct.ues) {
+    ue.walk_speed_mps = 2.5;
+  }
+  direct = st::core::SpecBuilder(std::move(direct)).build();
+
+  EXPECT_EQ(spec_to_json(wire).dump(), spec_to_json(direct).dump());
+}
+
+TEST(SpecJson, UesArrayReplacesFleet) {
+  const ScenarioSpec spec = from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ues": [
+      {"mobility": "human_walk"},
+      {"mobility": "vehicular", "vehicle_speed_mph": 25.0},
+      {"mobility": "rotation", "protocol": "reactive"}
+    ]}
+  })");
+  ASSERT_EQ(spec.ues.size(), 3U);
+  EXPECT_EQ(spec.ues[1].mobility, st::core::MobilityScenario::kVehicular);
+  EXPECT_DOUBLE_EQ(spec.ues[1].vehicle_speed_mph, 25.0);
+  EXPECT_EQ(spec.ues[2].protocol, st::core::ProtocolKind::kReactive);
+}
+
+TEST(SpecJson, UnknownKeysAreErrorsAtEveryLevel) {
+  // Top level.
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_walk", "sede": 3})"),
+               ParseError);
+  // Overrides level (typo'd duration must not silently fall back).
+  EXPECT_THROW(
+      (void)from_text(
+          R"({"preset": "paper_walk", "overrides": {"duration": 5000}})"),
+      ParseError);
+  // UE level.
+  EXPECT_THROW(
+      (void)from_text(
+          R"({"preset": "paper_walk", "overrides": {"ue": {"speed": 1}}})"),
+      ParseError);
+  // Deployment level.
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_walk",
+                   "overrides": {"deployment": {"isd": 40}}})"),
+               ParseError);
+}
+
+TEST(SpecJson, IllTypedValuesAreErrors) {
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_walk", "seed": "x"})"),
+               ParseError);
+  EXPECT_THROW(
+      (void)from_text(
+          R"({"preset": "paper_walk", "overrides": {"cells": "three"}})"),
+      ParseError);
+  EXPECT_THROW(
+      (void)from_text(
+          R"({"preset": "paper_walk", "overrides": {"ue": "walker"}})"),
+      ParseError);
+  EXPECT_THROW((void)from_text(R"({"preset": 7})"), ParseError);
+  EXPECT_THROW((void)from_text(R"([])"), ParseError);
+  EXPECT_THROW((void)from_text(R"({})"), ParseError);
+}
+
+TEST(SpecJson, BuilderValidationStillApplies) {
+  // The wire path must reject exactly what SpecBuilder rejects.
+  EXPECT_THROW(
+      (void)from_text(
+          R"({"preset": "paper_walk", "overrides": {"cells": 0}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)from_text(
+          R"({"preset": "paper_walk", "overrides": {"duration_ms": 0}})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)from_text(
+          R"({"preset": "paper_walk", "overrides": {"ues": []}})"),
+      std::invalid_argument);
+}
+
+TEST(SpecJson, SpecToJsonEmitsWireFields) {
+  const auto doc = spec_to_json(st::core::preset::paper_vehicular());
+  EXPECT_NE(doc.find("cells"), nullptr);
+  EXPECT_NE(doc.find("duration_ms"), nullptr);
+  EXPECT_NE(doc.find("seed"), nullptr);
+  EXPECT_NE(doc.find("deployment"), nullptr);
+  ASSERT_NE(doc.find("ues"), nullptr);
+  ASSERT_FALSE(doc.find("ues")->items().empty());
+  EXPECT_EQ(doc.find("ues")->items()[0].find("mobility")->as_string(),
+            "vehicular");
+  // The document round-trips through the parser.
+  EXPECT_EQ(parse(doc.dump()).dump(), doc.dump());
+}
+
+}  // namespace

@@ -14,12 +14,11 @@ namespace {
 
 using namespace st::sim::literals;
 
-ScenarioConfig config_for(std::uint64_t seed, MobilityScenario mobility) {
-  ScenarioConfig c;
-  c.mobility = mobility;
-  c.duration = 12'000_ms;
-  c.seed = seed;
-  return c;
+ScenarioSpec spec_for(std::uint64_t seed, MobilityScenario mobility) {
+  return SpecBuilder(preset::paper(mobility))
+      .duration(12'000_ms)
+      .seed(seed)
+      .build();
 }
 
 std::string fingerprint(const ScenarioResult& r) {
@@ -45,8 +44,8 @@ class DeterminismBySeed
 
 TEST_P(DeterminismBySeed, IdenticalRunsBitForBit) {
   const auto [seed, mobility] = GetParam();
-  const ScenarioResult a = run_scenario(config_for(seed, mobility));
-  const ScenarioResult b = run_scenario(config_for(seed, mobility));
+  const ScenarioResult a = run_scenario(spec_for(seed, mobility));
+  const ScenarioResult b = run_scenario(spec_for(seed, mobility));
   EXPECT_EQ(fingerprint(a), fingerprint(b));
 }
 
@@ -58,29 +57,33 @@ INSTANTIATE_TEST_SUITE_P(
                                          MobilityScenario::kVehicular)));
 
 TEST(Determinism, ReactiveProtocolAlsoDeterministic) {
-  ScenarioConfig c = config_for(3, MobilityScenario::kHumanWalk);
-  c.protocol = ProtocolKind::kReactive;
-  const ScenarioResult a = run_scenario(c);
-  const ScenarioResult b = run_scenario(c);
+  UeProfile reactive = preset::walking_ue();
+  reactive.protocol = ProtocolKind::kReactive;
+  const ScenarioSpec spec =
+      SpecBuilder().duration(12'000_ms).seed(3).ue(reactive).build();
+  const ScenarioResult a = run_scenario(spec);
+  const ScenarioResult b = run_scenario(spec);
   EXPECT_EQ(fingerprint(a), fingerprint(b));
 }
 
 TEST(Determinism, SeedChangesRealisation) {
   const ScenarioResult a =
-      run_scenario(config_for(100, MobilityScenario::kHumanWalk));
+      run_scenario(spec_for(100, MobilityScenario::kHumanWalk));
   const ScenarioResult b =
-      run_scenario(config_for(101, MobilityScenario::kHumanWalk));
+      run_scenario(spec_for(101, MobilityScenario::kHumanWalk));
   EXPECT_NE(fingerprint(a), fingerprint(b));
 }
 
 TEST(Determinism, BeamwidthIsConfigNotRandomness) {
   // Same seed, different codebook: runs differ (different physics), but
   // each remains internally deterministic.
-  ScenarioConfig c20 = config_for(5, MobilityScenario::kHumanWalk);
-  ScenarioConfig c60 = config_for(5, MobilityScenario::kHumanWalk);
-  c60.ue_beamwidth_deg = 60.0;
-  EXPECT_NE(fingerprint(run_scenario(c20)), fingerprint(run_scenario(c60)));
-  EXPECT_EQ(fingerprint(run_scenario(c60)), fingerprint(run_scenario(c60)));
+  UeProfile wide = preset::walking_ue();
+  wide.ue_beamwidth_deg = 60.0;
+  const ScenarioSpec s20 = spec_for(5, MobilityScenario::kHumanWalk);
+  const ScenarioSpec s60 =
+      SpecBuilder().duration(12'000_ms).seed(5).ue(wide).build();
+  EXPECT_NE(fingerprint(run_scenario(s20)), fingerprint(run_scenario(s60)));
+  EXPECT_EQ(fingerprint(run_scenario(s60)), fingerprint(run_scenario(s60)));
 }
 
 }  // namespace

@@ -5,23 +5,22 @@
 #include <gtest/gtest.h>
 
 #include "core/scenario.hpp"
+#include "core/scenario_spec.hpp"
 
 namespace st::core {
 namespace {
 
 using namespace st::sim::literals;
 
-ScenarioConfig base_config(std::uint64_t seed) {
-  ScenarioConfig c;
-  c.duration = 25'000_ms;
-  c.seed = seed;
-  return c;
+ScenarioSpec base_spec(std::uint64_t seed) {
+  // The paper_walk frame already runs for the evaluation's 25 s.
+  return SpecBuilder(preset::paper_walk()).seed(seed).build();
 }
 
 TEST(EndToEnd, WalkScenarioCompletesHandovers) {
   int runs_with_success = 0;
   for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-    const ScenarioResult r = run_scenario(base_config(seed));
+    const ScenarioResult r = run_scenario(base_spec(seed));
     if (r.successful_handovers() > 0) {
       ++runs_with_success;
     }
@@ -35,7 +34,7 @@ TEST(EndToEnd, SilentTrackerMostlySoft) {
   std::size_t soft = 0;
   std::size_t hard = 0;
   for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
-    const ScenarioResult r = run_scenario(base_config(seed));
+    const ScenarioResult r = run_scenario(base_spec(seed));
     soft += r.soft_handovers();
     hard += r.hard_handovers();
   }
@@ -45,21 +44,22 @@ TEST(EndToEnd, SilentTrackerMostlySoft) {
 TEST(EndToEnd, SoftBeatsReactiveOnInterruption) {
   // E4's shape: mean soft interruption well below mean reactive (hard)
   // interruption, because hard pays the directional search.
+  UeProfile reactive_ue = preset::walking_ue();
+  reactive_ue.protocol = ProtocolKind::kReactive;
   double soft_sum = 0.0;
   std::size_t soft_n = 0;
   double hard_sum = 0.0;
   std::size_t hard_n = 0;
   for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-    ScenarioConfig cfg = base_config(seed);
-    const ScenarioResult tracker = run_scenario(cfg);
+    const ScenarioResult tracker = run_scenario(base_spec(seed));
     for (const auto& h : tracker.handovers) {
       if (h.success && h.type == net::HandoverType::kSoft) {
         soft_sum += h.interruption().ms();
         ++soft_n;
       }
     }
-    cfg.protocol = ProtocolKind::kReactive;
-    const ScenarioResult reactive = run_scenario(cfg);
+    const ScenarioResult reactive = run_scenario(
+        SpecBuilder().seed(seed).duration(25'000_ms).ue(reactive_ue).build());
     for (const auto& h : reactive.handovers) {
       if (h.success) {
         hard_sum += h.interruption().ms();
@@ -74,10 +74,9 @@ TEST(EndToEnd, SoftBeatsReactiveOnInterruption) {
 }
 
 TEST(EndToEnd, RotationScenarioKeepsTracking) {
-  ScenarioConfig c = base_config(5);
-  c.mobility = MobilityScenario::kRotation;
-  c.duration = 20'000_ms;
-  const ScenarioResult r = run_scenario(c);
+  const ScenarioSpec spec =
+      SpecBuilder(preset::paper_rotation()).duration(20'000_ms).seed(5).build();
+  const ScenarioResult r = run_scenario(spec);
   // The device spins at 120 deg/s for 20 s; tracking must have produced
   // beam switches and the tracked beam must be aligned a solid majority
   // of the time up to the handover (Fig. 2c: rotation handled
@@ -88,28 +87,28 @@ TEST(EndToEnd, RotationScenarioKeepsTracking) {
 }
 
 TEST(EndToEnd, VehicularScenarioHandsOverAlongTheRoad) {
-  ScenarioConfig c = base_config(6);
-  c.mobility = MobilityScenario::kVehicular;
-  c.n_cells = 3;
-  c.duration = 20'000_ms;
-  const ScenarioResult r = run_scenario(c);
+  const ScenarioSpec spec = SpecBuilder(preset::paper_vehicular())
+                                .duration(20'000_ms)
+                                .seed(6)
+                                .build();
+  const ScenarioResult r = run_scenario(spec);
   EXPECT_GE(r.successful_handovers(), 1U);
 }
 
 TEST(EndToEnd, DirectionalOutperformsOmniTracking) {
   // Fig. 2a's root cause at system level: with the same seeds, the 20 deg
   // codebook sees usable neighbour SSBs while omni largely cannot.
-  ScenarioConfig directional = base_config(7);
-  ScenarioConfig omni = base_config(7);
-  omni.ue_beamwidth_deg = 0.0;
-  const ScenarioResult rd = run_scenario(directional);
-  const ScenarioResult ro = run_scenario(omni);
+  UeProfile omni_ue = preset::walking_ue();
+  omni_ue.ue_beamwidth_deg = 0.0;
+  const ScenarioResult rd = run_scenario(base_spec(7));
+  const ScenarioResult ro = run_scenario(
+      SpecBuilder().seed(7).duration(25'000_ms).ue(omni_ue).build());
   EXPECT_GT(rd.counters.value("initial_search_hits"),
             ro.counters.value("initial_search_hits"));
 }
 
 TEST(EndToEnd, ServingSnrSeriesIsPlausible) {
-  const ScenarioResult r = run_scenario(base_config(8));
+  const ScenarioResult r = run_scenario(base_spec(8));
   ASSERT_FALSE(r.serving_snr_db.empty());
   for (const auto& p : r.serving_snr_db.points()) {
     EXPECT_GT(p.value, -60.0);

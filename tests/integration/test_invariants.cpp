@@ -17,15 +17,19 @@ class RunInvariants
 
 TEST_P(RunInvariants, HoldForEveryRun) {
   const auto [seed, mobility, protocol] = GetParam();
-  ScenarioConfig config;
-  config.seed = seed;
-  config.mobility = mobility;
-  config.protocol = protocol;
-  config.n_cells = mobility == MobilityScenario::kVehicular ? 3U : 2U;
-  config.duration = 15'000_ms;
-  const ScenarioResult r = run_scenario(config);
+  const ScenarioSpec base = preset::paper(mobility);
+  UeProfile ue = base.ues.front();
+  ue.protocol = protocol;
+  const ScenarioSpec spec = SpecBuilder()
+                                .cells(base.n_cells)
+                                .deployment(base.deployment)
+                                .duration(15'000_ms)
+                                .seed(seed)
+                                .ue(ue)
+                                .build();
+  const ScenarioResult r = run_scenario(spec);
 
-  const auto end = sim::Time::zero() + config.duration;
+  const auto end = sim::Time::zero() + spec.duration;
 
   for (const auto& h : r.handovers) {
     // Temporal ordering: loss <= access start <= completion, all within

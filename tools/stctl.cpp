@@ -1,0 +1,193 @@
+// stctl — command-line client of the scenario service.
+//
+//   stctl --socket PATH ping
+//   stctl --socket PATH submit --preset paper_walk [--seed N]
+//         [--overrides '{"n_ues": 8}']
+//   stctl --socket PATH status ID | events ID [--after N] | result ID
+//   stctl --socket PATH cancel ID | stats | drain
+//   stctl --socket PATH run --preset paper_walk [--seed N] [--overrides J]
+//
+// `run` submits, waits for completion, and prints the report JSON —
+// the one-shot form the CI smoke test pipes into `python3 -m json.tool`.
+// Exit codes: 0 ok, 1 typed server error, 2 usage/transport error.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/client.hpp"
+
+namespace {
+
+using st::json::Value;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: stctl --socket PATH COMMAND [args]\n"
+               "  ping | stats | drain\n"
+               "  submit --preset NAME [--seed N] [--overrides JSON]\n"
+               "  run    --preset NAME [--seed N] [--overrides JSON]\n"
+               "  status ID | events ID [--after N] | result ID | cancel ID\n"
+               "  wait ID [--timeout-ms N]\n");
+  std::exit(2);
+}
+
+/// Connect, retrying briefly so a freshly forked daemon can finish
+/// binding its socket.
+st::serve::Client& connect_or_die(st::serve::Client& client,
+                                  const std::string& socket_path) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5000);
+  while (!client.connect(socket_path)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "stctl: cannot connect to %s\n",
+                   socket_path.c_str());
+      std::exit(2);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return client;
+}
+
+[[nodiscard]] bool response_ok(const Value& response) {
+  const Value* ok = response.find("ok");
+  return ok != nullptr && ok->kind() == st::json::Value::Kind::kBool &&
+         ok->as_bool();
+}
+
+int print_response(const Value& response) {
+  std::printf("%s\n", response.dump().c_str());
+  return response_ok(response) ? 0 : 1;
+}
+
+/// Build the submission document from --preset/--seed/--overrides.
+Value job_from_args(const std::string& preset, const std::string& seed,
+                    const std::string& overrides) {
+  Value job = Value::object();
+  job.set("preset", Value::string(preset));
+  if (!seed.empty()) {
+    job.set("seed", Value::unsigned_integer(std::strtoull(seed.c_str(), nullptr, 10)));
+  }
+  if (!overrides.empty()) {
+    job.set("overrides", st::json::parse(overrides));
+  }
+  return job;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string command;
+  std::string preset;
+  std::string seed;
+  std::string overrides;
+  std::string after = "0";
+  std::string timeout_ms = "120000";
+  std::uint64_t id = 0;
+  bool have_id = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      socket_path = argv[++i];
+    } else if (arg == "--preset" && has_value) {
+      preset = argv[++i];
+    } else if (arg == "--seed" && has_value) {
+      seed = argv[++i];
+    } else if (arg == "--overrides" && has_value) {
+      overrides = argv[++i];
+    } else if (arg == "--after" && has_value) {
+      after = argv[++i];
+    } else if (arg == "--timeout-ms" && has_value) {
+      timeout_ms = argv[++i];
+    } else if (command.empty() && !arg.empty() && arg[0] != '-') {
+      command = arg;
+    } else if (!command.empty() && !have_id && !arg.empty() && arg[0] != '-') {
+      id = std::strtoull(arg.c_str(), nullptr, 10);
+      have_id = true;
+    } else {
+      usage();
+    }
+  }
+  if (socket_path.empty() || command.empty()) {
+    usage();
+  }
+
+  st::serve::Client client;
+  connect_or_die(client, socket_path);
+  try {
+    if (command == "ping") {
+      return print_response(client.ping());
+    }
+    if (command == "stats") {
+      return print_response(client.stats());
+    }
+    if (command == "drain") {
+      return print_response(client.drain());
+    }
+    if (command == "submit" || command == "run") {
+      if (preset.empty()) {
+        usage();
+      }
+      const Value job = job_from_args(preset, seed, overrides);
+      Value submitted = client.submit(job);
+      if (!response_ok(submitted) || command == "submit") {
+        return print_response(submitted);
+      }
+      const std::uint64_t job_id = submitted.find("id")->as_u64();
+      const int timeout = static_cast<int>(std::strtol(timeout_ms.c_str(), nullptr, 10));
+      const auto final_status = client.wait(job_id, timeout);
+      if (!final_status.has_value()) {
+        std::fprintf(stderr, "stctl: job %llu timed out\n",
+                     static_cast<unsigned long long>(job_id));
+        return 2;
+      }
+      Value result = client.result(job_id);
+      if (!response_ok(result)) {
+        return print_response(result);
+      }
+      std::printf("%s\n", result.find("report")->dump().c_str());
+      return 0;
+    }
+    if (!have_id) {
+      usage();
+    }
+    if (command == "status") {
+      return print_response(client.status(id));
+    }
+    if (command == "events") {
+      return print_response(
+          client.events(id, std::strtoull(after.c_str(), nullptr, 10)));
+    }
+    if (command == "result") {
+      Value result = client.result(id);
+      if (!response_ok(result)) {
+        return print_response(result);
+      }
+      std::printf("%s\n", result.find("report")->dump().c_str());
+      return 0;
+    }
+    if (command == "cancel") {
+      return print_response(client.cancel(id));
+    }
+    if (command == "wait") {
+      const int timeout = static_cast<int>(std::strtol(timeout_ms.c_str(), nullptr, 10));
+      const auto final_status = client.wait(id, timeout);
+      if (!final_status.has_value()) {
+        std::fprintf(stderr, "stctl: job %llu timed out\n",
+                     static_cast<unsigned long long>(id));
+        return 2;
+      }
+      return print_response(*final_status);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stctl: %s\n", e.what());
+    return 2;
+  }
+  usage();
+}

@@ -1,0 +1,80 @@
+// stserved — the scenario service daemon.
+//
+// Listens on a Unix-domain socket, runs submitted fleet scenarios on a
+// bounded worker pool, and exits cleanly on SIGINT/SIGTERM or once a
+// client-requested drain has finished. See docs/SERVING.md.
+//
+//   stserved --socket /tmp/st.sock [--workers 2] [--queue-capacity 16]
+//            [--fleet-threads 0]
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: stserved --socket PATH [--workers N]\n"
+               "                [--queue-capacity N] [--fleet-threads N]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  st::serve::ServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--workers" && has_value) {
+      config.workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--queue-capacity" && has_value) {
+      config.queue_capacity = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--fleet-threads" && has_value) {
+      config.fleet_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      usage();
+    }
+  }
+  if (config.socket_path.empty() || config.workers == 0 ||
+      config.queue_capacity == 0) {
+    usage();
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  st::serve::Server server(config);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stserved: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "stserved: listening on %s (%zu workers, queue %zu)\n",
+               config.socket_path.c_str(), config.workers,
+               config.queue_capacity);
+
+  // Run until a signal arrives or a client-requested drain completes.
+  while (g_signalled == 0 && !server.drained()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  const bool drained = server.drained();
+  server.stop();
+  std::fprintf(stderr, "stserved: %s\n",
+               drained ? "drained, exiting" : "stopped");
+  return 0;
+}
