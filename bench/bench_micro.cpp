@@ -151,10 +151,68 @@ void BM_SnapshotBuild(benchmark::State& state) {
     f.rx.position.x += 1e-4;
     f.channel.make_snapshot(f.tx, f.rx, sim::Time::from_ns(t_ns), 13.0,
                             snapshot);
-    benchmark::DoNotOptimize(snapshot.paths.data());
+    benchmark::DoNotOptimize(snapshot.base_linear.data());
   }
 }
 BENCHMARK(BM_SnapshotBuild);
+
+void BM_SnapshotUpdateWalk(benchmark::State& state) {
+  // The incremental rebuild on a walking trajectory: position deltas
+  // invalidate geometry but the slow shadowing/blockage processes mostly
+  // carry over between 1 ms ticks.
+  SweepFixture f;
+  phy::PathSnapshot snapshot;
+  phy::SnapshotReuse reuse;
+  std::int64_t t_ns = 0;
+  for (auto _ : state) {
+    t_ns += 1'000'000;
+    f.rx.position.x += 1e-4;
+    f.channel.update_snapshot(f.tx, f.rx, sim::Time::from_ns(t_ns), 13.0,
+                              snapshot, &reuse, nullptr);
+    benchmark::DoNotOptimize(snapshot.base_linear.data());
+  }
+}
+BENCHMARK(BM_SnapshotUpdateWalk);
+
+void BM_SnapshotUpdateRotation(benchmark::State& state) {
+  // Rotation-only motion: geometry, shadowing, and blockage all reuse;
+  // only the body-frame azimuths and gain products are recomputed.
+  SweepFixture f;
+  phy::PathSnapshot snapshot;
+  phy::SnapshotReuse reuse;
+  std::int64_t t_ns = 0;
+  double yaw = 0.0;
+  for (auto _ : state) {
+    t_ns += 1'000'000;
+    yaw += 2e-3;
+    f.rx.orientation = Quaternion::from_yaw(yaw);
+    f.channel.update_snapshot(f.tx, f.rx, sim::Time::from_ns(t_ns), 13.0,
+                              snapshot, &reuse, nullptr);
+    benchmark::DoNotOptimize(snapshot.base_linear.data());
+  }
+}
+BENCHMARK(BM_SnapshotUpdateRotation);
+
+void BM_BestBeamPairIncremental(benchmark::State& state) {
+  // The full fleet fast path per (UE, cell) step: incremental snapshot
+  // refresh plus the vectorized 144-pair sweep.
+  SweepFixture f;
+  phy::PathSnapshot snapshot;
+  phy::SnapshotReuse reuse;
+  std::int64_t t_ns = 0;
+  for (auto _ : state) {
+    t_ns += 1'000'000;
+    f.rx.position.x += 1e-4;
+    f.channel.update_snapshot(f.tx, f.rx, sim::Time::from_ns(t_ns), 13.0,
+                              snapshot, &reuse, nullptr);
+    benchmark::DoNotOptimize(
+        phy::sweep_beam_pairs(snapshot, f.bs_codebook, f.ue_codebook));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.bs_codebook.size() * f.ue_codebook.size()));
+}
+BENCHMARK(BM_BestBeamPairIncremental);
 
 void BM_SweepRxBeamsKernel(benchmark::State& state) {
   SweepFixture f;
@@ -285,10 +343,17 @@ std::string snapshot_cache_fragment() {
   const net::SnapshotCacheStats& cache = result.snapshot_cache;
   std::ostringstream out;
   out << "\"snapshot_cache\": {\"hits\": " << cache.hits
-      << ", \"misses\": " << cache.misses
+      << ", \"refreshes\": " << cache.refreshes
+      << ", \"cold_misses\": " << cache.cold_misses
       << ", \"invalidations\": " << cache.invalidations
       << ", \"pair_sweeps\": " << cache.pair_sweeps
       << ", \"rx_sweeps\": " << cache.rx_sweeps
+      << ", \"full_builds\": " << cache.full_builds
+      << ", \"incremental_builds\": " << cache.incremental_builds
+      << ", \"geometry_reuses\": " << cache.geometry_reuses
+      << ", \"shadow_reuses\": " << cache.shadow_reuses
+      << ", \"blockage_reuses\": " << cache.blockage_reuses
+      << ", \"azimuth_reuses\": " << cache.azimuth_reuses
       << ", \"hit_rate\": " << cache.hit_rate() << "}";
   return out.str();
 }

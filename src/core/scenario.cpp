@@ -54,6 +54,21 @@ std::shared_ptr<const mobility::MobilityModel> make_mobility(
   throw std::logic_error("make_mobility: unknown scenario");
 }
 
+std::unique_ptr<net::RadioEnvironment> make_ue_environment(
+    const ScenarioSpec& spec, std::size_t ue,
+    const net::Deployment& deployment) {
+  const UeProfile& profile = spec.ues.at(ue);
+  const std::uint64_t root_seed = fleet_ue_seed(spec.seed, ue);
+  net::EnvironmentConfig env_config = spec.environment;
+  env_config.horizon = spec.duration + sim::Duration::milliseconds(1000);
+  env_config.seed = derive_seed(root_seed, "environment");
+  env_config.ue = static_cast<net::UeId>(ue);
+  return std::make_unique<net::RadioEnvironment>(
+      env_config, deployment.base_stations,
+      make_mobility(spec, profile, root_seed, deployment),
+      make_ue_codebook(profile.ue_beamwidth_deg, profile.ue_ula_codebook));
+}
+
 namespace {
 
 /// to_spec() without the deprecation note, for the legacy entry points
@@ -96,18 +111,10 @@ ScenarioSpec spec_from_config(const ScenarioConfig& config) {
 /// Deployment can back many concurrent ScenarioRuns.
 class ScenarioRun {
  public:
-  ScenarioRun(const ScenarioSpec& spec, const UeProfile& profile,
-              std::uint64_t root_seed, net::UeId ue,
+  ScenarioRun(const ScenarioSpec& spec, std::size_t ue,
               const net::Deployment& deployment)
-      : spec_(spec), profile_(profile) {
-    net::EnvironmentConfig env_config = spec.environment;
-    env_config.horizon = spec.duration + Duration::milliseconds(1000);
-    env_config.seed = derive_seed(root_seed, "environment");
-    env_config.ue = ue;
-    environment_ = std::make_unique<net::RadioEnvironment>(
-        env_config, deployment.base_stations,
-        make_mobility(spec, profile, root_seed, deployment),
-        make_ue_codebook(profile.ue_beamwidth_deg, profile.ue_ula_codebook));
+      : spec_(spec), profile_(spec.ues.at(ue)) {
+    environment_ = make_ue_environment(spec, ue, deployment);
     if (spec.collect_trace) {
       trace_ = std::make_shared<obs::TraceRecorder>(
           obs::TraceConfig{spec.trace_buffer_capacity});
@@ -366,8 +373,7 @@ ScenarioResult run_scenario_ue(const ScenarioSpec& spec, std::size_t ue,
   if (ue >= spec.ues.size()) {
     throw std::out_of_range("run_scenario_ue: UE index beyond the fleet");
   }
-  ScenarioRun run(spec, spec.ues[ue], fleet_ue_seed(spec.seed, ue),
-                  static_cast<net::UeId>(ue), deployment);
+  ScenarioRun run(spec, ue, deployment);
   return run.run(cancel);
 }
 
@@ -475,10 +481,17 @@ obs::RunReport build_run_report(const ScenarioSpec& spec,
 
   const net::SnapshotCacheStats& cache = result.snapshot_cache;
   report.snapshot_cache.hits = cache.hits;
-  report.snapshot_cache.misses = cache.misses;
+  report.snapshot_cache.refreshes = cache.refreshes;
+  report.snapshot_cache.cold_misses = cache.cold_misses;
   report.snapshot_cache.invalidations = cache.invalidations;
   report.snapshot_cache.pair_sweeps = cache.pair_sweeps;
   report.snapshot_cache.rx_sweeps = cache.rx_sweeps;
+  report.snapshot_cache.full_builds = cache.full_builds;
+  report.snapshot_cache.incremental_builds = cache.incremental_builds;
+  report.snapshot_cache.geometry_reuses = cache.geometry_reuses;
+  report.snapshot_cache.shadow_reuses = cache.shadow_reuses;
+  report.snapshot_cache.blockage_reuses = cache.blockage_reuses;
+  report.snapshot_cache.azimuth_reuses = cache.azimuth_reuses;
   report.snapshot_cache.hit_rate = cache.hit_rate();
 
   for (const auto& [name, value] : result.counters.all()) {

@@ -149,6 +149,17 @@ struct ScenarioResult {
 [[nodiscard]] std::shared_ptr<const mobility::MobilityModel> make_mobility(
     const ScenarioConfig& config, const net::Deployment& deployment);
 
+/// Build the complete radio environment of one mobile over a shared
+/// deployment: per-UE environment seed and UE id, mobility model, and
+/// codebook, exactly as a scenario run constructs it. This is the single
+/// recipe behind run_scenario_ue and the fleet batch evaluator
+/// (fleet::FleetChannelBatch), so physics queries through either agree
+/// bit-for-bit. The horizon is stretched 1 s past spec.duration, matching
+/// the scenario engine.
+[[nodiscard]] std::unique_ptr<net::RadioEnvironment> make_ue_environment(
+    const ScenarioSpec& spec, std::size_t ue,
+    const net::Deployment& deployment);
+
 /// Build the UE codebook for the configured beamwidth.
 [[nodiscard]] phy::Codebook make_ue_codebook(double beamwidth_deg);
 

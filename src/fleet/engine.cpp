@@ -8,6 +8,43 @@
 
 namespace st::fleet {
 
+FleetChannelBatch::FleetChannelBatch(const core::ScenarioSpec& spec)
+    : deployment_(core::make_deployment(spec)) {
+  if (spec.ues.empty()) {
+    throw std::invalid_argument(
+        "FleetChannelBatch: fleet needs at least one UE");
+  }
+  environments_.reserve(spec.ues.size());
+  for (std::size_t ue = 0; ue < spec.ues.size(); ++ue) {
+    environments_.push_back(core::make_ue_environment(spec, ue, deployment_));
+  }
+}
+
+std::size_t FleetChannelBatch::cell_count() const noexcept {
+  return environments_.front()->cell_count();
+}
+
+void FleetChannelBatch::best_pairs(sim::Time t,
+                                   std::vector<phy::Channel::BestPair>& out) {
+  const std::size_t cells = cell_count();
+  out.resize(environments_.size() * cells);
+  for (std::size_t ue = 0; ue < environments_.size(); ++ue) {
+    net::RadioEnvironment& env = *environments_[ue];
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      out[ue * cells + cell] =
+          env.ground_truth_best_pair(static_cast<net::CellId>(cell), t);
+    }
+  }
+}
+
+net::SnapshotCacheStats FleetChannelBatch::stats() const {
+  net::SnapshotCacheStats total;
+  for (const auto& env : environments_) {
+    total.merge(env->snapshot_stats());
+  }
+  return total;
+}
+
 FleetResult run_fleet(const core::ScenarioSpec& spec, unsigned n_threads) {
   return run_fleet(spec, n_threads, RunControl{});
 }
@@ -119,12 +156,20 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
   report.engine.sim_seconds = result.engine.sim_seconds;
   report.engine.wall_per_sim_second = result.engine.wall_per_sim_second();
 
-  report.snapshot_cache.hits = result.snapshot_cache.hits;
-  report.snapshot_cache.misses = result.snapshot_cache.misses;
-  report.snapshot_cache.invalidations = result.snapshot_cache.invalidations;
-  report.snapshot_cache.pair_sweeps = result.snapshot_cache.pair_sweeps;
-  report.snapshot_cache.rx_sweeps = result.snapshot_cache.rx_sweeps;
-  report.snapshot_cache.hit_rate = result.snapshot_cache.hit_rate();
+  const net::SnapshotCacheStats& cache = result.snapshot_cache;
+  report.snapshot_cache.hits = cache.hits;
+  report.snapshot_cache.refreshes = cache.refreshes;
+  report.snapshot_cache.cold_misses = cache.cold_misses;
+  report.snapshot_cache.invalidations = cache.invalidations;
+  report.snapshot_cache.pair_sweeps = cache.pair_sweeps;
+  report.snapshot_cache.rx_sweeps = cache.rx_sweeps;
+  report.snapshot_cache.full_builds = cache.full_builds;
+  report.snapshot_cache.incremental_builds = cache.incremental_builds;
+  report.snapshot_cache.geometry_reuses = cache.geometry_reuses;
+  report.snapshot_cache.shadow_reuses = cache.shadow_reuses;
+  report.snapshot_cache.blockage_reuses = cache.blockage_reuses;
+  report.snapshot_cache.azimuth_reuses = cache.azimuth_reuses;
+  report.snapshot_cache.hit_rate = cache.hit_rate();
 
   report.wall_seconds = result.wall_seconds;
   report.ues_per_second = result.ues_per_second();

@@ -38,9 +38,11 @@ const phy::PathSnapshot& RadioEnvironment::snapshot_for(CellId cell,
                                                         sim::Time t) const {
   const BaseStation& station = base_stations_[cell];
   return snapshot_cache_.fill(
-      config_.ue, cell, t, [&](phy::PathSnapshot& snapshot) {
-        channels_[cell]->make_snapshot(station.pose(), ue_pose(t), t,
-                                       station.tx_power_dbm(), snapshot);
+      config_.ue, cell, t,
+      [&](phy::PathSnapshot& snapshot, phy::SnapshotReuse& reuse) {
+        channels_[cell]->update_snapshot(station.pose(), ue_pose(t), t,
+                                         station.tx_power_dbm(), snapshot,
+                                         &reuse, &build_stats_);
       });
 }
 

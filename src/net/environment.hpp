@@ -50,26 +50,54 @@ struct EnvironmentConfig {
 
 /// Snapshot-cache and sweep-kernel statistics, maintained unconditionally
 /// (one integer increment per query) and read by the telemetry layer.
+/// The cache counters mirror phy::SnapshotEpochCache::Stats (hits,
+/// refreshes, cold misses, cross-UE invalidations are disjoint and sum to
+/// the query count); the build counters mirror phy::SnapshotBuildStats
+/// and expose how deep the per-component reuse of each rebuild went.
 struct SnapshotCacheStats {
-  std::uint64_t hits = 0;          ///< query served from the cached epoch
-  std::uint64_t misses = 0;        ///< snapshot (re)built for the query
-  std::uint64_t invalidations = 0; ///< rebuilds that evicted a valid entry
-  std::uint64_t pair_sweeps = 0;   ///< ground_truth_best_pair kernel calls
-  std::uint64_t rx_sweeps = 0;     ///< ground_truth_best_rx kernel calls
+  std::uint64_t hits = 0;       ///< query served from the cached epoch
+  std::uint64_t refreshes = 0;  ///< warm same-UE rebuild at a new instant
+                                ///< (incremental, reuse state kept)
+  std::uint64_t cold_misses = 0;    ///< rebuild with no valid entry
+  std::uint64_t invalidations = 0;  ///< valid entry evicted for another UE
+  std::uint64_t pair_sweeps = 0;    ///< ground_truth_best_pair kernel calls
+  std::uint64_t rx_sweeps = 0;      ///< ground_truth_best_rx kernel calls
 
+  std::uint64_t full_builds = 0;         ///< builds with no reuse state
+  std::uint64_t incremental_builds = 0;  ///< builds that saw reuse state
+  std::uint64_t geometry_reuses = 0;     ///< path geometry carried over
+  std::uint64_t shadow_reuses = 0;       ///< shadowing sample carried over
+  std::uint64_t blockage_reuses = 0;     ///< blockage window carried over
+  std::uint64_t azimuth_reuses = 0;      ///< both azimuth sets carried over
+
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept {
+    return refreshes + cold_misses + invalidations;
+  }
+
+  /// Fraction of queries that reused cached state: exact hits plus
+  /// incremental refreshes, over all queries. Cold misses and cross-UE
+  /// evictions — the rebuilds that start from nothing — are the misses.
   [[nodiscard]] double hit_rate() const noexcept {
-    const std::uint64_t total = hits + misses;
+    const std::uint64_t total = hits + rebuilds();
     return total == 0 ? 0.0
-                      : static_cast<double>(hits) / static_cast<double>(total);
+                      : static_cast<double>(hits + refreshes) /
+                            static_cast<double>(total);
   }
 
   /// Accumulate another environment's counters (fleet-level aggregation).
   void merge(const SnapshotCacheStats& other) noexcept {
     hits += other.hits;
-    misses += other.misses;
+    refreshes += other.refreshes;
+    cold_misses += other.cold_misses;
     invalidations += other.invalidations;
     pair_sweeps += other.pair_sweeps;
     rx_sweeps += other.rx_sweeps;
+    full_builds += other.full_builds;
+    incremental_builds += other.incremental_builds;
+    geometry_reuses += other.geometry_reuses;
+    shadow_reuses += other.shadow_reuses;
+    blockage_reuses += other.blockage_reuses;
+    azimuth_reuses += other.azimuth_reuses;
   }
 };
 
@@ -154,8 +182,15 @@ class RadioEnvironment {
     SnapshotCacheStats stats = snapshot_stats_;
     const phy::SnapshotEpochCache::Stats& cache = snapshot_cache_.stats();
     stats.hits = cache.hits;
-    stats.misses = cache.misses;
+    stats.refreshes = cache.refreshes;
+    stats.cold_misses = cache.cold_misses;
     stats.invalidations = cache.invalidations;
+    stats.full_builds = build_stats_.full_builds;
+    stats.incremental_builds = build_stats_.incremental_builds;
+    stats.geometry_reuses = build_stats_.geometry_reuses;
+    stats.shadow_reuses = build_stats_.shadow_reuses;
+    stats.blockage_reuses = build_stats_.blockage_reuses;
+    stats.azimuth_reuses = build_stats_.azimuth_reuses;
     return stats;
   }
 
@@ -198,8 +233,11 @@ class RadioEnvironment {
   /// RadioEnvironment is single-threaded by design (parallel batch and
   /// fleet runs give each thread its own environment).
   mutable phy::SnapshotEpochCache snapshot_cache_;
-  /// Sweep-kernel counters only; cache counters live in snapshot_cache_.
+  /// Sweep-kernel counters only; cache counters live in snapshot_cache_,
+  /// per-component reuse counters in build_stats_.
   mutable SnapshotCacheStats snapshot_stats_;
+  /// Per-component reuse accounting fed by Channel::update_snapshot.
+  mutable phy::SnapshotBuildStats build_stats_;
 
   Rng measurement_rng_;
   Rng detection_rng_;

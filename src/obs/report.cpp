@@ -139,6 +139,24 @@ void write_summary(JsonOut& json, std::string_view key,
   json.close();
 }
 
+void write_snapshot_cache(JsonOut& json, const SnapshotCacheReport& cache) {
+  json.open("snapshot_cache");
+  json.field("hits", cache.hits);
+  json.field("refreshes", cache.refreshes);
+  json.field("cold_misses", cache.cold_misses);
+  json.field("invalidations", cache.invalidations);
+  json.field("pair_sweeps", cache.pair_sweeps);
+  json.field("rx_sweeps", cache.rx_sweeps);
+  json.field("full_builds", cache.full_builds);
+  json.field("incremental_builds", cache.incremental_builds);
+  json.field("geometry_reuses", cache.geometry_reuses);
+  json.field("shadow_reuses", cache.shadow_reuses);
+  json.field("blockage_reuses", cache.blockage_reuses);
+  json.field("azimuth_reuses", cache.azimuth_reuses);
+  json.field("hit_rate", cache.hit_rate);
+  json.close();
+}
+
 }  // namespace
 
 HistogramSummary HistogramSummary::from(const LogLinearHistogram& h) {
@@ -189,14 +207,7 @@ std::string RunReport::to_json() const {
   json.field("wall_per_sim_second", engine.wall_per_sim_second);
   json.close();
 
-  json.open("snapshot_cache");
-  json.field("hits", snapshot_cache.hits);
-  json.field("misses", snapshot_cache.misses);
-  json.field("invalidations", snapshot_cache.invalidations);
-  json.field("pair_sweeps", snapshot_cache.pair_sweeps);
-  json.field("rx_sweeps", snapshot_cache.rx_sweeps);
-  json.field("hit_rate", snapshot_cache.hit_rate);
-  json.close();
+  write_snapshot_cache(json, snapshot_cache);
 
   json.open("counters");
   for (const auto& [name, value] : counters) {
@@ -261,10 +272,13 @@ std::string RunReport::summary_text() const {
   line("  engine           %llu events, queue hwm %llu",
        static_cast<unsigned long long>(engine.events_executed),
        static_cast<unsigned long long>(engine.queue_depth_hwm));
-  line("  snapshot cache   %.1f%% hit rate (%llu hits / %llu misses)",
+  line("  snapshot cache   %.1f%% hit rate (%llu hits, %llu refreshes / "
+       "%llu cold, %llu evicted)",
        100.0 * snapshot_cache.hit_rate,
        static_cast<unsigned long long>(snapshot_cache.hits),
-       static_cast<unsigned long long>(snapshot_cache.misses));
+       static_cast<unsigned long long>(snapshot_cache.refreshes),
+       static_cast<unsigned long long>(snapshot_cache.cold_misses),
+       static_cast<unsigned long long>(snapshot_cache.invalidations));
   const auto tracking = latencies.find("tracking_loop_ms");
   if (tracking != latencies.end() && tracking->second.count > 0) {
     line("  tracking loop    p50 %.1f ms, p95 %.1f ms (%llu reactions)",
@@ -310,14 +324,7 @@ std::string FleetReport::to_json() const {
   json.field("wall_per_sim_second", engine.wall_per_sim_second);
   json.close();
 
-  json.open("snapshot_cache");
-  json.field("hits", snapshot_cache.hits);
-  json.field("misses", snapshot_cache.misses);
-  json.field("invalidations", snapshot_cache.invalidations);
-  json.field("pair_sweeps", snapshot_cache.pair_sweeps);
-  json.field("rx_sweeps", snapshot_cache.rx_sweeps);
-  json.field("hit_rate", snapshot_cache.hit_rate);
-  json.close();
+  write_snapshot_cache(json, snapshot_cache);
 
   json.open("timing");
   json.field("wall_seconds", wall_seconds);
@@ -387,10 +394,13 @@ std::string FleetReport::summary_text() const {
   line("  engine           %llu events, queue hwm %llu",
        static_cast<unsigned long long>(engine.events_executed),
        static_cast<unsigned long long>(engine.queue_depth_hwm));
-  line("  snapshot cache   %.1f%% hit rate (%llu hits / %llu misses)",
+  line("  snapshot cache   %.1f%% hit rate (%llu hits, %llu refreshes / "
+       "%llu cold, %llu evicted)",
        100.0 * snapshot_cache.hit_rate,
        static_cast<unsigned long long>(snapshot_cache.hits),
-       static_cast<unsigned long long>(snapshot_cache.misses));
+       static_cast<unsigned long long>(snapshot_cache.refreshes),
+       static_cast<unsigned long long>(snapshot_cache.cold_misses),
+       static_cast<unsigned long long>(snapshot_cache.invalidations));
   return out;
 }
 

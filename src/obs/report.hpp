@@ -41,13 +41,23 @@ struct EngineReport {
 };
 
 /// net::SnapshotCacheStats, flattened (obs sits below net in the link
-/// order, so the struct is mirrored rather than included).
+/// order, so the struct is mirrored rather than included). The cache
+/// counters split the rebuild causes — an incremental same-UE refresh, a
+/// cold miss, a cross-UE eviction — and the build counters say how much
+/// of each rebuild was carried over from the previous epoch.
 struct SnapshotCacheReport {
   std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t cold_misses = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t pair_sweeps = 0;
   std::uint64_t rx_sweeps = 0;
+  std::uint64_t full_builds = 0;
+  std::uint64_t incremental_builds = 0;
+  std::uint64_t geometry_reuses = 0;
+  std::uint64_t shadow_reuses = 0;
+  std::uint64_t blockage_reuses = 0;
+  std::uint64_t azimuth_reuses = 0;
   double hit_rate = 0.0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/angles.hpp"
 #include "common/units.hpp"
+#include "phy/simd.hpp"
 
 namespace st::phy {
 
@@ -73,6 +74,20 @@ double BeamPattern::gain_linear(double offset_rad) const noexcept {
   return from_db(gain_dbi(offset_rad));
 }
 
+void BeamPattern::gain_linear_batch(const double* offsets, double* out,
+                                    std::size_t n) const noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = gain_linear(offsets[i]);
+  }
+}
+
+void OmniPattern::gain_linear_batch(const double* /*offsets*/, double* out,
+                                    std::size_t n) const noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = 1.0;
+  }
+}
+
 double OmniPattern::hpbw_rad() const noexcept { return kTwoPi; }
 
 GaussianPattern::GaussianPattern(double hpbw_rad, double sidelobe_floor_db)
@@ -115,6 +130,12 @@ double GaussianPattern::gain_linear(double offset_rad) const noexcept {
   const double lobe =
       peak_linear_ * std::exp(-theta * theta / (2.0 * sigma_ * sigma_));
   return std::max(lobe, floor_linear_);
+}
+
+void GaussianPattern::gain_linear_batch(const double* offsets, double* out,
+                                        std::size_t n) const noexcept {
+  simd::gaussian_gain_batch(offsets, out, n, peak_linear_, sigma_,
+                            floor_linear_);
 }
 
 double GaussianPattern::peak_gain_dbi() const noexcept {

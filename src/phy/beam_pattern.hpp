@@ -23,6 +23,7 @@
 // channel for off-plane geometry.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 namespace st::phy {
@@ -40,6 +41,15 @@ class BeamPattern {
   /// but skips the dB round trip — the sweep kernels call this once per
   /// (path, candidate beam) in their inner loop.
   [[nodiscard]] virtual double gain_linear(double offset_rad) const noexcept;
+
+  /// Linear gains for `n` angular offsets at once — the sweep kernels'
+  /// batch accessor, letting a pattern amortise its transcendental work
+  /// across a whole codebook (see Codebook::gains_linear). In-place
+  /// operation (`out == offsets`) is supported. The default simply loops
+  /// gain_linear; GaussianPattern dispatches to the vectorized evaluator
+  /// when the ST_SIMD fast path is compiled in and supported.
+  virtual void gain_linear_batch(const double* offsets, double* out,
+                                 std::size_t n) const noexcept;
 
   /// Half-power (−3 dB) beamwidth [rad]. Omni patterns report 2*pi.
   [[nodiscard]] virtual double hpbw_rad() const noexcept = 0;
@@ -61,6 +71,8 @@ class OmniPattern final : public BeamPattern {
   [[nodiscard]] double gain_linear(double) const noexcept override {
     return 1.0;
   }
+  void gain_linear_batch(const double* offsets, double* out,
+                         std::size_t n) const noexcept override;
   [[nodiscard]] double hpbw_rad() const noexcept override;
   [[nodiscard]] double peak_gain_dbi() const noexcept override { return 0.0; }
 };
@@ -75,6 +87,8 @@ class GaussianPattern final : public BeamPattern {
 
   [[nodiscard]] double gain_dbi(double offset_rad) const noexcept override;
   [[nodiscard]] double gain_linear(double offset_rad) const noexcept override;
+  void gain_linear_batch(const double* offsets, double* out,
+                         std::size_t n) const noexcept override;
   [[nodiscard]] double hpbw_rad() const noexcept override { return hpbw_; }
   [[nodiscard]] double peak_gain_dbi() const noexcept override;
 

@@ -1,6 +1,7 @@
 #include "phy/blockage.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace st::phy {
@@ -53,6 +54,30 @@ double BlockageProcess::attenuation_db(sim::Time t) const noexcept {
     }
   }
   return total;
+}
+
+BlockageWindow BlockageProcess::window(sim::Time t) const noexcept {
+  constexpr std::int64_t kMinNs = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMaxNs = std::numeric_limits<std::int64_t>::max();
+  sim::Time clear_since = sim::Time::from_ns(kMinNs);
+  for (const Event& e : events_) {
+    if (t < e.onset) {
+      return {0.0, clear_since, e.onset};  // in the gap before this event
+    }
+    const sim::Time full_at = e.onset + e.ramp;
+    const sim::Time fall_at = full_at + e.flat;
+    const sim::Time end_at = fall_at + e.ramp;
+    if (t >= end_at) {
+      clear_since = end_at;
+      continue;
+    }
+    if (t >= full_at && t < fall_at) {
+      return {e.attenuation_db, full_at, fall_at};  // flat phase
+    }
+    // On a rising or falling ramp the value changes every nanosecond.
+    return {attenuation_db(t), t, t + sim::Duration::nanoseconds(1)};
+  }
+  return {0.0, clear_since, sim::Time::from_ns(kMaxNs)};
 }
 
 bool BlockageProcess::fully_blocked(sim::Time t) const noexcept {

@@ -26,6 +26,18 @@ struct BlockageConfig {
   double ramp_s = 0.1;              ///< linear onset/decay duration
 };
 
+/// Constancy interval of the blockage attenuation around one instant:
+/// `attenuation_db` holds for every t in [from, until). Gaps between
+/// events and the flat phase of an event yield wide windows; on a ramp
+/// the value changes every nanosecond, so the window degenerates to the
+/// queried instant. Lets snapshot rebuilds skip the event-list walk for
+/// as long as the last answer provably still holds.
+struct BlockageWindow {
+  double attenuation_db = 0.0;
+  sim::Time from;   ///< inclusive
+  sim::Time until;  ///< exclusive
+};
+
 class BlockageProcess {
  public:
   /// Pre-draws all events with onset in [0, horizon).
@@ -35,6 +47,10 @@ class BlockageProcess {
   /// Total LOS attenuation [dB] at time `t` (0 when unblocked). Ramps make
   /// this continuous, so a 3 dB-drop detector sees a realistic slope.
   [[nodiscard]] double attenuation_db(sim::Time t) const noexcept;
+
+  /// The attenuation at `t` together with the interval over which that
+  /// value is constant. window(t).attenuation_db == attenuation_db(t).
+  [[nodiscard]] BlockageWindow window(sim::Time t) const noexcept;
 
   /// Whether any event is at its flat (fully blocked) phase at `t`.
   [[nodiscard]] bool fully_blocked(sim::Time t) const noexcept;

@@ -32,37 +32,153 @@ Channel::Channel(const ChannelConfig& config, Vec3 tx_anchor, Vec3 rx_anchor,
       multipath_(config.multipath, tx_anchor, rx_anchor,
                  derive_seed(seed, "multipath")) {}
 
+namespace {
+
+bool same_orientation(const Quaternion& a, const Quaternion& b) noexcept {
+  return a.w == b.w && a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+}  // namespace
+
 void Channel::make_snapshot(const Pose& tx_pose, const Pose& rx_pose,
                             sim::Time t, double tx_power_dbm,
                             PathSnapshot& out) const {
-  const double shadow_db = shadowing_.sample_db(rx_pose.position);
-  const double block_db = blockage_.attenuation_db(t);
+  update_snapshot(tx_pose, rx_pose, t, tx_power_dbm, out, nullptr, nullptr);
+}
+
+void Channel::update_snapshot(const Pose& tx_pose, const Pose& rx_pose,
+                              sim::Time t, double tx_power_dbm,
+                              PathSnapshot& out, SnapshotReuse* reuse,
+                              SnapshotBuildStats* stats) const {
+  if (reuse == nullptr) {
+    // One-off build through per-thread scratch reuse state, marked cold on
+    // both sides so nothing leaks between channels sharing the thread.
+    thread_local SnapshotReuse scratch;
+    scratch.valid = false;
+    update_snapshot(tx_pose, rx_pose, t, tx_power_dbm, out, &scratch, stats);
+    scratch.valid = false;
+    return;
+  }
+
+  SnapshotReuse& r = *reuse;
+  const bool warm = r.valid;
+  // Cleared for the duration of the build: a throwing component can never
+  // leave reuse state describing a half-built snapshot.
+  r.valid = false;
+
+  const bool same_tx_pos = warm && r.tx_pose.position == tx_pose.position;
+  const bool same_rx_pos = warm && r.rx_pose.position == rx_pose.position;
+  const bool geometry_ok = same_tx_pos && same_rx_pos;
+  const bool tx_orient_ok =
+      warm && same_orientation(r.tx_pose.orientation, tx_pose.orientation);
+  const bool rx_orient_ok =
+      warm && same_orientation(r.rx_pose.orientation, rx_pose.orientation);
+
+  // Shadowing is a pure function of the RX position.
+  const bool shadow_ok = same_rx_pos;
+  if (!shadow_ok) {
+    r.shadow_db = shadowing_.sample_db(rx_pose.position);
+  }
+
+  // Blockage is piecewise constant/linear in t; the cached window tells
+  // us exactly how long the last value keeps holding.
+  const bool block_ok = warm && r.block_from <= t && t < r.block_until;
+  if (!block_ok) {
+    const BlockageWindow w = blockage_.window(t);
+    r.block_db = w.attenuation_db;
+    r.block_from = w.from;
+    r.block_until = w.until;
+  }
+
+  if (!geometry_ok) {
+    r.departure.clear();
+    r.arrival.clear();
+    r.length_m.clear();
+    r.extra_loss_db.clear();
+    r.path_loss_db.clear();
+    r.phase_cos.clear();
+    r.phase_sin.clear();
+    r.is_los.clear();
+    multipath_.visit_paths(
+        tx_pose.position, rx_pose.position, [&](const PropagationPath& path) {
+          r.departure.push_back(path.departure_world);
+          r.arrival.push_back(path.arrival_world);
+          r.length_m.push_back(path.length_m);
+          r.extra_loss_db.push_back(path.extra_loss_db);
+          r.path_loss_db.push_back(pathloss_.loss_db(path.length_m));
+          if (coherent_) {
+            const double phase =
+                kTwoPi * std::fmod(path.length_m / wavelength_m_, 1.0);
+            r.phase_cos.push_back(std::cos(phase));
+            r.phase_sin.push_back(std::sin(phase));
+          } else {
+            r.phase_cos.push_back(0.0);
+            r.phase_sin.push_back(0.0);
+          }
+          r.is_los.push_back(path.is_los ? 1 : 0);
+        });
+  }
+  const std::size_t n = r.length_m.size();
 
   out.coherent = coherent_;
-  out.paths.clear();
-  multipath_.visit_paths(
-      tx_pose.position, rx_pose.position, [&](const PropagationPath& path) {
-        PathSnapshot::Path p;
-        p.base_db = tx_power_dbm - pathloss_.loss_db(path.length_m) -
-                    path.extra_loss_db - shadow_db;
-        if (path.is_los) {
-          p.base_db -= block_db;
-        }
-        p.base_linear = from_db(p.base_db);
-        if (coherent_) {
-          const double phase =
-              kTwoPi * std::fmod(path.length_m / wavelength_m_, 1.0);
-          const double amp = std::sqrt(p.base_linear);
-          p.amp_cos = amp * std::cos(phase);
-          p.amp_sin = amp * std::sin(phase);
-        } else {
-          p.amp_cos = 0.0;
-          p.amp_sin = 0.0;
-        }
-        p.tx_az = tx_pose.to_body_frame(path.departure_world).azimuth();
-        p.rx_az = rx_pose.to_body_frame(path.arrival_world).azimuth();
-        out.paths.push_back(p);
-      });
+  out.resize(n);
+
+  // Body-frame azimuths: world-frame directions survive any delta that
+  // keeps both positions; rotations re-project the cached directions.
+  if (!(geometry_ok && tx_orient_ok)) {
+    for (std::size_t p = 0; p < n; ++p) {
+      out.tx_az[p] = tx_pose.to_body_frame(r.departure[p]).azimuth();
+    }
+  }
+  if (!(geometry_ok && rx_orient_ok)) {
+    for (std::size_t p = 0; p < n; ++p) {
+      out.rx_az[p] = rx_pose.to_body_frame(r.arrival[p]).azimuth();
+    }
+  }
+
+  // Base powers and coherent amplitudes: untouched when every input term
+  // carried over, recomputed from the cached per-path components
+  // otherwise (the arithmetic order matches a from-scratch build exactly,
+  // so incremental and full rebuilds stay bit-identical).
+  const bool power_ok = warm && r.tx_power_dbm == tx_power_dbm;
+  const bool bases_ok = geometry_ok && shadow_ok && block_ok && power_ok;
+  if (!bases_ok) {
+    for (std::size_t p = 0; p < n; ++p) {
+      double base = tx_power_dbm - r.path_loss_db[p] - r.extra_loss_db[p] -
+                    r.shadow_db;
+      if (r.is_los[p] != 0) {
+        base -= r.block_db;
+      }
+      out.base_db[p] = base;
+      out.base_linear[p] = from_db(base);
+      if (coherent_) {
+        const double amp = std::sqrt(out.base_linear[p]);
+        out.amp_cos[p] = amp * r.phase_cos[p];
+        out.amp_sin[p] = amp * r.phase_sin[p];
+      } else {
+        out.amp_cos[p] = 0.0;
+        out.amp_sin[p] = 0.0;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    if (warm) {
+      ++stats->incremental_builds;
+      stats->geometry_reuses += geometry_ok ? 1 : 0;
+      stats->shadow_reuses += shadow_ok ? 1 : 0;
+      stats->blockage_reuses += block_ok ? 1 : 0;
+      stats->azimuth_reuses +=
+          (geometry_ok && tx_orient_ok && rx_orient_ok) ? 1 : 0;
+    } else {
+      ++stats->full_builds;
+    }
+  }
+
+  r.tx_pose = tx_pose;
+  r.rx_pose = rx_pose;
+  r.tx_power_dbm = tx_power_dbm;
+  r.valid = true;
 }
 
 double Channel::rx_power_dbm(const Pose& tx_pose, const Beam& tx_beam,

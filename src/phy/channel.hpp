@@ -32,6 +32,8 @@ namespace st::phy {
 
 // Defined in path_snapshot.hpp together with the sweep kernels.
 struct PathSnapshot;
+struct SnapshotReuse;
+struct SnapshotBuildStats;
 
 struct ChannelConfig {
   PathLossConfig pathloss{.model = PathLossModel::kFreeSpace,
@@ -75,6 +77,21 @@ class Channel {
   /// path_snapshot.hpp.
   void make_snapshot(const Pose& tx_pose, const Pose& rx_pose, sim::Time t,
                      double tx_power_dbm, PathSnapshot& out) const;
+
+  /// Incremental snapshot build. Like make_snapshot, but when `reuse`
+  /// carries the valid state of the previous build of `out`, only the
+  /// components the (pose, t, power) delta actually invalidates are
+  /// recomputed: an unchanged RX position keeps the shadowing sample, a t
+  /// still inside the cached blockage window keeps the attenuation,
+  /// unchanged positions keep the whole path geometry (a pure rotation
+  /// then refreshes nothing but the azimuths). The result is bit-identical
+  /// to a full build — pinned by tests/phy/test_path_snapshot.cpp.
+  /// `reuse` must describe `out` (same slot, as SnapshotEpochCache
+  /// guarantees); pass nullptr for a one-off full build. `stats`, when
+  /// non-null, accumulates per-component reuse counters.
+  void update_snapshot(const Pose& tx_pose, const Pose& rx_pose, sim::Time t,
+                       double tx_power_dbm, PathSnapshot& out,
+                       SnapshotReuse* reuse, SnapshotBuildStats* stats) const;
 
   /// Ground-truth helper for the metric layer (protocols must not call
   /// this): the RX beam in `rx_codebook` with the highest rx power for

@@ -28,6 +28,34 @@ Codebook::Codebook(std::vector<Beam> beams) : beams_(std::move(beams)) {
   if (beams_.empty()) {
     throw std::invalid_argument("Codebook: needs at least one beam");
   }
+  boresights_.reserve(beams_.size());
+  for (const Beam& b : beams_) {
+    boresights_.push_back(b.boresight_rad());
+  }
+  shared_pattern_ = &beams_.front().pattern();
+  for (const Beam& b : beams_) {
+    if (&b.pattern() != shared_pattern_) {
+      shared_pattern_ = nullptr;
+      break;
+    }
+  }
+}
+
+void Codebook::gains_linear(double azimuth_rad, double* out) const noexcept {
+  const std::size_t n = beams_.size();
+  if (shared_pattern_ != nullptr) {
+    // Offsets are formed unwrapped; the pattern wraps internally, and
+    // wrap_pi is idempotent, so this matches the per-beam
+    // angular_difference path bit for bit on the scalar path.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = azimuth_rad - boresights_[i];
+    }
+    shared_pattern_->gain_linear_batch(out, out, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = beams_[i].gain_linear(azimuth_rad);
+  }
 }
 
 Codebook Codebook::uniform(unsigned n_beams,

@@ -85,6 +85,14 @@ class Codebook {
   /// Gain of beam `id` towards a body-frame azimuth [dBi].
   [[nodiscard]] double gain_dbi(BeamId id, double azimuth_rad) const;
 
+  /// Linear gains of *every* beam towards one body-frame azimuth, written
+  /// to `out[0 .. size())` — the sweep kernels' per-path accessor. When
+  /// all beams share one pattern instance (every factory above), the
+  /// boresight offsets are formed in `out` and handed to the pattern's
+  /// batch evaluator in place, amortising the transcendental work across
+  /// the codebook; heterogeneous codebooks fall back to per-beam calls.
+  void gains_linear(double azimuth_rad, double* out) const noexcept;
+
   /// Ground-truth helper (metrics/tests only — protocols must not call
   /// this): the beam with the highest gain towards `azimuth_rad`.
   [[nodiscard]] BeamId best_beam_for(double azimuth_rad) const;
@@ -99,6 +107,11 @@ class Codebook {
   explicit Codebook(std::vector<Beam> beams);
 
   std::vector<Beam> beams_;
+  std::vector<double> boresights_;  ///< beams_[i].boresight_rad(), cached
+  /// The single pattern shared by every beam, or nullptr when beams carry
+  /// distinct patterns. Points into a shared_ptr held by beams_, so it
+  /// stays valid across copies/moves of the codebook.
+  const BeamPattern* shared_pattern_ = nullptr;
 };
 
 }  // namespace st::phy

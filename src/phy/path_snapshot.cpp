@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "common/units.hpp"
+#include "phy/simd.hpp"
 
 namespace st::phy {
 
@@ -14,100 +15,154 @@ namespace {
 /// produce −inf; identical to the naive formulation's floor.
 constexpr double kCoherentFloorLinear = 1e-30;
 
-/// Accumulate the sweep metric (linear power, or |amplitude|^2 when
-/// coherent) for one RX beam over the snapshot, with the per-path TX
-/// gains already evaluated into `tx_gain`.
-double beam_metric(const PathSnapshot& snapshot, const double* tx_gain,
-                   std::size_t n_paths, const Beam& rx_beam) noexcept {
-  if (snapshot.coherent) {
-    double re = 0.0;
-    double im = 0.0;
-    for (std::size_t i = 0; i < n_paths; ++i) {
-      const PathSnapshot::Path& p = snapshot.paths[i];
-      const double a = std::sqrt(tx_gain[i] * rx_beam.gain_linear(p.rx_az));
-      re += a * p.amp_cos;
-      im += a * p.amp_sin;
-    }
-    return re * re + im * im;
-  }
-  double sum_mw = 0.0;
-  for (std::size_t i = 0; i < n_paths; ++i) {
-    const PathSnapshot::Path& p = snapshot.paths[i];
-    sum_mw += p.base_linear * tx_gain[i] * rx_beam.gain_linear(p.rx_az);
-  }
-  return sum_mw;
+/// Reusable per-thread buffers for the sweep kernels: the per-path gain
+/// rows of both codebooks plus the per-candidate metric accumulators.
+/// Thread-local so concurrent scenario runs never share state; capacity
+/// is retained, so the hot path allocates only on each thread's first
+/// sweep of a given codebook size.
+struct SweepWorkspace {
+  std::vector<double> tx_gain;  ///< beam-major: [tx_beam][path]
+  std::vector<double> rx_gain;  ///< path-major: [path][rx_beam]
+  std::vector<double> gains;    ///< per-azimuth batch scratch
+  std::vector<double> metric;   ///< incoherent accumulator per RX beam
+  std::vector<double> re;       ///< coherent accumulators per RX beam
+  std::vector<double> im;
+};
+
+SweepWorkspace& workspace() {
+  thread_local SweepWorkspace ws;
+  return ws;
 }
 
-double metric_to_dbm(const PathSnapshot& snapshot, double metric) noexcept {
-  if (snapshot.coherent) {
-    return to_db(std::max(metric, kCoherentFloorLinear));
+/// Fill `rx_gain` with one row of RX-codebook gains per path.
+void fill_rx_gains(const PathSnapshot& snapshot, const Codebook& rx_codebook,
+                   std::vector<double>& rx_gain) {
+  const std::size_t n_paths = snapshot.size();
+  const std::size_t n_rx = rx_codebook.size();
+  rx_gain.resize(n_paths * n_rx);
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    rx_codebook.gains_linear(snapshot.rx_az[p], &rx_gain[p * n_rx]);
   }
-  return to_db(metric);
+}
+
+/// Metric for every RX candidate given one path-indexed TX gain row:
+/// linear power when incoherent, |complex amplitude|^2 when coherent.
+/// Writes the result into ws.metric.
+void accumulate_metrics(const PathSnapshot& snapshot, const double* tx_gain,
+                        std::size_t n_rx, SweepWorkspace& ws) {
+  const std::size_t n_paths = snapshot.size();
+  if (snapshot.coherent) {
+    ws.re.assign(n_rx, 0.0);
+    ws.im.assign(n_rx, 0.0);
+    for (std::size_t p = 0; p < n_paths; ++p) {
+      simd::coherent_accumulate(tx_gain[p], &ws.rx_gain[p * n_rx],
+                                snapshot.amp_cos[p], snapshot.amp_sin[p],
+                                ws.re.data(), ws.im.data(), n_rx);
+    }
+    ws.metric.resize(n_rx);
+    for (std::size_t j = 0; j < n_rx; ++j) {
+      ws.metric[j] = ws.re[j] * ws.re[j] + ws.im[j] * ws.im[j];
+    }
+    return;
+  }
+  ws.metric.assign(n_rx, 0.0);
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const double w = snapshot.base_linear[p] * tx_gain[p];
+    simd::axpy_accumulate(w, &ws.rx_gain[p * n_rx], ws.metric.data(), n_rx);
+  }
+}
+
+/// First-strictly-greater argmax over ws.metric — ties keep the lowest
+/// beam id, matching the naive per-pair scan.
+Channel::BestBeam best_of_metrics(const PathSnapshot& snapshot,
+                                  const SweepWorkspace& ws,
+                                  std::size_t n_rx) noexcept {
+  Channel::BestBeam best;
+  best.beam = 0;
+  double best_metric = ws.metric[0];
+  for (std::size_t j = 1; j < n_rx; ++j) {
+    if (ws.metric[j] > best_metric) {
+      best.beam = static_cast<BeamId>(j);
+      best_metric = ws.metric[j];
+    }
+  }
+  if (snapshot.coherent) {
+    best.rx_power_dbm = to_db(std::max(best_metric, kCoherentFloorLinear));
+  } else {
+    best.rx_power_dbm = to_db(best_metric);
+  }
+  return best;
 }
 
 }  // namespace
 
 double snapshot_rx_power_dbm(const PathSnapshot& snapshot, const Beam& tx_beam,
                              const Beam& rx_beam) noexcept {
+  const std::size_t n_paths = snapshot.size();
   if (snapshot.coherent) {
     double re = 0.0;
     double im = 0.0;
-    for (const PathSnapshot::Path& p : snapshot.paths) {
-      const double a = std::sqrt(tx_beam.gain_linear(p.tx_az) *
-                                 rx_beam.gain_linear(p.rx_az));
-      re += a * p.amp_cos;
-      im += a * p.amp_sin;
+    for (std::size_t p = 0; p < n_paths; ++p) {
+      const double a = std::sqrt(tx_beam.gain_linear(snapshot.tx_az[p]) *
+                                 rx_beam.gain_linear(snapshot.rx_az[p]));
+      re += a * snapshot.amp_cos[p];
+      im += a * snapshot.amp_sin[p];
     }
     return to_db(std::max(re * re + im * im, kCoherentFloorLinear));
   }
   double sum_mw = 0.0;
-  for (const PathSnapshot::Path& p : snapshot.paths) {
-    sum_mw += p.base_linear * tx_beam.gain_linear(p.tx_az) *
-              rx_beam.gain_linear(p.rx_az);
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    sum_mw += snapshot.base_linear[p] * tx_beam.gain_linear(snapshot.tx_az[p]) *
+              rx_beam.gain_linear(snapshot.rx_az[p]);
   }
   return to_db(sum_mw);
 }
 
 Channel::BestBeam sweep_rx_beams(const PathSnapshot& snapshot,
                                  const Beam& tx_beam,
-                                 const Codebook& rx_codebook) noexcept {
-  // The TX-side gains are shared by every RX candidate: hoist them out of
-  // the beam loop into a stack buffer. Path counts are tiny (1 + the
-  // reflector count); configs beyond the buffer would be pathological but
-  // are still handled by chunk-free per-path evaluation below.
-  constexpr std::size_t kMaxHoistedPaths = 64;
-  double tx_gain[kMaxHoistedPaths];
-  const std::size_t n_paths =
-      std::min(snapshot.paths.size(), kMaxHoistedPaths);
-  for (std::size_t i = 0; i < n_paths; ++i) {
-    tx_gain[i] = tx_beam.gain_linear(snapshot.paths[i].tx_az);
+                                 const Codebook& rx_codebook) {
+  SweepWorkspace& ws = workspace();
+  const std::size_t n_paths = snapshot.size();
+  const std::size_t n_rx = rx_codebook.size();
+  fill_rx_gains(snapshot, rx_codebook, ws.rx_gain);
+  ws.tx_gain.resize(n_paths);
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    ws.tx_gain[p] = tx_beam.gain_linear(snapshot.tx_az[p]);
   }
-  const bool hoisted = n_paths == snapshot.paths.size();
-
-  Channel::BestBeam best;
-  double best_metric = 0.0;
-  for (const Beam& candidate : rx_codebook.beams()) {
-    const double metric =
-        hoisted
-            ? beam_metric(snapshot, tx_gain, n_paths, candidate)
-            : from_db(snapshot_rx_power_dbm(snapshot, tx_beam, candidate));
-    if (best.beam == kInvalidBeam || metric > best_metric) {
-      best.beam = candidate.id();
-      best_metric = metric;
-    }
-  }
-  best.rx_power_dbm = metric_to_dbm(snapshot, best_metric);
-  return best;
+  accumulate_metrics(snapshot, ws.tx_gain.data(), n_rx, ws);
+  return best_of_metrics(snapshot, ws, n_rx);
 }
 
 Channel::BestPair sweep_beam_pairs(const PathSnapshot& snapshot,
                                    const Codebook& tx_codebook,
-                                   const Codebook& rx_codebook) noexcept {
+                                   const Codebook& rx_codebook) {
+  SweepWorkspace& ws = workspace();
+  const std::size_t n_paths = snapshot.size();
+  const std::size_t n_tx = tx_codebook.size();
+  const std::size_t n_rx = rx_codebook.size();
+  fill_rx_gains(snapshot, rx_codebook, ws.rx_gain);
+
+  // One batch gain evaluation per (path, codebook) instead of one libm
+  // call per (path, beam): for 8x18 codebooks over 4 paths this drops the
+  // expensive evaluations from 576 to 104. The TX matrix is gathered
+  // beam-major so each TX beam's sweep reads a contiguous per-path row.
+  ws.tx_gain.resize(n_tx * n_paths);
+  ws.gains.resize(n_tx);
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    tx_codebook.gains_linear(snapshot.tx_az[p], ws.gains.data());
+    for (std::size_t tb = 0; tb < n_tx; ++tb) {
+      ws.tx_gain[tb * n_paths + p] = ws.gains[tb];
+    }
+  }
+
+  // Per-TX winners are compared in the dBm domain exactly as the nested
+  // sweep did, so tie behaviour is unchanged.
   Channel::BestPair best;
-  for (const Beam& tx : tx_codebook.beams()) {
-    const Channel::BestBeam b = sweep_rx_beams(snapshot, tx, rx_codebook);
+  for (std::size_t tb = 0; tb < n_tx; ++tb) {
+    accumulate_metrics(snapshot, ws.tx_gain.data() + tb * n_paths, n_rx, ws);
+    const Channel::BestBeam b = best_of_metrics(snapshot, ws, n_rx);
     if (best.tx_beam == kInvalidBeam || b.rx_power_dbm > best.rx_power_dbm) {
-      best.tx_beam = tx.id();
+      best.tx_beam = static_cast<BeamId>(tb);
       best.rx_beam = b.beam;
       best.rx_power_dbm = b.rx_power_dbm;
     }

@@ -6,41 +6,115 @@
 // candidates only the beam gains change: the multipath path set, path
 // loss, reflection losses, shadowing, blockage and the body-frame
 // azimuths depend solely on (tx pose, rx pose, t). A PathSnapshot
-// captures those once; the sweep kernels then score entire codebooks
-// touching nothing but a handful of precomputed scalars per path and the
-// patterns' linear gains — no heap allocation and no dB<->linear round
-// trips in the inner loop.
+// captures those once as structure-of-arrays state; the sweep kernels
+// then score entire codebooks by building per-path gain rows with the
+// codebooks' batch evaluators and accumulating the combining metric with
+// the vectorized helpers in simd.hpp — no heap allocation once warm and
+// no dB<->linear round trips in the inner loop.
+//
+// SnapshotReuse extends the fast path across *time*: it carries the
+// per-component inputs of the last build (world-frame geometry, slow
+// shadowing/blockage state, phases) together with the poses they were
+// computed for, so Channel::update_snapshot can recompute only the
+// components an actual pose/time delta invalidates. A pure rotation
+// refreshes nothing but the RX azimuths; a time step inside the same
+// blockage window with an unchanged pose refreshes nothing at all.
 //
 // Equivalence with the naive per-call formulation (kept as
 // Channel::rx_power_dbm_naive) is pinned to <= 1e-9 dB by
 // tests/phy/test_path_snapshot.cpp across coherent/incoherent configs and
-// all pattern families.
+// all pattern families; incremental rebuilds are pinned bit-identical to
+// full rebuilds.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "common/pose.hpp"
 #include "phy/channel.hpp"
+#include "sim/time.hpp"
 
 namespace st::phy {
 
 /// Per-path state that does not depend on the beams under evaluation,
-/// computed once per (tx pose, rx pose, t, tx power) by
-/// Channel::make_snapshot. Paths appear LOS first, then one per
-/// reflector — the same order as MultipathGeometry::paths().
+/// computed by Channel::make_snapshot / update_snapshot. Paths appear LOS
+/// first, then one per reflector — the same order as
+/// MultipathGeometry::paths(). Stored as structure-of-arrays so the sweep
+/// kernels stream each component contiguously.
 struct PathSnapshot {
-  struct Path {
-    double base_db;      ///< beam-independent rx power [dBm]: tx power −
-                         ///< path loss − reflection loss − shadowing −
-                         ///< blockage (LOS only); beam gains excluded
-    double base_linear;  ///< from_db(base_db) [mW]
-    double amp_cos;      ///< sqrt(base_linear)·cos(geometric phase)
-    double amp_sin;      ///< sqrt(base_linear)·sin(geometric phase)
-    double tx_az;        ///< body-frame azimuth of departure at the TX
-    double rx_az;        ///< body-frame azimuth of arrival at the RX
-  };
+  bool coherent = false;  ///< combine amplitudes instead of powers
 
-  bool coherent = false;   ///< combine amplitudes instead of powers
-  std::vector<Path> paths; ///< storage reused across make_snapshot calls
+  std::vector<double> base_db;  ///< beam-independent rx power [dBm]: tx
+                                ///< power − path loss − reflection loss −
+                                ///< shadowing − blockage (LOS only)
+  std::vector<double> base_linear;  ///< from_db(base_db) [mW]
+  std::vector<double> amp_cos;  ///< sqrt(base_linear)·cos(geometric phase)
+  std::vector<double> amp_sin;  ///< sqrt(base_linear)·sin(geometric phase)
+  std::vector<double> tx_az;    ///< body-frame azimuth of departure at TX
+  std::vector<double> rx_az;    ///< body-frame azimuth of arrival at RX
+
+  [[nodiscard]] std::size_t size() const noexcept { return base_db.size(); }
+  [[nodiscard]] bool empty() const noexcept { return base_db.empty(); }
+
+  /// Resize every component array; storage is reused across rebuilds.
+  void resize(std::size_t n) {
+    base_db.resize(n);
+    base_linear.resize(n);
+    amp_cos.resize(n);
+    amp_sin.resize(n);
+    tx_az.resize(n);
+    rx_az.resize(n);
+  }
+};
+
+/// Cached build inputs of one snapshot, owned by the caller (one per
+/// cached snapshot slot) and threaded back into Channel::update_snapshot
+/// so consecutive builds recompute only what a delta invalidates. `valid`
+/// means: every field below describes the snapshot the caller holds. A
+/// build in progress clears it first, so a throwing channel can never
+/// leave reuse state describing a half-built snapshot.
+struct SnapshotReuse {
+  bool valid = false;
+  Pose tx_pose;
+  Pose rx_pose;
+  double tx_power_dbm = 0.0;
+
+  // Geometry-derived, valid while both positions are unchanged.
+  std::vector<Vec3> departure;        ///< world-frame departure directions
+  std::vector<Vec3> arrival;          ///< world-frame arrival directions
+  std::vector<double> length_m;       ///< total path lengths
+  std::vector<double> extra_loss_db;  ///< reflection losses (0 for LOS)
+  std::vector<double> path_loss_db;   ///< pathloss over each length
+  std::vector<double> phase_cos;      ///< cos of the geometric phase
+  std::vector<double> phase_sin;      ///< sin of the geometric phase
+  std::vector<std::uint8_t> is_los;   ///< 1 for the LOS path
+
+  // Slow-process state.
+  double shadow_db = 0.0;  ///< valid while the RX position is unchanged
+  double block_db = 0.0;   ///< valid for t in [block_from, block_until)
+  sim::Time block_from;
+  sim::Time block_until;
+};
+
+/// Per-component accounting of update_snapshot, surfaced through
+/// net::SnapshotCacheStats so reuse depth is observable per run.
+struct SnapshotBuildStats {
+  std::uint64_t full_builds = 0;         ///< cold builds (no valid reuse)
+  std::uint64_t incremental_builds = 0;  ///< builds that saw valid reuse
+  std::uint64_t geometry_reuses = 0;     ///< path geometry carried over
+  std::uint64_t shadow_reuses = 0;       ///< shadowing sample carried over
+  std::uint64_t blockage_reuses = 0;     ///< blockage window carried over
+  std::uint64_t azimuth_reuses = 0;      ///< both azimuth sets carried over
+
+  void merge(const SnapshotBuildStats& other) noexcept {
+    full_builds += other.full_builds;
+    incremental_builds += other.incremental_builds;
+    geometry_reuses += other.geometry_reuses;
+    shadow_reuses += other.shadow_reuses;
+    blockage_reuses += other.blockage_reuses;
+    azimuth_reuses += other.azimuth_reuses;
+  }
 };
 
 /// Received power [dBm] for one (TX beam, RX beam) pair over a snapshot.
@@ -51,14 +125,14 @@ struct PathSnapshot {
 /// Best RX beam in `rx_codebook` for a fixed TX beam — the fast
 /// equivalent of Channel::best_rx_beam once a snapshot exists. Ties keep
 /// the lowest beam id, matching the naive scan.
-[[nodiscard]] Channel::BestBeam sweep_rx_beams(
-    const PathSnapshot& snapshot, const Beam& tx_beam,
-    const Codebook& rx_codebook) noexcept;
+[[nodiscard]] Channel::BestBeam sweep_rx_beams(const PathSnapshot& snapshot,
+                                               const Beam& tx_beam,
+                                               const Codebook& rx_codebook);
 
 /// Best (TX beam, RX beam) pair over both codebooks — the fast equivalent
 /// of Channel::best_beam_pair once a snapshot exists.
-[[nodiscard]] Channel::BestPair sweep_beam_pairs(
-    const PathSnapshot& snapshot, const Codebook& tx_codebook,
-    const Codebook& rx_codebook) noexcept;
+[[nodiscard]] Channel::BestPair sweep_beam_pairs(const PathSnapshot& snapshot,
+                                                 const Codebook& tx_codebook,
+                                                 const Codebook& rx_codebook);
 
 }  // namespace st::phy

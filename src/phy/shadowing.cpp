@@ -5,6 +5,7 @@
 
 #include "common/angles.hpp"
 #include "common/rng.hpp"
+#include "phy/simd.hpp"
 
 namespace st::phy {
 
@@ -27,8 +28,11 @@ ShadowingProcess::ShadowingProcess(const ShadowingConfig& config,
     const double magnitude =
         k_scale * std::sqrt(-2.0 * std::log(std::max(1e-12, rng.uniform())));
     const double direction = rng.uniform(-kPi, kPi);
-    wavevectors_[i] = magnitude * Vec3{std::cos(direction),
-                                       std::sin(direction), 0.0};
+    const Vec3 k = magnitude * Vec3{std::cos(direction),
+                                    std::sin(direction), 0.0};
+    kx_[i] = k.x;
+    ky_[i] = k.y;
+    kz_[i] = k.z;
     phases_[i] = rng.uniform(0.0, kTwoPi);
   }
 }
@@ -37,10 +41,10 @@ double ShadowingProcess::sample_db(Vec3 position) const noexcept {
   if (config_.sigma_db == 0.0) {
     return 0.0;
   }
-  double sum = 0.0;
-  for (std::size_t i = 0; i < kComponents; ++i) {
-    sum += std::cos(wavevectors_[i].dot(position) + phases_[i]);
-  }
+  const double sum =
+      simd::cosine_field_sum(kx_.data(), ky_.data(), kz_.data(),
+                             phases_.data(), kComponents, position.x,
+                             position.y, position.z);
   return config_.sigma_db *
          std::sqrt(2.0 / static_cast<double>(kComponents)) * sum;
 }

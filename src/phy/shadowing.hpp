@@ -41,7 +41,11 @@ class ShadowingProcess {
   static constexpr std::size_t kComponents = 48;
 
   ShadowingConfig config_;
-  std::array<Vec3, kComponents> wavevectors_{};
+  // Wavevectors stored as structure-of-arrays so sample_db can stream
+  // them through the vectorized cosine-field evaluator (phy/simd.hpp).
+  std::array<double, kComponents> kx_{};
+  std::array<double, kComponents> ky_{};
+  std::array<double, kComponents> kz_{};
   std::array<double, kComponents> phases_{};
 };
 

@@ -1,0 +1,296 @@
+// AVX2 implementations of the sweep-kernel hot loops (see simd.hpp for
+// the numerics policy). This file is compiled with -ffp-contract=off so
+// separate mul/add intrinsics are never silently fused into FMAs — the
+// accumulation entry points stay bit-compatible with their scalar
+// fallbacks; FMA is used only where written explicitly (polynomial
+// evaluation and range reduction, which carry the documented ulp-level
+// tolerance anyway).
+#include "phy/simd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+#if defined(ST_SIMD_ENABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ST_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define ST_SIMD_X86 0
+#endif
+
+namespace st::phy::simd {
+
+namespace {
+
+#if ST_SIMD_X86
+
+#define ST_AVX2 __attribute__((target("avx2,fma")))
+
+/// Round to nearest, ties to even — matches std::remainder's quotient
+/// rounding and roundeven semantics.
+ST_AVX2 inline __m256d round_even_pd(__m256d x) noexcept {
+  return _mm256_round_pd(x, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+}
+
+/// 2^n for integer-valued doubles n in [-1022, 1023], via exponent bits.
+ST_AVX2 inline __m256d exp2_int_pd(__m256d n) noexcept {
+  const __m128i n32 = _mm256_cvtpd_epi32(n);
+  const __m256i n64 = _mm256_cvtepi32_epi64(n32);
+  const __m256i biased = _mm256_add_epi64(n64, _mm256_set1_epi64x(1023));
+  return _mm256_castsi256_pd(_mm256_slli_epi64(biased, 52));
+}
+
+/// Vector exp(x) for x in [-708, 708]: reduce x = n·ln2 + r with
+/// |r| <= ln2/2, evaluate a degree-11 Taylor polynomial on r (relative
+/// error < 1e-14), scale by 2^n.
+ST_AVX2 inline __m256d exp_pd(__m256d x) noexcept {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634074);
+  const __m256d ln2_hi = _mm256_set1_pd(6.93147180369123816490e-1);
+  const __m256d ln2_lo = _mm256_set1_pd(1.90821492927058770002e-10);
+
+  x = _mm256_max_pd(x, _mm256_set1_pd(-708.0));
+  x = _mm256_min_pd(x, _mm256_set1_pd(708.0));
+
+  const __m256d n = round_even_pd(_mm256_mul_pd(x, log2e));
+  __m256d r = _mm256_fnmadd_pd(n, ln2_hi, x);
+  r = _mm256_fnmadd_pd(n, ln2_lo, r);
+
+  // Horner over 1/k! for k = 11 .. 0.
+  __m256d p = _mm256_set1_pd(2.50521083854417187751e-8);   // 1/11!
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(2.75573192239858906526e-7));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(2.75573192239858906526e-6));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(2.48015873015873015873e-5));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.98412698412698412698e-4));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.38888888888888888889e-3));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(8.33333333333333333333e-3));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(4.16666666666666666667e-2));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.66666666666666666667e-1));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(0.5));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+
+  return _mm256_mul_pd(p, exp2_int_pd(n));
+}
+
+/// Vector cos(x) via pi/2 quadrant reduction (two-part constant, exact to
+/// ~1e-18 for the |x| < 1e4 arguments the shadowing field produces) and
+/// degree-14/13 Taylor polynomials on the reduced argument.
+ST_AVX2 inline __m256d cos_pd(__m256d x) noexcept {
+  const __m256d two_over_pi = _mm256_set1_pd(6.36619772367581343076e-1);
+  const __m256d pio2_hi = _mm256_set1_pd(1.57079632673412561417e0);
+  const __m256d pio2_lo = _mm256_set1_pd(6.07710050650619224932e-11);
+
+  const __m256d n = round_even_pd(_mm256_mul_pd(x, two_over_pi));
+  __m256d r = _mm256_fnmadd_pd(n, pio2_hi, x);
+  r = _mm256_fnmadd_pd(n, pio2_lo, r);
+  const __m256d z = _mm256_mul_pd(r, r);
+
+  // cos(r) on |r| <= pi/4.
+  __m256d c = _mm256_set1_pd(-1.14707455977297247139e-11);  // -1/14!
+  c = _mm256_fmadd_pd(c, z, _mm256_set1_pd(2.08767569878680989792e-9));
+  c = _mm256_fmadd_pd(c, z, _mm256_set1_pd(-2.75573192239858906526e-7));
+  c = _mm256_fmadd_pd(c, z, _mm256_set1_pd(2.48015873015873015873e-5));
+  c = _mm256_fmadd_pd(c, z, _mm256_set1_pd(-1.38888888888888888889e-3));
+  c = _mm256_fmadd_pd(c, z, _mm256_set1_pd(4.16666666666666666667e-2));
+  c = _mm256_fmadd_pd(c, z, _mm256_set1_pd(-0.5));
+  c = _mm256_fmadd_pd(c, z, _mm256_set1_pd(1.0));
+
+  // sin(r) on |r| <= pi/4.
+  __m256d s = _mm256_set1_pd(1.58952156320017320387e-10);  // 1/13!
+  s = _mm256_fmadd_pd(s, z, _mm256_set1_pd(-2.50521083854417187751e-8));
+  s = _mm256_fmadd_pd(s, z, _mm256_set1_pd(2.75573192239858906526e-6));
+  s = _mm256_fmadd_pd(s, z, _mm256_set1_pd(-1.98412698412698412698e-4));
+  s = _mm256_fmadd_pd(s, z, _mm256_set1_pd(8.33333333333333333333e-3));
+  s = _mm256_fmadd_pd(s, z, _mm256_set1_pd(-1.66666666666666666667e-1));
+  s = _mm256_fmadd_pd(s, z, _mm256_set1_pd(1.0));
+  s = _mm256_mul_pd(s, r);
+
+  // cos(r + q·pi/2): q=0 -> cos, 1 -> -sin, 2 -> -cos, 3 -> sin.
+  const __m256i q = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i two = _mm256_set1_epi64x(2);
+  const __m256i use_sin =
+      _mm256_cmpeq_epi64(_mm256_and_si256(q, one), one);
+  const __m256i negate = _mm256_cmpeq_epi64(
+      _mm256_and_si256(_mm256_add_epi64(q, one), two), two);
+
+  __m256d value =
+      _mm256_blendv_pd(c, s, _mm256_castsi256_pd(use_sin));
+  const __m256d sign_bit = _mm256_and_pd(_mm256_castsi256_pd(negate),
+                                         _mm256_set1_pd(-0.0));
+  return _mm256_xor_pd(value, sign_bit);
+}
+
+ST_AVX2 void axpy_avx2(double a, const double* x, double* y,
+                       std::size_t n) noexcept {
+  const __m256d av = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    const __m256d yv = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_mul_pd(av, xv), yv));
+  }
+  for (; i < n; ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+ST_AVX2 void coherent_avx2(double tx_weight, const double* gain,
+                           double amp_cos, double amp_sin, double* re,
+                           double* im, std::size_t n) noexcept {
+  const __m256d wv = _mm256_set1_pd(tx_weight);
+  const __m256d cv = _mm256_set1_pd(amp_cos);
+  const __m256d sv = _mm256_set1_pd(amp_sin);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d amp =
+        _mm256_sqrt_pd(_mm256_mul_pd(wv, _mm256_loadu_pd(gain + i)));
+    const __m256d rev = _mm256_loadu_pd(re + i);
+    const __m256d imv = _mm256_loadu_pd(im + i);
+    _mm256_storeu_pd(re + i, _mm256_add_pd(_mm256_mul_pd(amp, cv), rev));
+    _mm256_storeu_pd(im + i, _mm256_add_pd(_mm256_mul_pd(amp, sv), imv));
+  }
+  for (; i < n; ++i) {
+    const double amp = std::sqrt(tx_weight * gain[i]);
+    re[i] += amp * amp_cos;
+    im[i] += amp * amp_sin;
+  }
+}
+
+ST_AVX2 void gaussian_avx2(const double* offset, double* out, std::size_t n,
+                           double peak, double sigma, double floor) noexcept {
+  const __m256d inv_two_pi = _mm256_set1_pd(1.59154943091895335769e-1);
+  const __m256d two_pi_hi = _mm256_set1_pd(6.28318530717958623200e0);
+  const __m256d two_pi_lo = _mm256_set1_pd(2.44929359829470641435e-16);
+  const __m256d neg_half_inv_s2 =
+      _mm256_set1_pd(-1.0 / (2.0 * sigma * sigma));
+  const __m256d peak_v = _mm256_set1_pd(peak);
+  const __m256d floor_v = _mm256_set1_pd(floor);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(offset + i);
+    const __m256d k = round_even_pd(_mm256_mul_pd(x, inv_two_pi));
+    __m256d theta = _mm256_fnmadd_pd(k, two_pi_hi, x);
+    theta = _mm256_fnmadd_pd(k, two_pi_lo, theta);
+    const __m256d arg =
+        _mm256_mul_pd(_mm256_mul_pd(theta, theta), neg_half_inv_s2);
+    const __m256d lobe = _mm256_mul_pd(peak_v, exp_pd(arg));
+    _mm256_storeu_pd(out + i, _mm256_max_pd(lobe, floor_v));
+  }
+  for (; i < n; ++i) {
+    const double theta = wrap_pi(offset[i]);
+    const double lobe =
+        peak * std::exp(-theta * theta / (2.0 * sigma * sigma));
+    out[i] = std::max(lobe, floor);
+  }
+}
+
+ST_AVX2 double cosine_field_avx2(const double* kx, const double* ky,
+                                 const double* kz, const double* phase,
+                                 std::size_t n, double px, double py,
+                                 double pz) noexcept {
+  const __m256d pxv = _mm256_set1_pd(px);
+  const __m256d pyv = _mm256_set1_pd(py);
+  const __m256d pzv = _mm256_set1_pd(pz);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d arg = _mm256_fmadd_pd(_mm256_loadu_pd(kx + i), pxv,
+                                  _mm256_loadu_pd(phase + i));
+    arg = _mm256_fmadd_pd(_mm256_loadu_pd(ky + i), pyv, arg);
+    arg = _mm256_fmadd_pd(_mm256_loadu_pd(kz + i), pzv, arg);
+    acc = _mm256_add_pd(acc, cos_pd(arg));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double sum = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+  for (; i < n; ++i) {
+    sum += std::cos(kx[i] * px + ky[i] * py + kz[i] * pz + phase[i]);
+  }
+  return sum;
+}
+
+#undef ST_AVX2
+
+bool detect_avx2() noexcept {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // ST_SIMD_X86
+
+}  // namespace
+
+bool available() noexcept {
+#if ST_SIMD_X86
+  static const bool ok = detect_avx2();
+  return ok;
+#else
+  return false;
+#endif
+}
+
+const char* mode() noexcept { return available() ? "avx2" : "scalar"; }
+
+void axpy_accumulate(double a, const double* x, double* y,
+                     std::size_t n) noexcept {
+#if ST_SIMD_X86
+  if (available()) {
+    axpy_avx2(a, x, y, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+void coherent_accumulate(double tx_weight, const double* gain, double amp_cos,
+                         double amp_sin, double* re, double* im,
+                         std::size_t n) noexcept {
+#if ST_SIMD_X86
+  if (available()) {
+    coherent_avx2(tx_weight, gain, amp_cos, amp_sin, re, im, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    const double amp = std::sqrt(tx_weight * gain[i]);
+    re[i] += amp * amp_cos;
+    im[i] += amp * amp_sin;
+  }
+}
+
+void gaussian_gain_batch(const double* offset, double* out, std::size_t n,
+                         double peak, double sigma, double floor) noexcept {
+#if ST_SIMD_X86
+  if (available()) {
+    gaussian_avx2(offset, out, n, peak, sigma, floor);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta = wrap_pi(offset[i]);
+    const double lobe =
+        peak * std::exp(-theta * theta / (2.0 * sigma * sigma));
+    out[i] = std::max(lobe, floor);
+  }
+}
+
+double cosine_field_sum(const double* kx, const double* ky, const double* kz,
+                        const double* phase, std::size_t n, double px,
+                        double py, double pz) noexcept {
+#if ST_SIMD_X86
+  if (available()) {
+    return cosine_field_avx2(kx, ky, kz, phase, n, px, py, pz);
+  }
+#endif
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += std::cos(kx[i] * px + ky[i] * py + kz[i] * pz + phase[i]);
+  }
+  return sum;
+}
+
+}  // namespace st::phy::simd

@@ -7,10 +7,15 @@
 // shadowing and blockage processes are *per-link* state, which is why the
 // UE id is part of the key: two mobiles at the same instant never share a
 // snapshot. Storage is one entry per cell, reused in place across
-// rebuilds (no allocation once warm); with one environment per UE — the
-// fleet engine's sharding contract — the UE component of the key is
-// constant per instance and the cache behaves exactly like the original
-// per-cell epoch cache.
+// rebuilds (no allocation once warm).
+//
+// Each entry carries the SnapshotReuse state of its last build, threaded
+// into Channel::update_snapshot on every rebuild: a warm same-UE rebuild
+// at a new instant (a "refresh") recomputes only the components the pose
+// delta invalidates instead of the whole snapshot. Stats distinguish the
+// rebuild causes — a refresh, a cold miss, and an eviction forced by a
+// different UE are separate counters, so a reuse regression is visible in
+// BENCH_micro.json rather than folded into one opaque miss count.
 #pragma once
 
 #include <cstdint>
@@ -23,12 +28,20 @@ namespace st::phy {
 
 class SnapshotEpochCache {
  public:
-  /// Hit/miss accounting, maintained unconditionally (one integer
+  /// Hit/rebuild accounting, maintained unconditionally (one integer
   /// increment per query) and surfaced through net::SnapshotCacheStats.
+  /// The four counters are disjoint and sum to the query count.
   struct Stats {
-    std::uint64_t hits = 0;          ///< query served from the cached epoch
-    std::uint64_t misses = 0;        ///< snapshot (re)built for the query
-    std::uint64_t invalidations = 0; ///< rebuilds that evicted a valid entry
+    std::uint64_t hits = 0;       ///< served from the cached epoch
+    std::uint64_t refreshes = 0;  ///< warm same-UE rebuild at a new
+                                  ///< instant — incremental, reuse kept
+    std::uint64_t cold_misses = 0;    ///< rebuild with no valid entry
+    std::uint64_t invalidations = 0;  ///< valid entry evicted for a
+                                      ///< different UE — reuse reset
+
+    [[nodiscard]] std::uint64_t rebuilds() const noexcept {
+      return refreshes + cold_misses + invalidations;
+    }
   };
 
   /// One slot per cell; existing snapshot storage is kept on resize.
@@ -36,11 +49,14 @@ class SnapshotEpochCache {
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
-  /// Snapshot for (ue, cell, t). An entry is reusable iff it was built for
-  /// exactly this key; any other query rebuilds in place via
-  /// `build(PathSnapshot&)`. The entry is marked invalid before the build
-  /// runs, so a throwing builder can never leave a stale snapshot keyed as
-  /// current.
+  /// Snapshot for (ue, cell, t). An entry is served as-is iff it was built
+  /// for exactly this key; any other query rebuilds in place via
+  /// `build(PathSnapshot&, SnapshotReuse&)` — typically a
+  /// Channel::update_snapshot call, which uses the reuse state to make
+  /// same-UE rebuilds incremental. The entry is marked invalid before the
+  /// build runs, so a throwing builder can never leave a stale snapshot
+  /// keyed as current (the reuse state guards itself the same way inside
+  /// update_snapshot).
   template <typename BuildFn>
   const PathSnapshot& fill(std::uint32_t ue, std::size_t cell, sim::Time t,
                            BuildFn&& build) {
@@ -49,12 +65,16 @@ class SnapshotEpochCache {
       ++stats_.hits;
       return entry.snapshot;
     }
-    if (entry.valid) {
+    if (!entry.valid) {
+      ++stats_.cold_misses;
+    } else if (entry.ue == ue) {
+      ++stats_.refreshes;
+    } else {
       ++stats_.invalidations;
+      entry.reuse.valid = false;  // another UE's state: never carry over
     }
-    ++stats_.misses;
     entry.valid = false;
-    build(entry.snapshot);
+    build(entry.snapshot, entry.reuse);
     entry.ue = ue;
     entry.t = t;
     entry.valid = true;
@@ -69,6 +89,7 @@ class SnapshotEpochCache {
     std::uint32_t ue = 0;
     sim::Time t;
     PathSnapshot snapshot;
+    SnapshotReuse reuse;
   };
 
   std::vector<Entry> entries_;

@@ -225,7 +225,7 @@ TEST(Scenario, EngineAndCacheStatsAlwaysPopulated) {
   EXPECT_GT(r.engine.events_executed, 100u);
   EXPECT_GT(r.engine.queue_depth_hwm, 0u);
   EXPECT_NEAR(r.engine.sim_seconds, 10.0, 1e-9);
-  EXPECT_GT(r.snapshot_cache.hits + r.snapshot_cache.misses, 0u);
+  EXPECT_GT(r.snapshot_cache.hits + r.snapshot_cache.rebuilds(), 0u);
   EXPECT_GT(r.snapshot_cache.pair_sweeps, 0u);
 }
 

@@ -71,7 +71,9 @@ TEST(FleetEngine, SerialAndParallelSchedulesAreBitIdentical) {
   // fields are the only non-deterministic content of a FleetResult.
   EXPECT_EQ(serial.engine.events_executed, parallel.engine.events_executed);
   EXPECT_EQ(serial.snapshot_cache.hits, parallel.snapshot_cache.hits);
-  EXPECT_EQ(serial.snapshot_cache.misses, parallel.snapshot_cache.misses);
+  EXPECT_EQ(serial.snapshot_cache.refreshes, parallel.snapshot_cache.refreshes);
+  EXPECT_EQ(serial.snapshot_cache.cold_misses,
+            parallel.snapshot_cache.cold_misses);
   EXPECT_EQ(serial.ssb_observations, parallel.ssb_observations);
 }
 
@@ -114,19 +116,25 @@ TEST(FleetEngine, MergedStatsSumThePerUeRuns) {
 
   std::uint64_t events = 0;
   std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t cold = 0;
+  std::uint64_t incremental = 0;
   std::uint64_t ssb = 0;
   double sim_seconds = 0.0;
   for (const core::ScenarioResult& ue_result : result.ue_results) {
     events += ue_result.engine.events_executed;
     hits += ue_result.snapshot_cache.hits;
-    misses += ue_result.snapshot_cache.misses;
+    refreshes += ue_result.snapshot_cache.refreshes;
+    cold += ue_result.snapshot_cache.cold_misses;
+    incremental += ue_result.snapshot_cache.incremental_builds;
     ssb += ue_result.ssb_observations;
     sim_seconds += ue_result.engine.sim_seconds;
   }
   EXPECT_EQ(result.engine.events_executed, events);
   EXPECT_EQ(result.snapshot_cache.hits, hits);
-  EXPECT_EQ(result.snapshot_cache.misses, misses);
+  EXPECT_EQ(result.snapshot_cache.refreshes, refreshes);
+  EXPECT_EQ(result.snapshot_cache.cold_misses, cold);
+  EXPECT_EQ(result.snapshot_cache.incremental_builds, incremental);
   EXPECT_EQ(result.ssb_observations, ssb);
   EXPECT_DOUBLE_EQ(result.engine.sim_seconds, sim_seconds);
   EXPECT_GE(result.wall_seconds, 0.0);
@@ -165,6 +173,71 @@ TEST(FleetReport, AggregatesPerUeRowsAndTotals) {
             std::string::npos);
   EXPECT_NE(json.find("\"ues\""), std::string::npos);
   EXPECT_FALSE(report.summary_text().empty());
+}
+
+TEST(FleetChannelBatch, BestPairsMatchPerUeGroundTruth) {
+  // The batched fast path must agree bit-for-bit with per-UE environments
+  // built from the same spec and queried at the same instants.
+  const core::ScenarioSpec spec = fleet_spec(4, 2'000_ms);
+  FleetChannelBatch batch(spec);
+  ASSERT_EQ(batch.ue_count(), 4u);
+  ASSERT_EQ(batch.cell_count(), 3u);
+
+  const net::Deployment deployment = core::make_deployment(spec);
+  std::vector<std::unique_ptr<net::RadioEnvironment>> reference;
+  for (std::size_t ue = 0; ue < spec.ues.size(); ++ue) {
+    reference.push_back(core::make_ue_environment(spec, ue, deployment));
+  }
+
+  std::vector<phy::Channel::BestPair> pairs;
+  for (int step = 0; step < 20; ++step) {
+    const sim::Time t =
+        sim::Time::zero() + sim::Duration::milliseconds(step * 10);
+    batch.best_pairs(t, pairs);
+    ASSERT_EQ(pairs.size(), batch.ue_count() * batch.cell_count());
+    for (std::size_t ue = 0; ue < batch.ue_count(); ++ue) {
+      for (std::size_t cell = 0; cell < batch.cell_count(); ++cell) {
+        const phy::Channel::BestPair want =
+            reference[ue]->ground_truth_best_pair(
+                static_cast<net::CellId>(cell), t);
+        const phy::Channel::BestPair& got =
+            pairs[ue * batch.cell_count() + cell];
+        ASSERT_EQ(got.tx_beam, want.tx_beam)
+            << "ue " << ue << " cell " << cell << " step " << step;
+        ASSERT_EQ(got.rx_beam, want.rx_beam);
+        ASSERT_EQ(got.rx_power_dbm, want.rx_power_dbm);
+      }
+    }
+  }
+}
+
+TEST(FleetChannelBatch, SteppedTrajectoryKeepsTheCacheWarm) {
+  // The throughput claim's precondition: stepping a fleet through time
+  // turns nearly every query into a hit or an incremental refresh. Only
+  // the very first instant builds cold.
+  const core::ScenarioSpec spec = fleet_spec(8, 10'000_ms);
+  FleetChannelBatch batch(spec);
+  std::vector<phy::Channel::BestPair> pairs;
+  const int steps = 200;
+  for (int step = 0; step < steps; ++step) {
+    batch.best_pairs(
+        sim::Time::zero() + sim::Duration::milliseconds(step * 10), pairs);
+  }
+  const net::SnapshotCacheStats stats = batch.stats();
+  EXPECT_EQ(stats.cold_misses, batch.ue_count() * batch.cell_count());
+  EXPECT_EQ(stats.invalidations, 0u);  // one environment per UE: no eviction
+  EXPECT_GE(stats.hit_rate(), 0.9);
+  EXPECT_EQ(stats.full_builds, stats.cold_misses);
+  EXPECT_EQ(stats.incremental_builds, stats.refreshes);
+  EXPECT_EQ(stats.pair_sweeps,
+            static_cast<std::uint64_t>(steps) * batch.ue_count() *
+                batch.cell_count());
+}
+
+TEST(FleetChannelBatch, EmptyFleetIsRejected) {
+  core::ScenarioSpec spec = core::preset::paper_walk();
+  spec.ues.clear();
+  EXPECT_THROW(FleetChannelBatch batch(spec), std::invalid_argument);
 }
 
 TEST(FleetReport, ReactiveUesContributeNoAlignmentSamples) {

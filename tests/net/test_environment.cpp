@@ -154,39 +154,45 @@ TEST(Environment, ClosenessOrdersRss) {
   EXPECT_GT(near.rx_power_dbm, far.rx_power_dbm + 6.0);
 }
 
-TEST(Environment, SnapshotCacheCountsMissHitAndInvalidation) {
+TEST(Environment, SnapshotCacheCountsHitRefreshAndColdMiss) {
   auto env = test::make_two_cell_env(test::standing_at({20.0, 10.0, 0.0}));
   EXPECT_EQ(env.snapshot_stats().hits, 0u);
-  EXPECT_EQ(env.snapshot_stats().misses, 0u);
+  EXPECT_EQ(env.snapshot_stats().cold_misses, 0u);
   EXPECT_EQ(env.snapshot_stats().pair_sweeps, 0u);
   EXPECT_DOUBLE_EQ(env.snapshot_stats().hit_rate(), 0.0);
 
-  // First query at t0 builds cell 0's snapshot: a miss, no eviction.
+  // First query at t0 builds cell 0's snapshot: a cold miss, no eviction.
   (void)env.ground_truth_best_pair(0, Time::zero());
-  EXPECT_EQ(env.snapshot_stats().misses, 1u);
+  EXPECT_EQ(env.snapshot_stats().cold_misses, 1u);
   EXPECT_EQ(env.snapshot_stats().hits, 0u);
   EXPECT_EQ(env.snapshot_stats().invalidations, 0u);
   EXPECT_EQ(env.snapshot_stats().pair_sweeps, 1u);
+  EXPECT_EQ(env.snapshot_stats().full_builds, 1u);
 
   // Same cell, same instant: served from the cached epoch.
   (void)env.ground_truth_best_pair(0, Time::zero());
   EXPECT_EQ(env.snapshot_stats().hits, 1u);
-  EXPECT_EQ(env.snapshot_stats().misses, 1u);
+  EXPECT_EQ(env.snapshot_stats().cold_misses, 1u);
   EXPECT_EQ(env.snapshot_stats().pair_sweeps, 2u);
 
-  // A different cell misses without evicting cell 0's entry.
+  // A different cell cold-misses without evicting cell 0's entry.
   (void)env.ground_truth_best_pair(1, Time::zero());
-  EXPECT_EQ(env.snapshot_stats().misses, 2u);
+  EXPECT_EQ(env.snapshot_stats().cold_misses, 2u);
   EXPECT_EQ(env.snapshot_stats().invalidations, 0u);
   (void)env.ground_truth_best_pair(0, Time::zero());
   EXPECT_EQ(env.snapshot_stats().hits, 2u);
 
-  // A new instant rebuilds in place: miss + invalidation of a valid entry.
+  // A new instant rebuilds in place, warm: a refresh (same UE keeps its
+  // reuse state), not an invalidation — that word is reserved for
+  // cross-UE evictions.
   (void)env.ground_truth_best_pair(0, Time::zero() + 1_ms);
-  EXPECT_EQ(env.snapshot_stats().misses, 3u);
-  EXPECT_EQ(env.snapshot_stats().invalidations, 1u);
+  EXPECT_EQ(env.snapshot_stats().refreshes, 1u);
+  EXPECT_EQ(env.snapshot_stats().cold_misses, 2u);
+  EXPECT_EQ(env.snapshot_stats().invalidations, 0u);
+  EXPECT_EQ(env.snapshot_stats().incremental_builds, 1u);
 
-  EXPECT_DOUBLE_EQ(env.snapshot_stats().hit_rate(), 2.0 / 5.0);
+  // Hits and refreshes both reuse state: (2 + 1) of 5 queries.
+  EXPECT_DOUBLE_EQ(env.snapshot_stats().hit_rate(), 3.0 / 5.0);
 }
 
 TEST(Environment, SweepKernelCountersSplitPairAndRxSweeps) {
@@ -197,7 +203,7 @@ TEST(Environment, SweepKernelCountersSplitPairAndRxSweeps) {
   EXPECT_EQ(env.snapshot_stats().pair_sweeps, 1u);
   EXPECT_EQ(env.snapshot_stats().rx_sweeps, 2u);
   // Sweeps at one instant share a single snapshot build.
-  EXPECT_EQ(env.snapshot_stats().misses, 1u);
+  EXPECT_EQ(env.snapshot_stats().cold_misses, 1u);
   EXPECT_EQ(env.snapshot_stats().hits, 2u);
 }
 

@@ -27,8 +27,13 @@ obs::RunReport make_report() {
   report.engine.events_executed = 5000;
   report.engine.queue_depth_hwm = 16;
   report.engine.sim_seconds = 30.0;
-  report.snapshot_cache.hits = 90;
-  report.snapshot_cache.misses = 10;
+  report.snapshot_cache.hits = 60;
+  report.snapshot_cache.refreshes = 30;
+  report.snapshot_cache.cold_misses = 8;
+  report.snapshot_cache.invalidations = 2;
+  report.snapshot_cache.full_builds = 10;
+  report.snapshot_cache.incremental_builds = 30;
+  report.snapshot_cache.geometry_reuses = 12;
   report.snapshot_cache.hit_rate = 0.9;
   report.counters["serving_rx_switches"] = 8;
   report.gauges["engine.queue_depth_hwm"] = 16.0;

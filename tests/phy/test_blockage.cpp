@@ -109,6 +109,70 @@ TEST(Blockage, AttenuationNonNegativeEverywhere) {
   }
 }
 
+TEST(Blockage, WindowCoversGapsFlatsAndRamps) {
+  const BlockageProcess p(fast_config(), 30_s, 9);
+  ASSERT_GT(p.event_count(), 0U);
+  const auto& e = p.events().front();
+  const Time full_at = e.onset + e.ramp;
+  const Time fall_at = e.onset + e.ramp + e.flat;
+
+  // Gap before the first event: clear until exactly its onset.
+  const BlockageWindow gap = p.window(e.onset - 1_ms);
+  EXPECT_DOUBLE_EQ(gap.attenuation_db, 0.0);
+  EXPECT_EQ(gap.until, e.onset);
+  EXPECT_LE(gap.from.ns(), (e.onset - 1_ms).ns());
+
+  // Flat phase: the full attenuation holds for the whole plateau.
+  const BlockageWindow flat =
+      p.window(full_at + Duration::nanoseconds(e.flat.ns() / 2));
+  EXPECT_DOUBLE_EQ(flat.attenuation_db, e.attenuation_db);
+  EXPECT_EQ(flat.from, full_at);
+  EXPECT_EQ(flat.until, fall_at);
+
+  // Mid-ramp the attenuation changes every instant: a singleton window.
+  const Time mid_ramp = e.onset + Duration::seconds_of(0.05);
+  const BlockageWindow ramp = p.window(mid_ramp);
+  EXPECT_DOUBLE_EQ(ramp.attenuation_db, p.attenuation_db(mid_ramp));
+  EXPECT_EQ(ramp.from, mid_ramp);
+  EXPECT_EQ(ramp.until, mid_ramp + 1_ns);
+}
+
+TEST(Blockage, WindowAfterTheLastEventIsUnbounded) {
+  BlockageConfig c = fast_config();
+  c.rate_per_s = 0.0;
+  const BlockageProcess none(c, 10_s, 1);
+  const BlockageWindow clear = none.window(Time::zero() + 5_s);
+  EXPECT_DOUBLE_EQ(clear.attenuation_db, 0.0);
+  EXPECT_LE(clear.from.ns(), 0);
+  EXPECT_GT(clear.until.ns(), (Time::zero() + 100_s).ns());
+
+  const BlockageProcess p(fast_config(), 10_s, 9);
+  ASSERT_GT(p.event_count(), 0U);
+  const auto& last = p.events().back();
+  const Time end = last.onset + 2 * last.ramp + last.flat;
+  const BlockageWindow after = p.window(end + 1_s);
+  EXPECT_DOUBLE_EQ(after.attenuation_db, 0.0);
+  EXPECT_EQ(after.from, end);
+  EXPECT_GT(after.until.ns(), (end + 1000_s).ns());
+}
+
+TEST(Blockage, WindowAgreesWithAttenuationEverywhere) {
+  // The reuse contract: for every t' in [from, until) the attenuation is
+  // the window's value — sampled densely over a busy realisation.
+  const BlockageProcess p(fast_config(), 20_s, 17);
+  for (double s = 0.0; s < 20.0; s += 0.003) {
+    const Time t = Time::zero() + Duration::seconds_of(s);
+    const BlockageWindow w = p.window(t);
+    ASSERT_LE(w.from.ns(), t.ns());
+    ASSERT_GT(w.until.ns(), t.ns());
+    ASSERT_DOUBLE_EQ(w.attenuation_db, p.attenuation_db(t)) << "s=" << s;
+    // A second sample inside the same window must see the same value.
+    const Time probe = w.until - 1_ns;
+    ASSERT_DOUBLE_EQ(p.attenuation_db(probe), w.attenuation_db)
+        << "s=" << s << " probe=" << probe.ns();
+  }
+}
+
 TEST(Blockage, NegativeConfigThrows) {
   BlockageConfig bad = fast_config();
   bad.rate_per_s = -1.0;

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "common/quaternion.hpp"
@@ -180,7 +181,7 @@ TEST(PathSnapshot, LosOnlyChannelHasSinglePath) {
   PathSnapshot snapshot;
   channel.make_snapshot(Pose{}, rx_poses()[0], sim::Time::from_ns(1'000'000),
                         kTxPowerDbm, snapshot);
-  EXPECT_EQ(snapshot.paths.size(), 1U);
+  EXPECT_EQ(snapshot.size(), 1U);
   EXPECT_FALSE(snapshot.coherent);
 }
 
@@ -189,15 +190,17 @@ TEST(PathSnapshot, StorageIsReusedAcrossRebuilds) {
   PathSnapshot snapshot;
   channel.make_snapshot(Pose{}, rx_poses()[0], sim::Time::from_ns(1'000'000),
                         kTxPowerDbm, snapshot);
-  const std::size_t n_paths = snapshot.paths.size();
-  const PathSnapshot::Path* data = snapshot.paths.data();
+  const std::size_t n_paths = snapshot.size();
+  const double* base = snapshot.base_linear.data();
+  const double* amps = snapshot.amp_cos.data();
   for (std::size_t i = 2; i < 40; ++i) {
     channel.make_snapshot(Pose{}, rx_poses()[i % 3],
                           sim::Time::from_ns(static_cast<std::int64_t>(i) *
                                              1'000'000),
                           kTxPowerDbm, snapshot);
-    ASSERT_EQ(snapshot.paths.size(), n_paths);
-    ASSERT_EQ(snapshot.paths.data(), data) << "snapshot reallocated";
+    ASSERT_EQ(snapshot.size(), n_paths);
+    ASSERT_EQ(snapshot.base_linear.data(), base) << "snapshot reallocated";
+    ASSERT_EQ(snapshot.amp_cos.data(), amps) << "snapshot reallocated";
   }
 }
 
@@ -206,12 +209,175 @@ TEST(PathSnapshot, BaseLinearIsConsistentWithBaseDb) {
   PathSnapshot snapshot;
   channel.make_snapshot(Pose{}, rx_poses()[1], sim::Time::from_ns(5'000'000),
                         kTxPowerDbm, snapshot);
-  for (const PathSnapshot::Path& path : snapshot.paths) {
-    EXPECT_NEAR(path.base_linear, from_db(path.base_db),
-                1e-12 * path.base_linear);
+  for (std::size_t p = 0; p < snapshot.size(); ++p) {
+    EXPECT_NEAR(snapshot.base_linear[p], from_db(snapshot.base_db[p]),
+                1e-12 * snapshot.base_linear[p]);
     // Coherent amplitude decomposition preserves the path power.
-    EXPECT_NEAR(path.amp_cos * path.amp_cos + path.amp_sin * path.amp_sin,
-                path.base_linear, 1e-12 * path.base_linear);
+    EXPECT_NEAR(snapshot.amp_cos[p] * snapshot.amp_cos[p] +
+                    snapshot.amp_sin[p] * snapshot.amp_sin[p],
+                snapshot.base_linear[p], 1e-12 * snapshot.base_linear[p]);
+  }
+}
+
+// ---- Sweep-kernel edge cases -------------------------------------------
+
+TEST(SweepKernels, EqualPowerPairsKeepTheLowestBeamIds) {
+  // Every beam of an all-omni codebook pair produces the identical power:
+  // the sweep must resolve the tie to the lowest beam ids (first strictly
+  // greater scan), matching what a naive id-ordered scan returns.
+  const auto omni = std::make_shared<OmniPattern>();
+  const Codebook tx_cb = Codebook::uniform(4, omni);
+  const Codebook rx_cb = Codebook::uniform(5, omni);
+  for (const bool coherent : {false, true}) {
+    const Channel channel = make_channel(coherent);
+    PathSnapshot snapshot;
+    channel.make_snapshot(Pose{}, rx_poses()[0],
+                          sim::Time::from_ns(5'000'000), kTxPowerDbm,
+                          snapshot);
+    const Channel::BestPair pair = sweep_beam_pairs(snapshot, tx_cb, rx_cb);
+    EXPECT_EQ(pair.tx_beam, 0u);
+    EXPECT_EQ(pair.rx_beam, 0u);
+    for (BeamId tb = 0; tb < tx_cb.size(); ++tb) {
+      const Channel::BestBeam best =
+          sweep_rx_beams(snapshot, tx_cb.beam(tb), rx_cb);
+      EXPECT_EQ(best.beam, 0u);
+      EXPECT_DOUBLE_EQ(best.rx_power_dbm, pair.rx_power_dbm);
+    }
+  }
+}
+
+TEST(SweepKernels, EmptySnapshotSweepsDefinedly) {
+  // A pathless snapshot (no LOS, no reflectors) must sweep without UB and
+  // agree with the pairwise evaluator: beam 0 wins a no-signal tie.
+  const Codebook tx_cb = Codebook::from_beamwidth_deg(45.0);
+  const Codebook rx_cb = Codebook::from_beamwidth_deg(20.0);
+  for (const bool coherent : {false, true}) {
+    PathSnapshot snapshot;
+    snapshot.coherent = coherent;
+    snapshot.resize(0);
+    const double floor_dbm =
+        snapshot_rx_power_dbm(snapshot, tx_cb.beam(0), rx_cb.beam(0));
+    const Channel::BestPair pair = sweep_beam_pairs(snapshot, tx_cb, rx_cb);
+    EXPECT_EQ(pair.tx_beam, 0u);
+    EXPECT_EQ(pair.rx_beam, 0u);
+    EXPECT_EQ(pair.rx_power_dbm, floor_dbm);
+    const Channel::BestBeam best =
+        sweep_rx_beams(snapshot, tx_cb.beam(0), rx_cb);
+    EXPECT_EQ(best.beam, 0u);
+    EXPECT_EQ(best.rx_power_dbm, floor_dbm);
+  }
+}
+
+TEST(SweepKernels, PathCountsOffTheSimdLaneWidthMatchNaive) {
+  // 1, 5, 7, and 8 paths: below one AVX2 lane set, straddling it, and an
+  // exact multiple — the vector body plus scalar tail must agree with the
+  // naive per-pair evaluation for every residue mod 4.
+  const Codebook tx_cb = Codebook::from_beamwidth_deg(45.0);
+  const Codebook rx_cb = Codebook::from_beamwidth_deg(20.0);
+  const Pose tx_pose;
+  const sim::Time t = sim::Time::from_ns(7'000'000);
+  for (const bool coherent : {false, true}) {
+    for (const unsigned reflectors : {0u, 4u, 6u, 7u}) {
+      const Channel channel = make_channel(coherent, reflectors);
+      for (const Pose& rx_pose : rx_poses()) {
+        PathSnapshot snapshot;
+        channel.make_snapshot(tx_pose, rx_pose, t, kTxPowerDbm, snapshot);
+        ASSERT_EQ(snapshot.size(), reflectors + 1u);
+        const Channel::BestPair fast = sweep_beam_pairs(snapshot, tx_cb, rx_cb);
+        const Channel::BestPair naive = channel.best_beam_pair_naive(
+            tx_pose, tx_cb, rx_pose, rx_cb, t, kTxPowerDbm);
+        ASSERT_EQ(fast.tx_beam, naive.tx_beam)
+            << "reflectors=" << reflectors << " coherent=" << coherent;
+        ASSERT_EQ(fast.rx_beam, naive.rx_beam);
+        ASSERT_NEAR(fast.rx_power_dbm, naive.rx_power_dbm, kTolDb);
+      }
+    }
+  }
+}
+
+// ---- Incremental rebuilds ----------------------------------------------
+
+/// Every array of `got` must equal `want` bit-for-bit: the incremental
+/// path may skip work, never change results.
+void expect_snapshots_identical(const PathSnapshot& got,
+                                const PathSnapshot& want, const char* where) {
+  ASSERT_EQ(got.size(), want.size()) << where;
+  ASSERT_EQ(got.coherent, want.coherent) << where;
+  for (std::size_t p = 0; p < want.size(); ++p) {
+    ASSERT_EQ(got.base_db[p], want.base_db[p]) << where << " path " << p;
+    ASSERT_EQ(got.base_linear[p], want.base_linear[p]) << where;
+    ASSERT_EQ(got.amp_cos[p], want.amp_cos[p]) << where;
+    ASSERT_EQ(got.amp_sin[p], want.amp_sin[p]) << where;
+    ASSERT_EQ(got.tx_az[p], want.tx_az[p]) << where;
+    ASSERT_EQ(got.rx_az[p], want.rx_az[p]) << where;
+  }
+}
+
+TEST(IncrementalSnapshot, UpdateWalkIsBitIdenticalToFullBuilds) {
+  // A mobility-like trajectory: small walk steps, rotation-only instants,
+  // and time-only repeats. The reuse-threaded rebuild must produce the
+  // exact full-build snapshot at every step while actually skipping work.
+  for (const bool coherent : {false, true}) {
+    const Channel channel = make_channel(coherent);
+    const Pose tx_pose;
+    PathSnapshot incremental;
+    PathSnapshot full;
+    SnapshotReuse reuse;
+    SnapshotBuildStats stats;
+    Pose rx_pose;
+    rx_pose.position = {30.0, 10.0, 0.0};
+    for (int step = 0; step < 60; ++step) {
+      // ~1.4 m/s walk at 10 ms ticks, with every 7th step rotation-only
+      // and every 11th a pure time advance (pose frozen).
+      if (step % 11 != 0 && step % 7 != 0) {
+        rx_pose.position.x += 0.014;
+        rx_pose.position.y += 0.007;
+      }
+      if (step % 7 == 0) {
+        rx_pose.orientation =
+            Quaternion::from_yaw(0.05 * static_cast<double>(step));
+      }
+      const sim::Time t =
+          sim::Time::from_ns(100'000'000 + std::int64_t{step} * 10'000'000);
+      channel.update_snapshot(tx_pose, rx_pose, t, kTxPowerDbm, incremental,
+                              &reuse, &stats);
+      channel.make_snapshot(tx_pose, rx_pose, t, kTxPowerDbm, full);
+      expect_snapshots_identical(incremental, full,
+                                 coherent ? "coherent" : "incoherent");
+    }
+    // The trajectory actually exercised the reuse paths.
+    EXPECT_EQ(stats.full_builds, 1u);
+    EXPECT_EQ(stats.incremental_builds, 59u);
+    EXPECT_GT(stats.geometry_reuses, 0u);
+    EXPECT_GT(stats.shadow_reuses, 0u);
+    EXPECT_GT(stats.blockage_reuses, 0u);
+    EXPECT_GT(stats.azimuth_reuses, 0u);
+  }
+}
+
+TEST(IncrementalSnapshot, SweepsOverAnUpdatedSnapshotMatchNaive) {
+  // End-to-end: reuse-threaded snapshots fed to the sweep kernels agree
+  // with the naive evaluation over the same trajectory.
+  const Channel channel = make_channel(true);
+  const Codebook tx_cb = Codebook::from_beamwidth_deg(45.0);
+  const Codebook rx_cb = Codebook::from_beamwidth_deg(20.0);
+  const Pose tx_pose;
+  PathSnapshot snapshot;
+  SnapshotReuse reuse;
+  Pose rx_pose;
+  rx_pose.position = {30.0, 10.0, 0.0};
+  for (int step = 0; step < 25; ++step) {
+    rx_pose.position.x += 0.02;
+    const sim::Time t =
+        sim::Time::from_ns(200'000'000 + std::int64_t{step} * 10'000'000);
+    channel.update_snapshot(tx_pose, rx_pose, t, kTxPowerDbm, snapshot,
+                            &reuse, nullptr);
+    const Channel::BestPair fast = sweep_beam_pairs(snapshot, tx_cb, rx_cb);
+    const Channel::BestPair naive = channel.best_beam_pair_naive(
+        tx_pose, tx_cb, rx_pose, rx_cb, t, kTxPowerDbm);
+    ASSERT_EQ(fast.tx_beam, naive.tx_beam) << "step " << step;
+    ASSERT_EQ(fast.rx_beam, naive.rx_beam) << "step " << step;
+    ASSERT_NEAR(fast.rx_power_dbm, naive.rx_power_dbm, kTolDb);
   }
 }
 
