@@ -1,0 +1,21 @@
+#include "common/build_info.hpp"
+
+#ifndef ST_BUILD_GIT_DESCRIBE
+#define ST_BUILD_GIT_DESCRIBE "unknown"
+#endif
+#ifndef ST_BUILD_COMPILER
+#define ST_BUILD_COMPILER "unknown"
+#endif
+#ifndef ST_BUILD_TYPE
+#define ST_BUILD_TYPE "unknown"
+#endif
+
+namespace st {
+
+const BuildInfo& build_info() noexcept {
+  static constexpr BuildInfo kInfo{ST_BUILD_GIT_DESCRIBE, ST_BUILD_COMPILER,
+                                   ST_BUILD_TYPE};
+  return kInfo;
+}
+
+}  // namespace st

@@ -123,6 +123,14 @@ class LogLinearHistogram {
   [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
   [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
   [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] double p999() const noexcept { return quantile(0.999); }
+
+  /// Documented accuracy contract: a non-clamped quantile is off from the
+  /// exact sample by at most half a sub-bucket width relative to the
+  /// bucket's octave, i.e. |est - exact| / exact <= 1 / (2 * sub).
+  [[nodiscard]] double relative_error_bound() const noexcept {
+    return 1.0 / (2.0 * static_cast<double>(sub_));
+  }
 
  private:
   /// Octaves 2^-32 .. 2^63 cover sub-nanosecond to ~3e18; anything

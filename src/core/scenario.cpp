@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "phy/simd.hpp"
 
 namespace st::core {
 
@@ -442,6 +443,7 @@ obs::RunReport build_run_report(const ScenarioSpec& spec,
   report.duration_ms = spec.duration.ms();
   report.ue_beamwidth_deg = profile.ue_beamwidth_deg;
   report.n_cells = spec.n_cells;
+  report.provenance.simd_dispatch = std::string(phy::simd::mode());
 
   obs::HandoverReport& ho = report.handover;
   ho.total = result.handovers.size();

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fleet/parallel.hpp"
+#include "phy/simd.hpp"
 
 namespace st::fleet {
 
@@ -91,6 +92,7 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
   report.n_cells = spec.n_cells;
   report.n_ues = result.ue_results.size();
   report.threads = result.threads_used;
+  report.provenance.simd_dispatch = std::string(phy::simd::mode());
 
   LogLinearHistogram alignment;
   LogLinearHistogram interruption;

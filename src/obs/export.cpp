@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <vector>
 
@@ -119,6 +120,59 @@ bool write_chrome_trace(const TraceRecorder& recorder, std::ostream& os) {
       line += tag;
       line += "\"}}";
       emit(line);
+    }
+
+    if (component == Component::kServe) {
+      // Daemon job lifecycle: jobs overlap (several run while others
+      // queue), so a single B/E slice stack per track cannot represent
+      // them. Emit chrome *async* spans instead, keyed by job id
+      // (event.cell): one "queued"/"running" span per state the job sits
+      // in, closed by the next transition; terminal states render as
+      // async instants. Perfetto lays each job out on its own sub-track.
+      const auto async_event = [&](char ph, std::string_view name,
+                                   std::int64_t job, sim::Time at,
+                                   const TraceEvent* args_of) {
+        std::string line;
+        line += "{\"name\":\"";
+        line += escape(name);
+        line += "\",\"cat\":\"job\",\"ph\":\"";
+        line += ph;
+        line += "\",\"id\":\"job-";
+        line += std::to_string(job);
+        line += "\",\"pid\":1,\"tid\":";
+        line += tid;
+        line += ",\"ts\":";
+        line += ts_us(at);
+        if (args_of != nullptr) {
+          line += ",\"args\":";
+          line += args_json(*args_of);
+        }
+        line += "}";
+        emit(line);
+      };
+      std::map<std::int64_t, std::string> open_state;
+      for (const TraceEvent& e : events) {
+        if (e.type != TraceEventType::kStateTransition) {
+          continue;
+        }
+        const auto it = open_state.find(e.cell);
+        if (it != open_state.end()) {
+          async_event('e', it->second, e.cell, e.t, nullptr);
+          open_state.erase(it);
+        }
+        const bool terminal = e.label == "done" || e.label == "cancelled" ||
+                              e.label == "failed" || e.label == "shed";
+        if (terminal) {
+          async_event('n', e.label, e.cell, e.t, &e);
+        } else {
+          async_event('b', e.label, e.cell, e.t, &e);
+          open_state.emplace(e.cell, std::string(e.label));
+        }
+      }
+      for (const auto& [job, state] : open_state) {
+        async_event('e', state, job, trace_end, nullptr);
+      }
+      continue;
     }
 
     const auto close_slice = [&](sim::Time at) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/build_info.hpp"
+
 namespace st::obs {
 
 namespace {
@@ -135,7 +137,17 @@ void write_summary(JsonOut& json, std::string_view key,
   json.field("p50", s.p50);
   json.field("p95", s.p95);
   json.field("p99", s.p99);
+  json.field("p999", s.p999);
   json.field("max", s.max);
+  json.close();
+}
+
+void write_provenance(JsonOut& json, const ProvenanceReport& p) {
+  json.open("provenance");
+  json.field("git_describe", p.git_describe);
+  json.field("compiler", p.compiler);
+  json.field("build_type", p.build_type);
+  json.field("simd_dispatch", p.simd_dispatch);
   json.close();
 }
 
@@ -166,14 +178,25 @@ HistogramSummary HistogramSummary::from(const LogLinearHistogram& h) {
   s.p50 = h.p50();
   s.p95 = h.p95();
   s.p99 = h.p99();
+  s.p999 = h.p999();
   s.max = h.max();
   return s;
+}
+
+ProvenanceReport ProvenanceReport::current() {
+  ProvenanceReport p;
+  const BuildInfo& info = build_info();
+  p.git_describe = std::string(info.git_describe);
+  p.compiler = std::string(info.compiler);
+  p.build_type = std::string(info.build_type);
+  return p;
 }
 
 std::string RunReport::to_json() const {
   JsonOut json;
   json.open();
   json.field("schema", schema);
+  write_provenance(json, provenance);
 
   json.open("scenario");
   json.field("mobility", scenario);
@@ -292,6 +315,7 @@ std::string FleetReport::to_json() const {
   JsonOut json;
   json.open();
   json.field("schema", schema);
+  write_provenance(json, provenance);
 
   json.open("fleet");
   json.field("seed", seed);

@@ -26,9 +26,24 @@ struct HistogramSummary {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
   double max = 0.0;
 
   [[nodiscard]] static HistogramSummary from(const LogLinearHistogram& h);
+};
+
+/// Which build produced this artifact. Defaults come from
+/// st::build_info(); `simd_dispatch` is the *runtime*-selected sweep
+/// kernel leg ("avx2" / "scalar") filled in by the report assemblers —
+/// obs cannot link phy, so the field starts "unknown".
+struct ProvenanceReport {
+  std::string git_describe;
+  std::string compiler;
+  std::string build_type;
+  std::string simd_dispatch = "unknown";
+
+  /// git/compiler/build_type from st::build_info().
+  [[nodiscard]] static ProvenanceReport current();
 };
 
 /// sim::EngineStats, flattened to plain numbers.
@@ -88,6 +103,8 @@ struct RunReport {
   double ue_beamwidth_deg = 0.0;
   std::uint64_t n_cells = 0;
 
+  ProvenanceReport provenance = ProvenanceReport::current();
+
   HandoverReport handover;
   EngineReport engine;
   SnapshotCacheReport snapshot_cache;
@@ -142,6 +159,8 @@ struct FleetReport {
   std::uint64_t n_cells = 0;
   std::uint64_t n_ues = 0;
   std::uint64_t threads = 1;
+
+  ProvenanceReport provenance = ProvenanceReport::current();
 
   std::vector<FleetUeReport> ues;
 

@@ -1,0 +1,159 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace st::obs {
+
+std::string_view to_string(TelemetryKind kind) noexcept {
+  switch (kind) {
+    case TelemetryKind::kStats:
+      return "stats";
+    case TelemetryKind::kJobEvent:
+      return "job";
+    case TelemetryKind::kProgress:
+      return "progress";
+  }
+  return "unknown";
+}
+
+TelemetryBus::SubscriberId TelemetryBus::subscribe(TelemetryFilter filter,
+                                                   std::size_t queue_capacity) {
+  auto sub = std::make_shared<Subscriber>();
+  sub->capacity = std::max<std::size_t>(1, queue_capacity);
+  sub->filter = filter;
+  const std::lock_guard lock(mutex_);
+  sub->closed = closed_;
+  const SubscriberId id = next_id_++;
+  subscribers_.emplace(id, std::move(sub));
+  return id;
+}
+
+void TelemetryBus::unsubscribe(SubscriberId id) {
+  std::shared_ptr<Subscriber> sub;
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = subscribers_.find(id);
+    if (it == subscribers_.end()) {
+      return;
+    }
+    sub = it->second;
+    subscribers_.erase(it);
+  }
+  // Wake a pop still blocked on this queue; it sees closed and returns.
+  const std::lock_guard sub_lock(sub->mutex);
+  sub->closed = true;
+  sub->cv.notify_all();
+}
+
+std::uint64_t TelemetryBus::publish(TelemetryKind kind, std::uint64_t t_ns,
+                                    const json::Value& payload) {
+  // Snapshot the matching subscribers under the bus lock, then deliver
+  // under each subscriber's own lock so a slow queue never serialises the
+  // others.
+  std::vector<std::shared_ptr<Subscriber>> targets;
+  std::uint64_t seq = 0;
+  {
+    const std::lock_guard lock(mutex_);
+    if (closed_) {
+      return next_seq_;
+    }
+    seq = next_seq_++;
+    targets.reserve(subscribers_.size());
+    for (const auto& [id, sub] : subscribers_) {
+      if (sub->filter.wants(kind)) {
+        targets.push_back(sub);
+      }
+    }
+  }
+  std::uint64_t newly_dropped = 0;
+  for (const auto& sub : targets) {
+    const std::lock_guard sub_lock(sub->mutex);
+    if (sub->closed) {
+      continue;
+    }
+    while (sub->queue.size() >= sub->capacity) {
+      sub->queue.pop_front();
+      ++sub->dropped_unreported;
+      ++newly_dropped;
+    }
+    TelemetryFrame frame;
+    frame.seq = seq;
+    frame.t_ns = t_ns;
+    frame.kind = kind;
+    frame.payload = payload;
+    sub->queue.push_back(std::move(frame));
+    sub->cv.notify_all();
+  }
+  if (newly_dropped > 0) {
+    const std::lock_guard lock(mutex_);
+    total_dropped_ += newly_dropped;
+  }
+  return seq;
+}
+
+TelemetryBus::PopResult TelemetryBus::pop(SubscriberId id,
+                                          std::chrono::milliseconds timeout,
+                                          std::size_t max_frames) {
+  PopResult result;
+  std::shared_ptr<Subscriber> sub;
+  {
+    const std::lock_guard lock(mutex_);
+    const auto it = subscribers_.find(id);
+    if (it == subscribers_.end()) {
+      result.closed = true;
+      return result;
+    }
+    sub = it->second;
+  }
+  std::unique_lock sub_lock(sub->mutex);
+  sub->cv.wait_for(sub_lock, timeout,
+                   [&] { return !sub->queue.empty() || sub->closed; });
+  result.dropped = sub->dropped_unreported;
+  sub->dropped_unreported = 0;
+  // total_dropped_ already accounts for these at publish time.
+  const std::size_t take = std::min(max_frames, sub->queue.size());
+  result.frames.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    result.frames.push_back(std::move(sub->queue.front()));
+    sub->queue.pop_front();
+  }
+  result.closed = sub->closed && sub->queue.empty();
+  return result;
+}
+
+void TelemetryBus::close() {
+  std::vector<std::shared_ptr<Subscriber>> subs;
+  {
+    const std::lock_guard lock(mutex_);
+    closed_ = true;
+    subs.reserve(subscribers_.size());
+    for (const auto& [id, sub] : subscribers_) {
+      subs.push_back(sub);
+    }
+  }
+  for (const auto& sub : subs) {
+    const std::lock_guard sub_lock(sub->mutex);
+    sub->closed = true;
+    sub->cv.notify_all();
+  }
+}
+
+std::size_t TelemetryBus::subscriber_count() const {
+  const std::lock_guard lock(mutex_);
+  return subscribers_.size();
+}
+
+std::uint64_t TelemetryBus::published() const {
+  const std::lock_guard lock(mutex_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t TelemetryBus::total_dropped() const {
+  // Maintained at publish time, so it already covers frames a subscriber
+  // has not yet been told about.
+  const std::lock_guard lock(mutex_);
+  return total_dropped_;
+}
+
+}  // namespace st::obs

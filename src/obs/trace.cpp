@@ -22,6 +22,8 @@ std::string_view to_string(Component c) noexcept {
       return "scenario";
     case Component::kEngine:
       return "engine";
+    case Component::kServe:
+      return "serve";
   }
   return "?";
 }

@@ -41,9 +41,10 @@ enum class Component : std::uint8_t {
   kLinkMonitor,
   kScenario,
   kEngine,
+  kServe,  ///< daemon job lifecycle; cell = job id, label = state
 };
 
-inline constexpr std::size_t kComponentCount = 8;
+inline constexpr std::size_t kComponentCount = 9;
 
 /// Legacy-compatible tag: "silent_tracker", "beamsurfer", "reactive", ...
 [[nodiscard]] std::string_view to_string(Component c) noexcept;

@@ -109,6 +109,48 @@ json::Value Client::stats() { return request(typed("stats")); }
 
 json::Value Client::drain() { return request(typed("drain")); }
 
+json::Value Client::subscribe(std::string_view filter,
+                              std::uint32_t snapshot_period_ms, bool delta,
+                              std::size_t queue) {
+  json::Value v = typed("subscribe");
+  v.set("filter", json::Value::string(std::string(filter)));
+  v.set("snapshot_period_ms",
+        json::Value::unsigned_integer(snapshot_period_ms));
+  v.set("delta", json::Value::boolean(delta));
+  if (queue > 0) {
+    v.set("queue", json::Value::unsigned_integer(queue));
+  }
+  return request(v);
+}
+
+std::optional<json::Value> Client::next_frame(int timeout_ms, bool* closed) {
+  if (closed != nullptr) {
+    *closed = false;
+  }
+  if (fd_ < 0) {
+    if (closed != nullptr) {
+      *closed = true;
+    }
+    return std::nullopt;
+  }
+  FrameReadResult frame =
+      read_frame_deadline(fd_, kMaxResponseFrameBytes, timeout_ms);
+  switch (frame.status) {
+    case FrameStatus::kOk:
+      return json::parse(frame.payload);
+    case FrameStatus::kTimeout:
+      return std::nullopt;
+    case FrameStatus::kClosed:
+    case FrameStatus::kTooLarge:
+    case FrameStatus::kError:
+      break;
+  }
+  if (closed != nullptr) {
+    *closed = true;
+  }
+  return std::nullopt;
+}
+
 std::optional<json::Value> Client::wait(std::uint64_t id, int timeout_ms,
                                         int poll_interval_ms) {
   const auto deadline = std::chrono::steady_clock::now() +

@@ -58,6 +58,24 @@ class Client {
                                                 int timeout_ms = 60000,
                                                 int poll_interval_ms = 20);
 
+  // -- streaming (subscribe) -------------------------------------------
+  /// Send a `subscribe` request and return the server's ack. On an ok
+  /// ack the connection is a server-push stream: consume it with
+  /// next_frame() only — further request() calls are a protocol
+  /// violation (the server closes the stream). `filter` is "stats",
+  /// "events", or "all"; `snapshot_period_ms` 0 disables pushed stats
+  /// snapshots; `queue` 0 uses the server's default subscriber queue.
+  [[nodiscard]] json::Value subscribe(std::string_view filter = "all",
+                                      std::uint32_t snapshot_period_ms = 1000,
+                                      bool delta = true,
+                                      std::size_t queue = 0);
+
+  /// Read the next pushed telemetry frame. nullopt on timeout (stream
+  /// still healthy) and on end-of-stream; `*closed` distinguishes the
+  /// two. `timeout_ms` < 0 waits forever.
+  [[nodiscard]] std::optional<json::Value> next_frame(int timeout_ms,
+                                                      bool* closed = nullptr);
+
  private:
   int fd_ = -1;
 };

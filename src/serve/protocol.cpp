@@ -1,9 +1,11 @@
 #include "serve/protocol.hpp"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace st::serve {
@@ -111,6 +113,44 @@ FrameReadResult read_frame(int fd, std::uint32_t max_bytes,
   return result;
 }
 
+FrameReadResult read_frame_deadline(int fd, std::uint32_t max_bytes,
+                                    int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        FrameReadResult result;
+        result.status = FrameStatus::kTimeout;
+        return result;
+      }
+      wait_ms = static_cast<int>(left.count());
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, wait_ms);
+    if (pr < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      FrameReadResult result;
+      result.status = FrameStatus::kError;
+      return result;
+    }
+    if (pr == 0) {
+      FrameReadResult result;
+      result.status = FrameStatus::kTimeout;
+      return result;
+    }
+    // Bytes (or EOF) are pending: the frame resolves without a deadline.
+    return read_frame(fd, max_bytes, nullptr);
+  }
+}
+
 bool write_frame(int fd, std::string_view payload) {
   if (payload.size() > kMaxResponseFrameBytes) {
     return false;
@@ -128,7 +168,11 @@ bool write_frame(int fd, std::string_view payload) {
   buf.append(payload.data(), payload.size());
   std::size_t sent = 0;
   while (sent < buf.size()) {
-    const ssize_t n = ::write(fd, buf.data() + sent, buf.size() - sent);
+    // MSG_NOSIGNAL: a peer that disconnected mid-stream must surface as a
+    // write error, not a process-wide SIGPIPE (subscribe streams make
+    // writes to half-closed sockets routine).
+    const ssize_t n =
+        ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN) {
         continue;

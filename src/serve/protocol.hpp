@@ -65,6 +65,7 @@ enum class FrameStatus {
   kClosed,    ///< peer closed (or stop was requested) before a header
   kTooLarge,  ///< header promised more than `max_bytes`; nothing read
   kError,     ///< truncated frame or transport error
+  kTimeout,   ///< read_frame_deadline: no frame began before the deadline
 };
 
 struct FrameReadResult {
@@ -78,6 +79,15 @@ struct FrameReadResult {
 /// only allocated after the length prefix passed the `max_bytes` check.
 [[nodiscard]] FrameReadResult read_frame(int fd, std::uint32_t max_bytes,
                                          const std::atomic<bool>* stop);
+
+/// Like read_frame, but gives up with kTimeout when no frame has *begun*
+/// arriving within `timeout_ms` (< 0 = wait forever). Once the first
+/// byte is in, the frame is read to completion — a started frame always
+/// resolves to kOk/kClosed/kError. Used by subscribe-stream consumers
+/// that interleave waiting with their own bookkeeping.
+[[nodiscard]] FrameReadResult read_frame_deadline(int fd,
+                                                  std::uint32_t max_bytes,
+                                                  int timeout_ms);
 
 /// Write one frame (length prefix + payload). False on a transport
 /// error — e.g. the peer closed; callers treat that as connection end.

@@ -5,14 +5,17 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
 
-#include "fleet/engine.hpp"
+#include "common/build_info.hpp"
 #include "core/spec_json.hpp"
+#include "fleet/engine.hpp"
+#include "phy/simd.hpp"
 
 namespace st::serve {
 
@@ -48,7 +51,18 @@ namespace {
   v.set("p50", json::Value::number(h.p50()));
   v.set("p95", json::Value::number(h.p95()));
   v.set("p99", json::Value::number(h.p99()));
+  v.set("p999", json::Value::number(h.p999()));
   v.set("max", json::Value::number(h.max()));
+  return v;
+}
+
+[[nodiscard]] json::Value provenance_json() {
+  json::Value v = json::Value::object();
+  const BuildInfo& info = build_info();
+  v.set("git_describe", json::Value::string(std::string(info.git_describe)));
+  v.set("compiler", json::Value::string(std::string(info.compiler)));
+  v.set("build_type", json::Value::string(std::string(info.build_type)));
+  v.set("simd_dispatch", json::Value::string(phy::simd::mode()));
   return v;
 }
 
@@ -100,6 +114,9 @@ void Server::stop() {
   }
   started_ = false;
   stop_.store(true, std::memory_order_release);
+  // Wake subscribe streams blocked on their telemetry queues so the
+  // connection joins below cannot wait out a full pop timeout.
+  bus_.close();
   {
     const std::lock_guard<std::mutex> lock(state_mutex_);
     for (auto& [id, job] : jobs_) {
@@ -199,6 +216,9 @@ json::Value Server::handle(const json::Value& request) {
     }
     if (t == "stats") {
       return handle_stats();
+    }
+    if (t == "subscribe") {
+      return handle_subscribe(request, nullptr);
     }
     if (t == "drain") {
       request_drain();
@@ -411,7 +431,8 @@ json::Value Server::handle_stats() {
                        std::string("serve.jobs.") + name)));
   }
   json::Value latency = json::Value::object();
-  for (const char* name : {"serve.queue_wait_ms", "serve.run_ms"}) {
+  for (const char* name :
+       {"serve.queue_wait_ms", "serve.run_ms", "serve.e2e_ms"}) {
     if (const LogLinearHistogram* h = metrics_.find_histogram(name)) {
       latency.set(std::string_view(name).substr(6), histogram_summary_json(*h));
     }
@@ -424,11 +445,104 @@ json::Value Server::handle_stats() {
                                       queue_.capacity())));
   stats.set("workers", json::Value::unsigned_integer(
                            static_cast<std::uint64_t>(config_.workers)));
+  stats.set("jobs_running", json::Value::unsigned_integer(
+                                static_cast<std::uint64_t>(jobs_running_)));
   stats.set("draining", json::Value::boolean(draining_));
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  stats.set("uptime_seconds", json::Value::number(uptime));
+  const std::uint64_t done = metrics_.counter_value("serve.jobs.done");
+  const std::uint64_t submitted =
+      metrics_.counter_value("serve.jobs.submitted");
+  const std::uint64_t shed = metrics_.counter_value("serve.jobs.shed");
+  stats.set("jobs_per_second",
+            json::Value::number(
+                uptime > 0.0 ? static_cast<double>(done) / uptime : 0.0));
+  stats.set("shed_rate",
+            json::Value::number(submitted > 0
+                                    ? static_cast<double>(shed) /
+                                          static_cast<double>(submitted)
+                                    : 0.0));
   stats.set("jobs", std::move(jobs));
   stats.set("latency", std::move(latency));
+  json::Value telemetry = json::Value::object();
+  telemetry.set("subscribers", json::Value::unsigned_integer(
+                                   bus_.subscriber_count()));
+  telemetry.set("published", json::Value::unsigned_integer(bus_.published()));
+  telemetry.set("dropped",
+                json::Value::unsigned_integer(bus_.total_dropped()));
+  stats.set("telemetry", std::move(telemetry));
+  stats.set("provenance", provenance_json());
   json::Value v = ok_response();
   v.set("stats", std::move(stats));
+  return v;
+}
+
+json::Value Server::handle_subscribe(const json::Value& request,
+                                     SubscribeParams* out) {
+  SubscribeParams params;
+  std::string filter_name = "all";
+  if (const json::Value* filter = request.find("filter")) {
+    if (filter->kind() != json::Value::Kind::kString) {
+      return error_response(errc::kBadRequest,
+                            "subscribe \"filter\" must be a string");
+    }
+    filter_name = filter->as_string();
+    if (filter_name == "stats") {
+      params.filter = {true, false};
+    } else if (filter_name == "events") {
+      params.filter = {false, true};
+    } else if (filter_name == "all") {
+      params.filter = {true, true};
+    } else {
+      return error_response(
+          errc::kBadRequest,
+          "subscribe \"filter\" must be \"stats\", \"events\", or \"all\"");
+    }
+  }
+  std::string why;
+  if (request.find("snapshot_period_ms") != nullptr) {
+    std::uint64_t period = 0;
+    if (!get_u64(request, "snapshot_period_ms", period, why)) {
+      return error_response(errc::kBadRequest, why);
+    }
+    // 0 = no pushed snapshots; otherwise clamped to a sane cadence.
+    params.snapshot_period_ms = static_cast<std::uint32_t>(
+        period == 0 ? 0 : std::clamp<std::uint64_t>(period, 10, 60'000));
+  }
+  if (const json::Value* delta = request.find("delta")) {
+    if (delta->kind() != json::Value::Kind::kBool) {
+      return error_response(errc::kBadRequest,
+                            "subscribe \"delta\" must be a boolean");
+    }
+    params.delta = delta->as_bool();
+  }
+  if (request.find("queue") != nullptr) {
+    std::uint64_t capacity = 0;
+    if (!get_u64(request, "queue", capacity, why)) {
+      return error_response(errc::kBadRequest, why);
+    }
+    params.queue_capacity = static_cast<std::size_t>(
+        std::clamp<std::uint64_t>(capacity, 1, 65'536));
+  }
+  if (params.queue_capacity == 0) {
+    params.queue_capacity = config_.telemetry_queue;
+  }
+
+  json::Value v = ok_response();
+  v.set("subscribed", json::Value::boolean(true));
+  v.set("filter", json::Value::string(filter_name));
+  v.set("snapshot_period_ms",
+        json::Value::unsigned_integer(params.snapshot_period_ms));
+  v.set("delta", json::Value::boolean(params.delta));
+  v.set("queue", json::Value::unsigned_integer(params.queue_capacity));
+  v.set("frame_version",
+        json::Value::unsigned_integer(obs::kTelemetryFrameVersion));
+  if (out != nullptr) {
+    *out = params;
+  }
   return v;
 }
 
@@ -441,6 +555,11 @@ void Server::transition_locked(Job& job, JobState to) {
                            std::string(to_string(job.state)) + " -> " +
                            std::string(to_string(to)));
   }
+  if (to == JobState::kRunning) {
+    ++jobs_running_;
+  } else if (job.state == JobState::kRunning && jobs_running_ > 0) {
+    --jobs_running_;
+  }
   job.state = to;
   metrics_.counter(std::string("serve.jobs.") + std::string(to_string(to)))
       .increment();
@@ -452,11 +571,45 @@ void Server::append_event_locked(Job& job, std::string_view kind) {
   json::Value e = json::Value::object();
   e.set("seq", json::Value::unsigned_integer(job.next_event_seq++));
   e.set("event", json::Value::string(std::string(kind)));
-  if (kind == "ue_complete") {
+  const bool progress = kind == "ue_complete";
+  if (progress) {
     e.set("ues_completed", json::Value::unsigned_integer(job.ues_completed));
     e.set("ues_total", json::Value::unsigned_integer(job.ues_total));
   }
+
+  // Mirror the polled event onto the telemetry bus: same seq (so a
+  // streamed gap can be backfilled through the `events` cursor), plus
+  // the job id and state the per-job poll path carries implicitly.
+  const std::uint64_t t = now_ns();
+  json::Value payload = e;
+  payload.set("id", json::Value::unsigned_integer(job.id));
+  payload.set("state",
+              json::Value::string(std::string(to_string(job.state))));
+  bus_.publish(progress ? obs::TelemetryKind::kProgress
+                        : obs::TelemetryKind::kJobEvent,
+               t, payload);
+
+  if (!progress) {
+    // Every lifecycle event is a state entry; recorded as a trace event
+    // the Perfetto exporter renders as per-job async spans. `kind` is a
+    // string literal at every call site, satisfying TraceEvent's label
+    // lifetime contract.
+    obs::TraceEvent te;
+    te.t = sim::Time::from_ns(static_cast<std::int64_t>(t));
+    te.type = obs::TraceEventType::kStateTransition;
+    te.cell = static_cast<std::int64_t>(job.id);
+    te.label = kind;
+    trace_.record(obs::Component::kServe, te);
+  }
+
   job.events.push_back(std::move(e));
+}
+
+std::uint64_t Server::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
 }
 
 Job* Server::find_job_locked(std::uint64_t id) {
@@ -512,18 +665,166 @@ void Server::connection_loop(int fd) {
       break;
     }
     json::Value response;
+    bool start_stream = false;
+    SubscribeParams params;
     try {
       const json::Value request = json::parse(frame.payload);
-      response = handle(request);
+      const json::Value* type = request.find("type");
+      if (type != nullptr && type->kind() == json::Value::Kind::kString &&
+          type->as_string() == "subscribe") {
+        // Validation and ack via the transport-free path; an ok ack
+        // flips this connection into a server-push stream below.
+        response = handle_subscribe(request, &params);
+        const json::Value* ok = response.find("ok");
+        start_stream = ok != nullptr && ok->is_bool() && ok->as_bool();
+      } else {
+        response = handle(request);
+      }
     } catch (const json::ParseError& e) {
       // The frame boundary was intact, so the connection stays usable.
       response = error_response(errc::kBadJson, e.what());
+    }
+    if (start_stream) {
+      // Subscribe *before* the ack goes out: any frame published after
+      // the client has read the ack is guaranteed to be delivered (or
+      // accounted for as dropped) — never silently missed in the gap
+      // between acknowledging and attaching to the bus.
+      const obs::TelemetryBus::SubscriberId sub =
+          bus_.subscribe(params.filter, params.queue_capacity);
+      if (!write_frame(fd, response.dump())) {
+        bus_.unsubscribe(sub);
+        break;
+      }
+      stream_loop(fd, params, sub);
+      break;
     }
     if (!write_frame(fd, response.dump())) {
       break;
     }
   }
   ::close(fd);
+}
+
+// Between pushed frames the subscriber's own queue paces the stream;
+// state is snapshotted into `prev` so delta frames only carry what moved.
+struct Server::StatsDeltaState {
+  bool first = true;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::uint64_t> histogram_counts;
+};
+
+json::Value Server::build_stats_frame(StatsDeltaState& prev, bool delta) {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const bool full = !delta || prev.first;
+  json::Value data = json::Value::object();
+  data.set("full", json::Value::boolean(full));
+  data.set("queue_depth", json::Value::unsigned_integer(
+                              static_cast<std::uint64_t>(queue_.depth())));
+  data.set("jobs_running", json::Value::unsigned_integer(
+                               static_cast<std::uint64_t>(jobs_running_)));
+  data.set("draining", json::Value::boolean(draining_));
+
+  json::Value counters = json::Value::object();
+  for (const auto& [name, counter] : metrics_.counters()) {
+    const std::uint64_t value = counter.value();
+    if (full || prev.counters[name] != value) {
+      counters.set(name, json::Value::unsigned_integer(value));
+    }
+    prev.counters[name] = value;
+  }
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, gauge] : metrics_.gauges()) {
+    const double value = gauge.value();
+    if (full || prev.gauges[name] != value) {
+      gauges.set(name, json::Value::number(value));
+    }
+    prev.gauges[name] = value;
+  }
+  json::Value latency = json::Value::object();
+  for (const auto& [name, histogram] : metrics_.histograms()) {
+    const std::uint64_t count = histogram.count();
+    if (full || prev.histogram_counts[name] != count) {
+      latency.set(name, histogram_summary_json(histogram));
+    }
+    prev.histogram_counts[name] = count;
+  }
+  data.set("counters", std::move(counters));
+  data.set("gauges", std::move(gauges));
+  data.set("latency", std::move(latency));
+  prev.first = false;
+  return data;
+}
+
+void Server::stream_loop(int fd, const SubscribeParams& params,
+                         obs::TelemetryBus::SubscriberId sub) {
+  const bool want_stats = params.filter.stats && params.snapshot_period_ms > 0;
+  StatsDeltaState prev;
+  std::uint64_t out_seq = 0;
+  auto next_snapshot = std::chrono::steady_clock::now();  // immediate first
+
+  const auto send = [&](obs::TelemetryKind kind, std::uint64_t t_ns,
+                        json::Value data, std::uint64_t bus_seq,
+                        std::uint64_t dropped) {
+    json::Value frame = json::Value::object();
+    frame.set("telemetry", json::Value::boolean(true));
+    frame.set("v", json::Value::unsigned_integer(obs::kTelemetryFrameVersion));
+    frame.set("seq", json::Value::unsigned_integer(out_seq++));
+    if (bus_seq > 0) {
+      frame.set("bus_seq", json::Value::unsigned_integer(bus_seq));
+    }
+    frame.set("kind", json::Value::string(std::string(to_string(kind))));
+    frame.set("t_ns", json::Value::unsigned_integer(t_ns));
+    if (dropped > 0) {
+      frame.set("dropped", json::Value::unsigned_integer(dropped));
+    }
+    frame.set("data", std::move(data));
+    return write_frame(fd, frame.dump());
+  };
+
+  bool alive = true;
+  while (alive && !stop_.load(std::memory_order_acquire)) {
+    // A subscribed client must not send further requests; readable bytes
+    // mean EOF (disconnect) or a protocol violation — stop either way.
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 0) > 0) {
+      break;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    if (want_stats && now >= next_snapshot) {
+      alive = send(obs::TelemetryKind::kStats, now_ns(),
+                   build_stats_frame(prev, params.delta), 0, 0);
+      next_snapshot =
+          now + std::chrono::milliseconds(params.snapshot_period_ms);
+      continue;
+    }
+
+    auto timeout = std::chrono::milliseconds(100);
+    if (want_stats) {
+      const auto until_snapshot =
+          std::chrono::duration_cast<std::chrono::milliseconds>(next_snapshot -
+                                                                now) +
+          std::chrono::milliseconds(1);
+      timeout = std::clamp(until_snapshot, std::chrono::milliseconds(1),
+                           timeout);
+    }
+    obs::TelemetryBus::PopResult popped = bus_.pop(sub, timeout);
+    std::uint64_t dropped = popped.dropped;
+    for (obs::TelemetryFrame& f : popped.frames) {
+      alive = send(f.kind, f.t_ns, std::move(f.payload), f.seq, dropped);
+      dropped = 0;
+      if (!alive) {
+        break;
+      }
+    }
+    if (popped.closed) {
+      break;
+    }
+  }
+  bus_.unsubscribe(sub);
 }
 
 void Server::worker_loop() {
@@ -597,6 +898,10 @@ void Server::run_job(std::uint64_t id) {
     transition_locked(*job, JobState::kCancelled);
   } else {
     job->report_json = std::move(report);
+    // End-to-end latency (submit -> done) is only meaningful for jobs
+    // that produced a result; cancelled/failed runs would skew the tail.
+    metrics_.histogram("serve.e2e_ms")
+        .add(ms_between(job->submitted_at, job->finished_at));
     transition_locked(*job, JobState::kDone);
   }
 }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -33,6 +34,8 @@
 
 #include "common/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/protocol.hpp"
@@ -53,6 +56,24 @@ struct ServerConfig {
   unsigned fleet_threads = 0;
   /// Request frames above this are rejected before allocation.
   std::uint32_t max_request_frame = kMaxRequestFrameBytes;
+  /// Default per-subscriber telemetry queue capacity (frames). A
+  /// subscriber that lags beyond it loses the oldest frames, with the
+  /// loss reported in-band (`dropped`). Overridable per subscription via
+  /// the request's "queue" field, clamped to [1, 65536].
+  std::size_t telemetry_queue = 256;
+};
+
+/// Validated parameters of a `subscribe` request.
+struct SubscribeParams {
+  obs::TelemetryFilter filter;
+  /// Period of the pushed stats snapshots; 0 disables them even when the
+  /// filter asks for stats.
+  std::uint32_t snapshot_period_ms = 1000;
+  /// When true (default) a stats frame carries only counters/gauges/
+  /// histograms that changed since the previous frame (the first frame
+  /// is always complete).
+  bool delta = true;
+  std::size_t queue_capacity = 0;  ///< 0 = ServerConfig::telemetry_queue
 };
 
 class Server {
@@ -88,6 +109,25 @@ class Server {
   /// `internal` error responses.
   [[nodiscard]] json::Value handle(const json::Value& request);
 
+  /// Validate a `subscribe` request: the ok/error ack (what handle()
+  /// returns for it) plus, on success, the decoded parameters. The
+  /// socket path switches the connection into a push stream after
+  /// writing an ok ack; handle() alone never streams, which is what
+  /// keeps it transport-free for tests.
+  [[nodiscard]] json::Value handle_subscribe(const json::Value& request,
+                                             SubscribeParams* out);
+
+  /// The bus every job lifecycle / progress frame is published on.
+  /// Exposed so tests and benches can subscribe in-process.
+  [[nodiscard]] obs::TelemetryBus& telemetry() noexcept { return bus_; }
+
+  /// Job-span trace of the daemon's queue (Component::kServe, one async
+  /// span per job state). Export with obs::write_chrome_trace_file after
+  /// stop(); `stserved --trace-out` does exactly that.
+  [[nodiscard]] const obs::TraceRecorder& trace() const noexcept {
+    return trace_;
+  }
+
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
  private:
@@ -107,9 +147,25 @@ class Server {
 
   [[nodiscard]] Job* find_job_locked(std::uint64_t id);
 
+  /// Nanoseconds since server construction — the t_ns clock of every
+  /// telemetry frame and trace event.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// The `data` payload of one pushed stats frame; takes state_mutex_
+  /// internally. `prev` carries the delta baseline between frames.
+  struct StatsDeltaState;
+  [[nodiscard]] json::Value build_stats_frame(StatsDeltaState& prev,
+                                              bool delta);
+
   // -- thread bodies --------------------------------------------------
   void accept_loop();
   void connection_loop(int fd);
+  /// Server-push half of a subscribed connection: owns the fd (and the
+  /// already-registered bus subscription `sub` — created before the ack
+  /// was written, so no frame can fall in the ack/attach gap) until the
+  /// client disconnects or the server stops.
+  void stream_loop(int fd, const SubscribeParams& params,
+                   obs::TelemetryBus::SubscriberId sub);
   void worker_loop();
   void run_job(std::uint64_t id);
 
@@ -123,6 +179,11 @@ class Server {
   obs::MetricRegistry metrics_;
   std::size_t jobs_running_ = 0;
   bool draining_ = false;
+
+  obs::TelemetryBus bus_;
+  obs::TraceRecorder trace_;
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
 
   std::atomic<bool> stop_{false};
   int listen_fd_ = -1;

@@ -1,8 +1,14 @@
 // MetricRegistry: find-or-create semantics, reference stability across
-// later insertions, and the read-side lookups the RunReport uses.
+// later insertions, and the read-side lookups the RunReport uses — plus
+// the tail-quantile contract the telemetry plane exports (p999 and the
+// log-linear relative-error bound, pinned against exact percentiles).
 #include "obs/metrics.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
 
 namespace {
 
@@ -50,6 +56,53 @@ TEST(MetricRegistry, HistogramFindOrCreateAndLookup) {
   EXPECT_EQ(found->count(), 2u);
   EXPECT_DOUBLE_EQ(found->sum(), 30.0);
   EXPECT_EQ(registry.histograms().size(), 1u);
+}
+
+TEST(HistogramTail, P999IsMonotoneAboveP99) {
+  LogLinearHistogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  EXPECT_LE(h.p50(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), h.max());
+  EXPECT_NEAR(h.p999(), 9990.0, 9990.0 * h.relative_error_bound() * 1.5);
+}
+
+TEST(HistogramTail, RelativeErrorBoundIsPinned) {
+  // The exported bound is structural: 16 sub-buckets per octave means a
+  // quantile can be off by at most half a sub-bucket, i.e. 1/(2*16).
+  LogLinearHistogram h;
+  EXPECT_DOUBLE_EQ(h.relative_error_bound(), 1.0 / 32.0);
+  EXPECT_DOUBLE_EQ(h.relative_error_bound(), 0.03125);
+}
+
+TEST(HistogramTail, QuantilesWithinBoundOfExactPercentiles) {
+  // Log-spaced samples over three decades — the adversarial shape for a
+  // log-linear sketch, since every octave is populated. Every reported
+  // quantile (incl. the new p999) must stay within the advertised
+  // relative-error bound of the exact percentile from the raw samples.
+  LogLinearHistogram h;
+  SampleSet exact;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = std::pow(10.0, 1.0 + 2.0 * i / 2999.0);  // 10 .. 1000
+    h.add(x);
+    exact.add(x);
+  }
+  const double bound = h.relative_error_bound();
+  const struct {
+    double hist;
+    double exact;
+  } pairs[] = {
+      {h.p50(), exact.percentile(50.0)},
+      {h.p95(), exact.percentile(95.0)},
+      {h.p99(), exact.percentile(99.0)},
+      {h.p999(), exact.percentile(99.9)},
+  };
+  for (const auto& [approx, truth] : pairs) {
+    EXPECT_NEAR(approx, truth, truth * bound)
+        << "bound " << bound << " violated: " << approx << " vs " << truth;
+  }
 }
 
 }  // namespace

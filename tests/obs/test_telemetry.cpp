@@ -1,0 +1,272 @@
+// TelemetryBus: fan-out, filtering, bounded-queue drop accounting, blocking
+// pop wake-ups, and shutdown semantics. The hostile-consumer cases here are
+// the in-memory half of the serve-layer streaming tests: a subscriber that
+// lags must lose the *oldest* frames, learn exactly how many it lost, and
+// never block the publisher.
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using st::json::Value;
+using st::obs::TelemetryBus;
+using st::obs::TelemetryFilter;
+using st::obs::TelemetryKind;
+using std::chrono::milliseconds;
+
+Value payload(std::uint64_t n) {
+  Value v = Value::object();
+  v.set("n", Value::unsigned_integer(n));
+  return v;
+}
+
+std::uint64_t payload_n(const st::obs::TelemetryFrame& frame) {
+  const Value* n = frame.payload.find("n");
+  return n == nullptr ? 0 : n->u64_or(0);
+}
+
+TEST(Telemetry, KindWireTags) {
+  EXPECT_EQ(st::obs::to_string(TelemetryKind::kStats), "stats");
+  EXPECT_EQ(st::obs::to_string(TelemetryKind::kJobEvent), "job");
+  EXPECT_EQ(st::obs::to_string(TelemetryKind::kProgress), "progress");
+}
+
+TEST(Telemetry, PublishDeliversInOrderWithGlobalSeq) {
+  TelemetryBus bus;
+  const auto id = bus.subscribe(TelemetryFilter{}, 16);
+  EXPECT_EQ(bus.subscriber_count(), 1U);
+
+  EXPECT_EQ(bus.publish(TelemetryKind::kJobEvent, 10, payload(1)), 1U);
+  EXPECT_EQ(bus.publish(TelemetryKind::kProgress, 20, payload(2)), 2U);
+  EXPECT_EQ(bus.publish(TelemetryKind::kStats, 30, payload(3)), 3U);
+  EXPECT_EQ(bus.published(), 3U);
+
+  const auto popped = bus.pop(id, milliseconds(0));
+  ASSERT_EQ(popped.frames.size(), 3U);
+  EXPECT_EQ(popped.dropped, 0U);
+  EXPECT_FALSE(popped.closed);
+  for (std::size_t i = 0; i < popped.frames.size(); ++i) {
+    EXPECT_EQ(popped.frames[i].seq, i + 1);
+    EXPECT_EQ(payload_n(popped.frames[i]), i + 1);
+  }
+  EXPECT_EQ(popped.frames[0].kind, TelemetryKind::kJobEvent);
+  EXPECT_EQ(popped.frames[0].t_ns, 10U);
+  EXPECT_EQ(popped.frames[2].kind, TelemetryKind::kStats);
+  bus.unsubscribe(id);
+}
+
+TEST(Telemetry, FilterSelectsKinds) {
+  TelemetryBus bus;
+  TelemetryFilter stats_only;
+  stats_only.stats = true;
+  stats_only.events = false;
+  TelemetryFilter events_only;
+  events_only.stats = false;
+  events_only.events = true;
+  const auto stats_sub = bus.subscribe(stats_only, 16);
+  const auto events_sub = bus.subscribe(events_only, 16);
+
+  bus.publish(TelemetryKind::kStats, 0, payload(1));
+  bus.publish(TelemetryKind::kJobEvent, 0, payload(2));
+  bus.publish(TelemetryKind::kProgress, 0, payload(3));
+
+  const auto stats_frames = bus.pop(stats_sub, milliseconds(0));
+  ASSERT_EQ(stats_frames.frames.size(), 1U);
+  EXPECT_EQ(stats_frames.frames[0].kind, TelemetryKind::kStats);
+
+  // "events" covers both lifecycle and progress kinds.
+  const auto event_frames = bus.pop(events_sub, milliseconds(0));
+  ASSERT_EQ(event_frames.frames.size(), 2U);
+  EXPECT_EQ(event_frames.frames[0].kind, TelemetryKind::kJobEvent);
+  EXPECT_EQ(event_frames.frames[1].kind, TelemetryKind::kProgress);
+}
+
+TEST(Telemetry, SlowSubscriberDropsOldestAndCountsTheLoss) {
+  TelemetryBus bus;
+  const auto id = bus.subscribe(TelemetryFilter{}, 4);
+  for (std::uint64_t n = 1; n <= 10; ++n) {
+    bus.publish(TelemetryKind::kJobEvent, 0, payload(n));
+  }
+
+  // Queue capacity 4: frames 1..6 were pushed out, 7..10 remain.
+  const auto popped = bus.pop(id, milliseconds(0));
+  EXPECT_EQ(popped.dropped, 6U);
+  ASSERT_EQ(popped.frames.size(), 4U);
+  EXPECT_EQ(payload_n(popped.frames.front()), 7U);
+  EXPECT_EQ(payload_n(popped.frames.back()), 10U);
+  EXPECT_EQ(bus.total_dropped(), 6U);
+
+  // The loss is reported once; the next pop starts clean.
+  bus.publish(TelemetryKind::kJobEvent, 0, payload(11));
+  const auto next = bus.pop(id, milliseconds(0));
+  EXPECT_EQ(next.dropped, 0U);
+  ASSERT_EQ(next.frames.size(), 1U);
+  EXPECT_EQ(payload_n(next.frames[0]), 11U);
+}
+
+TEST(Telemetry, DropsArePerSubscriberNotGlobal) {
+  TelemetryBus bus;
+  const auto slow = bus.subscribe(TelemetryFilter{}, 1);
+  const auto fast = bus.subscribe(TelemetryFilter{}, 64);
+  for (std::uint64_t n = 1; n <= 5; ++n) {
+    bus.publish(TelemetryKind::kJobEvent, 0, payload(n));
+  }
+  EXPECT_EQ(bus.pop(slow, milliseconds(0)).dropped, 4U);
+  EXPECT_EQ(bus.pop(fast, milliseconds(0)).dropped, 0U);
+  EXPECT_EQ(bus.total_dropped(), 4U);
+}
+
+TEST(Telemetry, QueueCapacityClampedToOne) {
+  TelemetryBus bus;
+  const auto id = bus.subscribe(TelemetryFilter{}, 0);
+  bus.publish(TelemetryKind::kJobEvent, 0, payload(1));
+  bus.publish(TelemetryKind::kJobEvent, 0, payload(2));
+  const auto popped = bus.pop(id, milliseconds(0));
+  ASSERT_EQ(popped.frames.size(), 1U);
+  EXPECT_EQ(payload_n(popped.frames[0]), 2U);
+  EXPECT_EQ(popped.dropped, 1U);
+}
+
+TEST(Telemetry, PopTimesOutEmptyOnIdleBus) {
+  TelemetryBus bus;
+  const auto id = bus.subscribe(TelemetryFilter{}, 4);
+  const auto start = std::chrono::steady_clock::now();
+  const auto popped = bus.pop(id, milliseconds(30));
+  EXPECT_TRUE(popped.frames.empty());
+  EXPECT_FALSE(popped.closed);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, milliseconds(25));
+}
+
+TEST(Telemetry, PublishWakesBlockedPop) {
+  TelemetryBus bus;
+  const auto id = bus.subscribe(TelemetryFilter{}, 4);
+  std::thread publisher([&bus] {
+    std::this_thread::sleep_for(milliseconds(20));
+    bus.publish(TelemetryKind::kJobEvent, 0, payload(7));
+  });
+  const auto popped = bus.pop(id, milliseconds(5000));
+  publisher.join();
+  ASSERT_EQ(popped.frames.size(), 1U);
+  EXPECT_EQ(payload_n(popped.frames[0]), 7U);
+}
+
+TEST(Telemetry, UnsubscribeWakesBlockedPopAsClosed) {
+  TelemetryBus bus;
+  const auto id = bus.subscribe(TelemetryFilter{}, 4);
+  std::thread closer([&bus, id] {
+    std::this_thread::sleep_for(milliseconds(20));
+    bus.unsubscribe(id);
+  });
+  const auto popped = bus.pop(id, milliseconds(5000));
+  closer.join();
+  EXPECT_TRUE(popped.closed);
+  EXPECT_EQ(bus.subscriber_count(), 0U);
+  // Popping an unknown id stays closed, never blocks.
+  EXPECT_TRUE(bus.pop(id, milliseconds(0)).closed);
+}
+
+TEST(Telemetry, CloseWakesEveryoneAndDropsLaterPublishes) {
+  TelemetryBus bus;
+  const auto a = bus.subscribe(TelemetryFilter{}, 4);
+  const auto b = bus.subscribe(TelemetryFilter{}, 4);
+  bus.publish(TelemetryKind::kJobEvent, 0, payload(1));
+  bus.close();
+
+  // Queued frames are still delivered, with closed set on the batch.
+  const auto popped_a = bus.pop(a, milliseconds(0));
+  EXPECT_EQ(popped_a.frames.size(), 1U);
+  EXPECT_TRUE(popped_a.closed);
+  EXPECT_TRUE(bus.pop(b, milliseconds(0)).closed);
+
+  // Publishing after close is a silent no-op (shutdown race is benign).
+  bus.publish(TelemetryKind::kJobEvent, 0, payload(2));
+  EXPECT_TRUE(bus.pop(a, milliseconds(0)).frames.empty());
+
+  // Subscribing after close sees closed immediately instead of hanging.
+  const auto late = bus.subscribe(TelemetryFilter{}, 4);
+  EXPECT_TRUE(bus.pop(late, milliseconds(0)).closed);
+}
+
+TEST(Telemetry, MaxFramesBoundsTheBatch) {
+  TelemetryBus bus;
+  const auto id = bus.subscribe(TelemetryFilter{}, 16);
+  for (std::uint64_t n = 1; n <= 10; ++n) {
+    bus.publish(TelemetryKind::kJobEvent, 0, payload(n));
+  }
+  const auto first = bus.pop(id, milliseconds(0), /*max_frames=*/3);
+  ASSERT_EQ(first.frames.size(), 3U);
+  EXPECT_EQ(payload_n(first.frames.back()), 3U);
+  const auto rest = bus.pop(id, milliseconds(0));
+  EXPECT_EQ(rest.frames.size(), 7U);
+}
+
+// Concurrency smoke: several publishers against a slow and a fast
+// subscriber. Frames delivered to one subscriber must stay seq-ordered,
+// and published == fast-subscriber frames when its queue never overflows.
+TEST(Telemetry, ConcurrentPublishersKeepPerSubscriberOrder) {
+  constexpr int kPublishers = 4;
+  constexpr int kPerPublisher = 200;
+  TelemetryBus bus;
+  const auto fast = bus.subscribe(TelemetryFilter{}, 100000);
+  const auto slow = bus.subscribe(TelemetryFilter{}, 2);
+
+  std::vector<std::thread> publishers;
+  publishers.reserve(kPublishers);
+  for (int p = 0; p < kPublishers; ++p) {
+    publishers.emplace_back([&bus] {
+      for (int n = 0; n < kPerPublisher; ++n) {
+        bus.publish(TelemetryKind::kJobEvent, 0,
+                    payload(static_cast<std::uint64_t>(n)));
+      }
+    });
+  }
+
+  std::uint64_t received = 0;
+  std::uint64_t last_seq = 0;
+  std::atomic<bool> done{false};
+  std::thread drainer([&] {
+    while (received < kPublishers * kPerPublisher) {
+      const auto popped = bus.pop(fast, milliseconds(1000));
+      EXPECT_EQ(popped.dropped, 0U);
+      for (const auto& frame : popped.frames) {
+        EXPECT_GT(frame.seq, last_seq);
+        last_seq = frame.seq;
+        ++received;
+      }
+      if (popped.closed || popped.frames.empty()) {
+        break;
+      }
+    }
+    done.store(true);
+  });
+  for (auto& t : publishers) {
+    t.join();
+  }
+  drainer.join();
+  ASSERT_TRUE(done.load());
+  EXPECT_EQ(received, static_cast<std::uint64_t>(kPublishers) * kPerPublisher);
+  EXPECT_EQ(bus.published(), received);
+
+  // The slow subscriber lost almost everything — but the accounting
+  // balances: delivered + dropped == published.
+  std::uint64_t slow_frames = 0;
+  std::uint64_t slow_dropped = 0;
+  for (;;) {
+    const auto popped = bus.pop(slow, milliseconds(0));
+    slow_frames += popped.frames.size();
+    slow_dropped += popped.dropped;
+    if (popped.frames.empty()) {
+      break;
+    }
+  }
+  EXPECT_EQ(slow_frames + slow_dropped, bus.published());
+  EXPECT_EQ(bus.total_dropped(), slow_dropped);
+}
+
+}  // namespace

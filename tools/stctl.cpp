@@ -6,10 +6,18 @@
 //   stctl --socket PATH status ID | events ID [--after N] | result ID
 //   stctl --socket PATH cancel ID | stats | drain
 //   stctl --socket PATH run --preset paper_walk [--seed N] [--overrides J]
+//   stctl --socket PATH watch [--period-ms N] [--frames N]
+//   stctl --socket PATH tail [--job ID] [--frames N]
 //
 // `run` submits, waits for completion, and prints the report JSON —
 // the one-shot form the CI smoke test pipes into `python3 -m json.tool`.
+// `watch` subscribes to the stats stream and redraws a one-screen view
+// per snapshot; `tail` subscribes to the event stream and prints one
+// line per job lifecycle / progress frame. Both run until the stream
+// closes (daemon drained or stopped) or --frames N frames were shown.
 // Exit codes: 0 ok, 1 typed server error, 2 usage/transport error.
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -31,7 +39,9 @@ using st::json::Value;
                "  submit --preset NAME [--seed N] [--overrides JSON]\n"
                "  run    --preset NAME [--seed N] [--overrides JSON]\n"
                "  status ID | events ID [--after N] | result ID | cancel ID\n"
-               "  wait ID [--timeout-ms N]\n");
+               "  wait ID [--timeout-ms N]\n"
+               "  watch [--period-ms N] [--frames N]\n"
+               "  tail  [--job ID] [--frames N]\n");
   std::exit(2);
 }
 
@@ -77,6 +87,98 @@ Value job_from_args(const std::string& preset, const std::string& seed,
   return job;
 }
 
+[[nodiscard]] std::uint64_t field_u64(const Value* obj, const char* key) {
+  if (obj == nullptr) {
+    return 0;
+  }
+  const Value* v = obj->find(key);
+  return v == nullptr ? 0 : v->u64_or(0);
+}
+
+/// One-screen rendering of a full stats frame (watch subscribes with
+/// delta=false, so every frame is complete and needs no merge state).
+void render_stats_frame(const Value& frame, const std::string& socket_path) {
+  const Value* data = frame.find("data");
+  if (data == nullptr) {
+    return;
+  }
+  if (::isatty(STDOUT_FILENO) != 0) {
+    std::printf("\x1b[H\x1b[2J");
+  }
+  const double t_s =
+      static_cast<double>(field_u64(&frame, "t_ns")) / 1e9;
+  const Value* draining = data->find("draining");
+  std::printf("stserved %s — up %.1fs%s\n", socket_path.c_str(), t_s,
+              draining != nullptr && draining->bool_or(false)
+                  ? "  [draining]"
+                  : "");
+  std::printf("queue depth %llu   running %llu\n",
+              static_cast<unsigned long long>(field_u64(data, "queue_depth")),
+              static_cast<unsigned long long>(field_u64(data, "jobs_running")));
+  const Value* counters = data->find("counters");
+  std::printf("jobs");
+  for (const char* name :
+       {"submitted", "queued", "running", "done", "cancelled", "failed",
+        "shed"}) {
+    std::printf("  %s=%llu", name,
+                static_cast<unsigned long long>(field_u64(
+                    counters, (std::string("serve.jobs.") + name).c_str())));
+  }
+  std::printf("\n");
+  const Value* latency = data->find("latency");
+  if (latency != nullptr) {
+    std::printf("%-22s %10s %10s %10s %10s %10s\n", "latency (ms)", "count",
+                "p50", "p99", "p999", "max");
+    for (const auto& [name, digest] : latency->members()) {
+      std::printf("%-22s %10llu %10.2f %10.2f %10.2f %10.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(field_u64(&digest, "count")),
+                  digest.find("p50") != nullptr ? digest.find("p50")->as_double()
+                                                : 0.0,
+                  digest.find("p99") != nullptr ? digest.find("p99")->as_double()
+                                                : 0.0,
+                  digest.find("p999") != nullptr
+                      ? digest.find("p999")->as_double()
+                      : 0.0,
+                  digest.find("max") != nullptr ? digest.find("max")->as_double()
+                                                : 0.0);
+    }
+  }
+  const std::uint64_t dropped = field_u64(&frame, "dropped");
+  if (dropped > 0) {
+    std::printf("!! %llu telemetry frames dropped (slow consumer)\n",
+                static_cast<unsigned long long>(dropped));
+  }
+  std::fflush(stdout);
+}
+
+/// One line per streamed job/progress frame.
+void render_event_frame(const Value& frame) {
+  const Value* data = frame.find("data");
+  if (data == nullptr) {
+    return;
+  }
+  const double t_s = static_cast<double>(field_u64(&frame, "t_ns")) / 1e9;
+  const Value* event = data->find("event");
+  const std::uint64_t dropped = field_u64(&frame, "dropped");
+  if (dropped > 0) {
+    std::printf("[%10.3f] !! %llu frames dropped\n", t_s,
+                static_cast<unsigned long long>(dropped));
+  }
+  std::printf("[%10.3f] job %llu %s", t_s,
+              static_cast<unsigned long long>(field_u64(data, "id")),
+              event != nullptr ? std::string(event->string_or("?")).c_str()
+                               : "?");
+  if (data->find("ues_completed") != nullptr) {
+    std::printf(" (%llu/%llu ues)",
+                static_cast<unsigned long long>(
+                    field_u64(data, "ues_completed")),
+                static_cast<unsigned long long>(field_u64(data, "ues_total")));
+  }
+  std::printf("  seq=%llu\n",
+              static_cast<unsigned long long>(field_u64(data, "seq")));
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,6 +189,9 @@ int main(int argc, char** argv) {
   std::string overrides;
   std::string after = "0";
   std::string timeout_ms = "120000";
+  std::string period_ms = "1000";
+  std::string frames_limit = "0";
+  std::string job_filter;
   std::uint64_t id = 0;
   bool have_id = false;
 
@@ -105,6 +210,12 @@ int main(int argc, char** argv) {
       after = argv[++i];
     } else if (arg == "--timeout-ms" && has_value) {
       timeout_ms = argv[++i];
+    } else if (arg == "--period-ms" && has_value) {
+      period_ms = argv[++i];
+    } else if (arg == "--frames" && has_value) {
+      frames_limit = argv[++i];
+    } else if (arg == "--job" && has_value) {
+      job_filter = argv[++i];
     } else if (command.empty() && !arg.empty() && arg[0] != '-') {
       command = arg;
     } else if (!command.empty() && !have_id && !arg.empty() && arg[0] != '-') {
@@ -152,6 +263,44 @@ int main(int argc, char** argv) {
         return print_response(result);
       }
       std::printf("%s\n", result.find("report")->dump().c_str());
+      return 0;
+    }
+    if (command == "watch" || command == "tail") {
+      const bool watch = command == "watch";
+      const auto period = static_cast<std::uint32_t>(
+          std::strtoul(period_ms.c_str(), nullptr, 10));
+      const std::uint64_t max_frames =
+          std::strtoull(frames_limit.c_str(), nullptr, 10);
+      const std::uint64_t only_job =
+          job_filter.empty() ? 0
+                             : std::strtoull(job_filter.c_str(), nullptr, 10);
+      // watch wants complete snapshots (no merge state client-side);
+      // tail wants lifecycle/progress frames only, no snapshots.
+      Value ack = watch ? client.subscribe("stats", period, /*delta=*/false)
+                        : client.subscribe("events", 0);
+      if (!response_ok(ack)) {
+        return print_response(ack);
+      }
+      std::uint64_t shown = 0;
+      bool closed = false;
+      while (!closed) {
+        const auto frame = client.next_frame(/*timeout_ms=*/1000, &closed);
+        if (!frame.has_value()) {
+          continue;  // idle poll tick; closed breaks the loop
+        }
+        if (watch) {
+          render_stats_frame(*frame, socket_path);
+        } else {
+          const Value* data = frame->find("data");
+          if (only_job != 0 && field_u64(data, "id") != only_job) {
+            continue;
+          }
+          render_event_frame(*frame);
+        }
+        if (max_frames > 0 && ++shown >= max_frames) {
+          break;
+        }
+      }
       return 0;
     }
     if (!have_id) {

@@ -5,7 +5,11 @@
 // client-requested drain has finished. See docs/SERVING.md.
 //
 //   stserved --socket /tmp/st.sock [--workers 2] [--queue-capacity 16]
-//            [--fleet-threads 0]
+//            [--fleet-threads 0] [--trace-out trace.json]
+//
+// --trace-out exports the daemon's job-queue timeline on exit as a
+// Perfetto/chrome trace: one async span per job state (queued, running),
+// terminal states as instants — load it at ui.perfetto.dev.
 
 #include <csignal>
 #include <cstdio>
@@ -14,6 +18,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/export.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -25,7 +30,8 @@ void on_signal(int) { g_signalled = 1; }
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: stserved --socket PATH [--workers N]\n"
-               "                [--queue-capacity N] [--fleet-threads N]\n");
+               "                [--queue-capacity N] [--fleet-threads N]\n"
+               "                [--trace-out PATH]\n");
   std::exit(2);
 }
 
@@ -33,6 +39,7 @@ void on_signal(int) { g_signalled = 1; }
 
 int main(int argc, char** argv) {
   st::serve::ServerConfig config;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -44,6 +51,8 @@ int main(int argc, char** argv) {
       config.queue_capacity = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--fleet-threads" && has_value) {
       config.fleet_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--trace-out" && has_value) {
+      trace_out = argv[++i];
     } else {
       usage();
     }
@@ -74,6 +83,16 @@ int main(int argc, char** argv) {
   }
   const bool drained = server.drained();
   server.stop();
+  if (!trace_out.empty()) {
+    // All threads are joined, so the recorder is quiescent.
+    if (st::obs::write_chrome_trace_file(server.trace(), trace_out)) {
+      std::fprintf(stderr, "stserved: job trace written to %s\n",
+                   trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "stserved: failed to write trace to %s\n",
+                   trace_out.c_str());
+    }
+  }
   std::fprintf(stderr, "stserved: %s\n",
                drained ? "drained, exiting" : "stopped");
   return 0;
