@@ -35,12 +35,12 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 
@@ -113,8 +113,12 @@ struct ClosedLoopResult {
 
 ClosedLoopResult run_closed_loop(const Options& opt,
                                  const std::string& socket_path) {
-  ClosedLoopResult result;
-  std::mutex merge_mutex;
+  // The merge target shared by the subscriber and client threads; a named
+  // struct so the result carries its capability annotation (locals cannot).
+  struct Merge {
+    st::Mutex mutex;
+    ClosedLoopResult result ST_GUARDED_BY(mutex);
+  } merge;
 
   // A live subscriber rides along: the stats/event stream is part of the
   // serving plane's steady-state cost, so the bench keeps one attached.
@@ -135,9 +139,9 @@ ClosedLoopResult run_closed_loop(const Options& opt,
         dropped += d == nullptr ? 0 : d->u64_or(0);
       }
     }
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    result.telemetry_frames = frames;
-    result.telemetry_dropped = dropped;
+    const st::MutexLock lock(merge.mutex);
+    merge.result.telemetry_frames = frames;
+    merge.result.telemetry_dropped = dropped;
   });
 
   const auto start = Clock::now();
@@ -186,21 +190,25 @@ ClosedLoopResult run_closed_loop(const Options& opt,
           ++errors;
         }
       }
-      const std::lock_guard<std::mutex> lock(merge_mutex);
-      result.done += done;
-      result.shed += shed;
-      result.errors += errors;
-      result.latency_ms.add_all(latencies.samples());
+      const st::MutexLock lock(merge.mutex);
+      merge.result.done += done;
+      merge.result.shed += shed;
+      merge.result.errors += errors;
+      merge.result.latency_ms.add_all(latencies.samples());
     });
   }
   for (std::thread& t : threads) {
     t.join();
   }
-  result.wall_seconds =
+  const double wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   stop_subscriber.store(true, std::memory_order_release);
   subscriber.join();
-  return result;
+  // Everything has joined; the lock is uncontended but keeps the guarded
+  // access capability-clean.
+  const st::MutexLock lock(merge.mutex);
+  merge.result.wall_seconds = wall_seconds;
+  return merge.result;
 }
 
 struct OpenLoopResult {

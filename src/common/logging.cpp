@@ -26,7 +26,7 @@ Logger& Logger::global() noexcept {
 }
 
 void Logger::set_sink(std::ostream& sink) {
-  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  const MutexLock lock(sink_mutex_);
   sink_ = &sink;
 }
 
@@ -35,7 +35,7 @@ void Logger::log(LogLevel level, std::string_view component,
   if (!enabled(level) || level == LogLevel::kOff) {
     return;
   }
-  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  const MutexLock lock(sink_mutex_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
   out << '[' << to_string(level) << "] " << component << ": " << message
       << '\n';

@@ -11,11 +11,12 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "common/thread_annotations.hpp"
 
 namespace st {
 
@@ -39,14 +40,15 @@ class Logger {
   /// Redirect output (e.g. to a file stream owned by the caller). The
   /// stream must outlive the logger's use of it. Safe to call while
   /// other threads are logging: the swap happens under the sink mutex.
-  void set_sink(std::ostream& sink);
+  void set_sink(std::ostream& sink) ST_EXCLUDES(sink_mutex_);
 
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
     return level >= level_.load(std::memory_order_relaxed);
   }
 
   /// `component` is a short tag such as "silent_tracker" or "rach".
-  void log(LogLevel level, std::string_view component, std::string_view message);
+  void log(LogLevel level, std::string_view component,
+           std::string_view message) ST_EXCLUDES(sink_mutex_);
 
   void debug(std::string_view component, std::string_view message) {
     log(LogLevel::kDebug, component, message);
@@ -65,8 +67,9 @@ class Logger {
   Logger() = default;
 
   std::atomic<LogLevel> level_{LogLevel::kWarning};
-  std::mutex sink_mutex_;
-  std::ostream* sink_ = nullptr;  // nullptr => std::cerr; guarded by mutex
+  Mutex sink_mutex_;
+  // nullptr => std::cerr
+  std::ostream* sink_ ST_GUARDED_BY(sink_mutex_) = nullptr;
 };
 
 /// Build a message from streamable parts: log_message("rss=", -62.5, " dBm").

@@ -1,0 +1,188 @@
+// Compile-time thread-safety capabilities for every lock in the tree.
+//
+// Two things live here:
+//
+//  1. The `ST_*` annotation macros over clang's capability analysis
+//     (-Wthread-safety). Under clang every lock-protected invariant is
+//     a *compile error* to violate: a field declared
+//     `ST_GUARDED_BY(mutex_)` cannot be touched without the mutex, a
+//     `ST_REQUIRES(mutex_)` member cannot be called without it, and a
+//     scope that forgets to release fails the build. Off-clang the
+//     macros expand to nothing — gcc builds are unchanged, and the CI
+//     `thread-safety` job (clang, `-DST_THREAD_SAFETY=ON
+//     -Werror=thread-safety`) is the enforcing gate.
+//
+//  2. Thin annotated wrappers `st::Mutex`, `st::MutexLock`, and
+//     `st::CondVar` around the std primitives. The std types carry no
+//     capability attributes, so the analysis cannot see through them;
+//     these wrappers are the *only* lock types library code uses
+//     (`std::mutex` / `std::condition_variable` direct use is reserved
+//     for this header). They add no state and no behaviour beyond the
+//     annotations.
+//
+// Waiting discipline: CondVar deliberately has no predicate overload.
+// A predicate lambda touching guarded fields is its own function scope
+// to the analysis and would need its own annotations (clang's lambda
+// support for capability attributes is patchy); an explicit
+//
+//     st::MutexLock lock(mutex_);
+//     while (!condition_over_guarded_state()) {
+//       cv_.wait(mutex_);
+//     }
+//
+// loop keeps every guarded access inside the annotated caller, where
+// the analysis can prove the lock is held. The loop also makes the
+// spurious-wakeup handling visible to `bugprone-spuriously-wake-up-
+// functions` at each call site. See docs/STATIC_ANALYSIS.md §4 for the
+// annotation catalogue and how to read a -Wthread-safety diagnostic.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// clang exposes the capability attributes via __has_attribute; gcc (and
+// clang with the analysis disabled) compiles the macros away entirely.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ST_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ST_THREAD_ANNOTATION
+#define ST_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// A type that is a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define ST_CAPABILITY(x) ST_THREAD_ANNOTATION(capability(x))
+
+/// A RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define ST_SCOPED_CAPABILITY ST_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field usable only while `x` is held.
+#define ST_GUARDED_BY(x) ST_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is usable only while `x` is held.
+#define ST_PT_GUARDED_BY(x) ST_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while holding the listed capabilities.
+#define ST_REQUIRES(...) \
+  ST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be entered with the listed capabilities NOT held
+/// (it acquires them itself; catches self-deadlock at compile time).
+#define ST_EXCLUDES(...) ST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and returns holding
+/// them (no list = `this`, for scoped-capability constructors).
+#define ST_ACQUIRE(...) \
+  ST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (no list = `this`).
+#define ST_RELEASE(...) \
+  ST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `b`.
+#define ST_TRY_ACQUIRE(b, ...) \
+  ST_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define ST_RETURN_CAPABILITY(x) ST_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions that juggle locks in ways the analysis
+/// cannot follow (the CondVar wait internals). Use with a comment.
+#define ST_NO_THREAD_SAFETY_ANALYSIS \
+  ST_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace st {
+
+/// std::mutex with a capability attribute, so ST_GUARDED_BY/ST_REQUIRES
+/// annotations against it are enforced under clang.
+class ST_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ST_ACQUIRE() { m_.lock(); }
+  void unlock() ST_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() ST_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// Scoped lock over st::Mutex — the annotated std::lock_guard. Analysis
+/// treats construction as acquiring the mutex for the enclosing scope.
+class ST_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ST_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() ST_RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to st::Mutex. Every wait names the mutex it
+/// atomically releases, and is annotated ST_REQUIRES on it, so a caller
+/// that waits without holding the lock fails the clang build. Callers
+/// wrap waits in an explicit predicate loop (see the header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, sleep, reacquire before returning.
+  /// Spurious wakeups happen; callers loop on their predicate (the
+  /// wrapper owns no predicate by design — see header comment).
+  void wait(Mutex& mutex) ST_REQUIRES(mutex) ST_NO_THREAD_SAFETY_ANALYSIS {
+    // Adopt the already-held mutex for the duration of the wait, then
+    // release ownership back to the caller's scope; the unlock/relock
+    // pair inside std's wait is invisible to the analysis, which is why
+    // the interface annotation above is the contract.
+    std::unique_lock<std::mutex> adopted(mutex.m_, std::adopt_lock);
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): the
+    // predicate loop lives at the annotated call site, by contract.
+    cv_.wait(adopted);
+    (void)adopted.release();
+  }
+
+  /// wait() with a deadline; std::cv_status::timeout once it passes.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mutex,
+                            std::chrono::time_point<Clock, Duration> deadline)
+      ST_REQUIRES(mutex) ST_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> adopted(mutex.m_, std::adopt_lock);
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): see wait().
+    const std::cv_status status = cv_.wait_until(adopted, deadline);
+    (void)adopted.release();
+    return status;
+  }
+
+  /// wait() with a timeout; std::cv_status::timeout once it elapses.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mutex,
+                          std::chrono::duration<Rep, Period> timeout)
+      ST_REQUIRES(mutex) ST_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> adopted(mutex.m_, std::adopt_lock);
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions): see wait().
+    const std::cv_status status = cv_.wait_for(adopted, timeout);
+    (void)adopted.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace st

@@ -142,6 +142,13 @@ void apply_spec_overrides(ScenarioSpec& spec, const Value& overrides) {
           if (n == 0 || spec.ues.empty()) {
             fail("n_ues: need a non-empty fleet to replicate");
           }
+          if (n > kMaxFleetUes) {
+            // This key arrives from untrusted clients; without the cap a
+            // 12-byte override allocates 2^64 profiles before any
+            // admission control sees the job.
+            fail("n_ues: exceeds the fleet cap of " +
+                 std::to_string(kMaxFleetUes));
+          }
           spec.ues.assign(static_cast<std::size_t>(n), spec.ues.front());
         } else if (key == "ue") {
           for (UeProfile& profile : spec.ues) {

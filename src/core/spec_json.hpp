@@ -36,12 +36,20 @@
 // protocol configs stay at their preset values on the wire.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "common/json.hpp"
 #include "core/scenario_spec.hpp"
 
 namespace st::core {
+
+/// Hard ceiling on the fleet size a job document may request via
+/// `n_ues` (or an explicit `ues` array of that length — the array is
+/// naturally bounded by the 1 MiB request frame, the scalar is not).
+/// Far above any experiment in the paper; exists so a hostile 12-byte
+/// override cannot make the decoder allocate unbounded memory.
+inline constexpr std::uint64_t kMaxFleetUes = 65536;
 
 /// Preset lookup by wire name ("paper_walk", "paper_rotation",
 /// "paper_vehicular"); throws json::ParseError on an unknown name.

@@ -14,12 +14,13 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace st::fleet {
 
@@ -55,17 +56,21 @@ template <typename Fn>
 
   std::vector<std::optional<Result>> slots(n);
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  // The only shared mutable state of the pool; a named struct so the
+  // exception slot carries its capability annotation (locals cannot).
+  struct ErrorSlot {
+    Mutex mutex;
+    std::exception_ptr first ST_GUARDED_BY(mutex);
+  } error;
 
   const auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       try {
         slots[i].emplace(fn(i));
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr) {
-          first_error = std::current_exception();
+        const MutexLock lock(error.mutex);
+        if (error.first == nullptr) {
+          error.first = std::current_exception();
         }
       }
     }
@@ -80,8 +85,13 @@ template <typename Fn>
   for (std::thread& t : pool) {
     t.join();
   }
-  if (first_error != nullptr) {
-    std::rethrow_exception(first_error);
+  {
+    // Workers have joined; the lock is uncontended but keeps the
+    // guarded access capability-clean.
+    const MutexLock lock(error.mutex);
+    if (error.first != nullptr) {
+      std::rethrow_exception(error.first);
+    }
   }
 
   for (std::optional<Result>& slot : slots) {

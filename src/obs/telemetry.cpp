@@ -22,8 +22,13 @@ TelemetryBus::SubscriberId TelemetryBus::subscribe(TelemetryFilter filter,
   auto sub = std::make_shared<Subscriber>();
   sub->capacity = std::max<std::size_t>(1, queue_capacity);
   sub->filter = filter;
-  const std::lock_guard lock(mutex_);
-  sub->closed = closed_;
+  const MutexLock lock(mutex_);
+  {
+    // Not shared yet, so uncontended — taken only to satisfy the
+    // capability on Subscriber::closed.
+    const MutexLock sub_lock(sub->mutex);
+    sub->closed = closed_;
+  }
   const SubscriberId id = next_id_++;
   subscribers_.emplace(id, std::move(sub));
   return id;
@@ -32,7 +37,7 @@ TelemetryBus::SubscriberId TelemetryBus::subscribe(TelemetryFilter filter,
 void TelemetryBus::unsubscribe(SubscriberId id) {
   std::shared_ptr<Subscriber> sub;
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = subscribers_.find(id);
     if (it == subscribers_.end()) {
       return;
@@ -41,7 +46,7 @@ void TelemetryBus::unsubscribe(SubscriberId id) {
     subscribers_.erase(it);
   }
   // Wake a pop still blocked on this queue; it sees closed and returns.
-  const std::lock_guard sub_lock(sub->mutex);
+  const MutexLock sub_lock(sub->mutex);
   sub->closed = true;
   sub->cv.notify_all();
 }
@@ -54,7 +59,7 @@ std::uint64_t TelemetryBus::publish(TelemetryKind kind, std::uint64_t t_ns,
   std::vector<std::shared_ptr<Subscriber>> targets;
   std::uint64_t seq = 0;
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     if (closed_) {
       return next_seq_;
     }
@@ -68,7 +73,7 @@ std::uint64_t TelemetryBus::publish(TelemetryKind kind, std::uint64_t t_ns,
   }
   std::uint64_t newly_dropped = 0;
   for (const auto& sub : targets) {
-    const std::lock_guard sub_lock(sub->mutex);
+    const MutexLock sub_lock(sub->mutex);
     if (sub->closed) {
       continue;
     }
@@ -86,7 +91,7 @@ std::uint64_t TelemetryBus::publish(TelemetryKind kind, std::uint64_t t_ns,
     sub->cv.notify_all();
   }
   if (newly_dropped > 0) {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     total_dropped_ += newly_dropped;
   }
   return seq;
@@ -98,7 +103,7 @@ TelemetryBus::PopResult TelemetryBus::pop(SubscriberId id,
   PopResult result;
   std::shared_ptr<Subscriber> sub;
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = subscribers_.find(id);
     if (it == subscribers_.end()) {
       result.closed = true;
@@ -106,9 +111,13 @@ TelemetryBus::PopResult TelemetryBus::pop(SubscriberId id,
     }
     sub = it->second;
   }
-  std::unique_lock sub_lock(sub->mutex);
-  sub->cv.wait_for(sub_lock, timeout,
-                   [&] { return !sub->queue.empty() || sub->closed; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const MutexLock sub_lock(sub->mutex);
+  while (sub->queue.empty() && !sub->closed) {
+    if (sub->cv.wait_until(sub->mutex, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
   result.dropped = sub->dropped_unreported;
   sub->dropped_unreported = 0;
   // total_dropped_ already accounts for these at publish time.
@@ -125,7 +134,7 @@ TelemetryBus::PopResult TelemetryBus::pop(SubscriberId id,
 void TelemetryBus::close() {
   std::vector<std::shared_ptr<Subscriber>> subs;
   {
-    const std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     closed_ = true;
     subs.reserve(subscribers_.size());
     for (const auto& [id, sub] : subscribers_) {
@@ -133,26 +142,26 @@ void TelemetryBus::close() {
     }
   }
   for (const auto& sub : subs) {
-    const std::lock_guard sub_lock(sub->mutex);
+    const MutexLock sub_lock(sub->mutex);
     sub->closed = true;
     sub->cv.notify_all();
   }
 }
 
 std::size_t TelemetryBus::subscriber_count() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return subscribers_.size();
 }
 
 std::uint64_t TelemetryBus::published() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return next_seq_ - 1;
 }
 
 std::uint64_t TelemetryBus::total_dropped() const {
   // Maintained at publish time, so it already covers frames a subscriber
   // has not yet been told about.
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   return total_dropped_;
 }
 

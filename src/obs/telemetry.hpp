@@ -17,16 +17,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace st::obs {
 
@@ -81,51 +80,61 @@ class TelemetryBus {
 
   /// `queue_capacity` is clamped to at least 1.
   [[nodiscard]] SubscriberId subscribe(TelemetryFilter filter,
-                                       std::size_t queue_capacity);
-  void unsubscribe(SubscriberId id);
+                                       std::size_t queue_capacity)
+      ST_EXCLUDES(mutex_);
+  void unsubscribe(SubscriberId id) ST_EXCLUDES(mutex_);
 
   /// Assigns the global seq and fans out to every matching subscriber.
   /// Returns the assigned seq. The payload is copied per subscriber.
   std::uint64_t publish(TelemetryKind kind, std::uint64_t t_ns,
-                        const json::Value& payload);
+                        const json::Value& payload) ST_EXCLUDES(mutex_);
 
   /// Blocks until at least one frame is queued, the timeout elapses, or
   /// the subscriber is closed; drains up to `max_frames`. An unknown id
   /// returns an empty, closed result.
   [[nodiscard]] PopResult pop(SubscriberId id,
                               std::chrono::milliseconds timeout,
-                              std::size_t max_frames = 64);
+                              std::size_t max_frames = 64)
+      ST_EXCLUDES(mutex_);
 
   /// Marks every subscriber closed and wakes blocked pops. Subsequent
   /// publishes are dropped silently; subscribe() keeps working (the new
   /// subscriber just sees closed immediately), which keeps shutdown races
   /// benign.
-  void close();
+  void close() ST_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t subscriber_count() const;
+  [[nodiscard]] std::size_t subscriber_count() const ST_EXCLUDES(mutex_);
   /// Frames published in total (== last assigned seq).
-  [[nodiscard]] std::uint64_t published() const;
+  [[nodiscard]] std::uint64_t published() const ST_EXCLUDES(mutex_);
   /// Frames dropped across all subscribers, ever (including ones that
   /// have since unsubscribed).
-  [[nodiscard]] std::uint64_t total_dropped() const;
+  [[nodiscard]] std::uint64_t total_dropped() const ST_EXCLUDES(mutex_);
 
  private:
+  // Two lock levels: the bus mutex_ guards the registry and the global
+  // counters; each Subscriber's own mutex guards its queue, so a slow
+  // consumer contends only on itself. publish() holds them in the order
+  // bus -> subscriber and never both across a wait, which is the
+  // documented (and TSan-exercised) lock order.
   struct Subscriber {
-    mutable std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<TelemetryFrame> queue;
+    mutable Mutex mutex;
+    CondVar cv;
+    std::deque<TelemetryFrame> queue ST_GUARDED_BY(mutex);
+    std::uint64_t dropped_unreported ST_GUARDED_BY(mutex) = 0;
+    bool closed ST_GUARDED_BY(mutex) = false;
+    // Written once in subscribe() before the subscriber is shared;
+    // immutable afterwards, so reads need no capability.
     std::size_t capacity = 1;
-    std::uint64_t dropped_unreported = 0;
-    bool closed = false;
     TelemetryFilter filter;
   };
 
-  mutable std::mutex mutex_;  ///< guards subscribers_ / next_id_ / counters
-  std::map<SubscriberId, std::shared_ptr<Subscriber>> subscribers_;
-  SubscriberId next_id_ = 1;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t total_dropped_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  std::map<SubscriberId, std::shared_ptr<Subscriber>> subscribers_
+      ST_GUARDED_BY(mutex_);
+  SubscriberId next_id_ ST_GUARDED_BY(mutex_) = 1;
+  std::uint64_t next_seq_ ST_GUARDED_BY(mutex_) = 1;
+  std::uint64_t total_dropped_ ST_GUARDED_BY(mutex_) = 0;
+  bool closed_ ST_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace st::obs

@@ -4,7 +4,7 @@ namespace st::serve {
 
 bool JobQueue::try_push(std::uint64_t id) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (closed_ || ids_.size() >= capacity_) {
       return false;
     }
@@ -15,8 +15,10 @@ bool JobQueue::try_push(std::uint64_t id) {
 }
 
 std::optional<std::uint64_t> JobQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  ready_.wait(lock, [this] { return closed_ || !ids_.empty(); });
+  const MutexLock lock(mutex_);
+  while (!closed_ && ids_.empty()) {
+    ready_.wait(mutex_);
+  }
   if (ids_.empty()) {
     return std::nullopt;
   }
@@ -27,14 +29,14 @@ std::optional<std::uint64_t> JobQueue::pop() {
 
 void JobQueue::close() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     closed_ = true;
   }
   ready_.notify_all();
 }
 
 std::size_t JobQueue::depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return ids_.size();
 }
 

@@ -6,13 +6,17 @@
 // typed response, instead of stalling the connection or growing an
 // unbounded backlog until the process OOMs. Workers block in pop()
 // until work arrives or the queue is closed for shutdown.
+//
+// Locking: one st::Mutex guards the deque and the closed flag; every
+// guarded access is capability-checked at compile time under clang
+// (docs/STATIC_ANALYSIS.md §4).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/thread_annotations.hpp"
 
 namespace st::serve {
 
@@ -22,26 +26,26 @@ class JobQueue {
 
   /// Admit a job id. Returns false — without blocking — when the queue
   /// is at capacity (the caller sheds the job) or already closed.
-  bool try_push(std::uint64_t id);
+  bool try_push(std::uint64_t id) ST_EXCLUDES(mutex_);
 
   /// Block until an id is available, then claim it. Returns nullopt
   /// once the queue is closed *and* empty — closing still drains what
   /// was admitted (graceful-drain semantics).
-  [[nodiscard]] std::optional<std::uint64_t> pop();
+  [[nodiscard]] std::optional<std::uint64_t> pop() ST_EXCLUDES(mutex_);
 
   /// Stop admissions and wake every blocked pop(); already-admitted ids
   /// are still handed out.
-  void close();
+  void close() ST_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const ST_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<std::uint64_t> ids_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  std::deque<std::uint64_t> ids_ ST_GUARDED_BY(mutex_);
+  bool closed_ ST_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace st::serve

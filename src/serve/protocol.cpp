@@ -174,7 +174,18 @@ bool write_frame(int fd, std::string_view payload) {
     const ssize_t n =
         ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) {
+      if (errno == EINTR) {
+        continue;  // a signal sliced the send mid-frame; resume at `sent`
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full send buffer: wait for writability
+        // instead of spinning on send(). EINTR here just re-polls.
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        if (::poll(&pfd, 1, kPollSliceMs) < 0 && errno != EINTR) {
+          return false;
+        }
         continue;
       }
       return false;

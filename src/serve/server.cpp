@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 #include "common/build_info.hpp"
@@ -24,6 +25,12 @@ namespace {
 [[nodiscard]] double ms_between(std::chrono::steady_clock::time_point a,
                                 std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// strerror(errno) without the static-buffer thread hazard (the accept
+/// and connection threads can fail concurrently).
+[[nodiscard]] std::string errno_message(int err) {
+  return std::generic_category().message(err);
 }
 
 /// Extract a required u64 field, or report why not.
@@ -77,7 +84,7 @@ void Server::start() {
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("serve: socket() failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_message(errno));
   }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -93,7 +100,7 @@ void Server::start() {
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
       ::listen(listen_fd_, 16) != 0) {
-    const std::string what = std::strerror(errno);
+    const std::string what = errno_message(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("serve: cannot listen on " + config_.socket_path +
@@ -118,7 +125,7 @@ void Server::stop() {
   // connection joins below cannot wait out a full pop timeout.
   bus_.close();
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     for (auto& [id, job] : jobs_) {
       if (!job_state_terminal(job->state)) {
         job->cancel.cancel();
@@ -136,7 +143,7 @@ void Server::stop() {
   }
   workers_.clear();
   {
-    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    const MutexLock lock(conn_mutex_);
     for (std::thread& c : connections_) {
       if (c.joinable()) {
         c.join();
@@ -153,15 +160,14 @@ void Server::stop() {
 
 void Server::request_drain() {
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     draining_ = true;
   }
   queue_.close();
   state_changed_.notify_all();
 }
 
-bool Server::drained() {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+bool Server::drained_locked() const {
   if (!draining_) {
     return false;
   }
@@ -173,19 +179,16 @@ bool Server::drained() {
   return true;
 }
 
+bool Server::drained() {
+  const MutexLock lock(state_mutex_);
+  return drained_locked();
+}
+
 void Server::wait_drained() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  state_changed_.wait(lock, [this] {
-    if (!draining_) {
-      return false;
-    }
-    for (const auto& [id, job] : jobs_) {
-      if (!job_state_terminal(job->state)) {
-        return false;
-      }
-    }
-    return true;
-  });
+  const MutexLock lock(state_mutex_);
+  while (!drained_locked()) {
+    state_changed_.wait(state_mutex_);
+  }
 }
 
 json::Value Server::handle(const json::Value& request) {
@@ -253,7 +256,7 @@ json::Value Server::handle_submit(const json::Value& request) {
     return error_response(errc::kBadRequest, e.what());
   }
 
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   if (draining_) {
     return error_response(errc::kDraining,
                           "server is draining; not accepting jobs");
@@ -295,7 +298,7 @@ json::Value Server::handle_status(const json::Value& request) {
   if (!get_u64(request, "id", id, why)) {
     return error_response(errc::kBadRequest, why);
   }
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   Job* job = find_job_locked(id);
   if (job == nullptr) {
     return error_response(errc::kUnknownJob,
@@ -323,7 +326,7 @@ json::Value Server::handle_events(const json::Value& request) {
       !get_u64(request, "after", after, why)) {
     return error_response(errc::kBadRequest, why);
   }
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   Job* job = find_job_locked(id);
   if (job == nullptr) {
     return error_response(errc::kUnknownJob,
@@ -350,7 +353,7 @@ json::Value Server::handle_result(const json::Value& request) {
   if (!get_u64(request, "id", id, why)) {
     return error_response(errc::kBadRequest, why);
   }
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   Job* job = find_job_locked(id);
   if (job == nullptr) {
     return error_response(errc::kUnknownJob,
@@ -387,7 +390,7 @@ json::Value Server::handle_cancel(const json::Value& request) {
   if (!get_u64(request, "id", id, why)) {
     return error_response(errc::kBadRequest, why);
   }
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   Job* job = find_job_locked(id);
   if (job == nullptr) {
     return error_response(errc::kUnknownJob,
@@ -422,7 +425,7 @@ json::Value Server::handle_cancel(const json::Value& request) {
 }
 
 json::Value Server::handle_stats() {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   json::Value jobs = json::Value::object();
   for (const char* name :
        {"submitted", "queued", "running", "done", "cancelled", "failed",
@@ -636,7 +639,7 @@ void Server::accept_loop() {
     if (fd < 0) {
       continue;
     }
-    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    const MutexLock lock(conn_mutex_);
     connections_.emplace_back([this, fd] { connection_loop(fd); });
   }
 }
@@ -715,7 +718,7 @@ struct Server::StatsDeltaState {
 };
 
 json::Value Server::build_stats_frame(StatsDeltaState& prev, bool delta) {
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   const bool full = !delta || prev.first;
   json::Value data = json::Value::object();
   data.set("full", json::Value::boolean(full));
@@ -837,7 +840,7 @@ void Server::run_job(std::uint64_t id) {
   core::ScenarioSpec spec;
   const sim::CancelToken* cancel = nullptr;
   {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     metrics_.gauge("serve.queue_depth")
         .set(static_cast<double>(queue_.depth()));
     Job* job = find_job_locked(id);
@@ -856,7 +859,7 @@ void Server::run_job(std::uint64_t id) {
   control.cancel = cancel;
   control.on_ue_complete = [this, id](std::size_t completed,
                                       std::size_t total) {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    const MutexLock lock(state_mutex_);
     Job* job = find_job_locked(id);
     if (job == nullptr) {
       return;
@@ -883,7 +886,7 @@ void Server::run_job(std::uint64_t id) {
     error = "unknown error during fleet run";
   }
 
-  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const MutexLock lock(state_mutex_);
   Job* job = find_job_locked(id);
   if (job == nullptr) {
     return;

@@ -23,16 +23,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -98,11 +97,11 @@ class Server {
 
   /// True once a requested drain has fully completed (queue empty and
   /// no job running).
-  [[nodiscard]] bool drained();
+  [[nodiscard]] bool drained() ST_EXCLUDES(state_mutex_);
 
   /// Block until drained (request_drain() must have been called, by
   /// this process or via a client `drain` request).
-  void wait_drained();
+  void wait_drained() ST_EXCLUDES(state_mutex_);
 
   /// Dispatch one parsed request to a response — the entire protocol
   /// minus framing. Never throws: internal errors become typed
@@ -131,21 +130,32 @@ class Server {
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
  private:
-  // -- request handlers (state_mutex_ NOT held on entry) --------------
-  [[nodiscard]] json::Value handle_submit(const json::Value& request);
-  [[nodiscard]] json::Value handle_status(const json::Value& request);
-  [[nodiscard]] json::Value handle_events(const json::Value& request);
-  [[nodiscard]] json::Value handle_result(const json::Value& request);
-  [[nodiscard]] json::Value handle_cancel(const json::Value& request);
-  [[nodiscard]] json::Value handle_stats();
+  // -- request handlers (state_mutex_ NOT held on entry — enforced) ---
+  [[nodiscard]] json::Value handle_submit(const json::Value& request)
+      ST_EXCLUDES(state_mutex_);
+  [[nodiscard]] json::Value handle_status(const json::Value& request)
+      ST_EXCLUDES(state_mutex_);
+  [[nodiscard]] json::Value handle_events(const json::Value& request)
+      ST_EXCLUDES(state_mutex_);
+  [[nodiscard]] json::Value handle_result(const json::Value& request)
+      ST_EXCLUDES(state_mutex_);
+  [[nodiscard]] json::Value handle_cancel(const json::Value& request)
+      ST_EXCLUDES(state_mutex_);
+  [[nodiscard]] json::Value handle_stats() ST_EXCLUDES(state_mutex_);
 
   /// Lifecycle transition with event log + per-state counters; the
-  /// caller holds state_mutex_. Trips the contract checker (and throws)
-  /// on an illegal edge.
-  void transition_locked(Job& job, JobState to);
-  void append_event_locked(Job& job, std::string_view kind);
+  /// caller holds state_mutex_ (a compile error otherwise under clang).
+  /// Trips the contract checker (and throws) on an illegal edge.
+  void transition_locked(Job& job, JobState to) ST_REQUIRES(state_mutex_);
+  void append_event_locked(Job& job, std::string_view kind)
+      ST_REQUIRES(state_mutex_);
 
-  [[nodiscard]] Job* find_job_locked(std::uint64_t id);
+  [[nodiscard]] Job* find_job_locked(std::uint64_t id)
+      ST_REQUIRES(state_mutex_);
+
+  /// Drain-complete predicate over the job table; callers loop on it
+  /// around state_changed_ waits.
+  [[nodiscard]] bool drained_locked() const ST_REQUIRES(state_mutex_);
 
   /// Nanoseconds since server construction — the t_ns clock of every
   /// telemetry frame and trace event.
@@ -155,7 +165,8 @@ class Server {
   /// internally. `prev` carries the delta baseline between frames.
   struct StatsDeltaState;
   [[nodiscard]] json::Value build_stats_frame(StatsDeltaState& prev,
-                                              bool delta);
+                                              bool delta)
+      ST_EXCLUDES(state_mutex_);
 
   // -- thread bodies --------------------------------------------------
   void accept_loop();
@@ -170,17 +181,23 @@ class Server {
   void run_job(std::uint64_t id);
 
   ServerConfig config_;
-  JobQueue queue_;
+  JobQueue queue_;  // internally synchronized
 
-  std::mutex state_mutex_;
-  std::condition_variable state_changed_;
-  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
-  std::uint64_t next_job_id_ = 1;
-  obs::MetricRegistry metrics_;
-  std::size_t jobs_running_ = 0;
-  bool draining_ = false;
+  // The server-wide control-plane lock: every job record, the metric
+  // registry, and each lifecycle transition mutate under it.
+  Mutex state_mutex_;
+  CondVar state_changed_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_
+      ST_GUARDED_BY(state_mutex_);
+  std::uint64_t next_job_id_ ST_GUARDED_BY(state_mutex_) = 1;
+  obs::MetricRegistry metrics_ ST_GUARDED_BY(state_mutex_);
+  std::size_t jobs_running_ ST_GUARDED_BY(state_mutex_) = 0;
+  bool draining_ ST_GUARDED_BY(state_mutex_) = false;
 
-  obs::TelemetryBus bus_;
+  obs::TelemetryBus bus_;  // internally synchronized
+  // Written only from append_event_locked (under state_mutex_); read by
+  // trace() strictly after stop() has joined every thread, so the
+  // returned reference is unguarded by contract, not by a capability.
   obs::TraceRecorder trace_;
   const std::chrono::steady_clock::time_point started_at_ =
       std::chrono::steady_clock::now();
@@ -189,8 +206,8 @@ class Server {
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::mutex conn_mutex_;
-  std::vector<std::thread> connections_;
+  Mutex conn_mutex_;
+  std::vector<std::thread> connections_ ST_GUARDED_BY(conn_mutex_);
   bool started_ = false;
 };
 

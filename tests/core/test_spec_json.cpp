@@ -103,6 +103,23 @@ TEST(SpecJson, UnknownKeysAreErrorsAtEveryLevel) {
                ParseError);
 }
 
+TEST(SpecJson, FleetReplicationIsCapped) {
+  // `n_ues` arrives from unauthenticated clients; without the cap a
+  // 12-byte override would make the decoder allocate 2^64 profiles.
+  EXPECT_THROW(
+      (void)from_text(
+          R"({"preset": "paper_walk",
+              "overrides": {"n_ues": 18446744073709551615}})"),
+      ParseError);
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_walk",
+                   "overrides": {"n_ues": 65537}})"),
+               ParseError);
+  // The cap itself is legal.
+  const ScenarioSpec spec = from_text(R"({"preset": "paper_walk",
+      "overrides": {"n_ues": 65536, "duration_ms": 10}})");
+  EXPECT_EQ(spec.ues.size(), st::core::kMaxFleetUes);
+}
+
 TEST(SpecJson, IllTypedValuesAreErrors) {
   EXPECT_THROW((void)from_text(R"({"preset": "paper_walk", "seed": "x"})"),
                ParseError);

@@ -1,0 +1,98 @@
+// Fuzz target: the framed-protocol reader — the first code that touches
+// bytes from an unauthenticated client.
+//
+// The input is treated as a raw client byte stream: it is written into
+// one end of a socketpair, the write side is shut down, and read_frame
+// / read_frame_deadline consume frames from the other end exactly the
+// way serve::Server::connection_loop does (same 1 MiB cap). Properties
+// under test:
+//  * an oversize length prefix is rejected before the payload is
+//    allocated (a hostile 4 GiB header must not OOM the fuzzer);
+//  * a truncated frame resolves to kError, never a hang or a crash;
+//  * every kOk payload is safe to hand to the JSON parser;
+//  * the reader terminates for every finite stream (EOF -> kClosed).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+// One AF_UNIX send must hold the whole stream so the reader never
+// blocks on a half-written socket: stay far under the default ~208 KiB
+// unix sndbuf. Longer inputs are truncated, not rejected — the prefix
+// is still a valid stream.
+constexpr std::size_t kMaxStreamBytes = 60000;
+
+/// Feed `data` to `fd_w` and close the write side, so the read side
+/// sees the exact byte stream followed by EOF.
+bool feed(int fd_w, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_w, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd_w, SHUT_WR);
+  return true;
+}
+
+/// Drain the stream with one of the two readers until it stops
+/// producing frames; parse each accepted payload like connection_loop.
+void drain(int fd_r, bool use_deadline) {
+  const std::atomic<bool> stop{false};
+  for (;;) {
+    const st::serve::FrameReadResult frame =
+        use_deadline
+            ? st::serve::read_frame_deadline(
+                  fd_r, st::serve::kMaxRequestFrameBytes, /*timeout_ms=*/1000)
+            : st::serve::read_frame(fd_r, st::serve::kMaxRequestFrameBytes,
+                                    &stop);
+    if (frame.status != st::serve::FrameStatus::kOk) {
+      // kTimeout is impossible here: the stream is fully buffered and
+      // EOF-terminated before the first read, so poll never blocks.
+      if (frame.status == st::serve::FrameStatus::kTimeout) {
+        std::fprintf(stderr, "fuzz_frame: timeout on a closed stream\n");
+        std::abort();
+      }
+      return;
+    }
+    try {
+      const st::json::Value doc = st::json::parse(frame.payload);
+      (void)doc.dump();
+    } catch (const st::json::ParseError&) {
+      // bad_json on the wire; the frame boundary is intact, keep going
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxStreamBytes) {
+    size = kMaxStreamBytes;
+  }
+  for (const bool use_deadline : {false, true}) {
+    int fds[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      return 0;  // resource exhaustion is the harness's problem, not a bug
+    }
+    if (feed(fds[1], data, size)) {
+      drain(fds[0], use_deadline);
+    }
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  return 0;
+}

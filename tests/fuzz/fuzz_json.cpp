@@ -1,0 +1,48 @@
+// Fuzz target: the strict JSON parser behind every request frame.
+//
+// Property under test: parse() either throws json::ParseError or yields
+// a document whose dump() round-trips — dump() must itself be valid
+// input and re-parse to the identical serialisation (the parser rejects
+// non-finite numbers, preserves exact 64-bit integers, and escapes
+// control characters, so the fixed point is reached after one cycle).
+// Any other exception, crash, or round-trip mismatch is a bug.
+//
+// Build modes (tests/fuzz/CMakeLists.txt):
+//  * ST_FUZZ + clang: a libFuzzer binary (fuzz_json).
+//  * everywhere: a corpus-replay regression binary (replay_json) run by
+//    ctest over tests/fuzz/corpus/fuzz_json.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  st::json::Value doc;
+  try {
+    doc = st::json::parse(text);
+  } catch (const st::json::ParseError&) {
+    return 0;  // rejection is the expected outcome for most inputs
+  }
+  // Accepted input: serialisation must be a fixed point of parse∘dump.
+  const std::string dumped = doc.dump();
+  std::string redumped;
+  try {
+    redumped = st::json::parse(dumped).dump();
+  } catch (const st::json::ParseError& e) {
+    std::fprintf(stderr, "fuzz_json: dump() not re-parseable: %s\n", e.what());
+    std::abort();
+  }
+  if (redumped != dumped) {
+    std::fprintf(stderr,
+                 "fuzz_json: round-trip mismatch\n  1st: %s\n  2nd: %s\n",
+                 dumped.c_str(), redumped.c_str());
+    std::abort();
+  }
+  return 0;
+}

