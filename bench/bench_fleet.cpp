@@ -11,7 +11,12 @@
 // so the numbers here are pure throughput, not a different computation.
 //
 //   ./bench_fleet [--ues N] [--threads T] [--duration-ms D]
-//                 [--report-out fleet_report.json]
+//                 [--preset NAME] [--report-out fleet_report.json]
+//
+// --preset replicates a named spec preset (paper_walk, grid_walk,
+// corridor_drive, edge_ping_pong, ...) across the fleet instead of the
+// default mixed walk/rotation/vehicular three-cell row — the multi-cell
+// presets exercise the neighbour-ranking handover policy at fleet scale.
 //
 // Writes BENCH_fleet.json (same schema as BENCH_micro.json) next to the
 // binary; --report-out additionally writes the machine-readable
@@ -24,6 +29,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/spec_json.hpp"
 #include "fleet/engine.hpp"
 #include "obs/export.hpp"
 
@@ -35,7 +41,17 @@ using namespace st::sim::literals;
 /// A heterogeneous fleet on the shared three-cell row: profiles cycle
 /// through the paper's three mobility models so every sweep exercises
 /// walk, rotation, and vehicular dynamics together.
-core::ScenarioSpec fleet_spec(std::size_t n_ues, sim::Duration duration) {
+core::ScenarioSpec fleet_spec(const std::string& preset_name,
+                              std::size_t n_ues, sim::Duration duration) {
+  if (!preset_name.empty()) {
+    // Replicate the named preset's profile across the fleet (grid_walk
+    // etc. bring their own deployment shape, cell load, and policy).
+    core::ScenarioSpec spec = core::preset_by_name(preset_name);
+    spec.duration = duration;
+    spec.seed = 1000;
+    spec.ues.assign(n_ues, spec.ues.front());
+    return core::SpecBuilder(std::move(spec)).build();
+  }
   core::SpecBuilder builder;
   builder.cells(3).duration(duration).seed(1000);
   const core::UeProfile profiles[] = {core::preset::walking_ue(),
@@ -54,6 +70,7 @@ int main(int argc, char** argv) {
   unsigned n_threads = 0;     // 0 = hardware concurrency
   std::int64_t duration_ms = 5'000;
   std::string report_out;
+  std::string preset_name;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +90,8 @@ int main(int argc, char** argv) {
       duration_ms = std::strtol(next_value().c_str(), nullptr, 10);
     } else if (arg == "--report-out") {
       report_out = next_value();
+    } else if (arg == "--preset") {
+      preset_name = next_value();
     } else {
       std::cerr << "bench_fleet: unknown option '" << arg << "'\n";
       return 2;
@@ -103,7 +122,7 @@ int main(int argc, char** argv) {
 
   for (const std::size_t n_ues : sweep) {
     const core::ScenarioSpec spec =
-        fleet_spec(n_ues, sim::Duration::milliseconds(duration_ms));
+        fleet_spec(preset_name, n_ues, sim::Duration::milliseconds(duration_ms));
     const fleet::FleetResult result = fleet::run_fleet(spec, n_threads);
 
     std::size_t handovers = 0;
@@ -159,7 +178,7 @@ int main(int argc, char** argv) {
                      "cache hit %", "incremental %"});
   for (const std::size_t n_ues : sweep) {
     const core::ScenarioSpec spec =
-        fleet_spec(n_ues, sim::Duration::milliseconds(duration_ms));
+        fleet_spec(preset_name, n_ues, sim::Duration::milliseconds(duration_ms));
     fleet::FleetChannelBatch batch(spec);
     std::vector<phy::Channel::BestPair> pairs;
     batch.best_pairs(sim::Time::zero(), pairs);  // warm-up: cold builds

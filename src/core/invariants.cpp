@@ -133,4 +133,27 @@ void check_rach_entry(net::CellId target, net::CellId previous_serving,
   check_beam_in_codebook("ue rx beam", ue_rx_beam, ue_codebook_size);
 }
 
+void check_decision_in_neighbor_list(net::CellId serving, net::CellId target,
+                                     const net::NeighborList& neighbors) {
+  for (const net::CellId c : neighbors) {
+    if (c == target) {
+      return;
+    }
+  }
+  contracts::violate(
+      "HandoverDecision",
+      log_message("cell ", target, " selected outside the neighbour list of ",
+                  "serving cell ", serving));
+}
+
+void check_decision_not_penalized(net::CellId target, bool target_penalized,
+                                  bool serving_alive) {
+  if (serving_alive && target_penalized) {
+    contracts::violate(
+        "HandoverDecision",
+        log_message("cell ", target,
+                    " re-selected before its penalty timer expired"));
+  }
+}
+
 }  // namespace st::core::invariants

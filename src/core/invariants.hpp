@@ -103,4 +103,18 @@ void check_rach_entry(net::CellId target, net::CellId previous_serving,
                       phy::BeamId target_tx_beam, std::size_t bs_codebook_size,
                       phy::BeamId ue_rx_beam, std::size_t ue_codebook_size);
 
+/// A handover decision may only target a member of the serving cell's
+/// NeighborList: the candidate sets are the deployment's declared
+/// topology, and a policy that selects outside them has corrupted its
+/// ranking input.
+void check_decision_in_neighbor_list(net::CellId serving, net::CellId target,
+                                     const net::NeighborList& neighbors);
+
+/// While the serving link is alive, a cell under a ping-pong penalty
+/// timer must not be re-selected (the osmo-bsc penalty rule). With the
+/// serving link dead the penalty is waived — any cell beats no cell —
+/// so `serving_alive == false` always passes.
+void check_decision_not_penalized(net::CellId target, bool target_penalized,
+                                  bool serving_alive);
+
 }  // namespace st::core::invariants

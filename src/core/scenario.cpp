@@ -35,7 +35,15 @@ phy::Codebook make_ue_codebook(double beamwidth_deg, bool ula) {
 }
 
 net::Deployment make_deployment(const ScenarioSpec& spec) {
-  return net::make_cell_row(spec.deployment, spec.n_cells);
+  switch (spec.deployment_shape) {
+    case net::DeploymentShape::kRow:
+      return net::make_cell_row(spec.deployment, spec.n_cells);
+    case net::DeploymentShape::kGrid:
+      return net::make_grid(spec.deployment, spec.n_cells, spec.grid_cols);
+    case net::DeploymentShape::kCorridor:
+      return net::make_corridor(spec.deployment, spec.n_cells);
+  }
+  throw std::logic_error("make_deployment: unknown deployment shape");
 }
 
 std::shared_ptr<const mobility::MobilityModel> make_mobility(
@@ -51,6 +59,10 @@ std::shared_ptr<const mobility::MobilityModel> make_mobility(
     case MobilityScenario::kVehicular:
       return net::make_drive(deployment,
                              mph_to_mps(profile.vehicle_speed_mph));
+    case MobilityScenario::kPingPong:
+      return net::make_edge_ping_pong(deployment, profile.ping_pong_speed_mps,
+                                      profile.ping_pong_amplitude_m,
+                                      spec.duration);
   }
   throw std::logic_error("make_mobility: unknown scenario");
 }
@@ -67,7 +79,8 @@ std::unique_ptr<net::RadioEnvironment> make_ue_environment(
   return std::make_unique<net::RadioEnvironment>(
       env_config, deployment.base_stations,
       make_mobility(spec, profile, root_seed, deployment),
-      make_ue_codebook(profile.ue_beamwidth_deg, profile.ue_ula_codebook));
+      make_ue_codebook(profile.ue_beamwidth_deg, profile.ue_ula_codebook),
+      deployment.neighbor_lists);
 }
 
 namespace {
@@ -116,6 +129,13 @@ class ScenarioRun {
               const net::Deployment& deployment)
       : spec_(spec), profile_(spec.ues.at(ue)) {
     environment_ = make_ue_environment(spec, ue, deployment);
+    if (profile_.handover_policy.enabled) {
+      // One decision instance per mobile, shared across the whole
+      // handover chain: the ping-pong penalty timer must survive the
+      // handover that started it.
+      decision_ = std::make_unique<net::HandoverDecision>(
+          profile_.handover_policy, spec.cell_load);
+    }
     if (spec.collect_trace) {
       trace_ = std::make_shared<obs::TraceRecorder>(
           obs::TraceConfig{spec.trace_buffer_capacity});
@@ -160,6 +180,9 @@ class ScenarioRun {
       SilentTracker& tracker = *trackers_.back();
       tracker.set_recorders(&result_.log, &result_.counters);
       tracker.set_tracer(trace_.get());
+      if (decision_ != nullptr) {
+        tracker.set_decision(decision_.get());
+      }
       tracker.start(serving, rx_beam, rss_dbm,
                     [this](const net::HandoverRecord& r) {
                       on_handover(r);
@@ -191,6 +214,13 @@ class ScenarioRun {
           best.rx_power_dbm - got_rss <= kAlignmentToleranceDb;
     }
     result_.handovers.push_back(record);
+    if (record.success && decision_ != nullptr) {
+      // Start the source cell's ping-pong penalty timer and drop the
+      // stale candidate RSS (the mobile now measures from a new serving
+      // context); the penalties themselves persist.
+      decision_->record_handover(record.from, record.to, now);
+      decision_->clear_candidates();
+    }
 
     if (record.success && profile_.chain_handovers &&
         now + Duration::milliseconds(100) < Time::zero() + spec_.duration) {
@@ -269,6 +299,7 @@ class ScenarioRun {
   sim::Simulator simulator_;
   std::shared_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<net::RadioEnvironment> environment_;
+  std::unique_ptr<net::HandoverDecision> decision_;
   std::vector<std::unique_ptr<SilentTracker>> trackers_;
   std::vector<std::unique_ptr<ReactiveHandover>> reactives_;
   ScenarioResult result_;
@@ -474,6 +505,8 @@ obs::RunReport build_run_report(const ScenarioSpec& spec,
   ho.alignment_fraction = result.tracking_alignment_fraction();
   ho.alignment_until_first_handover = result.alignment_until_first_handover();
   ho.ssb_observations = result.ssb_observations;
+  ho.ping_pongs = net::count_ping_pongs(result.handovers,
+                                        profile.handover_policy.ping_pong_window);
 
   report.engine.events_executed = result.engine.events_executed;
   report.engine.queue_depth_hwm = result.engine.queue_depth_hwm;

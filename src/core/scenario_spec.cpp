@@ -1,5 +1,6 @@
 #include "core/scenario_spec.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -14,6 +15,8 @@ std::string_view to_string(MobilityScenario s) noexcept {
       return "rotation";
     case MobilityScenario::kVehicular:
       return "vehicular";
+    case MobilityScenario::kPingPong:
+      return "ping_pong";
   }
   return "?";
 }
@@ -58,6 +61,27 @@ ScenarioSpec SpecBuilder::build() const {
   if (spec_.metric_period <= sim::Duration::nanoseconds(0)) {
     throw std::invalid_argument(
         "ScenarioSpec: metric period must be positive");
+  }
+  if (!spec_.cell_load.empty()) {
+    if (spec_.cell_load.size() != spec_.n_cells) {
+      throw std::invalid_argument(
+          "ScenarioSpec: cell_load must name every cell (or be empty)");
+    }
+    for (const double load : spec_.cell_load) {
+      if (!(load >= 0.0 && load <= 1.0)) {
+        throw std::invalid_argument(
+            "ScenarioSpec: cell_load entries must be in [0, 1]");
+      }
+    }
+  }
+  for (const UeProfile& profile : spec_.ues) {
+    net::validate(profile.handover_policy);
+    if (profile.mobility == MobilityScenario::kPingPong &&
+        (profile.ping_pong_speed_mps <= 0.0 ||
+         profile.ping_pong_amplitude_m <= 0.0)) {
+      throw std::invalid_argument(
+          "ScenarioSpec: ping-pong speed and amplitude must be positive");
+    }
   }
   return spec_;
 }
@@ -118,8 +142,67 @@ ScenarioSpec paper(MobilityScenario mobility) {
       return paper_rotation();
     case MobilityScenario::kVehicular:
       return paper_vehicular();
+    case MobilityScenario::kPingPong:
+      return edge_ping_pong();
   }
   throw std::logic_error("preset::paper: unknown scenario");
+}
+
+namespace {
+
+/// Graded offered load over `n` cells: cell i carries i/(n−1) of full
+/// load, capped at 0.8. Deterministic and asymmetric on purpose — equal
+/// load would make the load penalty a no-op in the presets.
+std::vector<double> graded_load(unsigned n) {
+  std::vector<double> load(n, 0.0);
+  if (n <= 1) {
+    return load;
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    load[i] = std::min(0.8, static_cast<double>(i) /
+                                static_cast<double>(n - 1));
+  }
+  return load;
+}
+
+}  // namespace
+
+ScenarioSpec grid_walk() {
+  ScenarioSpec spec;
+  spec.n_cells = 9;
+  spec.deployment_shape = net::DeploymentShape::kGrid;
+  spec.grid_cols = 3;
+  spec.cell_load = graded_load(spec.n_cells);
+  spec.duration = Duration::milliseconds(25'000);
+  UeProfile profile = walking_ue();
+  profile.handover_policy.enabled = true;
+  spec.ues = {profile};
+  return spec;
+}
+
+ScenarioSpec corridor_drive() {
+  ScenarioSpec spec;
+  spec.n_cells = 9;
+  spec.deployment_shape = net::DeploymentShape::kCorridor;
+  spec.cell_load = graded_load(spec.n_cells);
+  spec.duration = Duration::milliseconds(25'000);
+  UeProfile profile = vehicular_ue();
+  profile.handover_policy.enabled = true;
+  spec.ues = {profile};
+  return spec;
+}
+
+ScenarioSpec edge_ping_pong() {
+  ScenarioSpec spec;
+  spec.n_cells = 9;
+  spec.deployment_shape = net::DeploymentShape::kGrid;
+  spec.grid_cols = 3;
+  spec.duration = Duration::milliseconds(25'000);
+  UeProfile profile;
+  profile.mobility = MobilityScenario::kPingPong;
+  profile.handover_policy.enabled = true;
+  spec.ues = {profile};
+  return spec;
 }
 
 }  // namespace preset

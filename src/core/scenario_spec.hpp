@@ -28,11 +28,12 @@
 #include "core/silent_tracker.hpp"
 #include "net/deployment.hpp"
 #include "net/environment.hpp"
+#include "net/handover_policy.hpp"
 #include "sim/time.hpp"
 
 namespace st::core {
 
-enum class MobilityScenario { kHumanWalk, kRotation, kVehicular };
+enum class MobilityScenario { kHumanWalk, kRotation, kVehicular, kPingPong };
 enum class ProtocolKind { kSilentTracker, kReactive };
 
 [[nodiscard]] std::string_view to_string(MobilityScenario s) noexcept;
@@ -58,6 +59,18 @@ struct UeProfile {
   double walk_speed_mps = 1.4;
   double rotation_rate_deg_s = 120.0;
   double vehicle_speed_mph = 20.0;
+  /// kPingPong: shuttle speed and half-span of the back-and-forth walk
+  /// across the central cell boundary (the ping-pong stress scenario).
+  /// The 8 m default keeps the mobile inside both cells' overlap region,
+  /// crossing every ~3 s — well inside the ping-pong window, so a
+  /// policy-off run hands back on nearly every crossing.
+  double ping_pong_speed_mps = 5.0;
+  double ping_pong_amplitude_m = 8.0;
+
+  /// Neighbour-ranking handover decisions (hysteresis, load penalty,
+  /// ping-pong penalty timer). Disabled by default: the paper presets
+  /// keep the legacy strongest-RSS selection bit for bit.
+  net::HandoverPolicyConfig handover_policy{};
 
   /// Start a fresh protocol instance after each completed handover (the
   /// vehicular drive passes several cells).
@@ -70,6 +83,17 @@ struct UeProfile {
 struct ScenarioSpec {
   unsigned n_cells = 2;
   net::DeploymentConfig deployment{};
+  /// Layout the cells form: the paper's row, an urban grid, or a street
+  /// corridor (net/deployment.hpp builders). A row of two is the paper's
+  /// exact setup, so kRow stays the default.
+  net::DeploymentShape deployment_shape = net::DeploymentShape::kRow;
+  /// Grid width for kGrid (0 = square-ish, ceil(sqrt(n_cells))).
+  unsigned grid_cols = 0;
+  /// Offered load per cell, indexed by CellId, each in [0, 1]. Empty
+  /// means idle everywhere. Static by design: load is a backhaul-fed
+  /// configuration input, and keeping it constant keeps fleet runs
+  /// bit-identical serial vs parallel.
+  std::vector<double> cell_load = {};
   net::EnvironmentConfig environment{};
 
   sim::Duration duration = sim::Duration::milliseconds(30'000);
@@ -121,6 +145,18 @@ class SpecBuilder {
   }
   SpecBuilder& deployment(const net::DeploymentConfig& d) {
     spec_.deployment = d;
+    return *this;
+  }
+  SpecBuilder& deployment_shape(net::DeploymentShape shape) {
+    spec_.deployment_shape = shape;
+    return *this;
+  }
+  SpecBuilder& grid_cols(unsigned cols) {
+    spec_.grid_cols = cols;
+    return *this;
+  }
+  SpecBuilder& cell_load(std::vector<double> load) {
+    spec_.cell_load = std::move(load);
     return *this;
   }
   SpecBuilder& environment(const net::EnvironmentConfig& e) {
@@ -187,6 +223,20 @@ namespace preset {
 
 /// Dispatch helper for sweeps over the three scenarios.
 [[nodiscard]] ScenarioSpec paper(MobilityScenario mobility);
+
+/// Multi-cell experiment frames with the handover-decision layer on
+/// (hysteresis + load penalty + ping-pong penalty timer):
+///
+///   * grid_walk      — 3×3 urban grid, one walking mobile near the
+///                      centre, graded per-cell load;
+///   * corridor_drive — 9-cell street corridor, the vehicular drive
+///                      passing every site;
+///   * edge_ping_pong — 3×3 grid with a mobile shuttling across the
+///                      central cell boundary: the ping-pong stress test
+///                      the penalty timer exists for.
+[[nodiscard]] ScenarioSpec grid_walk();
+[[nodiscard]] ScenarioSpec corridor_drive();
+[[nodiscard]] ScenarioSpec edge_ping_pong();
 
 }  // namespace preset
 

@@ -63,6 +63,14 @@ void SilentTracker::set_recorders(sim::EventLog* log,
   }
 }
 
+void SilentTracker::set_decision(net::HandoverDecision* decision) {
+  if (state_ != SilentTrackerState::kIdle) {
+    throw std::logic_error(
+        "SilentTracker: set_decision before start(), not mid-run");
+  }
+  decision_ = decision;
+}
+
 void SilentTracker::set_tracer(obs::TraceRecorder* recorder) {
   emit_.recorder = recorder;
   if (beamsurfer_ != nullptr) {
@@ -152,6 +160,11 @@ void SilentTracker::cancel_tracking_events() {
     simulator_.cancel(id);
   }
   tracking_events_.clear();
+  simulator_.cancel(rival_scan_event_);
+  for (const sim::EventId id : rival_obs_events_) {
+    simulator_.cancel(id);
+  }
+  rival_obs_events_.clear();
 }
 
 // ---- Initial search ------------------------------------------------------
@@ -162,13 +175,10 @@ void SilentTracker::enter_searching() {
               .type = obs::TraceEventType::kStateTransition,
               .label = "InitialSearch"});
 
-  std::vector<net::CellId> candidates;
-  candidates.reserve(environment_.cell_count());
-  for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
-    if (c != serving_) {
-      candidates.push_back(c);
-    }
-  }
+  // The deployment's declared candidate set of the serving cell — for
+  // the paper's row layouts this is every other cell in CellId order,
+  // identical to the historical construction.
+  std::vector<net::CellId> candidates = environment_.neighbour_cells(serving_);
   search_ = std::make_unique<net::CellSearch>(
       simulator_, environment_, std::move(candidates), config_.search,
       [this](sim::Time t) { return radio_busy(t); });
@@ -187,16 +197,55 @@ void SilentTracker::on_search_done(const net::SearchOutcome& outcome) {
     enter_searching();
     return;
   }
+
+  // Legacy rule: adopt the strongest detection. With a decision layer,
+  // adopt the best-*ranked* one instead (load-penalized score, penalized
+  // cells excluded, ties to the lower CellId) — the mobile prepares the
+  // neighbour it *should* join, not merely the loudest.
+  net::CellId cell = outcome.cell;
+  phy::BeamId tx_beam = outcome.tx_beam;
+  phy::BeamId rx_beam = outcome.rx_beam;
+  double rss_dbm = outcome.rss_dbm;
+  if (policy_active()) {
+    const net::NeighborList& neighbors = environment_.neighbour_cells(serving_);
+    for (const net::SsbObservation& obs : outcome.all) {
+      decision_->observe(obs);
+    }
+    const std::optional<std::size_t> pick = decision_->select(
+        outcome.all, neighbors, simulator_.now(), serving_alive_);
+    if (!pick.has_value()) {
+      // Every detection was penalized (or off-list): per the penalty
+      // rule nothing is selectable yet — keep searching until a timer
+      // expires or another cell appears.
+      emit_.count("policy_no_eligible_candidate");
+      enter_searching();
+      return;
+    }
+    const net::SsbObservation& chosen = outcome.all[*pick];
+    if (chosen.cell != outcome.cell) {
+      emit_.count("policy_selection_diverted");
+    }
+    ST_INVARIANT(invariants::check_decision_in_neighbor_list(
+        serving_, chosen.cell, neighbors));
+    ST_INVARIANT(invariants::check_decision_not_penalized(
+        chosen.cell, decision_->penalized(chosen.cell, simulator_.now()),
+        serving_alive_));
+    cell = chosen.cell;
+    tx_beam = chosen.tx_beam;
+    rx_beam = chosen.rx_beam;
+    rss_dbm = chosen.rss_dbm;
+  }
+
   emit_.count("initial_search_hits");
-  neighbour_ = outcome.cell;
-  neighbour_tx_beam_ = outcome.tx_beam;
-  neighbour_rss_.select_beam(outcome.rx_beam, outcome.rss_dbm);
+  neighbour_ = cell;
+  neighbour_tx_beam_ = tx_beam;
+  neighbour_rss_.select_beam(rx_beam, rss_dbm);
   emit_.emit({.t = simulator_.now(),
               .type = obs::TraceEventType::kCellFound,
-              .cell = outcome.cell,
-              .beam_a = outcome.tx_beam,
-              .beam_b = outcome.rx_beam,
-              .value = outcome.rss_dbm,
+              .cell = cell,
+              .beam_a = tx_beam,
+              .beam_b = rx_beam,
+              .value = rss_dbm,
               .value2 = outcome.latency.ms()});
   enter_tracking();
 }
@@ -222,6 +271,102 @@ void SilentTracker::enter_tracking() {
                         .schedule()
                         .next_burst_start(simulator_.now());
   burst_event_ = simulator_.schedule_at(next, [this] { on_neighbour_burst(); });
+
+  // With a decision layer, keep the rivals' scores fresh in the
+  // background so the crossover test has something to compare against.
+  if (policy_active() && serving_alive_) {
+    schedule_rival_scan();
+  }
+}
+
+// One rival candidate per scan period: pick the next neighbour-list cell
+// round-robin, listen to one full SSB burst of it (every TX beam, on the
+// best RX beam known for that cell) in the slots the serving schedule
+// leaves free, then run the crossover test on the refreshed table.
+void SilentTracker::schedule_rival_scan() {
+  rival_scan_event_ = simulator_.schedule_at(
+      simulator_.now() + decision_->config().rival_scan_period,
+      [this] { on_rival_scan(); });
+}
+
+void SilentTracker::on_rival_scan() {
+  if (state_ != SilentTrackerState::kTracking || !serving_alive_) {
+    return;
+  }
+  rival_obs_events_.clear();
+  const net::NeighborList& neighbors = environment_.neighbour_cells(serving_);
+  const std::optional<net::CellId> rival =
+      decision_->next_rival(neighbors, neighbour_);
+  if (rival.has_value()) {
+    const net::CellId cell = *rival;
+    // A cell heard before is listened to on the beam that heard it; a
+    // cold one on the currently tracked beam (the best guess available
+    // without spending a sweep).
+    const std::optional<net::HandoverDecision::Candidate> known =
+        decision_->candidate(cell);
+    const phy::BeamId rx = (known.has_value() &&
+                            known->rx_beam != phy::kInvalidBeam)
+                               ? known->rx_beam
+                               : neighbour_rss_.beam();
+    const net::FrameSchedule& schedule = environment_.bs(cell).schedule();
+    const Time burst = schedule.next_burst_start(simulator_.now());
+    for (const phy::Beam& beam : environment_.bs(cell).codebook().beams()) {
+      const net::SsbSlot slot = schedule.next_ssb_for_beam(burst, beam.id());
+      rival_obs_events_.push_back(simulator_.schedule_at(
+          slot.start, [this, cell, tx = beam.id(), rx] {
+            if (state_ != SilentTrackerState::kTracking || !serving_alive_) {
+              return;
+            }
+            if (radio_busy(simulator_.now())) {
+              emit_.count("rival_slots_preempted");
+              return;
+            }
+            const SsbObservation obs =
+                environment_.observe_ssb(cell, tx, rx, simulator_.now());
+            if (obs.detected) {
+              decision_->observe(obs);
+            }
+          }));
+    }
+    rival_obs_events_.push_back(
+        simulator_.schedule_at(burst + schedule.burst_duration(),
+                               [this] { check_crossover(); }));
+  }
+  schedule_rival_scan();
+}
+
+void SilentTracker::check_crossover() {
+  if (!policy_active() || state_ != SilentTrackerState::kTracking ||
+      !serving_alive_) {
+    return;
+  }
+  const std::optional<net::HandoverDecision::Choice> winner =
+      decision_->crossover(neighbour_, neighbour_rss_.filtered_rss_dbm(),
+                           environment_.neighbour_cells(serving_),
+                           simulator_.now());
+  if (!winner.has_value()) {
+    return;
+  }
+  emit_.count("neighbour_crossovers");
+  // Fig. 2b stays normative: the crossover is the Tracking ->
+  // InitialSearch "abandon" edge, and the fresh search's ranked
+  // selection is what actually retargets (the rival must still be
+  // *found*, not just remembered).
+  abandon_tracked("crossover");
+}
+
+void SilentTracker::abandon_tracked(std::string_view reason) {
+  emit_.emit({.t = simulator_.now(),
+              .type = obs::TraceEventType::kNeighbourAbandoned,
+              .cell = neighbour_,
+              .label = reason});
+  emit_.count("neighbour_abandoned");
+  cancel_tracking_events();
+  probe_pending_.clear();
+  probe_results_.clear();
+  probing_now_.reset();
+  neighbour_quiet_since_.reset();
+  enter_searching();
 }
 
 void SilentTracker::on_neighbour_burst() {
@@ -309,6 +454,12 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
 
   neighbour_rss_.add_sample(sample);
   missed_tracked_ = obs.detected ? 0 : missed_tracked_ + 1;
+  if (policy_active()) {
+    // Keep the incumbent's table entry at the filtered level so the
+    // crossover test compares rivals against what tracking actually sees.
+    decision_->update_rss(neighbour_, neighbour_rss_.filtered_rss_dbm(),
+                          simulator_.now());
+  }
 
   // Track how long the neighbour has been inaudible. A beam that stays at
   // the correlator floor despite recovery sweeps is no discovered beam at
@@ -553,13 +704,11 @@ void SilentTracker::enter_fallback() {
               .label = "FallbackSearch"});
   emit_.count("fallback_searches");
 
-  std::vector<net::CellId> candidates;
-  candidates.reserve(environment_.cell_count());
-  for (net::CellId c = 0; c < environment_.cell_count(); ++c) {
-    if (c != serving_) {
-      candidates.push_back(c);
-    }
-  }
+  // Even with the serving cell gone, the candidate set is the
+  // deployment's declared neighbour list of the last serving cell (the
+  // row layouts list every other cell there, so the paper presets are
+  // unchanged).
+  std::vector<net::CellId> candidates = environment_.neighbour_cells(serving_);
   // No serving cell, no pre-emption: the radio is entirely free — but the
   // user has no service either.
   fallback_search_ = std::make_unique<net::CellSearch>(
@@ -574,9 +723,34 @@ void SilentTracker::on_fallback_search_done(const net::SearchOutcome& outcome) {
     enter_fallback();  // consumes another round
     return;
   }
-  neighbour_ = outcome.cell;
-  neighbour_tx_beam_ = outcome.tx_beam;
-  neighbour_rss_.select_beam(outcome.rx_beam, outcome.rss_dbm);
+  net::CellId cell = outcome.cell;
+  phy::BeamId tx_beam = outcome.tx_beam;
+  phy::BeamId rx_beam = outcome.rx_beam;
+  double rss_dbm = outcome.rss_dbm;
+  if (policy_active()) {
+    // With no serving link, penalty timers are waived (any cell beats no
+    // cell) but load still ranks equal-RSS candidates.
+    const net::NeighborList& neighbors = environment_.neighbour_cells(serving_);
+    for (const net::SsbObservation& obs : outcome.all) {
+      decision_->observe(obs);
+    }
+    const std::optional<std::size_t> pick = decision_->select(
+        outcome.all, neighbors, simulator_.now(), /*serving_alive=*/false);
+    if (!pick.has_value()) {
+      enter_fallback();  // consumes another round
+      return;
+    }
+    const net::SsbObservation& chosen = outcome.all[*pick];
+    ST_INVARIANT(invariants::check_decision_in_neighbor_list(
+        serving_, chosen.cell, neighbors));
+    cell = chosen.cell;
+    tx_beam = chosen.tx_beam;
+    rx_beam = chosen.rx_beam;
+    rss_dbm = chosen.rss_dbm;
+  }
+  neighbour_ = cell;
+  neighbour_tx_beam_ = tx_beam;
+  neighbour_rss_.select_beam(rx_beam, rss_dbm);
   // Resume tracking during access so the fallback access still benefits
   // from receive-beam adaptation.
   enter_tracking();

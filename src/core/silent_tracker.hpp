@@ -43,6 +43,7 @@
 #include "net/cell_search.hpp"
 #include "net/environment.hpp"
 #include "net/handover.hpp"
+#include "net/handover_policy.hpp"
 #include "net/link_monitor.hpp"
 #include "net/rach.hpp"
 #include "obs/trace.hpp"
@@ -146,15 +147,36 @@ class SilentTracker {
   /// component records into the same per-component buffers.
   void set_tracer(obs::TraceRecorder* recorder);
 
+  /// Neighbour-ranking decision layer (not owned; may be null). When set
+  /// and enabled, the tracker (a) draws its search candidates from the
+  /// serving cell's NeighborList, (b) adopts the best-*scored* search
+  /// detection — filtered RSS minus load penalty, penalized cells
+  /// excluded while the serving link lives, ties to the lower CellId —
+  /// instead of the raw strongest, (c) refreshes one rival candidate per
+  /// scan period while tracking, and (d) abandons the tracked candidate
+  /// when a rival wins the crossover vote, re-entering InitialSearch to
+  /// re-rank. Null (or a disabled config) reproduces the legacy
+  /// strongest-RSS behaviour bit for bit. The decision object outlives
+  /// the tracker (the scenario layer owns it across handover chains) and
+  /// must be set before start().
+  void set_decision(net::HandoverDecision* decision);
+
  private:
   /// Single mutation point for `state_`: every state change funnels
   /// through here so the Fig. 2b contract checker (core/invariants.hpp,
   /// compiled in with ST_CHECK_INVARIANTS=ON) sees each transition.
   void transition_to(SilentTrackerState next);
+  [[nodiscard]] bool policy_active() const noexcept {
+    return decision_ != nullptr && decision_->enabled();
+  }
   void enter_searching();
   void on_search_done(const net::SearchOutcome& outcome);
   void enter_tracking();
   void on_neighbour_burst();
+  void schedule_rival_scan();
+  void on_rival_scan();
+  void check_crossover();
+  void abandon_tracked(std::string_view reason);
   void handle_neighbour_sample(const net::SsbObservation& obs);
   void finish_neighbour_probe();
   void on_serving_lost(std::string_view reason);
@@ -207,6 +229,13 @@ class SilentTracker {
   std::optional<sim::Time> neighbour_quiet_since_;
   std::vector<sim::EventId> tracking_events_;
   sim::EventId burst_event_ = 0;
+
+  /// Background rival refresh (policy runs only): one neighbour-list
+  /// cell per scan period gets its next SSB burst observed, feeding the
+  /// decision layer's candidate table for the crossover test.
+  net::HandoverDecision* decision_ = nullptr;
+  sim::EventId rival_scan_event_ = 0;
+  std::vector<sim::EventId> rival_obs_events_;
 
   // Handover bookkeeping.
   net::HandoverRecord record_;

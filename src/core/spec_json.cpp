@@ -35,6 +35,48 @@ void for_each_member(const Value& overrides, std::string_view where,
       static_cast<std::int64_t>(v.as_double() * 1e6));
 }
 
+[[nodiscard]] net::DeploymentShape shape_from_string(std::string_view name) {
+  if (name == to_string(net::DeploymentShape::kRow)) {
+    return net::DeploymentShape::kRow;
+  }
+  if (name == to_string(net::DeploymentShape::kGrid)) {
+    return net::DeploymentShape::kGrid;
+  }
+  if (name == to_string(net::DeploymentShape::kCorridor)) {
+    return net::DeploymentShape::kCorridor;
+  }
+  fail("unknown deployment_shape \"" + std::string(name) +
+       "\" (expected row, grid, or corridor)");
+}
+
+void apply_handover_policy_overrides(net::HandoverPolicyConfig& policy,
+                                     const Value& overrides) {
+  for_each_member(
+      overrides, "handover_policy",
+      [&](const std::string& key, const Value& v) {
+        if (key == "enabled") {
+          policy.enabled = v.as_bool();
+        } else if (key == "hysteresis_db") {
+          policy.hysteresis_db = v.as_double();
+        } else if (key == "load_penalty_db") {
+          policy.load_penalty_db = v.as_double();
+        } else if (key == "penalty_time_ms") {
+          policy.penalty_time = duration_ms(v, "penalty_time_ms");
+        } else if (key == "candidate_ttl_ms") {
+          policy.candidate_ttl = duration_ms(v, "candidate_ttl_ms");
+        } else if (key == "crossover_votes") {
+          policy.crossover_votes = static_cast<unsigned>(v.as_u64());
+        } else if (key == "rival_scan_period_ms") {
+          policy.rival_scan_period = duration_ms(v, "rival_scan_period_ms");
+        } else if (key == "ping_pong_window_ms") {
+          policy.ping_pong_window = duration_ms(v, "ping_pong_window_ms");
+        } else {
+          return false;
+        }
+        return true;
+      });
+}
+
 void apply_deployment_overrides(net::DeploymentConfig& deployment,
                                 const Value& overrides) {
   for_each_member(
@@ -67,8 +109,18 @@ ScenarioSpec preset_by_name(std::string_view name) {
   if (name == "paper_vehicular") {
     return preset::paper_vehicular();
   }
+  if (name == "grid_walk") {
+    return preset::grid_walk();
+  }
+  if (name == "corridor_drive") {
+    return preset::corridor_drive();
+  }
+  if (name == "edge_ping_pong") {
+    return preset::edge_ping_pong();
+  }
   fail("unknown preset \"" + std::string(name) +
-       "\" (expected paper_walk, paper_rotation, or paper_vehicular)");
+       "\" (expected paper_walk, paper_rotation, paper_vehicular, "
+       "grid_walk, corridor_drive, or edge_ping_pong)");
 }
 
 MobilityScenario mobility_from_string(std::string_view name) {
@@ -80,6 +132,9 @@ MobilityScenario mobility_from_string(std::string_view name) {
   }
   if (name == to_string(MobilityScenario::kVehicular)) {
     return MobilityScenario::kVehicular;
+  }
+  if (name == to_string(MobilityScenario::kPingPong)) {
+    return MobilityScenario::kPingPong;
   }
   fail("unknown mobility \"" + std::string(name) + "\"");
 }
@@ -111,6 +166,12 @@ void apply_profile_overrides(UeProfile& profile, const Value& overrides) {
           profile.rotation_rate_deg_s = v.as_double();
         } else if (key == "vehicle_speed_mph") {
           profile.vehicle_speed_mph = v.as_double();
+        } else if (key == "ping_pong_speed_mps") {
+          profile.ping_pong_speed_mps = v.as_double();
+        } else if (key == "ping_pong_amplitude_m") {
+          profile.ping_pong_amplitude_m = v.as_double();
+        } else if (key == "handover_policy") {
+          apply_handover_policy_overrides(profile.handover_policy, v);
         } else if (key == "chain_handovers") {
           profile.chain_handovers = v.as_bool();
         } else {
@@ -137,6 +198,15 @@ void apply_spec_overrides(ScenarioSpec& spec, const Value& overrides) {
           spec.seed = v.as_u64();
         } else if (key == "deployment") {
           apply_deployment_overrides(spec.deployment, v);
+        } else if (key == "deployment_shape") {
+          spec.deployment_shape = shape_from_string(v.as_string());
+        } else if (key == "grid_cols") {
+          spec.grid_cols = static_cast<unsigned>(v.as_u64());
+        } else if (key == "cell_load") {
+          spec.cell_load.clear();
+          for (const Value& entry : v.items()) {
+            spec.cell_load.push_back(entry.as_double());
+          }
         } else if (key == "n_ues") {
           const std::uint64_t n = v.as_u64();
           if (n == 0 || spec.ues.empty()) {
@@ -204,7 +274,23 @@ Value profile_to_json(const UeProfile& profile) {
   out.set("walk_speed_mps", Value::number(profile.walk_speed_mps));
   out.set("rotation_rate_deg_s", Value::number(profile.rotation_rate_deg_s));
   out.set("vehicle_speed_mph", Value::number(profile.vehicle_speed_mph));
+  out.set("ping_pong_speed_mps", Value::number(profile.ping_pong_speed_mps));
+  out.set("ping_pong_amplitude_m",
+          Value::number(profile.ping_pong_amplitude_m));
   out.set("chain_handovers", Value::boolean(profile.chain_handovers));
+
+  const net::HandoverPolicyConfig& policy = profile.handover_policy;
+  Value ho = Value::object();
+  ho.set("enabled", Value::boolean(policy.enabled));
+  ho.set("hysteresis_db", Value::number(policy.hysteresis_db));
+  ho.set("load_penalty_db", Value::number(policy.load_penalty_db));
+  ho.set("penalty_time_ms", Value::number(policy.penalty_time.ms()));
+  ho.set("candidate_ttl_ms", Value::number(policy.candidate_ttl.ms()));
+  ho.set("crossover_votes", Value::unsigned_integer(policy.crossover_votes));
+  ho.set("rival_scan_period_ms",
+         Value::number(policy.rival_scan_period.ms()));
+  ho.set("ping_pong_window_ms", Value::number(policy.ping_pong_window.ms()));
+  out.set("handover_policy", std::move(ho));
   return out;
 }
 
@@ -225,6 +311,14 @@ Value spec_to_json(const ScenarioSpec& spec) {
   deployment.set("bs_tx_power_dbm",
                  Value::number(spec.deployment.bs_tx_power_dbm));
   out.set("deployment", std::move(deployment));
+  out.set("deployment_shape",
+          Value::string(std::string(to_string(spec.deployment_shape))));
+  out.set("grid_cols", Value::unsigned_integer(spec.grid_cols));
+  Value load = Value::array();
+  for (const double l : spec.cell_load) {
+    load.push_back(Value::number(l));
+  }
+  out.set("cell_load", std::move(load));
 
   Value ues = Value::array();
   for (const UeProfile& profile : spec.ues) {

@@ -10,7 +10,9 @@
 //
 //   {
 //     "preset": "paper_walk",            // required: paper_walk |
-//                                        //   paper_rotation | paper_vehicular
+//                                        //   paper_rotation | paper_vehicular |
+//                                        //   grid_walk | corridor_drive |
+//                                        //   edge_ping_pong
 //     "seed": 7,                         // optional, overrides the preset's
 //     "overrides": {                     // optional, all keys optional
 //       "cells": 3,
@@ -18,11 +20,21 @@
 //       "metric_period_ms": 10.0,
 //       "collect_trace": false,
 //       "deployment": {"inter_site_m": 40.0, ...},
+//       "deployment_shape": "grid",      // row | grid | corridor
+//       "grid_cols": 3,                  // grid width; 0 = square-ish
+//       "cell_load": [0.0, 0.5, ...],    // offered load per cell, in [0,1]
 //       "n_ues": 8,                      // replicate the preset's profile
 //       "ue": {"mobility": "vehicular", "ue_beamwidth_deg": 30.0, ...},
 //       "ues": [{...}, {...}]            // or: replace the fleet outright
 //     }
 //   }
+//
+// A "ue" / "ues" entry may carry a nested "handover_policy" object
+// (enabled, hysteresis_db, load_penalty_db, penalty_time_ms,
+// candidate_ttl_ms, crossover_votes, rival_scan_period_ms,
+// ping_pong_window_ms) configuring the neighbour-ranking decision layer,
+// plus "ping_pong_speed_mps" / "ping_pong_amplitude_m" for the
+// ping_pong mobility.
 //
 // Unknown keys anywhere are *errors*, not ignored — a typo'd override
 // silently falling back to the preset default would corrupt experiment
@@ -52,7 +64,8 @@ namespace st::core {
 inline constexpr std::uint64_t kMaxFleetUes = 65536;
 
 /// Preset lookup by wire name ("paper_walk", "paper_rotation",
-/// "paper_vehicular"); throws json::ParseError on an unknown name.
+/// "paper_vehicular", "grid_walk", "corridor_drive", "edge_ping_pong");
+/// throws json::ParseError on an unknown name.
 [[nodiscard]] ScenarioSpec preset_by_name(std::string_view name);
 
 /// Parse a mobility / protocol wire name (the to_string() spellings);

@@ -98,6 +98,13 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
   LogLinearHistogram interruption;
   LogLinearHistogram rach;
 
+  report.per_cell.resize(spec.n_cells);
+  for (std::size_t cell = 0; cell < spec.n_cells; ++cell) {
+    report.per_cell[cell].cell = cell;
+    report.per_cell[cell].load =
+        cell < spec.cell_load.size() ? spec.cell_load[cell] : 0.0;
+  }
+
   for (std::size_t ue = 0; ue < result.ue_results.size(); ++ue) {
     const core::ScenarioResult& ue_result = result.ue_results[ue];
     const core::UeProfile& profile = spec.ues.at(ue);
@@ -115,6 +122,8 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
 
     double interruption_sum = 0.0;
     std::uint64_t interruption_n = 0;
+    const sim::Duration window = profile.handover_policy.ping_pong_window;
+    const net::HandoverRecord* prev = nullptr;
     for (const net::HandoverRecord& h : ue_result.handovers) {
       row.rach_attempts += h.rach_attempts;
       if (!h.success) {
@@ -125,6 +134,20 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
       rach.add(static_cast<double>(h.rach_attempts));
       interruption_sum += ms;
       ++interruption_n;
+      if (h.to < report.per_cell.size()) {
+        ++report.per_cell[h.to].handovers_in;
+      }
+      if (h.from < report.per_cell.size()) {
+        ++report.per_cell[h.from].handovers_out;
+      }
+      if (prev != nullptr && net::is_ping_pong(*prev, h, window)) {
+        ++row.ping_pongs;
+        // The far end of the round trip is the cell the return leg left.
+        if (h.from < report.per_cell.size()) {
+          ++report.per_cell[h.from].ping_pongs;
+        }
+      }
+      prev = &h;
     }
     row.mean_interruption_ms =
         interruption_n > 0
@@ -144,9 +167,15 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
     report.soft += row.soft;
     report.hard += row.hard;
     report.rach_attempts += row.rach_attempts;
+    report.ping_pongs += row.ping_pongs;
     report.ues.push_back(std::move(row));
   }
   report.ssb_observations = result.ssb_observations;
+  report.ping_pong_rate =
+      report.handovers_successful > 0
+          ? static_cast<double>(report.ping_pongs) /
+                static_cast<double>(report.handovers_successful)
+          : 0.0;
 
   report.alignment_fraction = obs::HistogramSummary::from(alignment);
   report.interruption_ms = obs::HistogramSummary::from(interruption);

@@ -109,6 +109,7 @@ void CellSearch::finish_dwell() {
     outcome.latency = simulator_.now() - started_;
     outcome.dwells_used = dwells_used_;
     outcome.detections = static_cast<unsigned>(dwell_detections_.size());
+    outcome.all = dwell_detections_;
     conclude(outcome);
     return;
   }

@@ -53,6 +53,12 @@ struct SearchOutcome {
   sim::Duration latency{};   ///< search start to decision
   unsigned dwells_used = 0;  ///< receive beams tried
   unsigned detections = 0;   ///< SSBs detected in the winning dwell
+  /// Every detection of the winning dwell (detections == all.size()):
+  /// the raw material for neighbour-ranking decisions, which may prefer
+  /// a cell other than the strongest (net/handover_policy.hpp). The
+  /// cell/tx_beam/rx_beam/rss_dbm fields above remain the strongest
+  /// detection, so legacy callers are unaffected.
+  std::vector<SsbObservation> all;
 };
 
 class CellSearch {

@@ -8,9 +8,10 @@ namespace st::net {
 RadioEnvironment::RadioEnvironment(
     const EnvironmentConfig& config, std::vector<BaseStation> base_stations,
     std::shared_ptr<const mobility::MobilityModel> ue_mobility,
-    phy::Codebook ue_codebook)
+    phy::Codebook ue_codebook, std::vector<NeighborList> neighbor_lists)
     : config_(config),
       base_stations_(std::move(base_stations)),
+      neighbor_lists_(std::move(neighbor_lists)),
       ue_mobility_(std::move(ue_mobility)),
       ue_codebook_(std::move(ue_codebook)),
       link_(config.link),
@@ -21,6 +22,29 @@ RadioEnvironment::RadioEnvironment(
   }
   if (ue_mobility_ == nullptr) {
     throw std::invalid_argument("RadioEnvironment: mobility must not be null");
+  }
+  if (neighbor_lists_.empty()) {
+    // The historical implicit rule: every other cell, in CellId order.
+    neighbor_lists_.resize(base_stations_.size());
+    for (std::size_t i = 0; i < base_stations_.size(); ++i) {
+      for (std::size_t j = 0; j < base_stations_.size(); ++j) {
+        if (j != i) {
+          neighbor_lists_[i].push_back(static_cast<CellId>(j));
+        }
+      }
+    }
+  }
+  if (neighbor_lists_.size() != base_stations_.size()) {
+    throw std::invalid_argument(
+        "RadioEnvironment: one neighbour list per cell required");
+  }
+  for (const NeighborList& list : neighbor_lists_) {
+    for (const CellId c : list) {
+      if (c >= base_stations_.size()) {
+        throw std::invalid_argument(
+            "RadioEnvironment: neighbour list names an unknown cell");
+      }
+    }
   }
   const Pose ue_start = ue_mobility_->pose_at(sim::Time::zero());
   channels_.reserve(base_stations_.size());
@@ -44,6 +68,14 @@ const phy::PathSnapshot& RadioEnvironment::snapshot_for(CellId cell,
                                          station.tx_power_dbm(), snapshot,
                                          &reuse, &build_stats_);
       });
+}
+
+const NeighborList& RadioEnvironment::neighbour_cells(CellId cell) const {
+  if (cell >= neighbor_lists_.size()) {
+    throw std::out_of_range(
+        "RadioEnvironment::neighbour_cells: invalid cell id");
+  }
+  return neighbor_lists_[cell];
 }
 
 const BaseStation& RadioEnvironment::bs(CellId cell) const {

@@ -105,14 +105,21 @@ class RadioEnvironment {
  public:
   /// The UE codebook is fixed per experiment (the paper compares 20°,
   /// 60°, and omni codebooks as configurations, not at runtime).
+  /// `neighbor_lists` carries the deployment's per-cell handover
+  /// candidate sets (Deployment::neighbor_lists); when empty, every cell
+  /// lists every other cell in CellId order — the historical rule.
   RadioEnvironment(const EnvironmentConfig& config,
                    std::vector<BaseStation> base_stations,
                    std::shared_ptr<const mobility::MobilityModel> ue_mobility,
-                   phy::Codebook ue_codebook);
+                   phy::Codebook ue_codebook,
+                   std::vector<NeighborList> neighbor_lists = {});
 
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return base_stations_.size();
   }
+  /// The handover candidate cells of `cell`, in candidate order. Throws
+  /// std::out_of_range on an unknown cell id.
+  [[nodiscard]] const NeighborList& neighbour_cells(CellId cell) const;
   [[nodiscard]] const BaseStation& bs(CellId cell) const;
   [[nodiscard]] BaseStation& bs_mutable(CellId cell);
   [[nodiscard]] const phy::Codebook& ue_codebook() const noexcept {
@@ -224,6 +231,7 @@ class RadioEnvironment {
 
   EnvironmentConfig config_;
   std::vector<BaseStation> base_stations_;
+  std::vector<NeighborList> neighbor_lists_;
   std::shared_ptr<const mobility::MobilityModel> ue_mobility_;
   phy::Codebook ue_codebook_;
   phy::LinkBudget link_;

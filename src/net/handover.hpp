@@ -5,6 +5,9 @@
 // initial search from scratch precedes random access).
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "net/ids.hpp"
 #include "phy/codebook.hpp"
 #include "sim/time.hpp"
@@ -40,5 +43,36 @@ struct HandoverRecord {
     return completed - serving_lost;
   }
 };
+
+/// Whether a handover record is the return leg of a ping-pong: both legs
+/// successful, the second undoes the first (A→B then B→A), and the two
+/// completions are no more than `window` apart — the classic definition
+/// behind BSS penalty timers.
+[[nodiscard]] inline bool is_ping_pong(const HandoverRecord& prev,
+                                       const HandoverRecord& cur,
+                                       sim::Duration window) noexcept {
+  return prev.success && cur.success && cur.from == prev.to &&
+         cur.to == prev.from && cur.completed - prev.completed <= window;
+}
+
+/// Number of ping-pong return legs in a mobile's handover sequence
+/// (records in completion order, as ScenarioResult::handovers stores
+/// them). Each A→B→A pair contributes one.
+[[nodiscard]] inline std::size_t count_ping_pongs(
+    const std::vector<HandoverRecord>& handovers,
+    sim::Duration window) noexcept {
+  std::size_t n = 0;
+  const HandoverRecord* prev = nullptr;
+  for (const HandoverRecord& h : handovers) {
+    if (!h.success) {
+      continue;
+    }
+    if (prev != nullptr && is_ping_pong(*prev, h, window)) {
+      ++n;
+    }
+    prev = &h;
+  }
+  return n;
+}
 
 }  // namespace st::net

@@ -1,0 +1,224 @@
+#include "net/handover_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace st::net {
+
+void validate(const HandoverPolicyConfig& config) {
+  if (config.hysteresis_db < 0.0) {
+    throw std::invalid_argument(
+        "HandoverPolicyConfig: hysteresis_db must be >= 0");
+  }
+  if (config.load_penalty_db < 0.0) {
+    throw std::invalid_argument(
+        "HandoverPolicyConfig: load_penalty_db must be >= 0");
+  }
+  if (config.penalty_time < sim::Duration::nanoseconds(0)) {
+    throw std::invalid_argument(
+        "HandoverPolicyConfig: penalty_time must be >= 0");
+  }
+  if (config.candidate_ttl <= sim::Duration::nanoseconds(0)) {
+    throw std::invalid_argument(
+        "HandoverPolicyConfig: candidate_ttl must be positive");
+  }
+  if (config.crossover_votes == 0) {
+    throw std::invalid_argument(
+        "HandoverPolicyConfig: crossover_votes must be >= 1");
+  }
+  if (config.rival_scan_period <= sim::Duration::nanoseconds(0)) {
+    throw std::invalid_argument(
+        "HandoverPolicyConfig: rival_scan_period must be positive");
+  }
+  if (config.ping_pong_window <= sim::Duration::nanoseconds(0)) {
+    throw std::invalid_argument(
+        "HandoverPolicyConfig: ping_pong_window must be positive");
+  }
+}
+
+HandoverDecision::HandoverDecision(HandoverPolicyConfig config,
+                                   std::vector<double> cell_load)
+    : config_(config), cell_load_(std::move(cell_load)) {
+  validate(config_);
+  for (const double load : cell_load_) {
+    if (!(load >= 0.0) || !(load <= 1.0)) {
+      throw std::invalid_argument(
+          "HandoverDecision: cell load must be within [0, 1]");
+    }
+  }
+}
+
+double HandoverDecision::load(CellId cell) const noexcept {
+  return cell < cell_load_.size() ? cell_load_[cell] : 0.0;
+}
+
+double HandoverDecision::score_db(CellId cell, double rss_dbm) const noexcept {
+  return rss_dbm - config_.load_penalty_db * load(cell);
+}
+
+bool HandoverDecision::penalized(CellId cell, sim::Time now) const noexcept {
+  for (const Penalty& p : penalties_) {
+    if (p.cell == cell && now < p.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HandoverDecision::fresh(const Candidate& c, sim::Time now) const noexcept {
+  return now - c.observed_at <= config_.candidate_ttl;
+}
+
+void HandoverDecision::observe(const SsbObservation& obs) {
+  if (!obs.detected || obs.cell == kInvalidCell) {
+    return;
+  }
+  if (candidates_.size() <= obs.cell) {
+    candidates_.resize(obs.cell + 1);
+  }
+  Candidate& c = candidates_[obs.cell];
+  // A stale slot restarts from this measurement; a fresh one keeps the
+  // stronger beams and only refreshes the level/timestamp.
+  if (c.cell == kInvalidCell || !fresh(c, obs.t) || obs.rss_dbm >= c.rss_dbm) {
+    c.tx_beam = obs.tx_beam;
+    c.rx_beam = obs.rx_beam;
+  }
+  c.cell = obs.cell;
+  c.rss_dbm = obs.rss_dbm;
+  c.observed_at = obs.t;
+}
+
+void HandoverDecision::update_rss(CellId cell, double rss_dbm, sim::Time now) {
+  if (cell == kInvalidCell) {
+    return;
+  }
+  if (candidates_.size() <= cell) {
+    candidates_.resize(cell + 1);
+  }
+  Candidate& c = candidates_[cell];
+  c.cell = cell;
+  c.rss_dbm = rss_dbm;
+  c.observed_at = now;
+}
+
+std::optional<HandoverDecision::Candidate> HandoverDecision::candidate(
+    CellId cell) const {
+  if (cell < candidates_.size() && candidates_[cell].cell != kInvalidCell) {
+    return candidates_[cell];
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> HandoverDecision::select(
+    const std::vector<SsbObservation>& detections,
+    const NeighborList& neighbors, sim::Time now, bool serving_alive) const {
+  std::optional<std::size_t> best;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    const SsbObservation& obs = detections[i];
+    if (!obs.detected) {
+      continue;
+    }
+    if (std::find(neighbors.begin(), neighbors.end(), obs.cell) ==
+        neighbors.end()) {
+      continue;
+    }
+    // The penalty applies only while the old serving cell still carries
+    // the mobile: with the serving link dead, any cell beats no cell
+    // (the osmo-bsc emergency rule).
+    if (serving_alive && penalized(obs.cell, now)) {
+      continue;
+    }
+    const double score = score_db(obs.cell, obs.rss_dbm);
+    if (!best.has_value() || score > best_score ||
+        (score == best_score && obs.cell < detections[*best].cell)) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::optional<HandoverDecision::Choice> HandoverDecision::crossover(
+    CellId incumbent, double incumbent_rss_dbm, const NeighborList& neighbors,
+    sim::Time now) {
+  const double incumbent_score = score_db(incumbent, incumbent_rss_dbm);
+  std::optional<Choice> leader;
+  for (const CellId cell : neighbors) {
+    if (cell == incumbent || penalized(cell, now)) {
+      continue;
+    }
+    const std::optional<Candidate> c = candidate(cell);
+    if (!c.has_value() || !fresh(*c, now)) {
+      continue;
+    }
+    const double score = score_db(cell, c->rss_dbm);
+    if (score <= incumbent_score + config_.hysteresis_db) {
+      continue;
+    }
+    if (!leader.has_value() || score > leader->score_db ||
+        (score == leader->score_db && cell < leader->cell)) {
+      leader = Choice{cell, score};
+    }
+  }
+
+  if (!leader.has_value()) {
+    leading_rival_ = kInvalidCell;
+    rival_votes_ = 0;
+    return std::nullopt;
+  }
+  if (leader->cell != leading_rival_) {
+    leading_rival_ = leader->cell;
+    rival_votes_ = 0;
+  }
+  if (++rival_votes_ < config_.crossover_votes) {
+    return std::nullopt;
+  }
+  leading_rival_ = kInvalidCell;
+  rival_votes_ = 0;
+  ++crossovers_fired_;
+  return leader;
+}
+
+std::optional<CellId> HandoverDecision::next_rival(
+    const NeighborList& neighbors, CellId tracked) {
+  if (neighbors.empty()) {
+    return std::nullopt;
+  }
+  for (std::size_t step = 0; step < neighbors.size(); ++step) {
+    const CellId cell = neighbors[rival_cursor_ % neighbors.size()];
+    ++rival_cursor_;
+    if (cell != tracked) {
+      return cell;
+    }
+  }
+  return std::nullopt;
+}
+
+void HandoverDecision::record_handover(CellId from, CellId to, sim::Time now) {
+  (void)to;
+  if (config_.penalty_time > sim::Duration::nanoseconds(0) &&
+      from != kInvalidCell) {
+    // Refresh an existing timer rather than stacking entries.
+    const sim::Time until = now + config_.penalty_time;
+    for (Penalty& p : penalties_) {
+      if (p.cell == from) {
+        p.until = until;
+        leading_rival_ = kInvalidCell;
+        rival_votes_ = 0;
+        return;
+      }
+    }
+    penalties_.push_back(Penalty{from, until});
+  }
+  leading_rival_ = kInvalidCell;
+  rival_votes_ = 0;
+}
+
+void HandoverDecision::clear_candidates() {
+  candidates_.clear();
+  leading_rival_ = kInvalidCell;
+  rival_votes_ = 0;
+}
+
+}  // namespace st::net

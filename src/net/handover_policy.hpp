@@ -1,0 +1,175 @@
+// Neighbour-ranking handover decisions: which cell the mobile should
+// silently track, given everything it has heard in-band.
+//
+// The paper's evaluation always has exactly one meaningful neighbour; in
+// a dense deployment the mobile must *choose*, and a bare
+// strongest-RSS rule ping-pongs at every cell edge. This layer applies
+// the classic BSS handover-decision shape (osmo-bsc's handover_logic.c):
+//
+//   score(cell) = filtered RSS [dBm] − load_penalty_db × load(cell)
+//
+//   * a candidate must beat the incumbent by `hysteresis_db` before the
+//     tracker retargets (candidate crossover);
+//   * a cell the mobile recently handed over *away from* is penalized
+//     for `penalty_time` and is not selectable while the serving link is
+//     alive (the ping-pong penalty timer);
+//   * per-cell load is an offered-load input (0..1) configured on the
+//     scenario — in a real network it arrives on the backhaul; keeping
+//     it static also keeps fleet runs bit-identical serial vs parallel;
+//   * score ties break deterministically towards the lower CellId.
+//
+// The normative ranking rule (DESIGN.md §15): among the serving cell's
+// NeighborList entries that are fresh (observed within `candidate_ttl`)
+// and not penalized, select the maximum score; ties by lower CellId.
+// Candidates outside the serving cell's NeighborList are never eligible.
+//
+// One HandoverDecision instance lives per mobile and *persists across
+// protocol instances* (handover chains), because the penalty timer must
+// survive the handover that started it. It is owned by the scenario
+// layer and injected into core::SilentTracker; a null/disabled decision
+// reproduces the legacy strongest-RSS behaviour bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/observation.hpp"
+#include "sim/time.hpp"
+
+namespace st::net {
+
+struct HandoverPolicyConfig {
+  /// Off by default: the legacy strongest-RSS selection stays untouched
+  /// (and bit-identical) unless a scenario opts in.
+  bool enabled = false;
+  /// A rival must beat the incumbent tracked candidate's score by this
+  /// margin before the tracker retargets.
+  double hysteresis_db = 3.0;
+  /// Score penalty per unit of offered load: a fully loaded cell
+  /// (load = 1.0) scores this many dB below an idle one at equal RSS.
+  double load_penalty_db = 6.0;
+  /// After a handover, the *source* cell stays unselectable for this
+  /// long (while the serving link is alive) — the ping-pong brake.
+  sim::Duration penalty_time = sim::Duration::milliseconds(8000);
+  /// A candidate observation older than this no longer supports a
+  /// retarget decision (the cell may long have faded).
+  sim::Duration candidate_ttl = sim::Duration::milliseconds(2000);
+  /// Consecutive rival wins (by the hysteresis margin) required before a
+  /// crossover retarget fires.
+  unsigned crossover_votes = 3;
+  /// While tracking, the mobile refreshes one rival candidate's RSS per
+  /// this period (round-robin over the neighbour list) by listening to
+  /// that cell's next SSB burst in free slots.
+  sim::Duration rival_scan_period = sim::Duration::milliseconds(500);
+  /// A successful handover that returns to the previous cell within this
+  /// window counts as a ping-pong (metric definition; see
+  /// count_ping_pongs in net/handover.hpp).
+  sim::Duration ping_pong_window = sim::Duration::milliseconds(10'000);
+};
+
+/// Throws std::invalid_argument when margins/periods are out of range
+/// (negative dB margins, non-positive timers, zero votes).
+void validate(const HandoverPolicyConfig& config);
+
+class HandoverDecision {
+ public:
+  /// One scored candidate: what the decision knows about a cell.
+  struct Candidate {
+    CellId cell = kInvalidCell;
+    double rss_dbm = 0.0;       ///< filtered/last measured RSS
+    sim::Time observed_at{};    ///< when that RSS was measured
+    phy::BeamId tx_beam = phy::kInvalidBeam;  ///< best known BS beam
+    phy::BeamId rx_beam = phy::kInvalidBeam;  ///< mobile beam that heard it
+  };
+
+  struct Choice {
+    CellId cell = kInvalidCell;
+    double score_db = 0.0;
+  };
+
+  /// `cell_load`: offered load per cell, indexed by CellId; shorter
+  /// vectors (including empty) read as idle (0.0) for missing cells.
+  /// Throws on invalid config or load outside [0, 1].
+  HandoverDecision(HandoverPolicyConfig config, std::vector<double> cell_load);
+
+  [[nodiscard]] const HandoverPolicyConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+  [[nodiscard]] double load(CellId cell) const noexcept;
+
+  /// The ranking rule's score: measured RSS minus the load penalty.
+  [[nodiscard]] double score_db(CellId cell, double rss_dbm) const noexcept;
+
+  /// Whether `cell`'s ping-pong penalty timer is still running at `now`.
+  [[nodiscard]] bool penalized(CellId cell, sim::Time now) const noexcept;
+
+  /// Record an in-band measurement of `cell` (search detections, rival
+  /// scans, tracked-cell samples). Keeps the best-RSS beams per cell.
+  void observe(const SsbObservation& obs);
+  /// As observe(), for filtered RSS updates of the tracked cell (beams
+  /// unchanged).
+  void update_rss(CellId cell, double rss_dbm, sim::Time now);
+
+  /// What the decision currently knows about `cell` (fresh or stale).
+  [[nodiscard]] std::optional<Candidate> candidate(CellId cell) const;
+
+  /// Apply the normative ranking rule over `detections` (one search
+  /// dwell's detections): keep the best-RSS detection per cell, restrict
+  /// to `neighbors`, drop penalized cells while `serving_alive`, score,
+  /// pick the maximum, break ties by lower CellId. Empty optional when
+  /// no detection survives the filters.
+  [[nodiscard]] std::optional<std::size_t> select(
+      const std::vector<SsbObservation>& detections,
+      const NeighborList& neighbors, sim::Time now, bool serving_alive) const;
+
+  /// Crossover test while tracking `incumbent` (whose current score the
+  /// caller supplies): the best fresh, non-penalized rival in
+  /// `neighbors` whose score beats the incumbent's by the hysteresis
+  /// margin — after `crossover_votes` consecutive wins by the same
+  /// rival. Resets the vote count whenever the leading rival changes or
+  /// stops winning.
+  [[nodiscard]] std::optional<Choice> crossover(CellId incumbent,
+                                                double incumbent_rss_dbm,
+                                                const NeighborList& neighbors,
+                                                sim::Time now);
+
+  /// Round-robin rival pick for the background scan: the next cell of
+  /// `neighbors` that is not `tracked`, or nullopt when there is none.
+  [[nodiscard]] std::optional<CellId> next_rival(const NeighborList& neighbors,
+                                                 CellId tracked);
+
+  /// A completed handover: start `from`'s penalty timer and clear the
+  /// crossover votes (the new serving cell starts a fresh race).
+  void record_handover(CellId from, CellId to, sim::Time now);
+
+  /// Forget every candidate measurement (not the penalty timers): called
+  /// when the radio context changes enough that stale RSS would mislead.
+  void clear_candidates();
+
+  [[nodiscard]] std::uint64_t crossovers_fired() const noexcept {
+    return crossovers_fired_;
+  }
+
+ private:
+  struct Penalty {
+    CellId cell = kInvalidCell;
+    sim::Time until{};
+  };
+
+  [[nodiscard]] bool fresh(const Candidate& c, sim::Time now) const noexcept;
+
+  HandoverPolicyConfig config_;
+  std::vector<double> cell_load_;
+  std::vector<Candidate> candidates_;  ///< one slot per cell id seen
+  std::vector<Penalty> penalties_;     ///< active ping-pong timers
+  CellId leading_rival_ = kInvalidCell;
+  unsigned rival_votes_ = 0;
+  std::size_t rival_cursor_ = 0;
+  std::uint64_t crossovers_fired_ = 0;
+};
+
+}  // namespace st::net

@@ -3,12 +3,17 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace st::net {
 
 /// Physical cell identity (one per base station in our deployments).
 using CellId = std::uint32_t;
 inline constexpr CellId kInvalidCell = std::numeric_limits<CellId>::max();
+
+/// Handover candidate cells of one serving cell, in candidate order
+/// (deployment builders rank them; a lower index is tried/listed first).
+using NeighborList = std::vector<CellId>;
 
 /// Mobile identity within a fleet (index into ScenarioSpec::ues). The
 /// paper's single-mobile experiments are UE 0.

@@ -220,6 +220,7 @@ std::string RunReport::to_json() const {
   json.field("alignment_until_first_handover",
              handover.alignment_until_first_handover);
   json.field("ssb_observations", handover.ssb_observations);
+  json.field("ping_pongs", handover.ping_pongs);
   json.close();
 
   json.open("engine");
@@ -332,7 +333,21 @@ std::string FleetReport::to_json() const {
   json.field("hard", hard);
   json.field("rach_attempts", rach_attempts);
   json.field("ssb_observations", ssb_observations);
+  json.field("ping_pongs", ping_pongs);
+  json.field("ping_pong_rate", ping_pong_rate);
   json.close();
+
+  json.open_array("per_cell");
+  for (const FleetCellReport& cell : per_cell) {
+    json.open();
+    json.field("cell", cell.cell);
+    json.field("load", cell.load);
+    json.field("handovers_in", cell.handovers_in);
+    json.field("handovers_out", cell.handovers_out);
+    json.field("ping_pongs", cell.ping_pongs);
+    json.close();
+  }
+  json.close_array();
 
   json.open("distributions");
   write_summary(json, "alignment_fraction", alignment_fraction);
@@ -370,6 +385,7 @@ std::string FleetReport::to_json() const {
     json.field("alignment_fraction", ue.alignment_fraction);
     json.field("rach_attempts", ue.rach_attempts);
     json.field("ssb_observations", ue.ssb_observations);
+    json.field("ping_pongs", ue.ping_pongs);
     json.close();
   }
   json.close_array();
@@ -400,6 +416,10 @@ std::string FleetReport::summary_text() const {
        static_cast<unsigned long long>(handovers_total),
        static_cast<unsigned long long>(soft),
        static_cast<unsigned long long>(hard));
+  if (handovers_successful > 0) {
+    line("  ping-pong        %llu round trips (%.3f per successful handover)",
+         static_cast<unsigned long long>(ping_pongs), ping_pong_rate);
+  }
   if (interruption_ms.count > 0) {
     line("  interruption     p50 %.1f ms, p95 %.1f ms (%llu handovers)",
          interruption_ms.p50, interruption_ms.p95,

@@ -90,6 +90,9 @@ struct HandoverReport {
   double alignment_fraction = 0.0;
   double alignment_until_first_handover = 0.0;
   std::uint64_t ssb_observations = 0;
+  /// A→B→A round trips within the ping-pong window, both legs successful
+  /// (net::count_ping_pongs).
+  std::uint64_t ping_pongs = 0;
 };
 
 struct RunReport {
@@ -144,6 +147,17 @@ struct FleetUeReport {
   double alignment_fraction = -1.0;
   std::uint64_t rach_attempts = 0;
   std::uint64_t ssb_observations = 0;
+  std::uint64_t ping_pongs = 0;  ///< A→B→A round trips within the window
+};
+
+/// Per-cell view of a fleet run: the configured offered load plus how
+/// much handover traffic the cell saw across every mobile.
+struct FleetCellReport {
+  std::uint64_t cell = 0;
+  double load = 0.0;               ///< configured offered load (0..1)
+  std::uint64_t handovers_in = 0;  ///< successful handovers into the cell
+  std::uint64_t handovers_out = 0; ///< successful handovers out of the cell
+  std::uint64_t ping_pongs = 0;    ///< round trips whose far end is this cell
 };
 
 /// Fleet-level report: per-UE rows plus the distributions a fleet run is
@@ -171,6 +185,13 @@ struct FleetReport {
   std::uint64_t hard = 0;
   std::uint64_t rach_attempts = 0;
   std::uint64_t ssb_observations = 0;
+  std::uint64_t ping_pongs = 0;
+  /// Ping-pongs per successful handover (0 when none succeeded).
+  double ping_pong_rate = 0.0;
+
+  /// One row per cell (deployment order); empty when the engine was not
+  /// given per-cell data (legacy callers).
+  std::vector<FleetCellReport> per_cell;
 
   // Fleet distributions.
   HistogramSummary alignment_fraction;  ///< across UEs with tracking samples

@@ -873,12 +873,18 @@ void Server::run_job(std::uint64_t id) {
   std::string report;
   std::string error;
   bool cancelled = false;
+  std::uint64_t handovers = 0;
+  std::uint64_t ping_pongs = 0;
   try {
     const fleet::FleetResult result =
         fleet::run_fleet(spec, config_.fleet_threads, control);
     cancelled = result.cancelled;
     if (!cancelled) {
-      report = fleet::build_fleet_report(spec, result).to_json();
+      const obs::FleetReport fleet_report =
+          fleet::build_fleet_report(spec, result);
+      handovers = fleet_report.handovers_successful;
+      ping_pongs = fleet_report.ping_pongs;
+      report = fleet_report.to_json();
     }
   } catch (const std::exception& e) {
     error = e.what();
@@ -905,6 +911,8 @@ void Server::run_job(std::uint64_t id) {
     // that produced a result; cancelled/failed runs would skew the tail.
     metrics_.histogram("serve.e2e_ms")
         .add(ms_between(job->submitted_at, job->finished_at));
+    metrics_.counter("fleet.handovers").increment(handovers);
+    metrics_.counter("fleet.ping_pongs").increment(ping_pongs);
     transition_locked(*job, JobState::kDone);
   }
 }

@@ -237,6 +237,26 @@ TEST(CheckedRuns, EnforcementDoesNotChangeResults) {
   EXPECT_EQ(enforced.log.entries().size(), unenforced.log.entries().size());
 }
 
+TEST(ValueInvariants, DecisionMustTargetANeighborListMember) {
+  const net::NeighborList neighbors{1, 2, 4};
+  EXPECT_NO_THROW(inv::check_decision_in_neighbor_list(0, 2, neighbors));
+  // A cell outside the serving cell's declared candidate set.
+  EXPECT_THROW(inv::check_decision_in_neighbor_list(0, 3, neighbors),
+               ContractViolation);
+  // Selecting the serving cell itself is no decision at all.
+  EXPECT_THROW(inv::check_decision_in_neighbor_list(0, 0, neighbors),
+               ContractViolation);
+}
+
+TEST(ValueInvariants, PenalizedCellOnlySelectableWhenServingDead) {
+  EXPECT_NO_THROW(inv::check_decision_not_penalized(
+      2, /*target_penalized=*/false, /*serving_alive=*/true));
+  EXPECT_THROW(inv::check_decision_not_penalized(2, true, true),
+               ContractViolation);
+  // Serving link dead: the penalty is waived (any cell beats no cell).
+  EXPECT_NO_THROW(inv::check_decision_not_penalized(2, true, false));
+}
+
 // ---- Build-mode sanity ----------------------------------------------------
 
 TEST(Contracts, CompiledInMatchesBuildConfiguration) {

@@ -152,6 +152,117 @@ TEST(SpecJson, BuilderValidationStillApplies) {
       std::invalid_argument);
 }
 
+TEST(SpecJson, MultiCellPresetNamesResolve) {
+  EXPECT_NO_THROW((void)from_text(R"({"preset": "grid_walk"})"));
+  EXPECT_NO_THROW((void)from_text(R"({"preset": "corridor_drive"})"));
+  EXPECT_NO_THROW((void)from_text(R"({"preset": "edge_ping_pong"})"));
+}
+
+TEST(SpecJson, DeploymentShapeOverridesApply) {
+  const ScenarioSpec spec = from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {
+      "cells": 4,
+      "deployment_shape": "grid",
+      "grid_cols": 2,
+      "cell_load": [0.0, 0.25, 0.5, 0.75]
+    }
+  })");
+  EXPECT_EQ(spec.deployment_shape, st::net::DeploymentShape::kGrid);
+  EXPECT_EQ(spec.grid_cols, 2U);
+  ASSERT_EQ(spec.cell_load.size(), 4U);
+  EXPECT_DOUBLE_EQ(spec.cell_load[1], 0.25);
+}
+
+TEST(SpecJson, DeploymentShapeRejectsBadValues) {
+  // Unknown shape name.
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_walk",
+      "overrides": {"deployment_shape": "hexagon"}})"),
+               ParseError);
+  // Ill-typed cell_load entry.
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_walk",
+      "overrides": {"cells": 2, "cell_load": [0.1, "busy"]}})"),
+               ParseError);
+  // Out-of-range load / wrong length are SpecBuilder validation errors.
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_walk",
+      "overrides": {"cells": 2, "cell_load": [0.1, 1.5]}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_text(R"({"preset": "paper_walk",
+      "overrides": {"cells": 3, "cell_load": [0.1]}})"),
+               std::invalid_argument);
+}
+
+TEST(SpecJson, HandoverPolicyOverridesApply) {
+  const ScenarioSpec spec = from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ue": {"handover_policy": {
+      "enabled": true,
+      "hysteresis_db": 5.0,
+      "load_penalty_db": 12.0,
+      "penalty_time_ms": 4000,
+      "candidate_ttl_ms": 1500,
+      "crossover_votes": 2,
+      "rival_scan_period_ms": 250,
+      "ping_pong_window_ms": 6000
+    }}}
+  })");
+  const st::net::HandoverPolicyConfig& policy =
+      spec.ues.front().handover_policy;
+  EXPECT_TRUE(policy.enabled);
+  EXPECT_DOUBLE_EQ(policy.hysteresis_db, 5.0);
+  EXPECT_DOUBLE_EQ(policy.load_penalty_db, 12.0);
+  EXPECT_EQ(policy.penalty_time, st::sim::Duration::milliseconds(4000));
+  EXPECT_EQ(policy.candidate_ttl, st::sim::Duration::milliseconds(1500));
+  EXPECT_EQ(policy.crossover_votes, 2U);
+  EXPECT_EQ(policy.rival_scan_period, st::sim::Duration::milliseconds(250));
+  EXPECT_EQ(policy.ping_pong_window, st::sim::Duration::milliseconds(6000));
+}
+
+TEST(SpecJson, HandoverPolicyUnknownKeysAreErrors) {
+  // A typo'd policy knob must not silently fall back to the default.
+  EXPECT_THROW((void)from_text(R"({"preset": "edge_ping_pong",
+      "overrides": {"ue": {"handover_policy": {"hysteresis": 5.0}}}})"),
+               ParseError);
+  EXPECT_THROW((void)from_text(R"({"preset": "edge_ping_pong",
+      "overrides": {"ue": {"handover_policy": {"enabled": "yes"}}}})"),
+               ParseError);
+  EXPECT_THROW((void)from_text(R"({"preset": "edge_ping_pong",
+      "overrides": {"ue": {"handover_policy": []}}})"),
+               ParseError);
+  // Invalid values fail the policy validation at build time.
+  EXPECT_THROW((void)from_text(R"({"preset": "edge_ping_pong",
+      "overrides": {"ue": {"handover_policy": {"crossover_votes": 0}}}})"),
+               std::invalid_argument);
+}
+
+TEST(SpecJson, PingPongProfileOverridesApply) {
+  const ScenarioSpec spec = from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ue": {"mobility": "ping_pong",
+                         "ping_pong_speed_mps": 7.5,
+                         "ping_pong_amplitude_m": 12.0}}
+  })");
+  EXPECT_EQ(spec.ues.front().mobility,
+            st::core::MobilityScenario::kPingPong);
+  EXPECT_DOUBLE_EQ(spec.ues.front().ping_pong_speed_mps, 7.5);
+  EXPECT_DOUBLE_EQ(spec.ues.front().ping_pong_amplitude_m, 12.0);
+}
+
+TEST(SpecJson, EchoCarriesDeploymentShapeAndPolicy) {
+  const auto doc = spec_to_json(st::core::preset::grid_walk());
+  ASSERT_NE(doc.find("deployment_shape"), nullptr);
+  EXPECT_EQ(doc.find("deployment_shape")->as_string(), "grid");
+  ASSERT_NE(doc.find("grid_cols"), nullptr);
+  EXPECT_EQ(doc.find("grid_cols")->as_u64(), 3U);
+  ASSERT_NE(doc.find("cell_load"), nullptr);
+  EXPECT_EQ(doc.find("cell_load")->items().size(), 9U);
+  const auto& ue = doc.find("ues")->items().front();
+  ASSERT_NE(ue.find("handover_policy"), nullptr);
+  EXPECT_TRUE(ue.find("handover_policy")->find("enabled")->as_bool());
+  // The echo round-trips through the parser.
+  EXPECT_EQ(parse(doc.dump()).dump(), doc.dump());
+}
+
 TEST(SpecJson, SpecToJsonEmitsWireFields) {
   const auto doc = spec_to_json(st::core::preset::paper_vehicular());
   EXPECT_NE(doc.find("cells"), nullptr);

@@ -77,6 +77,29 @@ TEST(FleetEngine, SerialAndParallelSchedulesAreBitIdentical) {
   EXPECT_EQ(serial.ssb_observations, parallel.ssb_observations);
 }
 
+TEST(FleetEngine, GridFleetWithPolicyIsBitIdenticalToo) {
+  // The multi-cell tentpole must not cost determinism: a 64-UE fleet on
+  // the 3x3 grid with the neighbour-ranking policy enabled (static
+  // per-cell load, rival scans, penalty timers) is still bit-identical
+  // serial vs parallel.
+  core::ScenarioSpec spec = core::preset::grid_walk();
+  spec.duration = 1'000_ms;
+  spec.seed = 1000;
+  spec.ues.assign(64, spec.ues.front());
+  spec = core::SpecBuilder(std::move(spec)).build();
+  const FleetResult serial = run_fleet(spec, 1);
+  const FleetResult parallel = run_fleet(spec, 4);
+  ASSERT_EQ(serial.ue_count(), 64u);
+  ASSERT_EQ(parallel.ue_count(), 64u);
+  for (std::size_t ue = 0; ue < serial.ue_count(); ++ue) {
+    EXPECT_EQ(fingerprint(serial.ue_results[ue]),
+              fingerprint(parallel.ue_results[ue]))
+        << "ue " << ue;
+  }
+  EXPECT_EQ(serial.engine.events_executed, parallel.engine.events_executed);
+  EXPECT_EQ(serial.ssb_observations, parallel.ssb_observations);
+}
+
 TEST(FleetEngine, SingleUeFleetMatchesRunScenario) {
   core::ScenarioSpec spec = core::preset::paper_walk();
   spec.duration = 2'000_ms;
@@ -173,6 +196,37 @@ TEST(FleetReport, AggregatesPerUeRowsAndTotals) {
             std::string::npos);
   EXPECT_NE(json.find("\"ues\""), std::string::npos);
   EXPECT_FALSE(report.summary_text().empty());
+}
+
+TEST(FleetReport, PerCellBlockCarriesLoadAndHandoverFlows) {
+  // The multi-cell report surface: one row per cell with the configured
+  // offered load, and in/out flows that sum to the fleet's successful
+  // handovers on each side.
+  core::ScenarioSpec spec = core::preset::grid_walk();
+  spec.duration = 2'000_ms;
+  spec.seed = 1000;
+  spec.ues.assign(4, spec.ues.front());
+  spec = core::SpecBuilder(std::move(spec)).build();
+  const FleetResult result = run_fleet(spec, 2);
+  const obs::FleetReport report = build_fleet_report(spec, result);
+
+  ASSERT_EQ(report.per_cell.size(), spec.n_cells);
+  std::uint64_t in = 0;
+  std::uint64_t out = 0;
+  for (std::size_t cell = 0; cell < report.per_cell.size(); ++cell) {
+    const obs::FleetCellReport& row = report.per_cell[cell];
+    EXPECT_EQ(row.cell, cell);
+    EXPECT_DOUBLE_EQ(row.load, spec.cell_load[cell]);
+    in += row.handovers_in;
+    out += row.handovers_out;
+  }
+  EXPECT_EQ(in, report.handovers_successful);
+  EXPECT_EQ(out, report.handovers_successful);
+
+  // The JSON rendering carries the block and the ping-pong aggregate.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"per_cell\""), std::string::npos);
+  EXPECT_NE(json.find("\"ping_pong_rate\""), std::string::npos);
 }
 
 TEST(FleetChannelBatch, BestPairsMatchPerUeGroundTruth) {

@@ -1,0 +1,285 @@
+#include "net/handover_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace st::net {
+namespace {
+
+using namespace st::sim::literals;
+using sim::Duration;
+using sim::Time;
+
+SsbObservation detection(CellId cell, double rss_dbm, Time t,
+                         phy::BeamId tx_beam = 2, phy::BeamId rx_beam = 1) {
+  SsbObservation obs;
+  obs.t = t;
+  obs.cell = cell;
+  obs.tx_beam = tx_beam;
+  obs.rx_beam = rx_beam;
+  obs.rss_dbm = rss_dbm;
+  obs.snr_db = 10.0;
+  obs.detected = true;
+  return obs;
+}
+
+HandoverPolicyConfig enabled_config() {
+  HandoverPolicyConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(HandoverPolicyConfig, ValidateRejectsOutOfRangeFields) {
+  EXPECT_NO_THROW(validate(HandoverPolicyConfig{}));
+  HandoverPolicyConfig bad;
+  bad.hysteresis_db = -0.1;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = HandoverPolicyConfig{};
+  bad.load_penalty_db = -1.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = HandoverPolicyConfig{};
+  bad.penalty_time = Duration::milliseconds(-1);
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = HandoverPolicyConfig{};
+  bad.candidate_ttl = Duration{};
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = HandoverPolicyConfig{};
+  bad.crossover_votes = 0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = HandoverPolicyConfig{};
+  bad.rival_scan_period = Duration{};
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = HandoverPolicyConfig{};
+  bad.ping_pong_window = Duration{};
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+}
+
+TEST(HandoverPolicyConfig, DecisionRejectsLoadOutsideUnitInterval) {
+  EXPECT_THROW(HandoverDecision(enabled_config(), {0.0, 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(HandoverDecision(enabled_config(), {-0.2}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(HandoverDecision(enabled_config(), {0.0, 0.5, 1.0}));
+}
+
+TEST(HandoverDecision, ScoreSubtractsLoadPenalty) {
+  HandoverPolicyConfig config = enabled_config();
+  config.load_penalty_db = 6.0;
+  const HandoverDecision decision(config, {0.0, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(decision.load(1), 0.5);
+  // Cells beyond the load vector read as idle.
+  EXPECT_DOUBLE_EQ(decision.load(7), 0.0);
+  EXPECT_DOUBLE_EQ(decision.score_db(0, -70.0), -70.0);
+  EXPECT_DOUBLE_EQ(decision.score_db(1, -70.0), -73.0);
+  EXPECT_DOUBLE_EQ(decision.score_db(2, -70.0), -76.0);
+}
+
+TEST(HandoverDecision, PenaltyTimerRunsFromHandoverAndExpires) {
+  HandoverPolicyConfig config = enabled_config();
+  config.penalty_time = Duration::milliseconds(8000);
+  HandoverDecision decision(config, {});
+  const Time t0 = Time::zero() + 1_s;
+  EXPECT_FALSE(decision.penalized(0, t0));
+  decision.record_handover(/*from=*/0, /*to=*/1, t0);
+  EXPECT_TRUE(decision.penalized(0, t0));
+  EXPECT_TRUE(decision.penalized(0, t0 + 7999_ms));
+  EXPECT_FALSE(decision.penalized(0, t0 + 8_s));
+  // Only the source cell is penalized.
+  EXPECT_FALSE(decision.penalized(1, t0));
+}
+
+TEST(HandoverDecision, RecordHandoverRefreshesAnExistingTimer) {
+  HandoverPolicyConfig config = enabled_config();
+  config.penalty_time = Duration::milliseconds(1000);
+  HandoverDecision decision(config, {});
+  decision.record_handover(0, 1, Time::zero());
+  decision.record_handover(0, 2, Time::zero() + 900_ms);
+  EXPECT_TRUE(decision.penalized(0, Time::zero() + 1500_ms));
+  EXPECT_FALSE(decision.penalized(0, Time::zero() + 1900_ms));
+}
+
+TEST(HandoverDecision, SelectPicksMaxScoreWithinNeighborList) {
+  HandoverPolicyConfig config = enabled_config();
+  config.load_penalty_db = 10.0;
+  HandoverDecision decision(config, {0.0, 0.0, 0.8});
+  const Time now = Time::zero() + 1_s;
+  const NeighborList neighbors{1, 2};
+  const std::vector<SsbObservation> detections = {
+      detection(3, -50.0, now),  // strongest, but not a neighbour
+      detection(1, -70.0, now),
+      detection(2, -65.0, now),  // stronger RSS, but 8 dB load penalty
+  };
+  const auto pick =
+      decision.select(detections, neighbors, now, /*serving_alive=*/true);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(detections[*pick].cell, 1U);  // -70 beats -65 - 8 = -73
+}
+
+TEST(HandoverDecision, SelectSkipsUndetectedAndReturnsNulloptWhenEmpty) {
+  HandoverDecision decision(enabled_config(), {});
+  const Time now = Time::zero();
+  SsbObservation miss;
+  miss.t = now;
+  miss.cell = 1;
+  EXPECT_FALSE(decision.select({miss}, {1, 2}, now, true).has_value());
+  EXPECT_FALSE(decision.select({}, {1, 2}, now, true).has_value());
+  // A detection outside the neighbour list never wins.
+  EXPECT_FALSE(decision.select({detection(5, -40.0, now)}, {1, 2}, now, true)
+                   .has_value());
+}
+
+TEST(HandoverDecision, SelectBreaksScoreTiesTowardsLowerCellId) {
+  HandoverDecision decision(enabled_config(), {});
+  const Time now = Time::zero();
+  const std::vector<SsbObservation> detections = {
+      detection(2, -70.0, now),
+      detection(1, -70.0, now),
+  };
+  const auto pick = decision.select(detections, {1, 2}, now, true);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(detections[*pick].cell, 1U);
+}
+
+TEST(HandoverDecision, SelectHonoursPenaltyOnlyWhileServingAlive) {
+  HandoverPolicyConfig config = enabled_config();
+  config.penalty_time = Duration::milliseconds(5000);
+  HandoverDecision decision(config, {});
+  const Time now = Time::zero() + 1_s;
+  decision.record_handover(/*from=*/1, /*to=*/0, now);
+  const std::vector<SsbObservation> detections = {detection(1, -60.0, now)};
+  // Serving alive: the penalized cell is not selectable.
+  EXPECT_FALSE(
+      decision.select(detections, {1, 2}, now, /*serving_alive=*/true)
+          .has_value());
+  // Serving dead: any cell beats no cell (the emergency rule).
+  EXPECT_TRUE(
+      decision.select(detections, {1, 2}, now, /*serving_alive=*/false)
+          .has_value());
+}
+
+TEST(HandoverDecision, ObserveKeepsStrongerBeamsOnFreshWeakerSamples) {
+  HandoverDecision decision(enabled_config(), {});
+  const Time t0 = Time::zero();
+  decision.observe(detection(1, -60.0, t0, /*tx_beam=*/4, /*rx_beam=*/3));
+  // A weaker fresh sample refreshes the level but keeps the best beams.
+  decision.observe(detection(1, -65.0, t0 + 100_ms, 6, 5));
+  auto c = decision.candidate(1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->rss_dbm, -65.0);
+  EXPECT_EQ(c->tx_beam, 4);
+  EXPECT_EQ(c->rx_beam, 3);
+  // A stale slot restarts from the new measurement's beams.
+  decision.observe(detection(1, -70.0, t0 + 10_s, 6, 5));
+  c = decision.candidate(1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->tx_beam, 6);
+  EXPECT_EQ(c->rx_beam, 5);
+  // Undetected observations are ignored.
+  SsbObservation miss;
+  miss.cell = 2;
+  decision.observe(miss);
+  EXPECT_FALSE(decision.candidate(2).has_value());
+}
+
+TEST(HandoverDecision, UpdateRssRefreshesWithoutTouchingBeams) {
+  HandoverDecision decision(enabled_config(), {});
+  const Time t0 = Time::zero();
+  decision.observe(detection(1, -60.0, t0, 4, 3));
+  decision.update_rss(1, -58.5, t0 + 200_ms);
+  const auto c = decision.candidate(1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->rss_dbm, -58.5);
+  EXPECT_EQ(c->observed_at, t0 + 200_ms);
+  EXPECT_EQ(c->tx_beam, 4);
+  EXPECT_EQ(c->rx_beam, 3);
+}
+
+TEST(HandoverDecision, ClearCandidatesForgetsMeasurementsNotPenalties) {
+  HandoverPolicyConfig config = enabled_config();
+  config.penalty_time = Duration::milliseconds(5000);
+  HandoverDecision decision(config, {});
+  const Time t0 = Time::zero();
+  decision.observe(detection(1, -60.0, t0));
+  decision.record_handover(2, 1, t0);
+  decision.clear_candidates();
+  EXPECT_FALSE(decision.candidate(1).has_value());
+  EXPECT_TRUE(decision.penalized(2, t0 + 1_s));
+}
+
+TEST(HandoverDecision, CrossoverNeedsConsecutiveWinsByTheSameRival) {
+  HandoverPolicyConfig config = enabled_config();
+  config.hysteresis_db = 3.0;
+  config.crossover_votes = 3;
+  HandoverDecision decision(config, {});
+  const NeighborList neighbors{1, 2};
+  const Time now = Time::zero() + 1_s;
+  // Rival 2 beats the incumbent's -70 dBm by more than 3 dB.
+  decision.observe(detection(2, -65.0, now));
+  EXPECT_FALSE(decision.crossover(1, -70.0, neighbors, now).has_value());
+  EXPECT_FALSE(decision.crossover(1, -70.0, neighbors, now).has_value());
+  const auto choice = decision.crossover(1, -70.0, neighbors, now);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->cell, 2U);
+  EXPECT_DOUBLE_EQ(choice->score_db, -65.0);
+  EXPECT_EQ(decision.crossovers_fired(), 1U);
+  // Firing resets the race: the next call starts the votes over.
+  EXPECT_FALSE(decision.crossover(1, -70.0, neighbors, now).has_value());
+}
+
+TEST(HandoverDecision, CrossoverVotesResetWhenTheRivalStopsWinning) {
+  HandoverPolicyConfig config = enabled_config();
+  config.hysteresis_db = 3.0;
+  config.crossover_votes = 2;
+  HandoverDecision decision(config, {});
+  const NeighborList neighbors{1, 2};
+  const Time now = Time::zero() + 1_s;
+  decision.observe(detection(2, -65.0, now));
+  EXPECT_FALSE(decision.crossover(1, -70.0, neighbors, now).has_value());
+  // The incumbent recovers: within the hysteresis margin, no win.
+  EXPECT_FALSE(decision.crossover(1, -64.0, neighbors, now).has_value());
+  // The rival must win crossover_votes times again from scratch.
+  EXPECT_FALSE(decision.crossover(1, -70.0, neighbors, now).has_value());
+  EXPECT_TRUE(decision.crossover(1, -70.0, neighbors, now).has_value());
+}
+
+TEST(HandoverDecision, CrossoverIgnoresStalePenalizedAndHysteresisLosers) {
+  HandoverPolicyConfig config = enabled_config();
+  config.hysteresis_db = 3.0;
+  config.crossover_votes = 1;
+  config.candidate_ttl = Duration::milliseconds(2000);
+  config.penalty_time = Duration::milliseconds(8000);
+  HandoverDecision decision(config, {});
+  const NeighborList neighbors{1, 2};
+  Time now = Time::zero() + 1_s;
+  // Within the hysteresis margin: not a win.
+  decision.observe(detection(2, -68.0, now));
+  EXPECT_FALSE(decision.crossover(1, -70.0, neighbors, now).has_value());
+  // Clear the margin: wins with votes == 1.
+  decision.observe(detection(2, -65.0, now));
+  EXPECT_TRUE(decision.crossover(1, -70.0, neighbors, now).has_value());
+  // Stale measurement: no longer supports a retarget.
+  now = now + 3_s;
+  EXPECT_FALSE(decision.crossover(1, -70.0, neighbors, now).has_value());
+  // Fresh again but penalized: still not eligible.
+  decision.observe(detection(2, -65.0, now));
+  decision.record_handover(/*from=*/2, /*to=*/1, now);
+  EXPECT_FALSE(decision.crossover(1, -70.0, neighbors, now).has_value());
+}
+
+TEST(HandoverDecision, NextRivalRoundRobinsOverTheNeighborList) {
+  HandoverDecision decision(enabled_config(), {});
+  const NeighborList neighbors{1, 2, 3};
+  EXPECT_EQ(decision.next_rival(neighbors, /*tracked=*/2), 1U);
+  EXPECT_EQ(decision.next_rival(neighbors, 2), 3U);
+  EXPECT_EQ(decision.next_rival(neighbors, 2), 1U);
+  // The tracked cell is skipped without stalling the cursor.
+  EXPECT_EQ(decision.next_rival(neighbors, 1), 2U);
+  EXPECT_FALSE(decision.next_rival({2}, 2).has_value());
+  EXPECT_FALSE(decision.next_rival({}, 2).has_value());
+}
+
+}  // namespace
+}  // namespace st::net
