@@ -18,25 +18,33 @@ using namespace st::sim::literals;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const st::bench::ObsOptions obs = st::bench::consume_obs_options(argc, argv);
+  const st::bench::SpecOptions spec_options =
+      st::bench::consume_spec_options(argc, argv);
+  st::bench::reject_unknown_options(argc, argv, "bench_ablation_beamwidth");
+
   st::bench::print_header(
       "E9: mobile beamwidth sweep across the full protocol",
       "extension — Fig. 2a's codebook axis carried through tracking and "
       "handover");
 
   const auto run_seeds = st::bench::seeds(12);
+  const std::vector<st::bench::LabelledSpec> axis = st::bench::scenario_axis(
+      spec_options,
+      {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation},
+      20'000);
 
   Table table({"scenario", "codebook", "time aligned %",
                "handover success [CI]", "soft [CI]", "interruption p50 ms",
                "rx switches/run"});
 
-  for (const auto mobility : {core::MobilityScenario::kHumanWalk,
-                              core::MobilityScenario::kRotation}) {
+  for (const st::bench::LabelledSpec& scenario : axis) {
     for (const double beamwidth : {10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 0.0}) {
-      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
-                                    .duration(20'000_ms)
-                                    .build();
-      spec.ues.front().ue_beamwidth_deg = beamwidth;
+      core::ScenarioSpec spec = scenario.spec;
+      for (core::UeProfile& ue : spec.ues) {
+        ue.ue_beamwidth_deg = beamwidth;
+      }
 
       st::bench::Aggregate agg;
       RunningStats switches;
@@ -50,7 +58,7 @@ int main() {
       }
 
       table.row()
-          .cell(std::string(core::to_string(mobility)))
+          .cell(scenario.label)
           .cell(core::make_ue_codebook(beamwidth).description())
           .cell(agg.alignment_fraction.empty()
                     ? std::string("-")
@@ -69,5 +77,5 @@ int main() {
                "suffer under rotation); wide beams and omni lose the link "
                "budget that cell-edge operation needs. The paper's 20 deg "
                "sits in the broad middle.\n";
-  return 0;
+  return st::bench::write_observability(obs, axis.front().spec) ? 0 : 1;
 }

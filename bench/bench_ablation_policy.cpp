@@ -22,13 +22,22 @@ using namespace st::sim::literals;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const st::bench::ObsOptions obs = st::bench::consume_obs_options(argc, argv);
+  const st::bench::SpecOptions spec_options =
+      st::bench::consume_spec_options(argc, argv);
+  st::bench::reject_unknown_options(argc, argv, "bench_ablation_policy");
+
   st::bench::print_header(
       "E6: probe-policy ablation (adjacent vs full re-sweep vs omni)",
       "§3 design choice — 'switch to one of the directionally adjacent "
       "receive beams'");
 
   const auto run_seeds = st::bench::seeds(12);
+  const std::vector<st::bench::LabelledSpec> axis = st::bench::scenario_axis(
+      spec_options,
+      {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation},
+      20'000);
 
   struct Variant {
     const char* name;
@@ -44,21 +53,19 @@ int main() {
   Table table({"scenario", "policy", "time aligned %", "handover success [CI]",
                "soft [CI]", "interruption p50 ms"});
 
-  for (const auto mobility : {core::MobilityScenario::kHumanWalk,
-                              core::MobilityScenario::kRotation}) {
+  for (const st::bench::LabelledSpec& scenario : axis) {
     for (const Variant& variant : variants) {
-      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
-                                    .duration(20'000_ms)
-                                    .build();
-      core::UeProfile& ue = spec.ues.front();
-      ue.ue_beamwidth_deg = variant.beamwidth_deg;
-      ue.tracker.probe_policy = variant.policy;
+      core::ScenarioSpec spec = scenario.spec;
+      for (core::UeProfile& ue : spec.ues) {
+        ue.ue_beamwidth_deg = variant.beamwidth_deg;
+        ue.tracker.probe_policy = variant.policy;
+      }
 
       const st::bench::Aggregate agg =
           st::bench::run_batch_parallel(spec, run_seeds);
 
       table.row()
-          .cell(std::string(core::to_string(mobility)))
+          .cell(scenario.label)
           .cell(variant.name)
           .cell(agg.alignment_fraction.empty()
                     ? std::string("-")
@@ -79,5 +86,5 @@ int main() {
                "the full re-sweep under slow motion and far better under "
                "rotation, at a fraction of the measurement budget; omni "
                "cannot hold cell-edge links.\n";
-  return 0;
+  return st::bench::write_observability(obs, axis.front().spec) ? 0 : 1;
 }

@@ -21,35 +21,42 @@ using namespace st::sim::literals;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const st::bench::ObsOptions obs = st::bench::consume_obs_options(argc, argv);
+  const st::bench::SpecOptions spec_options =
+      st::bench::consume_spec_options(argc, argv);
+  st::bench::reject_unknown_options(argc, argv, "bench_ablation_ssb_period");
+
   st::bench::print_header(
       "E8: SSB periodicity ablation (measurement cadence)",
       "extension — the paper's latencies all scale with the 20 ms SSB "
       "period (64 dwells x 20 ms = the 1.28 s search bound of its intro)");
 
   const auto run_seeds = st::bench::seeds(12);
+  const std::vector<st::bench::LabelledSpec> axis = st::bench::scenario_axis(
+      spec_options,
+      {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation},
+      20'000);
 
   Table table({"scenario", "SSB period ms", "time aligned %",
                "handover success [CI]", "soft [CI]", "interruption p50 ms"});
 
-  for (const auto mobility : {core::MobilityScenario::kHumanWalk,
-                              core::MobilityScenario::kRotation}) {
+  for (const st::bench::LabelledSpec& scenario : axis) {
     for (const std::int64_t period_ms : {5LL, 10LL, 20LL, 40LL, 80LL}) {
-      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
-                                    .duration(20'000_ms)
-                                    .build();
+      core::ScenarioSpec spec = scenario.spec;
       spec.deployment.frame.ssb_period =
           sim::Duration::milliseconds(period_ms);
       // Keep the search budget at 64 dwells, as in NR initial access.
-      core::UeProfile& ue = spec.ues.front();
-      ue.tracker.search.dwell = sim::Duration::milliseconds(period_ms);
-      ue.tracker.search.budget = sim::Duration::milliseconds(64 * period_ms);
-      ue.reactive.search = ue.tracker.search;
+      for (core::UeProfile& ue : spec.ues) {
+        ue.tracker.search.dwell = sim::Duration::milliseconds(period_ms);
+        ue.tracker.search.budget = sim::Duration::milliseconds(64 * period_ms);
+        ue.reactive.search = ue.tracker.search;
+      }
 
       const st::bench::Aggregate agg =
           st::bench::run_batch_parallel(spec, run_seeds);
       table.row()
-          .cell(std::string(core::to_string(mobility)))
+          .cell(scenario.label)
           .cell(static_cast<int>(period_ms))
           .cell(agg.alignment_fraction.empty()
                     ? std::string("-")
@@ -66,5 +73,5 @@ int main() {
   std::cout << "\nShape check: alignment under rotation improves steeply as "
                "the period shrinks (tracking is measurement-cadence "
                "limited); the slow walk barely cares.\n";
-  return 0;
+  return st::bench::write_observability(obs, axis.front().spec) ? 0 : 1;
 }

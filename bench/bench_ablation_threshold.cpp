@@ -21,26 +21,33 @@ using namespace st::sim::literals;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const st::bench::ObsOptions obs = st::bench::consume_obs_options(argc, argv);
+  const st::bench::SpecOptions spec_options =
+      st::bench::consume_spec_options(argc, argv);
+  st::bench::reject_unknown_options(argc, argv, "bench_ablation_threshold");
+
   st::bench::print_header(
       "E5: switching-threshold ablation (the paper's 3 dB rule)",
       "§3 design choice — adjacent-beam switch on a 3 dB drop");
 
   const auto run_seeds = st::bench::seeds(12);
+  const std::vector<st::bench::LabelledSpec> axis = st::bench::scenario_axis(
+      spec_options,
+      {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation},
+      20'000);
 
   Table table({"scenario", "threshold dB", "time aligned %",
                "rx switches / run", "drops / run", "handover success [CI]",
                "soft [CI]"});
 
-  for (const auto mobility : {core::MobilityScenario::kHumanWalk,
-                              core::MobilityScenario::kRotation}) {
+  for (const st::bench::LabelledSpec& scenario : axis) {
     for (const double threshold : {1.0, 2.0, 3.0, 5.0, 8.0, 10.0}) {
-      core::ScenarioSpec spec = core::SpecBuilder(core::preset::paper(mobility))
-                                    .duration(20'000_ms)
-                                    .build();
-      core::UeProfile& ue = spec.ues.front();
-      ue.tracker.neighbour_tracker.drop_threshold_db = threshold;
-      ue.tracker.beamsurfer.tracker.drop_threshold_db = threshold;
+      core::ScenarioSpec spec = scenario.spec;
+      for (core::UeProfile& ue : spec.ues) {
+        ue.tracker.neighbour_tracker.drop_threshold_db = threshold;
+        ue.tracker.beamsurfer.tracker.drop_threshold_db = threshold;
+      }
 
       st::bench::Aggregate agg;
       RunningStats switches;
@@ -58,7 +65,7 @@ int main() {
       }
 
       table.row()
-          .cell(std::string(core::to_string(mobility)))
+          .cell(scenario.label)
           .cell(threshold, 1)
           .cell(100.0 * agg.alignment_fraction.mean(), 1)
           .cell(switches.mean(), 1)
@@ -72,5 +79,5 @@ int main() {
   std::cout << "\nShape check: switch churn falls monotonically with the "
                "threshold; alignment degrades once the threshold exceeds "
                "the beam overlap depth. 3 dB sits at the knee.\n";
-  return 0;
+  return st::bench::write_observability(obs, axis.front().spec) ? 0 : 1;
 }

@@ -7,6 +7,10 @@
 // the interruption is only the random access on an already-aligned beam.
 // The harness reports interruption distributions for both protocols on
 // the same seeds/scenarios.
+//
+//   ./bench_handover_interruption [--preset NAME] [--duration-ms D]
+//                                 [--report-out report.json]
+//                                 [--trace-out trace.json]
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -16,22 +20,24 @@ namespace {
 using namespace st;
 using namespace st::sim::literals;
 
-core::ScenarioSpec spec_for(core::MobilityScenario mobility,
-                            core::ProtocolKind protocol) {
-  core::ScenarioSpec spec = core::preset::paper(mobility);
-  spec.ues.front().protocol = protocol;
-  return spec;
-}
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const st::bench::ObsOptions obs = st::bench::consume_obs_options(argc, argv);
+  const st::bench::SpecOptions spec_options =
+      st::bench::consume_spec_options(argc, argv);
+  st::bench::reject_unknown_options(argc, argv, "bench_handover_interruption");
+
   st::bench::print_header(
       "E4: handover service interruption, Silent Tracker vs reactive",
       "§1/§2 claim — soft handover avoids the up-to-1.28 s search a hard "
       "handover pays");
 
   const auto run_seeds = st::bench::seeds(25);
+  const std::vector<st::bench::LabelledSpec> axis = st::bench::scenario_axis(
+      spec_options,
+      {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation,
+       core::MobilityScenario::kVehicular});
 
   Table table({"scenario", "protocol", "handovers", "success [CI]",
                "interruption mean ms", "p50 ms", "p95 ms", "max ms"});
@@ -39,17 +45,18 @@ int main() {
   SampleSet soft_all;
   SampleSet hard_all;
 
-  for (const auto mobility :
-       {core::MobilityScenario::kHumanWalk, core::MobilityScenario::kRotation,
-        core::MobilityScenario::kVehicular}) {
+  for (const st::bench::LabelledSpec& scenario : axis) {
     for (const auto protocol :
          {core::ProtocolKind::kSilentTracker, core::ProtocolKind::kReactive}) {
+      core::ScenarioSpec spec = scenario.spec;
+      for (core::UeProfile& ue : spec.ues) {
+        ue.protocol = protocol;
+      }
       const st::bench::Aggregate agg =
-          st::bench::run_batch_parallel(spec_for(mobility, protocol),
-                                        run_seeds);
+          st::bench::run_batch_parallel(spec, run_seeds);
 
       table.row()
-          .cell(std::string(core::to_string(mobility)))
+          .cell(scenario.label)
           .cell(std::string(core::to_string(protocol)))
           .cell(agg.handover_success.trials())
           .cell(st::bench::rate_with_ci(agg.handover_success));
@@ -95,5 +102,7 @@ int main() {
   std::cout << "Shape check: reactive interruption is dominated by the "
                "directional search (hundreds of ms to seconds); Silent "
                "Tracker pays only RACH on an aligned beam.\n";
-  return 0;
+  // The instrumented re-run covers the first swept scenario under the
+  // paper's protocol.
+  return st::bench::write_observability(obs, axis.front().spec) ? 0 : 1;
 }

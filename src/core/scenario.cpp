@@ -127,7 +127,9 @@ class ScenarioRun {
  public:
   ScenarioRun(const ScenarioSpec& spec, std::size_t ue,
               const net::Deployment& deployment)
-      : spec_(spec), profile_(spec.ues.at(ue)) {
+      : spec_(spec),
+        profile_(spec.ues.at(ue)),
+        rate_(spec.rate, spec.metric_period) {
     environment_ = make_ue_environment(spec, ue, deployment);
     if (profile_.handover_policy.enabled) {
       // One decision instance per mobile, shared across the whole
@@ -135,6 +137,16 @@ class ScenarioRun {
       // handover that started it.
       decision_ = std::make_unique<net::HandoverDecision>(
           profile_.handover_policy, spec.cell_load);
+    }
+    if (profile_.beam_policy.kind != BeamPolicyKind::kSilentTracker) {
+      // One policy instance per mobile, shared across the handover chain
+      // (mirrors the decision layer). Default kind stays null so the
+      // tracker builds its own — the historical construction, bit for
+      // bit.
+      policy_ = make_beam_policy(profile_.beam_policy);
+    }
+    for (const double load : spec.cell_load) {
+      has_load_ |= load > 0.0;
     }
     if (spec.collect_trace) {
       trace_ = std::make_shared<obs::TraceRecorder>(
@@ -155,6 +167,7 @@ class ScenarioRun {
     schedule_metric_tick();
     result_.cancelled =
         !simulator_.run_until(Time::zero() + spec_.duration, cancel);
+    result_.rate = rate_.finish(simulator_.now());
     result_.ssb_observations = environment_->ssb_observation_count();
     result_.engine = simulator_.stats();
     result_.snapshot_cache = environment_->snapshot_stats();
@@ -182,6 +195,9 @@ class ScenarioRun {
       tracker.set_tracer(trace_.get());
       if (decision_ != nullptr) {
         tracker.set_decision(decision_.get());
+      }
+      if (policy_ != nullptr) {
+        tracker.set_policy(policy_.get());
       }
       tracker.start(serving, rx_beam, rss_dbm,
                     [this](const net::HandoverRecord& r) {
@@ -255,11 +271,15 @@ class ScenarioRun {
 
       // Serving link health while the protocol still believes in it.
       if (tracker.serving_alive()) {
-        result_.serving_snr_db.record(
-            now, environment_->true_dl_snr_db(
-                     tracker.serving_cell(),
-                     environment_->bs(tracker.serving_cell()).serving_tx_beam(),
-                     tracker.beamsurfer().rx_beam(), now));
+        const double snr = environment_->true_dl_snr_db(
+            tracker.serving_cell(),
+            environment_->bs(tracker.serving_cell()).serving_tx_beam(),
+            tracker.beamsurfer().rx_beam(), now);
+        result_.serving_snr_db.record(now, snr);
+        sample_rate(now, tracker.serving_cell(), snr,
+                    tracker.beamsurfer().rx_beam());
+      } else {
+        sample_rate_unserved(now);
       }
 
       // Neighbour tracking quality (the Fig. 2c series).
@@ -284,14 +304,64 @@ class ScenarioRun {
       const ReactiveHandover& reactive = *reactives_.back();
       if (reactive.serving_alive()) {
         // The reactive baseline has no neighbour series by construction.
-        result_.serving_snr_db.record(
-            now, environment_->true_dl_snr_db(
-                     reactive.serving_cell(),
-                     environment_->bs(reactive.serving_cell())
-                         .serving_tx_beam(),
-                     reactive.beamsurfer().rx_beam(), now));
+        const double snr = environment_->true_dl_snr_db(
+            reactive.serving_cell(),
+            environment_->bs(reactive.serving_cell()).serving_tx_beam(),
+            reactive.beamsurfer().rx_beam(), now);
+        result_.serving_snr_db.record(now, snr);
+        sample_rate(now, reactive.serving_cell(), snr,
+                    reactive.beamsurfer().rx_beam());
+      } else {
+        sample_rate_unserved(now);
       }
     }
+  }
+
+  /// One rate-layer sample on a served tick: SINR from the serving SNR
+  /// plus load-weighted interference from every loaded non-serving cell
+  /// (each cell heard on its own serving TX beam through the mobile's
+  /// current RX beam). All queries ride the snapshot cache and draw no
+  /// randomness, so the sampling is invisible to the run's events — and
+  /// with no loaded cells (the paper presets) SINR degenerates to SNR
+  /// without touching the cache at all.
+  void sample_rate(Time now, net::CellId serving, double snr_db,
+                   phy::BeamId rx_beam) {
+    if (!spec_.rate.enabled) {
+      return;
+    }
+    const double noise_dbm = environment_->link_budget().noise_floor_dbm();
+    double interference = 0.0;
+    if (has_load_) {
+      interf_rss_.clear();
+      interf_load_.clear();
+      const auto n_cells = static_cast<net::CellId>(std::min<std::size_t>(
+          environment_->cell_count(), spec_.cell_load.size()));
+      for (net::CellId cell = 0; cell < n_cells; ++cell) {
+        if (cell == serving || spec_.cell_load[cell] <= 0.0) {
+          continue;
+        }
+        const double rss_dbm =
+            environment_->true_dl_snr_db(
+                cell, environment_->bs(cell).serving_tx_beam(), rx_beam, now) +
+            noise_dbm;
+        interf_rss_.push_back(rss_dbm);
+        interf_load_.push_back(spec_.cell_load[cell]);
+      }
+      interference = rate::interference_mw(
+          interf_rss_.data(), interf_load_.data(), interf_rss_.size());
+    }
+    rate_.sample(now, rate::sinr_db(snr_db + noise_dbm, noise_dbm, interference),
+                 /*served=*/true);
+  }
+
+  /// One rate-layer sample inside a handover gap: no serving link, so the
+  /// tick is unserved regardless of SINR (interruption counts as outage
+  /// once it exceeds the minimum window).
+  void sample_rate_unserved(Time now) {
+    if (!spec_.rate.enabled) {
+      return;
+    }
+    rate_.sample(now, 0.0, /*served=*/false);
   }
 
   const ScenarioSpec& spec_;
@@ -300,8 +370,15 @@ class ScenarioRun {
   std::shared_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<net::RadioEnvironment> environment_;
   std::unique_ptr<net::HandoverDecision> decision_;
+  std::unique_ptr<BeamPolicy> policy_;
   std::vector<std::unique_ptr<SilentTracker>> trackers_;
   std::vector<std::unique_ptr<ReactiveHandover>> reactives_;
+  rate::RateAccumulator rate_;
+  bool has_load_ = false;
+  /// Scratch for the per-tick interference sum (avoids reallocating on
+  /// every metric tick).
+  std::vector<double> interf_rss_;
+  std::vector<double> interf_load_;
   ScenarioResult result_;
 };
 
@@ -470,6 +547,7 @@ obs::RunReport build_run_report(const ScenarioSpec& spec,
   obs::RunReport report;
   report.scenario = std::string(to_string(profile.mobility));
   report.protocol = std::string(to_string(profile.protocol));
+  report.beam_policy = std::string(to_string(profile.beam_policy.kind));
   report.seed = fleet_ue_seed(spec.seed, ue);
   report.duration_ms = spec.duration.ms();
   report.ue_beamwidth_deg = profile.ue_beamwidth_deg;
@@ -507,6 +585,18 @@ obs::RunReport build_run_report(const ScenarioSpec& spec,
   ho.ssb_observations = result.ssb_observations;
   ho.ping_pongs = net::count_ping_pongs(result.handovers,
                                         profile.handover_policy.ping_pong_window);
+
+  obs::RateReport& rr = report.rate;
+  rr.enabled = spec.rate.enabled;
+  rr.samples = result.rate.samples;
+  rr.served_samples = result.rate.served_samples;
+  rr.mean_throughput_mbps = result.rate.mean_throughput_mbps();
+  rr.mean_sinr_db = result.rate.mean_sinr_db();
+  rr.mean_cqi = result.rate.mean_cqi();
+  rr.outage_events = result.rate.outage_events;
+  rr.outage_ms = result.rate.outage_ms;
+  rr.longest_outage_ms = result.rate.longest_outage_ms;
+  rr.outage_fraction = result.rate.outage_fraction();
 
   report.engine.events_executed = result.engine.events_executed;
   report.engine.queue_depth_hwm = result.engine.queue_depth_hwm;

@@ -108,6 +108,11 @@ struct ScenarioResult {
   /// the run (the paper's "minimal resource usage" axis).
   std::uint64_t ssb_observations = 0;
 
+  /// Throughput/SINR/outage totals from the rate layer (all zero when
+  /// spec.rate.enabled is false). Observer-only: populated from the same
+  /// metric ticks as the series above, never fed back into the protocol.
+  rate::RateStats rate;
+
   /// True when the run was stopped early by a sim::CancelToken; the
   /// series and handover records then cover a consistent prefix of the
   /// schedule (engine.sim_seconds says how far it got).

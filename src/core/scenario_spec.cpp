@@ -74,6 +74,16 @@ ScenarioSpec SpecBuilder::build() const {
       }
     }
   }
+  if (spec_.rate.enabled) {
+    if (spec_.rate.n_rb == 0 || spec_.rate.slots_per_second <= 0.0) {
+      throw std::invalid_argument(
+          "ScenarioSpec: rate layer needs positive n_rb and slot rate");
+    }
+    if (spec_.rate.min_outage <= sim::Duration::nanoseconds(0)) {
+      throw std::invalid_argument(
+          "ScenarioSpec: rate.min_outage must be positive");
+    }
+  }
   for (const UeProfile& profile : spec_.ues) {
     net::validate(profile.handover_policy);
     if (profile.mobility == MobilityScenario::kPingPong &&

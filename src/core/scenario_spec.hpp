@@ -24,8 +24,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/beam_policy.hpp"
 #include "core/reactive_handover.hpp"
 #include "core/silent_tracker.hpp"
+#include "rate/rate_model.hpp"
 #include "net/deployment.hpp"
 #include "net/environment.hpp"
 #include "net/handover_policy.hpp"
@@ -72,6 +74,11 @@ struct UeProfile {
   /// keep the legacy strongest-RSS selection bit for bit.
   net::HandoverPolicyConfig handover_policy{};
 
+  /// Probe-planning strategy for the tracker (E15 head-to-head
+  /// evaluation). The default kind reproduces the paper's own planner
+  /// bit for bit; kHierarchical/kBlind swap in the competitors.
+  BeamPolicyConfig beam_policy{};
+
   /// Start a fresh protocol instance after each completed handover (the
   /// vehicular drive passes several cells).
   bool chain_handovers = true;
@@ -95,6 +102,11 @@ struct ScenarioSpec {
   /// bit-identical serial vs parallel.
   std::vector<double> cell_load = {};
   net::EnvironmentConfig environment{};
+
+  /// Throughput/SINR rate layer (strictly observer-only; sampling rides
+  /// the metric cadence and consumes no randomness, so enabling it never
+  /// changes a run's events).
+  rate::RateConfig rate{};
 
   sim::Duration duration = sim::Duration::milliseconds(30'000);
   sim::Duration metric_period = sim::Duration::milliseconds(10);
@@ -161,6 +173,10 @@ class SpecBuilder {
   }
   SpecBuilder& environment(const net::EnvironmentConfig& e) {
     spec_.environment = e;
+    return *this;
+  }
+  SpecBuilder& rate(const rate::RateConfig& r) {
+    spec_.rate = r;
     return *this;
   }
   SpecBuilder& duration(sim::Duration d) {

@@ -71,6 +71,14 @@ void SilentTracker::set_decision(net::HandoverDecision* decision) {
   decision_ = decision;
 }
 
+void SilentTracker::set_policy(BeamPolicy* policy) {
+  if (state_ != SilentTrackerState::kIdle) {
+    throw std::logic_error(
+        "SilentTracker: set_policy before start(), not mid-run");
+  }
+  policy_ = policy;
+}
+
 void SilentTracker::set_tracer(obs::TraceRecorder* recorder) {
   emit_.recorder = recorder;
   if (beamsurfer_ != nullptr) {
@@ -105,6 +113,13 @@ void SilentTracker::start(net::CellId serving_cell,
   fallback_rounds_ = 0;
   record_ = net::HandoverRecord{};
   record_.from = serving_cell;
+
+  if (policy_ == nullptr) {
+    owned_policy_ = make_beam_policy(
+        BeamPolicyConfig{},
+        config_.probe_policy == ProbePolicy::kFullSweep);
+    policy_ = owned_policy_.get();
+  }
 
   beamsurfer_ = std::make_unique<BeamSurfer>(simulator_, environment_,
                                              serving_cell, config_.beamsurfer);
@@ -266,6 +281,7 @@ void SilentTracker::enter_tracking() {
   missed_tracked_ = 0;
   in_recovery_sweep_ = false;
   neighbour_quiet_since_.reset();
+  policy_->reset();
 
   const Time next = environment_.bs(neighbour_)
                         .schedule()
@@ -515,6 +531,7 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
       probe_pending_.empty()) {
     ST_INVARIANT(invariants::check_drop_on_tracked_beam(
         state_, neighbour_rss_.beam(), environment_.ue_codebook().size()));
+    const bool lost = missed_tracked_ >= 3;
     missed_tracked_ = 0;
     emit_.count("neighbour_drop_events");
     emit_.emit({.t = simulator_.now(),
@@ -522,31 +539,12 @@ void SilentTracker::handle_neighbour_sample(const SsbObservation& obs) {
                 .cell = neighbour_,
                 .value = neighbour_rss_.filtered_rss_dbm(),
                 .value2 = neighbour_rss_.reference_rss_dbm()});
-    const phy::Codebook& cb = environment_.ue_codebook();
-    if (config_.probe_policy == ProbePolicy::kAdjacent) {
-      // Adjacent candidates plus a fresh re-measurement of the current
-      // beam, so candidates compete fresh-vs-fresh instead of against the
-      // lagging filter. Under a steady drift the trend side alone is
-      // probed, saving one burst of reaction lag.
-      if (rx_trend_ < 0) {
-        probe_pending_ = {cb.left_neighbour(neighbour_rss_.beam()),
-                          neighbour_rss_.beam()};
-      } else if (rx_trend_ > 0) {
-        probe_pending_ = {cb.right_neighbour(neighbour_rss_.beam()),
-                          neighbour_rss_.beam()};
-      } else {
-        probe_pending_ = {cb.left_neighbour(neighbour_rss_.beam()),
-                          cb.right_neighbour(neighbour_rss_.beam()),
-                          neighbour_rss_.beam()};
-      }
-    } else {
-      probe_pending_.reserve(cb.size());
-      for (const phy::Beam& beam : cb.beams()) {
-        if (beam.id() != neighbour_rss_.beam()) {
-          probe_pending_.push_back(beam.id());
-        }
-      }
-    }
+    policy_->plan_probe({.codebook = environment_.ue_codebook(),
+                         .current = neighbour_rss_.beam(),
+                         .filtered_rss_dbm = neighbour_rss_.filtered_rss_dbm(),
+                         .rx_trend = rx_trend_,
+                         .lost = lost},
+                        probe_pending_);
     probe_results_.clear();
   }
 }
@@ -585,28 +583,46 @@ void SilentTracker::finish_neighbour_probe() {
     return;
   }
   in_recovery_sweep_ = false;
+  const phy::BeamId winner = best->first;
+  const double winner_rss = best->second;
 
-  if (best->first != neighbour_rss_.beam()) {
+  // Before adopting, let the policy ask for another round (hierarchical
+  // coarse-to-fine refines one narrower ring around the coarse winner).
+  // The default policy never does, keeping the historical single-round
+  // behaviour — and its fingerprint — intact.
+  policy_->plan_refine({.codebook = environment_.ue_codebook(),
+                        .current = neighbour_rss_.beam(),
+                        .filtered_rss_dbm = neighbour_rss_.filtered_rss_dbm(),
+                        .rx_trend = rx_trend_,
+                        .lost = false},
+                       winner, probe_pending_);
+  if (!probe_pending_.empty()) {
+    emit_.count("probe_refine_rounds");
+    probing_now_.reset();
+    probe_results_.clear();
+    return;
+  }
+
+  if (winner != neighbour_rss_.beam()) {
     emit_.emit({.t = simulator_.now(),
                 .type = obs::TraceEventType::kRxBeamSwitch,
                 .cell = neighbour_,
                 .beam_a = neighbour_rss_.beam(),
-                .beam_b = best->first,
-                .value = best->second});
+                .beam_b = winner,
+                .value = winner_rss});
     emit_.count("neighbour_rx_switches");
-    rx_trend_ = best->first ==
-                        environment_.ue_codebook().left_neighbour(
-                            neighbour_rss_.beam())
+    rx_trend_ = winner == environment_.ue_codebook().left_neighbour(
+                              neighbour_rss_.beam())
                     ? -1
                     : 1;
-    neighbour_rss_.select_beam(best->first, best->second);
-  } else if (best != probe_results_.end()) {
+    neighbour_rss_.select_beam(winner, winner_rss);
+  } else {
     rx_trend_ = 0;  // the trend stalled; probe both sides next time
     // The current beam won its own probe round: it *is* the best the
     // mobile can do and the loss is the channel's (distance, blockage).
     // Re-baseline at the fresh level so the drop rule measures future
     // degradation instead of re-firing every burst on the same loss.
-    neighbour_rss_.select_beam(neighbour_rss_.beam(), best->second);
+    neighbour_rss_.select_beam(neighbour_rss_.beam(), winner_rss);
   }
   probing_now_.reset();
   probe_results_.clear();

@@ -38,6 +38,7 @@
 #include <optional>
 #include <string_view>
 
+#include "core/beam_policy.hpp"
 #include "core/beamsurfer.hpp"
 #include "core/rss_tracker.hpp"
 #include "net/cell_search.hpp"
@@ -161,6 +162,19 @@ class SilentTracker {
   /// must be set before start().
   void set_decision(net::HandoverDecision* decision);
 
+  /// Probe-planning strategy (not owned; may be null). Null means the
+  /// paper's own planner (honouring `config.probe_policy`), constructed
+  /// lazily at start() — existing callers see bit-identical behaviour.
+  /// Like the decision layer, the policy outlives the tracker (the
+  /// scenario layer owns it across handover chains) and must be set
+  /// before start().
+  void set_policy(BeamPolicy* policy);
+
+  /// The active policy's name (valid after start()).
+  [[nodiscard]] std::string_view policy_name() const noexcept {
+    return policy_ != nullptr ? policy_->name() : std::string_view{};
+  }
+
  private:
   /// Single mutation point for `state_`: every state change funnels
   /// through here so the Fig. 2b contract checker (core/invariants.hpp,
@@ -236,6 +250,11 @@ class SilentTracker {
   net::HandoverDecision* decision_ = nullptr;
   sim::EventId rival_scan_event_ = 0;
   std::vector<sim::EventId> rival_obs_events_;
+
+  /// Probe planner. `policy_` is the active strategy; `owned_policy_`
+  /// backs it only when no external policy was injected via set_policy.
+  BeamPolicy* policy_ = nullptr;
+  std::unique_ptr<BeamPolicy> owned_policy_;
 
   // Handover bookkeeping.
   net::HandoverRecord record_;

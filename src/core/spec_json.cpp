@@ -77,6 +77,56 @@ void apply_handover_policy_overrides(net::HandoverPolicyConfig& policy,
       });
 }
 
+[[nodiscard]] BeamPolicyKind beam_policy_kind_from_string(
+    std::string_view name) {
+  if (name == to_string(BeamPolicyKind::kSilentTracker)) {
+    return BeamPolicyKind::kSilentTracker;
+  }
+  if (name == to_string(BeamPolicyKind::kHierarchical)) {
+    return BeamPolicyKind::kHierarchical;
+  }
+  if (name == to_string(BeamPolicyKind::kBlind)) {
+    return BeamPolicyKind::kBlind;
+  }
+  fail("unknown beam policy \"" + std::string(name) +
+       "\" (expected silent_tracker, hierarchical, or blind)");
+}
+
+void apply_beam_policy_overrides(BeamPolicyConfig& policy,
+                                 const Value& overrides) {
+  for_each_member(
+      overrides, "beam_policy", [&](const std::string& key, const Value& v) {
+        if (key == "policy") {
+          policy.kind = beam_policy_kind_from_string(v.as_string());
+        } else if (key == "coarse_stride") {
+          policy.coarse_stride = static_cast<unsigned>(v.as_u64());
+        } else {
+          return false;
+        }
+        return true;
+      });
+}
+
+void apply_rate_overrides(rate::RateConfig& rate, const Value& overrides) {
+  for_each_member(
+      overrides, "rate", [&](const std::string& key, const Value& v) {
+        if (key == "enabled") {
+          rate.enabled = v.as_bool();
+        } else if (key == "n_rb") {
+          rate.n_rb = static_cast<std::uint32_t>(v.as_u64());
+        } else if (key == "slots_per_second") {
+          rate.slots_per_second = v.as_double();
+        } else if (key == "outage_sinr_db") {
+          rate.outage_sinr_db = v.as_double();
+        } else if (key == "min_outage_ms") {
+          rate.min_outage = duration_ms(v, "min_outage_ms");
+        } else {
+          return false;
+        }
+        return true;
+      });
+}
+
 void apply_deployment_overrides(net::DeploymentConfig& deployment,
                                 const Value& overrides) {
   for_each_member(
@@ -172,6 +222,8 @@ void apply_profile_overrides(UeProfile& profile, const Value& overrides) {
           profile.ping_pong_amplitude_m = v.as_double();
         } else if (key == "handover_policy") {
           apply_handover_policy_overrides(profile.handover_policy, v);
+        } else if (key == "beam_policy") {
+          apply_beam_policy_overrides(profile.beam_policy, v);
         } else if (key == "chain_handovers") {
           profile.chain_handovers = v.as_bool();
         } else {
@@ -207,6 +259,8 @@ void apply_spec_overrides(ScenarioSpec& spec, const Value& overrides) {
           for (const Value& entry : v.items()) {
             spec.cell_load.push_back(entry.as_double());
           }
+        } else if (key == "rate") {
+          apply_rate_overrides(spec.rate, v);
         } else if (key == "n_ues") {
           const std::uint64_t n = v.as_u64();
           if (n == 0 || spec.ues.empty()) {
@@ -291,6 +345,13 @@ Value profile_to_json(const UeProfile& profile) {
          Value::number(policy.rival_scan_period.ms()));
   ho.set("ping_pong_window_ms", Value::number(policy.ping_pong_window.ms()));
   out.set("handover_policy", std::move(ho));
+
+  Value bp = Value::object();
+  bp.set("policy",
+         Value::string(std::string(to_string(profile.beam_policy.kind))));
+  bp.set("coarse_stride",
+         Value::unsigned_integer(profile.beam_policy.coarse_stride));
+  out.set("beam_policy", std::move(bp));
   return out;
 }
 
@@ -319,6 +380,14 @@ Value spec_to_json(const ScenarioSpec& spec) {
     load.push_back(Value::number(l));
   }
   out.set("cell_load", std::move(load));
+
+  Value rate = Value::object();
+  rate.set("enabled", Value::boolean(spec.rate.enabled));
+  rate.set("n_rb", Value::unsigned_integer(spec.rate.n_rb));
+  rate.set("slots_per_second", Value::number(spec.rate.slots_per_second));
+  rate.set("outage_sinr_db", Value::number(spec.rate.outage_sinr_db));
+  rate.set("min_outage_ms", Value::number(spec.rate.min_outage.ms()));
+  out.set("rate", std::move(rate));
 
   Value ues = Value::array();
   for (const UeProfile& profile : spec.ues) {

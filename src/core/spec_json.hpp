@@ -23,6 +23,9 @@
 //       "deployment_shape": "grid",      // row | grid | corridor
 //       "grid_cols": 3,                  // grid width; 0 = square-ish
 //       "cell_load": [0.0, 0.5, ...],    // offered load per cell, in [0,1]
+//       "rate": {"enabled": true,        // the observer-only rate layer
+//                "n_rb": 66, "slots_per_second": 8000.0,
+//                "outage_sinr_db": -5.0, "min_outage_ms": 50.0},
 //       "n_ues": 8,                      // replicate the preset's profile
 //       "ue": {"mobility": "vehicular", "ue_beamwidth_deg": 30.0, ...},
 //       "ues": [{...}, {...}]            // or: replace the fleet outright
@@ -33,8 +36,10 @@
 // (enabled, hysteresis_db, load_penalty_db, penalty_time_ms,
 // candidate_ttl_ms, crossover_votes, rival_scan_period_ms,
 // ping_pong_window_ms) configuring the neighbour-ranking decision layer,
-// plus "ping_pong_speed_mps" / "ping_pong_amplitude_m" for the
-// ping_pong mobility.
+// a nested "beam_policy" object ({"policy": "silent_tracker" |
+// "hierarchical" | "blind", "coarse_stride": 0}) selecting the
+// beam-management strategy, plus "ping_pong_speed_mps" /
+// "ping_pong_amplitude_m" for the ping_pong mobility.
 //
 // Unknown keys anywhere are *errors*, not ignored — a typo'd override
 // silently falling back to the preset default would corrupt experiment

@@ -78,6 +78,7 @@ FleetResult run_fleet(const core::ScenarioSpec& spec, unsigned n_threads,
   for (const core::ScenarioResult& ue_result : result.ue_results) {
     result.engine.merge(ue_result.engine);
     result.snapshot_cache.merge(ue_result.snapshot_cache);
+    result.rate.merge(ue_result.rate);
     result.ssb_observations += ue_result.ssb_observations;
     result.cancelled = result.cancelled || ue_result.cancelled;
   }
@@ -97,6 +98,9 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
   LogLinearHistogram alignment;
   LogLinearHistogram interruption;
   LogLinearHistogram rach;
+  LogLinearHistogram throughput;
+  LogLinearHistogram outage;
+  report.rate_enabled = spec.rate.enabled;
 
   report.per_cell.resize(spec.n_cells);
   for (std::size_t cell = 0; cell < spec.n_cells; ++cell) {
@@ -162,6 +166,18 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
       alignment.add(row.alignment_fraction);
     }
 
+    if (spec.rate.enabled) {
+      row.throughput_mbps = ue_result.rate.mean_throughput_mbps();
+      row.mean_sinr_db = ue_result.rate.mean_sinr_db();
+      row.outage_events = ue_result.rate.outage_events;
+      row.outage_ms = ue_result.rate.outage_ms;
+      throughput.add(row.throughput_mbps);
+      outage.add(row.outage_ms);
+      report.mean_throughput_mbps += row.throughput_mbps;
+      report.outage_ms_total += row.outage_ms;
+      report.outage_events_total += row.outage_events;
+    }
+
     report.handovers_total += row.handovers_total;
     report.handovers_successful += row.handovers_successful;
     report.soft += row.soft;
@@ -180,6 +196,11 @@ obs::FleetReport build_fleet_report(const core::ScenarioSpec& spec,
   report.alignment_fraction = obs::HistogramSummary::from(alignment);
   report.interruption_ms = obs::HistogramSummary::from(interruption);
   report.rach_attempts_per_handover = obs::HistogramSummary::from(rach);
+  report.throughput_mbps = obs::HistogramSummary::from(throughput);
+  report.outage_ms = obs::HistogramSummary::from(outage);
+  if (spec.rate.enabled && !report.ues.empty()) {
+    report.mean_throughput_mbps /= static_cast<double>(report.ues.size());
+  }
 
   report.engine.events_executed = result.engine.events_executed;
   report.engine.queue_depth_hwm = result.engine.queue_depth_hwm;

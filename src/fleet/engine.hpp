@@ -47,6 +47,10 @@ struct FleetResult {
   sim::EngineStats engine;
   /// Snapshot-cache and sweep-kernel counters summed across UEs.
   net::SnapshotCacheStats snapshot_cache;
+  /// Rate-layer totals merged across UEs in UE order — bit-identical
+  /// serial vs parallel, because each UE's stats are deterministic and
+  /// the merge is a fixed-order reduction.
+  rate::RateStats rate;
   /// Total SSB listening attempts across the fleet.
   std::uint64_t ssb_observations = 0;
 

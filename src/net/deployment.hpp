@@ -71,14 +71,6 @@ struct Deployment {
   /// populated by the builders; never empty for a multi-cell deployment.
   std::vector<NeighborList> neighbor_lists;
 
-  /// x coordinate of the boundary between cell 0 and cell 1.
-  [[deprecated(
-      "boundary_x() assumes the two-cell row; use "
-      "boundary_between(a, b), which works for any layout")]]
-  [[nodiscard]] double boundary_x() const noexcept {
-    return config.inter_site_m / 2.0;
-  }
-
   /// Midpoint between the sites of cells `a` and `b` — the equal-path-loss
   /// boundary of any two equal-power cells. Throws std::out_of_range on an
   /// unknown cell id.

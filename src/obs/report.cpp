@@ -201,6 +201,9 @@ std::string RunReport::to_json() const {
   json.open("scenario");
   json.field("mobility", scenario);
   json.field("protocol", protocol);
+  if (!beam_policy.empty()) {
+    json.field("beam_policy", beam_policy);
+  }
   json.field("seed", seed);
   json.field("duration_ms", duration_ms);
   json.field("ue_beamwidth_deg", ue_beamwidth_deg);
@@ -222,6 +225,23 @@ std::string RunReport::to_json() const {
   json.field("ssb_observations", handover.ssb_observations);
   json.field("ping_pongs", handover.ping_pongs);
   json.close();
+
+  if (rate.enabled) {
+    json.open("throughput");
+    json.field("samples", rate.samples);
+    json.field("served_samples", rate.served_samples);
+    json.field("mean_mbps", rate.mean_throughput_mbps);
+    json.field("mean_sinr_db", rate.mean_sinr_db);
+    json.field("mean_cqi", rate.mean_cqi);
+    json.close();
+
+    json.open("outage");
+    json.field("events", rate.outage_events);
+    json.field("total_ms", rate.outage_ms);
+    json.field("longest_ms", rate.longest_outage_ms);
+    json.field("fraction", rate.outage_fraction);
+    json.close();
+  }
 
   json.open("engine");
   json.field("events_executed", engine.events_executed);
@@ -293,6 +313,14 @@ std::string RunReport::summary_text() const {
        100.0 * handover.alignment_until_first_handover);
   line("  ssb budget       %llu observations",
        static_cast<unsigned long long>(handover.ssb_observations));
+  if (rate.enabled) {
+    line("  throughput       %.1f Mbps mean (SINR %.1f dB, CQI %.1f)",
+         rate.mean_throughput_mbps, rate.mean_sinr_db, rate.mean_cqi);
+    line("  outage           %llu events, %.1f ms total (longest %.1f ms, "
+         "%.2f%% of airtime)",
+         static_cast<unsigned long long>(rate.outage_events), rate.outage_ms,
+         rate.longest_outage_ms, 100.0 * rate.outage_fraction);
+  }
   line("  engine           %llu events, queue hwm %llu",
        static_cast<unsigned long long>(engine.events_executed),
        static_cast<unsigned long long>(engine.queue_depth_hwm));
@@ -337,6 +365,16 @@ std::string FleetReport::to_json() const {
   json.field("ping_pong_rate", ping_pong_rate);
   json.close();
 
+  if (rate_enabled) {
+    json.open("throughput");
+    json.field("mean_mbps", mean_throughput_mbps);
+    json.close();
+    json.open("outage");
+    json.field("events", outage_events_total);
+    json.field("total_ms", outage_ms_total);
+    json.close();
+  }
+
   json.open_array("per_cell");
   for (const FleetCellReport& cell : per_cell) {
     json.open();
@@ -353,6 +391,10 @@ std::string FleetReport::to_json() const {
   write_summary(json, "alignment_fraction", alignment_fraction);
   write_summary(json, "interruption_ms", interruption_ms);
   write_summary(json, "rach_attempts_per_handover", rach_attempts_per_handover);
+  if (rate_enabled) {
+    write_summary(json, "throughput_mbps", throughput_mbps);
+    write_summary(json, "outage_ms", outage_ms);
+  }
   json.close();
 
   json.open("engine");
@@ -386,6 +428,12 @@ std::string FleetReport::to_json() const {
     json.field("rach_attempts", ue.rach_attempts);
     json.field("ssb_observations", ue.ssb_observations);
     json.field("ping_pongs", ue.ping_pongs);
+    if (rate_enabled) {
+      json.field("throughput_mbps", ue.throughput_mbps);
+      json.field("mean_sinr_db", ue.mean_sinr_db);
+      json.field("outage_events", ue.outage_events);
+      json.field("outage_ms", ue.outage_ms);
+    }
     json.close();
   }
   json.close_array();
@@ -429,6 +477,13 @@ std::string FleetReport::summary_text() const {
     line("  alignment        mean %.1f%%, p50 %.1f%% across %llu tracked UEs",
          100.0 * alignment_fraction.mean, 100.0 * alignment_fraction.p50,
          static_cast<unsigned long long>(alignment_fraction.count));
+  }
+  if (rate_enabled) {
+    line("  throughput       %.1f Mbps mean across UEs (p50 %.1f, p95 %.1f)",
+         mean_throughput_mbps, throughput_mbps.p50, throughput_mbps.p95);
+    line("  outage           %llu events, %.1f ms total across UEs",
+         static_cast<unsigned long long>(outage_events_total),
+         outage_ms_total);
   }
   line("  rach             %llu attempts (%.2f per successful handover)",
        static_cast<unsigned long long>(rach_attempts),

@@ -95,12 +95,31 @@ struct HandoverReport {
   std::uint64_t ping_pongs = 0;
 };
 
+/// The rate layer's per-run outcome: what the user experienced.
+/// Serialised as the report's "throughput" and "outage" blocks; all
+/// zeros when the rate layer was disabled.
+struct RateReport {
+  bool enabled = false;
+  std::uint64_t samples = 0;
+  std::uint64_t served_samples = 0;
+  double mean_throughput_mbps = 0.0;
+  double mean_sinr_db = 0.0;
+  double mean_cqi = 0.0;
+  std::uint64_t outage_events = 0;
+  double outage_ms = 0.0;
+  double longest_outage_ms = 0.0;
+  double outage_fraction = 0.0;
+};
+
 struct RunReport {
   std::string schema = "silent-tracker/run-report/v1";
 
   // Scenario echo, so a report is self-describing.
   std::string scenario;
   std::string protocol;
+  /// Probe-planning strategy name ("silent_tracker", "hierarchical",
+  /// "blind", ...); empty for legacy reports.
+  std::string beam_policy;
   std::uint64_t seed = 0;
   double duration_ms = 0.0;
   double ue_beamwidth_deg = 0.0;
@@ -109,6 +128,7 @@ struct RunReport {
   ProvenanceReport provenance = ProvenanceReport::current();
 
   HandoverReport handover;
+  RateReport rate;
   EngineReport engine;
   SnapshotCacheReport snapshot_cache;
 
@@ -148,6 +168,12 @@ struct FleetUeReport {
   std::uint64_t rach_attempts = 0;
   std::uint64_t ssb_observations = 0;
   std::uint64_t ping_pongs = 0;  ///< A→B→A round trips within the window
+
+  // Rate-layer headline numbers (zero when the layer was disabled).
+  double throughput_mbps = 0.0;
+  double mean_sinr_db = 0.0;
+  std::uint64_t outage_events = 0;
+  double outage_ms = 0.0;
 };
 
 /// Per-cell view of a fleet run: the configured offered load plus how
@@ -189,6 +215,12 @@ struct FleetReport {
   /// Ping-pongs per successful handover (0 when none succeeded).
   double ping_pong_rate = 0.0;
 
+  // Rate-layer fleet totals (zero when the layer was disabled).
+  bool rate_enabled = false;
+  double mean_throughput_mbps = 0.0;  ///< mean of per-UE means
+  double outage_ms_total = 0.0;       ///< summed across UEs
+  std::uint64_t outage_events_total = 0;
+
   /// One row per cell (deployment order); empty when the engine was not
   /// given per-cell data (legacy callers).
   std::vector<FleetCellReport> per_cell;
@@ -197,6 +229,8 @@ struct FleetReport {
   HistogramSummary alignment_fraction;  ///< across UEs with tracking samples
   HistogramSummary interruption_ms;     ///< across successful handovers
   HistogramSummary rach_attempts_per_handover;
+  HistogramSummary throughput_mbps;     ///< across UEs (rate layer on)
+  HistogramSummary outage_ms;           ///< across UEs (rate layer on)
 
   EngineReport engine;  ///< merged across UEs
   SnapshotCacheReport snapshot_cache;

@@ -1,0 +1,41 @@
+#include "rate/mcs.hpp"
+
+namespace st::rate {
+
+const McsTable& McsTable::nr_default() noexcept {
+  // 15 switching points (~2 dB spacing, tighter around the QPSK knee)
+  // and the matching per-RB payloads. bits_per_rb ~= 12 subcarriers x
+  // 14 symbols x modulation order x code rate, rounded to the values
+  // scheduler simulators conventionally tabulate.
+  static const McsTable table{
+      .sinr_threshold_db = {-5.0, -2.0, 0.0, 1.5, 3.0, 5.0, 7.0, 9.0, 11.0,
+                            13.0, 15.0, 17.0, 19.0, 21.0, 23.0},
+      .bits_per_rb = {0, 48, 72, 96, 120, 144, 192, 240, 288, 336, 408, 480,
+                      552, 648, 744, 840},
+  };
+  return table;
+}
+
+int McsTable::cqi_for_sinr_db(double sinr_db) const noexcept {
+  int cqi = 0;
+  for (int i = 0; i < kMaxCqi; ++i) {
+    if (sinr_db >= sinr_threshold_db[static_cast<std::size_t>(i)]) {
+      cqi = i + 1;
+    } else {
+      break;
+    }
+  }
+  return cqi;
+}
+
+std::uint32_t McsTable::bits_for_cqi(int cqi) const noexcept {
+  if (cqi < 0) {
+    cqi = 0;
+  }
+  if (cqi > kMaxCqi) {
+    cqi = kMaxCqi;
+  }
+  return bits_per_rb[static_cast<std::size_t>(cqi)];
+}
+
+}  // namespace st::rate

@@ -1,0 +1,48 @@
+// SINR → CQI → bits-per-RB: the link-adaptation table of the rate layer.
+//
+// The simulator's physics stop at RSS/SNR; what a user experiences is
+// throughput, which NR reaches through link adaptation: the mobile maps
+// its measured SINR to a channel-quality indicator (CQI 1–15), the
+// scheduler picks the matching modulation-and-coding scheme, and each
+// resource block then carries a fixed number of information bits per
+// slot. This header holds that mapping as one explicit table — every
+// threshold and payload is enumerated so tests can pin the exact values
+// and docs/THROUGHPUT.md can print them.
+//
+// The table shape follows the standard NR CQI ladder (QPSK 1/8 through
+// 256QAM ~0.93): 15 SINR thresholds, 16 payloads (index 0 = out of
+// range, zero bits). The thresholds are the conventional ~2 dB-spaced
+// AWGN switching points used by scheduler simulators; they are a model
+// input, not a claim about any particular receiver.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace st::rate {
+
+/// CQI values run 0..15; 0 means "below the lowest MCS" (nothing
+/// schedulable), 1..15 index the NR ladder.
+inline constexpr int kMaxCqi = 15;
+
+struct McsTable {
+  /// sinr_threshold_db[i] is the minimum SINR [dB] for CQI i+1; the
+  /// entries are strictly increasing.
+  std::array<double, kMaxCqi> sinr_threshold_db;
+  /// bits_per_rb[cqi] — information bits one resource block carries in
+  /// one slot at that CQI; bits_per_rb[0] == 0.
+  std::array<std::uint32_t, kMaxCqi + 1> bits_per_rb;
+
+  /// The default NR-style ladder (QPSK → 256QAM).
+  [[nodiscard]] static const McsTable& nr_default() noexcept;
+
+  /// Highest CQI whose threshold `sinr_db` meets (>=); 0 when below the
+  /// CQI-1 threshold. A SINR exactly at a threshold earns that CQI.
+  [[nodiscard]] int cqi_for_sinr_db(double sinr_db) const noexcept;
+
+  /// Payload of one resource block in one slot at `cqi` [bits]. `cqi`
+  /// outside 0..15 is clamped.
+  [[nodiscard]] std::uint32_t bits_for_cqi(int cqi) const noexcept;
+};
+
+}  // namespace st::rate

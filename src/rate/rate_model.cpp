@@ -1,0 +1,87 @@
+#include "rate/rate_model.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace st::rate {
+
+double interference_mw(const double* rss_dbm, const double* load,
+                       std::size_t n) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += load[i] * from_db(rss_dbm[i]);
+  }
+  return total;
+}
+
+double sinr_db(double serving_rss_dbm, double noise_floor_dbm,
+               double interference_mw) noexcept {
+  // dBm values are dB-of-mW here, same convention as
+  // RadioEnvironment::interference_dbm: from_db(dBm) yields mW.
+  const double denom_mw = from_db(noise_floor_dbm) + interference_mw;
+  return serving_rss_dbm - to_db(denom_mw);
+}
+
+void RateStats::merge(const RateStats& other) noexcept {
+  samples += other.samples;
+  served_samples += other.served_samples;
+  bits += other.bits;
+  sum_sinr_db += other.sum_sinr_db;
+  sum_cqi += other.sum_cqi;
+  duration_ms += other.duration_ms;
+  outage_events += other.outage_events;
+  outage_ms += other.outage_ms;
+  longest_outage_ms = std::max(longest_outage_ms, other.longest_outage_ms);
+}
+
+RateAccumulator::RateAccumulator(const RateConfig& config,
+                                 sim::Duration sample_period,
+                                 const McsTable& table)
+    : config_(config), sample_period_(sample_period), table_(table) {}
+
+void RateAccumulator::sample(sim::Time t, double sinr_db, bool served) {
+  ++stats_.samples;
+  const bool out = !served || sinr_db < config_.outage_sinr_db;
+  if (out) {
+    if (!in_outage_) {
+      in_outage_ = true;
+      outage_started_ = t;
+    }
+  } else if (in_outage_) {
+    close_outage(t);
+  }
+  if (!served) {
+    return;
+  }
+  ++stats_.served_samples;
+  stats_.sum_sinr_db += sinr_db;
+  const int cqi = table_.cqi_for_sinr_db(sinr_db);
+  stats_.sum_cqi += static_cast<std::uint64_t>(cqi);
+  // One sample stands for sample_period of airtime at this CQI.
+  stats_.bits += static_cast<double>(table_.bits_for_cqi(cqi)) *
+                 static_cast<double>(config_.n_rb) * config_.slots_per_second *
+                 sample_period_.seconds();
+}
+
+RateStats RateAccumulator::finish(sim::Time end) {
+  if (in_outage_) {
+    close_outage(end);
+  }
+  stats_.duration_ms =
+      static_cast<double>(stats_.samples) * sample_period_.ms();
+  return stats_;
+}
+
+void RateAccumulator::close_outage(sim::Time end) {
+  in_outage_ = false;
+  const sim::Duration window = end - outage_started_;
+  if (window < config_.min_outage) {
+    return;  // a blip, not an outage
+  }
+  ++stats_.outage_events;
+  stats_.outage_ms += window.ms();
+  stats_.longest_outage_ms = std::max(stats_.longest_outage_ms, window.ms());
+}
+
+}  // namespace st::rate

@@ -434,8 +434,11 @@ json::Value Server::handle_stats() {
                        std::string("serve.jobs.") + name)));
   }
   json::Value latency = json::Value::object();
+  // "serve." and "fleet." are both 6 characters, so the prefix strip
+  // below covers the rate-layer distributions too.
   for (const char* name :
-       {"serve.queue_wait_ms", "serve.run_ms", "serve.e2e_ms"}) {
+       {"serve.queue_wait_ms", "serve.run_ms", "serve.e2e_ms",
+        "fleet.throughput_mbps", "fleet.outage_ms"}) {
     if (const LogLinearHistogram* h = metrics_.find_histogram(name)) {
       latency.set(std::string_view(name).substr(6), histogram_summary_json(*h));
     }
@@ -875,6 +878,9 @@ void Server::run_job(std::uint64_t id) {
   bool cancelled = false;
   std::uint64_t handovers = 0;
   std::uint64_t ping_pongs = 0;
+  bool rate_enabled = false;
+  std::vector<double> ue_throughput_mbps;
+  std::vector<double> ue_outage_ms;
   try {
     const fleet::FleetResult result =
         fleet::run_fleet(spec, config_.fleet_threads, control);
@@ -884,6 +890,15 @@ void Server::run_job(std::uint64_t id) {
           fleet::build_fleet_report(spec, result);
       handovers = fleet_report.handovers_successful;
       ping_pongs = fleet_report.ping_pongs;
+      rate_enabled = fleet_report.rate_enabled;
+      if (rate_enabled) {
+        ue_throughput_mbps.reserve(fleet_report.ues.size());
+        ue_outage_ms.reserve(fleet_report.ues.size());
+        for (const obs::FleetUeReport& row : fleet_report.ues) {
+          ue_throughput_mbps.push_back(row.throughput_mbps);
+          ue_outage_ms.push_back(row.outage_ms);
+        }
+      }
       report = fleet_report.to_json();
     }
   } catch (const std::exception& e) {
@@ -913,6 +928,19 @@ void Server::run_job(std::uint64_t id) {
         .add(ms_between(job->submitted_at, job->finished_at));
     metrics_.counter("fleet.handovers").increment(handovers);
     metrics_.counter("fleet.ping_pongs").increment(ping_pongs);
+    if (rate_enabled) {
+      // Per-UE rate outcomes feed the server-wide distributions; the
+      // telemetry frames pick the histograms up automatically.
+      LogLinearHistogram& throughput =
+          metrics_.histogram("fleet.throughput_mbps");
+      LogLinearHistogram& outage = metrics_.histogram("fleet.outage_ms");
+      for (const double mbps : ue_throughput_mbps) {
+        throughput.add(mbps);
+      }
+      for (const double ms : ue_outage_ms) {
+        outage.add(ms);
+      }
+    }
     transition_locked(*job, JobState::kDone);
   }
 }

@@ -263,6 +263,106 @@ TEST(SpecJson, EchoCarriesDeploymentShapeAndPolicy) {
   EXPECT_EQ(parse(doc.dump()).dump(), doc.dump());
 }
 
+TEST(SpecJson, BeamPolicyOverridesApply) {
+  const ScenarioSpec spec = from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ue": {"beam_policy": {"policy": "hierarchical",
+                                         "coarse_stride": 4}}}
+  })");
+  EXPECT_EQ(spec.ues.front().beam_policy.kind,
+            st::core::BeamPolicyKind::kHierarchical);
+  EXPECT_EQ(spec.ues.front().beam_policy.coarse_stride, 4U);
+
+  const ScenarioSpec blind = from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ue": {"beam_policy": {"policy": "blind"}}}
+  })");
+  EXPECT_EQ(blind.ues.front().beam_policy.kind,
+            st::core::BeamPolicyKind::kBlind);
+}
+
+TEST(SpecJson, BeamPolicyRejectsUnknownPolicyAndKeys) {
+  // Unknown policy name.
+  EXPECT_THROW((void)from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ue": {"beam_policy": {"policy": "clairvoyant"}}}
+  })"),
+               ParseError);
+  // Unknown key inside the beam_policy object.
+  EXPECT_THROW((void)from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ue": {"beam_policy": {"stride": 4}}}
+  })"),
+               ParseError);
+  // Ill-typed values.
+  EXPECT_THROW((void)from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ue": {"beam_policy": {"policy": 3}}}
+  })"),
+               ParseError);
+  EXPECT_THROW((void)from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"ue": {"beam_policy": "blind"}}
+  })"),
+               ParseError);
+}
+
+TEST(SpecJson, RateOverridesApply) {
+  const ScenarioSpec spec = from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"rate": {"enabled": true, "n_rb": 100,
+                           "slots_per_second": 4000.0,
+                           "outage_sinr_db": -3.0, "min_outage_ms": 100}}
+  })");
+  EXPECT_TRUE(spec.rate.enabled);
+  EXPECT_EQ(spec.rate.n_rb, 100U);
+  EXPECT_DOUBLE_EQ(spec.rate.slots_per_second, 4000.0);
+  EXPECT_DOUBLE_EQ(spec.rate.outage_sinr_db, -3.0);
+  EXPECT_EQ(spec.rate.min_outage.ms(), 100.0);
+
+  const ScenarioSpec off = from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"rate": {"enabled": false}}
+  })");
+  EXPECT_FALSE(off.rate.enabled);
+}
+
+TEST(SpecJson, RateRejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW((void)from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"rate": {"bandwidth_mhz": 100}}
+  })"),
+               ParseError);
+  EXPECT_THROW((void)from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"rate": {"enabled": "yes"}}
+  })"),
+               ParseError);
+  // Builder validation: a zero RB grid cannot carry traffic.
+  EXPECT_THROW((void)from_text(R"({
+    "preset": "paper_walk",
+    "overrides": {"rate": {"n_rb": 0}}
+  })"),
+               std::invalid_argument);
+}
+
+TEST(SpecJson, EchoRoundTripsBeamPolicyAndRate) {
+  ScenarioSpec spec = st::core::preset::paper_walk();
+  spec.ues.front().beam_policy.kind = st::core::BeamPolicyKind::kHierarchical;
+  spec.ues.front().beam_policy.coarse_stride = 5;
+  spec.rate.n_rb = 51;
+  const auto doc = spec_to_json(spec);
+  ASSERT_NE(doc.find("rate"), nullptr);
+  EXPECT_EQ(doc.find("rate")->find("n_rb")->as_u64(), 51U);
+  const auto& ue = doc.find("ues")->items().front();
+  ASSERT_NE(ue.find("beam_policy"), nullptr);
+  EXPECT_EQ(ue.find("beam_policy")->find("policy")->as_string(),
+            "hierarchical");
+  EXPECT_EQ(ue.find("beam_policy")->find("coarse_stride")->as_u64(), 5U);
+  // The echo round-trips through the parser.
+  EXPECT_EQ(parse(doc.dump()).dump(), doc.dump());
+}
+
 TEST(SpecJson, SpecToJsonEmitsWireFields) {
   const auto doc = spec_to_json(st::core::preset::paper_vehicular());
   EXPECT_NE(doc.find("cells"), nullptr);

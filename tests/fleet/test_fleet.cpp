@@ -100,6 +100,51 @@ TEST(FleetEngine, GridFleetWithPolicyIsBitIdenticalToo) {
   EXPECT_EQ(serial.ssb_observations, parallel.ssb_observations);
 }
 
+TEST(FleetEngine, RateLayerIsBitIdenticalSerialVsParallel) {
+  // The rate layer's interference sum (grid_walk carries graded per-cell
+  // load, so every sample folds in non-serving cells) and the fixed-order
+  // RateStats merge must be bit-identical serial vs parallel on a 64-UE
+  // multi-cell fleet — doubles compared exactly, not approximately.
+  core::ScenarioSpec spec = core::preset::grid_walk();
+  spec.duration = 1'000_ms;
+  spec.seed = 1000;
+  spec.ues.assign(64, spec.ues.front());
+  spec = core::SpecBuilder(std::move(spec)).build();
+  ASSERT_TRUE(spec.rate.enabled);
+
+  const FleetResult serial = run_fleet(spec, 1);
+  const FleetResult parallel = run_fleet(spec, 4);
+  ASSERT_EQ(serial.ue_count(), 64u);
+  for (std::size_t ue = 0; ue < serial.ue_count(); ++ue) {
+    const rate::RateStats& a = serial.ue_results[ue].rate;
+    const rate::RateStats& b = parallel.ue_results[ue].rate;
+    EXPECT_EQ(a.samples, b.samples) << "ue " << ue;
+    EXPECT_EQ(a.served_samples, b.served_samples) << "ue " << ue;
+    EXPECT_EQ(a.bits, b.bits) << "ue " << ue;
+    EXPECT_EQ(a.sum_sinr_db, b.sum_sinr_db) << "ue " << ue;
+    EXPECT_EQ(a.sum_cqi, b.sum_cqi) << "ue " << ue;
+    EXPECT_EQ(a.outage_events, b.outage_events) << "ue " << ue;
+    EXPECT_EQ(a.outage_ms, b.outage_ms) << "ue " << ue;
+    EXPECT_GT(a.samples, 0u) << "ue " << ue;
+  }
+  // The merged totals ride the same fixed-order reduction.
+  EXPECT_EQ(serial.rate.bits, parallel.rate.bits);
+  EXPECT_EQ(serial.rate.sum_sinr_db, parallel.rate.sum_sinr_db);
+  EXPECT_EQ(serial.rate.outage_ms, parallel.rate.outage_ms);
+  EXPECT_EQ(serial.rate.longest_outage_ms, parallel.rate.longest_outage_ms);
+
+  // And the report surfaces them: per-UE rows plus fleet distributions.
+  const obs::FleetReport report = build_fleet_report(spec, serial);
+  EXPECT_TRUE(report.rate_enabled);
+  ASSERT_EQ(report.ues.size(), 64u);
+  EXPECT_GT(report.mean_throughput_mbps, 0.0);
+  EXPECT_EQ(report.ues.front().throughput_mbps,
+            serial.ue_results.front().rate.mean_throughput_mbps());
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"throughput\""), std::string::npos);
+  EXPECT_NE(json.find("\"outage\""), std::string::npos);
+}
+
 TEST(FleetEngine, SingleUeFleetMatchesRunScenario) {
   core::ScenarioSpec spec = core::preset::paper_walk();
   spec.duration = 2'000_ms;

@@ -104,16 +104,6 @@ TEST(Deployment, BoundaryBetweenIsTheSiteMidpoint) {
                std::out_of_range);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Deployment, DeprecatedBoundaryXShimMatchesBoundaryBetween) {
-  DeploymentConfig config;
-  config.inter_site_m = 42.0;
-  const Deployment d = make_cell_row(config, 2);
-  EXPECT_EQ(d.boundary_x(), d.boundary_between(0, 1).x);
-}
-#pragma GCC diagnostic pop
-
 TEST(Deployment, GridGeometryIsRowMajor) {
   DeploymentConfig config;
   config.inter_site_m = 60.0;

@@ -1,0 +1,61 @@
+// Golden tests of the SINR -> CQI -> bits-per-RB ladder: every value
+// here is hand-computed from the table in rate/mcs.cpp, so any change to
+// the ladder shows up as an explicit diff against the paper trail in
+// docs/THROUGHPUT.md.
+#include "rate/mcs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using st::rate::kMaxCqi;
+using st::rate::McsTable;
+
+TEST(McsTable, LadderShapeIsStrictlyIncreasing) {
+  const McsTable& table = McsTable::nr_default();
+  for (int i = 1; i < kMaxCqi; ++i) {
+    EXPECT_LT(table.sinr_threshold_db[static_cast<std::size_t>(i - 1)],
+              table.sinr_threshold_db[static_cast<std::size_t>(i)])
+        << "threshold " << i;
+  }
+  EXPECT_EQ(table.bits_per_rb[0], 0U);
+  for (int cqi = 1; cqi <= kMaxCqi; ++cqi) {
+    EXPECT_LT(table.bits_per_rb[static_cast<std::size_t>(cqi - 1)],
+              table.bits_per_rb[static_cast<std::size_t>(cqi)])
+        << "cqi " << cqi;
+  }
+}
+
+TEST(McsTable, GoldenCqiForSinr) {
+  const McsTable& table = McsTable::nr_default();
+  // Below the CQI-1 threshold nothing is schedulable.
+  EXPECT_EQ(table.cqi_for_sinr_db(-100.0), 0);
+  EXPECT_EQ(table.cqi_for_sinr_db(-5.1), 0);
+  // A SINR exactly at a threshold earns that CQI (>= semantics).
+  EXPECT_EQ(table.cqi_for_sinr_db(-5.0), 1);
+  EXPECT_EQ(table.cqi_for_sinr_db(-2.0), 2);
+  EXPECT_EQ(table.cqi_for_sinr_db(0.0), 3);
+  EXPECT_EQ(table.cqi_for_sinr_db(1.5), 4);
+  // Between thresholds the lower CQI holds.
+  EXPECT_EQ(table.cqi_for_sinr_db(2.9), 4);
+  EXPECT_EQ(table.cqi_for_sinr_db(3.0), 5);
+  EXPECT_EQ(table.cqi_for_sinr_db(7.0), 7);
+  EXPECT_EQ(table.cqi_for_sinr_db(10.0), 8);
+  EXPECT_EQ(table.cqi_for_sinr_db(22.9), 14);
+  EXPECT_EQ(table.cqi_for_sinr_db(23.0), kMaxCqi);
+  EXPECT_EQ(table.cqi_for_sinr_db(100.0), kMaxCqi);
+}
+
+TEST(McsTable, GoldenBitsPerRb) {
+  const McsTable& table = McsTable::nr_default();
+  EXPECT_EQ(table.bits_for_cqi(0), 0U);
+  EXPECT_EQ(table.bits_for_cqi(1), 48U);   // QPSK 1/8: 168 REs x 2 x ~1/7
+  EXPECT_EQ(table.bits_for_cqi(7), 240U);
+  EXPECT_EQ(table.bits_for_cqi(8), 288U);
+  EXPECT_EQ(table.bits_for_cqi(15), 840U);  // 256QAM ~0.93
+  // Out-of-range CQIs clamp instead of indexing out of bounds.
+  EXPECT_EQ(table.bits_for_cqi(-3), 0U);
+  EXPECT_EQ(table.bits_for_cqi(99), 840U);
+}
+
+}  // namespace

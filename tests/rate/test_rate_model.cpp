@@ -1,0 +1,212 @@
+// The rate layer's arithmetic and outage-window bookkeeping, pinned
+// against hand-computed references: load-weighted interference, SINR
+// degeneration to SNR at zero load, the throughput integral, and the
+// outage edge cases (exactly-at-threshold samples, windows exactly at
+// min_outage, blockage windows spanning served and unserved samples,
+// end-of-run closure).
+#include "rate/rate_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+namespace sim2 = st::sim;
+
+using st::rate::McsTable;
+using st::rate::RateAccumulator;
+using st::rate::RateConfig;
+using st::rate::RateStats;
+
+sim2::Time tick(std::int64_t ms) {
+  return sim2::Time::zero() + sim2::Duration::milliseconds(ms);
+}
+
+RateConfig test_config() {
+  RateConfig config;
+  config.n_rb = 66;
+  config.slots_per_second = 8000.0;
+  config.outage_sinr_db = -5.0;
+  config.min_outage = sim2::Duration::milliseconds(50);
+  return config;
+}
+
+// ---- SINR arithmetic ------------------------------------------------------
+
+TEST(RateModel, SinrDegeneratesToSnrWithoutInterference) {
+  // -80 dBm served against a -90 dBm floor: SINR == SNR == 10 dB.
+  EXPECT_NEAR(st::rate::sinr_db(-80.0, -90.0, 0.0), 10.0, 1e-12);
+}
+
+TEST(RateModel, InterferenceSumIsLoadWeighted) {
+  // 1.0 x 1e-9 mW + 0.5 x 0.5e-9 mW = 1.25e-9 mW. The second RSS is
+  // -90 dBm - 10 log10(2), i.e. exactly half the first's power.
+  const double rss[] = {-90.0, -90.0 - 10.0 * std::log10(2.0)};
+  const double load[] = {1.0, 0.5};
+  EXPECT_NEAR(st::rate::interference_mw(rss, load, 2), 1.25e-9, 1e-21);
+  // Zero cells -> zero interference.
+  EXPECT_EQ(st::rate::interference_mw(rss, load, 0), 0.0);
+}
+
+TEST(RateModel, GoldenSinrUnderInterference) {
+  // One fully-loaded interferer at exactly the noise floor doubles the
+  // denominator: SINR = SNR - 10 log10(2) = 10 - 3.0103 dB.
+  const double i_mw = st::from_db(-90.0);
+  EXPECT_NEAR(st::rate::sinr_db(-80.0, -90.0, i_mw),
+              10.0 - 10.0 * std::log10(2.0), 1e-12);
+  // At half load the denominator is 1.5x: SINR = 10 - 10 log10(1.5).
+  EXPECT_NEAR(st::rate::sinr_db(-80.0, -90.0, 0.5 * i_mw),
+              10.0 - 10.0 * std::log10(1.5), 1e-12);
+}
+
+// ---- throughput integral --------------------------------------------------
+
+TEST(RateModel, GoldenThroughputForOneSample) {
+  // SINR 10 dB -> CQI 8 -> 288 bits/RB. One 10 ms sample at 66 RBs and
+  // 8000 slots/s: 288 x 66 x 8000 x 0.01 = 1 520 640 bits over 10 ms of
+  // airtime = 152.064 Mb/s.
+  RateAccumulator acc(test_config(), sim2::Duration::milliseconds(10));
+  acc.sample(tick(0), 10.0, /*served=*/true);
+  const RateStats stats = acc.finish(tick(10));
+  EXPECT_EQ(stats.samples, 1U);
+  EXPECT_EQ(stats.served_samples, 1U);
+  EXPECT_EQ(stats.sum_cqi, 8U);
+  EXPECT_NEAR(stats.bits, 1'520'640.0, 1e-6);
+  EXPECT_NEAR(stats.duration_ms, 10.0, 1e-12);
+  EXPECT_NEAR(stats.mean_throughput_mbps(), 152.064, 1e-9);
+  EXPECT_NEAR(stats.mean_sinr_db(), 10.0, 1e-12);
+  EXPECT_EQ(stats.outage_events, 0U);
+}
+
+TEST(RateModel, UnservedSamplesCarryNoBits) {
+  RateAccumulator acc(test_config(), sim2::Duration::milliseconds(10));
+  acc.sample(tick(0), 999.0, /*served=*/false);  // SINR ignored unserved
+  const RateStats stats = acc.finish(tick(10));
+  EXPECT_EQ(stats.samples, 1U);
+  EXPECT_EQ(stats.served_samples, 0U);
+  EXPECT_EQ(stats.bits, 0.0);
+  EXPECT_EQ(stats.mean_sinr_db(), 0.0);
+}
+
+// ---- outage windows -------------------------------------------------------
+
+TEST(RateModel, SampleExactlyAtThresholdIsNotOutage) {
+  // outage_sinr_db is -5.0 == the CQI-1 threshold: a sample exactly at
+  // it is served (strictly-below semantics) and earns CQI 1.
+  RateAccumulator acc(test_config(), sim2::Duration::milliseconds(10));
+  for (int i = 0; i < 10; ++i) {
+    acc.sample(tick(10 * i), -5.0, /*served=*/true);
+  }
+  const RateStats stats = acc.finish(tick(100));
+  EXPECT_EQ(stats.outage_events, 0U);
+  EXPECT_EQ(stats.outage_ms, 0.0);
+  EXPECT_EQ(stats.sum_cqi, 10U);  // CQI 1 each tick
+}
+
+TEST(RateModel, WindowExactlyAtMinOutageCounts) {
+  // Below threshold from t=0; recovery at t=50 ms closes a window of
+  // exactly min_outage — >= semantics, so it counts.
+  RateAccumulator acc(test_config(), sim2::Duration::milliseconds(10));
+  for (int i = 0; i < 5; ++i) {
+    acc.sample(tick(10 * i), -20.0, /*served=*/true);
+  }
+  acc.sample(tick(50), 10.0, /*served=*/true);
+  const RateStats stats = acc.finish(tick(60));
+  EXPECT_EQ(stats.outage_events, 1U);
+  EXPECT_NEAR(stats.outage_ms, 50.0, 1e-12);
+  EXPECT_NEAR(stats.longest_outage_ms, 50.0, 1e-12);
+}
+
+TEST(RateModel, ShorterWindowIsABlip) {
+  // Recovery at t=40 ms: the 40 ms window is under min_outage.
+  RateAccumulator acc(test_config(), sim2::Duration::milliseconds(10));
+  for (int i = 0; i < 4; ++i) {
+    acc.sample(tick(10 * i), -20.0, /*served=*/true);
+  }
+  acc.sample(tick(40), 10.0, /*served=*/true);
+  const RateStats stats = acc.finish(tick(50));
+  EXPECT_EQ(stats.outage_events, 0U);
+  EXPECT_EQ(stats.outage_ms, 0.0);
+}
+
+TEST(RateModel, WindowSpansServedAndUnservedSamples) {
+  // A blockage that degrades the link below threshold, then kills it
+  // (handover gap), then degrades it again is ONE contiguous outage:
+  // below-threshold at 0/10, unserved at 20/30, below-threshold at 40,
+  // recovery at 60 -> one 60 ms event.
+  RateAccumulator acc(test_config(), sim2::Duration::milliseconds(10));
+  acc.sample(tick(0), -20.0, /*served=*/true);
+  acc.sample(tick(10), -20.0, /*served=*/true);
+  acc.sample(tick(20), 0.0, /*served=*/false);
+  acc.sample(tick(30), 0.0, /*served=*/false);
+  acc.sample(tick(40), -20.0, /*served=*/true);
+  acc.sample(tick(60), 10.0, /*served=*/true);
+  const RateStats stats = acc.finish(tick(70));
+  EXPECT_EQ(stats.outage_events, 1U);
+  EXPECT_NEAR(stats.outage_ms, 60.0, 1e-12);
+  EXPECT_NEAR(stats.longest_outage_ms, 60.0, 1e-12);
+}
+
+TEST(RateModel, FinishClosesAnOpenWindow) {
+  // The run ends while still in outage: finish(end) closes the window
+  // at the end of the run.
+  RateAccumulator acc(test_config(), sim2::Duration::milliseconds(10));
+  for (int i = 0; i < 6; ++i) {
+    acc.sample(tick(10 * i), -20.0, /*served=*/true);
+  }
+  const RateStats stats = acc.finish(tick(60));
+  EXPECT_EQ(stats.outage_events, 1U);
+  EXPECT_NEAR(stats.outage_ms, 60.0, 1e-12);
+  EXPECT_NEAR(stats.outage_fraction(), 1.0, 1e-12);
+}
+
+TEST(RateModel, DistinctWindowsCountSeparately) {
+  RateAccumulator acc(test_config(), sim2::Duration::milliseconds(10));
+  // 50 ms out, 20 ms good, 70 ms out, then recovery.
+  for (int i = 0; i < 5; ++i) {
+    acc.sample(tick(10 * i), -20.0, true);
+  }
+  acc.sample(tick(50), 10.0, true);
+  acc.sample(tick(60), 10.0, true);
+  for (int i = 0; i < 7; ++i) {
+    acc.sample(tick(70 + 10 * i), -20.0, true);
+  }
+  acc.sample(tick(140), 10.0, true);
+  const RateStats stats = acc.finish(tick(150));
+  EXPECT_EQ(stats.outage_events, 2U);
+  EXPECT_NEAR(stats.outage_ms, 120.0, 1e-12);
+  EXPECT_NEAR(stats.longest_outage_ms, 70.0, 1e-12);
+}
+
+// ---- fleet merge ----------------------------------------------------------
+
+TEST(RateModel, MergeSumsAndKeepsLongestWindow) {
+  RateStats a;
+  a.samples = 10;
+  a.served_samples = 8;
+  a.bits = 100.0;
+  a.sum_sinr_db = 40.0;
+  a.sum_cqi = 32;
+  a.duration_ms = 100.0;
+  a.outage_events = 1;
+  a.outage_ms = 50.0;
+  a.longest_outage_ms = 50.0;
+  RateStats b = a;
+  b.longest_outage_ms = 70.0;
+  b.outage_ms = 70.0;
+  a.merge(b);
+  EXPECT_EQ(a.samples, 20U);
+  EXPECT_EQ(a.served_samples, 16U);
+  EXPECT_NEAR(a.bits, 200.0, 1e-12);
+  EXPECT_EQ(a.sum_cqi, 64U);
+  EXPECT_NEAR(a.duration_ms, 200.0, 1e-12);
+  EXPECT_EQ(a.outage_events, 2U);
+  EXPECT_NEAR(a.outage_ms, 120.0, 1e-12);
+  EXPECT_NEAR(a.longest_outage_ms, 70.0, 1e-12);
+}
+
+}  // namespace
